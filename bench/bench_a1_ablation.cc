@@ -1,0 +1,139 @@
+// A1 — Ablations of the engine's design choices.
+//
+//  (a) Enforcement mechanism: the O(1)-state online checkers vs the naive
+//      alternative of re-verifying the whole extension after every insert
+//      (what a system without incremental checkers would do).
+//  (b) Index for monotone stamps: the general B+tree vs the append-only
+//      index the degenerate/sequential specializations license.
+//  (c) Interval-index delta buffer: stab cost right after inserts (delta
+//      populated) vs after Compact().
+#include "bench_common.h"
+#include "index/append_index.h"
+#include "index/btree.h"
+#include "index/interval_index.h"
+
+using namespace tempspec;
+using tempspec::bench::Require;
+
+namespace {
+
+Element OrderedElement(int64_t i) {
+  Element e;
+  e.element_surrogate = static_cast<ElementSurrogate>(i + 1);
+  e.object_surrogate = i % 8 + 1;
+  e.tt_begin = TimePoint::FromSeconds(1000 + i);
+  e.valid = ValidTime::Event(TimePoint::FromSeconds(900 + i));
+  return e;
+}
+
+SpecializationSet OrderedSpecs() {
+  SpecializationSet specs;
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  specs.AddEvent(EventSpecialization::Retroactive());
+  return specs;
+}
+
+void BM_Enforcement_OnlineCheckers(benchmark::State& state) {
+  const Granularity gran = Granularity::Second();
+  for (auto _ : state) {
+    ConstraintChecker checker(OrderedSpecs(), gran);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      Require(checker.OnInsert(OrderedElement(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Enforcement_BatchReverify(benchmark::State& state) {
+  // The ablated design: no incremental state; after each insert the full
+  // extension is re-verified. O(n^2) total.
+  const Granularity gran = Granularity::Second();
+  ConstraintChecker checker(OrderedSpecs(), gran);
+  for (auto _ : state) {
+    std::vector<Element> extension;
+    extension.reserve(state.range(0));
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      extension.push_back(OrderedElement(i));
+      Require(checker.CheckExtension(extension));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// ---------------------------------------------------------------------------
+// (b) B+tree vs append-only index for monotone keys
+// ---------------------------------------------------------------------------
+
+void BM_MonotoneIndex_BTree(benchmark::State& state) {
+  for (auto _ : state) {
+    BTreeIndex index;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      index.Insert(1000 + i, static_cast<uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(index.Range(2000, 2100));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_MonotoneIndex_AppendOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    AppendOnlyIndex index;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      Require(index.Append(TimePoint::FromMicros(1000 + i),
+                           static_cast<uint64_t>(i)));
+    }
+    benchmark::DoNotOptimize(index.Range(TimePoint::FromMicros(2000),
+                                         TimePoint::FromMicros(2100)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// ---------------------------------------------------------------------------
+// (c) interval-index delta buffer vs compacted core
+// ---------------------------------------------------------------------------
+
+IntervalIndex BuildIntervalIndex(int64_t n, uint64_t seed) {
+  Random rng(seed);
+  IntervalIndex index;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t b = rng.Uniform(0, 1'000'000);
+    index.Insert(TimePoint::FromMicros(b),
+                 TimePoint::FromMicros(b + rng.Uniform(1, 10'000)),
+                 static_cast<uint64_t>(i));
+  }
+  return index;
+}
+
+void BM_IntervalIndex_StabWithDelta(benchmark::State& state) {
+  IntervalIndex index = BuildIntervalIndex(state.range(0), 7);
+  Random rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Stab(TimePoint::FromMicros(rng.Uniform(0, 1'000'000))));
+  }
+  state.counters["delta_size"] =
+      benchmark::Counter(static_cast<double>(index.delta_size()));
+}
+
+void BM_IntervalIndex_StabCompacted(benchmark::State& state) {
+  IntervalIndex index = BuildIntervalIndex(state.range(0), 7);
+  index.Compact();
+  Random rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Stab(TimePoint::FromMicros(rng.Uniform(0, 1'000'000))));
+  }
+  state.counters["delta_size"] =
+      benchmark::Counter(static_cast<double>(index.delta_size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Enforcement_OnlineCheckers)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Enforcement_BatchReverify)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_MonotoneIndex_BTree)->Arg(65536);
+BENCHMARK(BM_MonotoneIndex_AppendOnly)->Arg(65536);
+BENCHMARK(BM_IntervalIndex_StabWithDelta)->Arg(65536);
+BENCHMARK(BM_IntervalIndex_StabCompacted)->Arg(65536);
+
+BENCHMARK_MAIN();

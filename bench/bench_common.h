@@ -1,0 +1,44 @@
+// Shared helpers for the experiment benches (EXPERIMENTS.md, E1-E9).
+#ifndef TEMPSPEC_BENCH_BENCH_COMMON_H_
+#define TEMPSPEC_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "query/executor.h"
+#include "spec/inference.h"
+#include "workload/workloads.h"
+
+namespace tempspec {
+namespace bench {
+
+/// \brief Aborts the benchmark on error — benches must not silently measure
+/// failure paths.
+inline void Require(const Status& status) { status.Check(); }
+
+template <typename T>
+T Require(Result<T> result) {
+  result.status().Check();
+  return std::move(result).ValueOrDie();
+}
+
+/// \brief Workload sized from the benchmark's first range argument
+/// (total elements ~= state.range(0)).
+inline WorkloadConfig ConfigFor(int64_t total_elements, size_t num_objects = 16) {
+  WorkloadConfig config;
+  config.num_objects = num_objects;
+  config.ops_per_object =
+      static_cast<size_t>(total_elements) / (num_objects ? num_objects : 1);
+  return config;
+}
+
+/// \brief The always-available naive plan.
+inline PlanChoice FullScanPlan() {
+  return PlanChoice{ExecutionStrategy::kFullScan, TimeInterval::All(), ""};
+}
+
+}  // namespace bench
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_BENCH_BENCH_COMMON_H_

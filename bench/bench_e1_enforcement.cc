@@ -1,0 +1,125 @@
+// E1 — Constraint-enforcement overhead per update (Section 1's premise that
+// the extra semantics is cheap enough to capture).
+//
+// Measures insert throughput of the relation engine with (a) no declared
+// specializations, and (b) each category of specialization declared:
+// isolated band, degenerate, inter-event ordering, regularity, and the full
+// combination. The gap between (a) and each (b) is the intensional
+// enforcement cost.
+#include "bench_common.h"
+
+using namespace tempspec;
+using tempspec::bench::Require;
+
+namespace {
+
+SchemaPtr BenchSchema() {
+  static SchemaPtr schema =
+      Require(Schema::Make("bench",
+                           {AttributeDef{"id", ValueType::kInt64,
+                                         AttributeRole::kTimeInvariantKey},
+                            AttributeDef{"v", ValueType::kDouble,
+                                         AttributeRole::kTimeVarying}},
+                           ValidTimeKind::kEvent, Granularity::Second()));
+  return schema;
+}
+
+void RunInsertLoop(benchmark::State& state, SpecializationSet specs,
+                   int64_t offset_us) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    RelationOptions options;
+    options.schema = BenchSchema();
+    options.specializations = specs;
+    auto clock = std::make_shared<LogicalClock>(TimePoint::FromSeconds(1'000'000),
+                                                Duration::Seconds(1));
+    options.clock = clock;
+    auto rel = Require(TemporalRelation::Open(std::move(options)));
+    state.ResumeTiming();
+
+    for (int i = 0; i < state.range(0); ++i) {
+      const TimePoint tt = clock->Peek();
+      Require(rel->InsertEvent(i % 32, tt + Duration::Micros(offset_us),
+                               Tuple{int64_t{i % 32}, 1.0})
+                  .status());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Insert_NoSpecs(benchmark::State& state) {
+  RunInsertLoop(state, SpecializationSet(), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_BandSpec(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddEvent(Require(
+      EventSpecialization::DelayedStronglyRetroactivelyBounded(
+          Duration::Seconds(30), Duration::Seconds(120))));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_CalendricBandSpec(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddEvent(Require(
+      EventSpecialization::RetroactivelyBounded(Duration::Months(1))));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_Degenerate(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Degenerate());
+  RunInsertLoop(state, std::move(specs), 0);
+}
+
+void BM_Insert_Ordering(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_PerSurrogateOrdering(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddOrdering(
+      OrderingSpec(OrderingKind::kNonDecreasing, SpecScope::kPerObjectSurrogate));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_Regularity(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddRegularity(Require(RegularitySpec::Make(
+      RegularityDimension::kTransactionTime, Duration::Seconds(1))));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_Determined(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive().Determined(
+      MappingFunction::Offset(Duration::Seconds(-60))));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+void BM_Insert_FullStack(benchmark::State& state) {
+  SpecializationSet specs;
+  specs.AddEvent(Require(
+      EventSpecialization::DelayedStronglyRetroactivelyBounded(
+          Duration::Seconds(30), Duration::Seconds(120))));
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  specs.AddRegularity(Require(RegularitySpec::Make(
+      RegularityDimension::kTransactionTime, Duration::Seconds(1))));
+  RunInsertLoop(state, std::move(specs), -60 * kMicrosPerSecond);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Insert_NoSpecs)->Arg(4096);
+BENCHMARK(BM_Insert_BandSpec)->Arg(4096);
+BENCHMARK(BM_Insert_CalendricBandSpec)->Arg(4096);
+BENCHMARK(BM_Insert_Degenerate)->Arg(4096);
+BENCHMARK(BM_Insert_Ordering)->Arg(4096);
+BENCHMARK(BM_Insert_PerSurrogateOrdering)->Arg(4096);
+BENCHMARK(BM_Insert_Regularity)->Arg(4096);
+BENCHMARK(BM_Insert_Determined)->Arg(4096);
+BENCHMARK(BM_Insert_FullStack)->Arg(4096);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// E7 — Specialization inference at design time: cost of profiling an
+// extension, and recovery of the generating discipline for every scenario
+// workload (the paper's design-methodology use case).
+#include "bench_common.h"
+
+using namespace tempspec;
+using tempspec::bench::ConfigFor;
+using tempspec::bench::Require;
+
+namespace {
+
+void BM_InferProfile_EventRelation(benchmark::State& state) {
+  const WorkloadConfig config = ConfigFor(state.range(0));
+  auto scenario = Require(MakeProcessMonitoring(
+      config, Duration::Seconds(30), Duration::Seconds(120), Duration::Minutes(1)));
+  Require(GenerateProcessMonitoring(config, Duration::Seconds(30),
+                                    Duration::Seconds(120), Duration::Minutes(1),
+                                    &scenario));
+  for (auto _ : state) {
+    RelationProfile profile =
+        InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                     scenario->schema().valid_granularity());
+    benchmark::DoNotOptimize(profile);
+  }
+  state.SetItemsProcessed(state.iterations() * scenario->size());
+}
+
+void BM_InferProfile_IntervalRelation(benchmark::State& state) {
+  const WorkloadConfig config = ConfigFor(state.range(0));
+  auto scenario = Require(MakeAssignments(config));
+  Require(GenerateAssignments(config, &scenario));
+  for (auto _ : state) {
+    RelationProfile profile =
+        InferProfile(scenario->elements(), ValidTimeKind::kInterval,
+                     scenario->schema().valid_granularity());
+    benchmark::DoNotOptimize(profile);
+  }
+  state.SetItemsProcessed(state.iterations() * scenario->size());
+}
+
+void BM_BatchRevalidation(benchmark::State& state) {
+  // Cost of CheckExtension: full re-verification of a declared relation
+  // (runs on recovery).
+  const WorkloadConfig config = ConfigFor(state.range(0));
+  auto scenario = Require(MakeProcessMonitoring(
+      config, Duration::Seconds(30), Duration::Seconds(120), Duration::Minutes(1)));
+  Require(GenerateProcessMonitoring(config, Duration::Seconds(30),
+                                    Duration::Seconds(120), Duration::Minutes(1),
+                                    &scenario));
+  for (auto _ : state) {
+    Require(scenario->CheckExtension());
+  }
+  state.SetItemsProcessed(state.iterations() * scenario->size());
+}
+
+// Recovery-rate report: one pass over every scenario, printed as counters
+// (1 = the inference engine recovered the scenario's defining property).
+void BM_RecoveryMatrix(benchmark::State& state) {
+  WorkloadConfig config;
+  config.num_objects = 8;
+  config.ops_per_object = 128;
+
+  double degenerate_ok = 0, monitoring_ok = 0, payroll_ok = 0, orders_ok = 0,
+         archaeology_ok = 0, assignments_ok = 0;
+  for (auto _ : state) {
+    {
+      auto s = Require(MakeDegenerateMonitoring(config, Duration::Seconds(10)));
+      Require(GenerateDegenerateMonitoring(config, Duration::Seconds(10), &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kEvent,
+                            s->schema().valid_granularity());
+      degenerate_ok = p.event.degenerate && p.regularity.temporal_strict;
+    }
+    {
+      auto s = Require(MakeProcessMonitoring(config, Duration::Seconds(30),
+                                             Duration::Seconds(120),
+                                             Duration::Minutes(1)));
+      Require(GenerateProcessMonitoring(config, Duration::Seconds(30),
+                                        Duration::Seconds(120),
+                                        Duration::Minutes(1), &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kEvent,
+                            s->schema().valid_granularity());
+      monitoring_ok = p.event.classified ==
+                      EventSpecKind::kDelayedStronglyRetroactivelyBounded;
+    }
+    {
+      auto s = Require(MakePayroll(config));
+      Require(GeneratePayroll(config, &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kEvent,
+                            s->schema().valid_granularity());
+      payroll_ok = p.event.classified ==
+                   EventSpecKind::kEarlyStronglyPredictivelyBounded;
+    }
+    {
+      auto s = Require(MakeOrders(config));
+      Require(GenerateOrders(config, &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kEvent,
+                            s->schema().valid_granularity());
+      orders_ok = p.event.max_offset_us <= 30 * kMicrosPerDay;
+    }
+    {
+      auto s = Require(MakeArchaeology(config));
+      Require(GenerateArchaeology(config, &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kInterval,
+                            s->schema().valid_granularity());
+      archaeology_ok = p.global_ordering.non_increasing &&
+                       p.interval.successive.count(AllenRelation::kMetBy) > 0;
+    }
+    {
+      auto s = Require(MakeAssignments(config));
+      Require(GenerateAssignments(config, &s));
+      auto p = InferProfile(s->elements(), ValidTimeKind::kInterval,
+                            s->schema().valid_granularity());
+      assignments_ok = p.interval.valid_strict &&
+                       p.per_surrogate_ordering.non_decreasing;
+    }
+  }
+  state.counters["recovered_degenerate"] = degenerate_ok;
+  state.counters["recovered_monitoring"] = monitoring_ok;
+  state.counters["recovered_payroll"] = payroll_ok;
+  state.counters["recovered_orders"] = orders_ok;
+  state.counters["recovered_archaeology"] = archaeology_ok;
+  state.counters["recovered_assignments"] = assignments_ok;
+}
+
+}  // namespace
+
+BENCHMARK(BM_InferProfile_EventRelation)->Range(1024, 32768);
+BENCHMARK(BM_InferProfile_IntervalRelation)->Range(1024, 16384);
+BENCHMARK(BM_BatchRevalidation)->Range(1024, 32768);
+BENCHMARK(BM_RecoveryMatrix)->Iterations(1);
+
+BENCHMARK_MAIN();

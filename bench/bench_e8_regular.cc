@@ -1,0 +1,140 @@
+// E8 — Regular relations admit unit-multiple time-stamp encoding
+// (Sections 3.2/3.3; the Advisor's EncodingAdvice::kDeltaUnit).
+//
+// Encodes the transaction-time column of (a) a strictly regular sampling
+// relation, (b) a non-strictly regular one, and (c) an irregular baseline,
+// with raw / delta / unit-multiple encodings. Counters report bytes per
+// stamp; timings report encode cost.
+#include "bench_common.h"
+#include "storage/encoding.h"
+
+using namespace tempspec;
+using tempspec::bench::Require;
+
+namespace {
+
+std::vector<TimePoint> StrictRegularColumn(int64_t n) {
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(TimePoint::FromSeconds(1000 + i * 10));
+  }
+  return out;
+}
+
+std::vector<TimePoint> NonStrictRegularColumn(int64_t n) {
+  Random rng(3);
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  int64_t k = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    k += rng.Uniform(1, 6);
+    out.push_back(TimePoint::FromSeconds(1000 + k * 10));
+  }
+  return out;
+}
+
+std::vector<TimePoint> IrregularColumn(int64_t n) {
+  Random rng(5);
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  int64_t us = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    us += rng.Uniform(1, 20'000'000);
+    out.push_back(TimePoint::FromMicros(us));
+  }
+  return out;
+}
+
+void ReportBytes(benchmark::State& state, size_t bytes, size_t n) {
+  state.counters["bytes_per_stamp"] =
+      benchmark::Counter(static_cast<double>(bytes) / n);
+}
+
+void BM_Encode_StrictRegular_Raw(benchmark::State& state) {
+  const auto column = StrictRegularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = EncodeTimestampsRaw(column);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Encode_StrictRegular_Delta(benchmark::State& state) {
+  const auto column = StrictRegularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = EncodeTimestampsDelta(column);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Encode_StrictRegular_Unit(benchmark::State& state) {
+  const auto column = StrictRegularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = Require(EncodeTimestampsUnit(column, 10 * kMicrosPerSecond));
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Encode_NonStrictRegular_Unit(benchmark::State& state) {
+  const auto column = NonStrictRegularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = Require(EncodeTimestampsUnit(column, 10 * kMicrosPerSecond));
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Encode_Irregular_Raw(benchmark::State& state) {
+  const auto column = IrregularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = EncodeTimestampsRaw(column);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Encode_Irregular_Delta(benchmark::State& state) {
+  const auto column = IrregularColumn(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto data = EncodeTimestampsDelta(column);
+    bytes = data.size();
+    benchmark::DoNotOptimize(data);
+  }
+  ReportBytes(state, bytes, column.size());
+}
+
+void BM_Decode_StrictRegular_Unit(benchmark::State& state) {
+  const auto column = StrictRegularColumn(state.range(0));
+  const auto data = Require(EncodeTimestampsUnit(column, 10 * kMicrosPerSecond));
+  for (auto _ : state) {
+    auto back = Require(DecodeTimestampsUnit(data));
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * column.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_Encode_StrictRegular_Raw)->Arg(65536);
+BENCHMARK(BM_Encode_StrictRegular_Delta)->Arg(65536);
+BENCHMARK(BM_Encode_StrictRegular_Unit)->Arg(65536);
+BENCHMARK(BM_Encode_NonStrictRegular_Unit)->Arg(65536);
+BENCHMARK(BM_Encode_Irregular_Raw)->Arg(65536);
+BENCHMARK(BM_Encode_Irregular_Delta)->Arg(65536);
+BENCHMARK(BM_Decode_StrictRegular_Unit)->Arg(65536);
+
+BENCHMARK_MAIN();

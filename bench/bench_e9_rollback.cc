@@ -1,0 +1,96 @@
+// E9 — Rollback on the backlog representation: naive prefix replay vs the
+// snapshot/differential cache (the [JMRS90] technique cited in Section 2).
+//
+// Sweeps the backlog size; the cached variant replays only the suffix past
+// the nearest snapshot. Also sweeps the snapshot interval at a fixed size to
+// expose the space/time trade-off (counter reports cache residency).
+#include "bench_common.h"
+#include "storage/snapshot.h"
+
+using namespace tempspec;
+using tempspec::bench::Require;
+
+namespace {
+
+std::unique_ptr<BacklogStore> MakeBacklog(int64_t operations) {
+  auto store = Require(BacklogStore::Open({}));
+  Random rng(17);
+  ElementSurrogate next = 1;
+  std::vector<ElementSurrogate> alive;
+  for (int64_t i = 0; i < operations; ++i) {
+    const TimePoint tt = TimePoint::FromSeconds(i);
+    if (!alive.empty() && rng.OneIn(0.3)) {
+      const size_t pick = static_cast<size_t>(rng.Uniform(0, alive.size() - 1));
+      BacklogEntry del;
+      del.op = BacklogOpType::kLogicalDelete;
+      del.tt = tt;
+      del.target = alive[pick];
+      alive.erase(alive.begin() + pick);
+      Require(store->Append(del));
+    } else {
+      BacklogEntry ins;
+      ins.op = BacklogOpType::kInsert;
+      ins.tt = tt;
+      ins.element.element_surrogate = next;
+      ins.element.object_surrogate = next % 64 + 1;
+      ins.element.tt_begin = tt;
+      ins.element.valid = ValidTime::Event(tt - Duration::Seconds(30));
+      ins.element.attributes = Tuple{static_cast<int64_t>(next % 64)};
+      alive.push_back(next);
+      ++next;
+      Require(store->Append(ins));
+    }
+  }
+  return store;
+}
+
+void BM_Rollback_NaiveReplay(benchmark::State& state) {
+  auto store = MakeBacklog(state.range(0));
+  Random rng(29);
+  for (auto _ : state) {
+    const TimePoint tt = TimePoint::FromSeconds(rng.Uniform(0, state.range(0)));
+    auto result = store->MaterializeState(tt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Rollback_SnapshotDifferential(benchmark::State& state) {
+  auto store = MakeBacklog(state.range(0));
+  SnapshotManager snapshots(store.get(), /*interval=*/1024);
+  snapshots.Refresh();
+  Random rng(29);
+  for (auto _ : state) {
+    const TimePoint tt = TimePoint::FromSeconds(rng.Uniform(0, state.range(0)));
+    auto result = snapshots.StateAt(tt);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cached_elements"] =
+      benchmark::Counter(static_cast<double>(snapshots.cached_elements()));
+}
+
+void BM_Rollback_IntervalSweep(benchmark::State& state) {
+  // Fixed backlog, varying snapshot interval: replay cost vs cache size.
+  constexpr int64_t kOps = 65536;
+  auto store = MakeBacklog(kOps);
+  SnapshotManager snapshots(store.get(),
+                            static_cast<size_t>(state.range(0)));
+  snapshots.Refresh();
+  Random rng(31);
+  for (auto _ : state) {
+    const TimePoint tt = TimePoint::FromSeconds(rng.Uniform(0, kOps));
+    auto result = snapshots.StateAt(tt);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["snapshot_interval"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+  state.counters["cached_elements"] =
+      benchmark::Counter(static_cast<double>(snapshots.cached_elements()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Rollback_NaiveReplay)->Range(1024, 65536);
+BENCHMARK(BM_Rollback_SnapshotDifferential)->Range(1024, 65536);
+BENCHMARK(BM_Rollback_IntervalSweep)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+#include "allen/allen.h"
+
+#include "util/string_util.h"
+
+namespace tempspec {
+
+const std::array<AllenRelation, kNumAllenRelations>& AllAllenRelations() {
+  static const std::array<AllenRelation, kNumAllenRelations> kAll = {
+      AllenRelation::kBefore,       AllenRelation::kMeets,
+      AllenRelation::kOverlaps,     AllenRelation::kStarts,
+      AllenRelation::kDuring,       AllenRelation::kFinishes,
+      AllenRelation::kEquals,       AllenRelation::kAfter,
+      AllenRelation::kMetBy,        AllenRelation::kOverlappedBy,
+      AllenRelation::kStartedBy,    AllenRelation::kContains,
+      AllenRelation::kFinishedBy,
+  };
+  return kAll;
+}
+
+const char* AllenRelationToString(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kAfter:
+      return "after";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+  }
+  return "unknown";
+}
+
+Result<AllenRelation> ParseAllenRelation(const std::string& name) {
+  const std::string s = ToLower(std::string(Trim(name)));
+  for (AllenRelation rel : AllAllenRelations()) {
+    if (s == AllenRelationToString(rel)) return rel;
+  }
+  // Aliases used in the paper: "equal", "inverse X".
+  if (s == "equal") return AllenRelation::kEquals;
+  if (StartsWith(s, "inverse ")) {
+    TS_ASSIGN_OR_RETURN(AllenRelation base, ParseAllenRelation(s.substr(8)));
+    return Inverse(base);
+  }
+  return Status::InvalidArgument("unknown Allen relation: '", name, "'");
+}
+
+AllenRelation Inverse(AllenRelation rel) {
+  switch (rel) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+  }
+  return AllenRelation::kEquals;
+}
+
+Result<AllenRelation> Classify(const TimeInterval& x, const TimeInterval& y) {
+  if (x.IsEmpty() || y.IsEmpty()) {
+    return Status::InvalidArgument(
+        "Allen relations are defined on non-empty intervals");
+  }
+  const TimePoint xb = x.begin(), xe = x.end(), yb = y.begin(), ye = y.end();
+  if (xe < yb) return AllenRelation::kBefore;
+  if (xe == yb) return AllenRelation::kMeets;
+  if (yb < xb) {
+    TS_ASSIGN_OR_RETURN(AllenRelation inv, Classify(y, x));
+    return Inverse(inv);
+  }
+  // From here xb <= yb and xe > yb (they intersect) and not met.
+  if (xb == yb) {
+    if (xe == ye) return AllenRelation::kEquals;
+    return xe < ye ? AllenRelation::kStarts : AllenRelation::kStartedBy;
+  }
+  // xb < yb.
+  if (xe < ye) return AllenRelation::kOverlaps;
+  if (xe == ye) return AllenRelation::kFinishedBy;
+  return AllenRelation::kContains;
+}
+
+bool Holds(AllenRelation rel, const TimeInterval& x, const TimeInterval& y) {
+  auto classified = Classify(x, y);
+  return classified.ok() && classified.ValueOrDie() == rel;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,64 @@
+// Allen's thirteen interval relations [All83], the basis of the
+// inter-interval taxonomy (Section 3.4): "there exist a total of thirteen
+// possible relationships between two intervals ... before, meets, overlaps,
+// during, starts, finishes, equal, and the inverse relationships for all but
+// equal."
+//
+// Intervals here are the library's half-open [begin, end) intervals; the
+// relations are expressed purely through endpoint comparisons, so the
+// thirteen cases remain exhaustive and mutually exclusive for non-empty
+// intervals.
+#ifndef TEMPSPEC_ALLEN_ALLEN_H_
+#define TEMPSPEC_ALLEN_ALLEN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "timex/interval.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+enum class AllenRelation : uint8_t {
+  kBefore = 0,        // X entirely precedes Y, with a gap
+  kMeets = 1,         // X ends exactly where Y begins
+  kOverlaps = 2,      // X starts first, they overlap, Y ends last
+  kStarts = 3,        // same start, X ends first
+  kDuring = 4,        // X strictly inside Y
+  kFinishes = 5,      // same end, X starts last
+  kEquals = 6,
+  kAfter = 7,         // inverse of before
+  kMetBy = 8,         // inverse of meets
+  kOverlappedBy = 9,  // inverse of overlaps
+  kStartedBy = 10,    // inverse of starts
+  kContains = 11,     // inverse of during
+  kFinishedBy = 12,   // inverse of finishes
+};
+
+constexpr size_t kNumAllenRelations = 13;
+
+/// \brief All thirteen relations, in enum order.
+const std::array<AllenRelation, kNumAllenRelations>& AllAllenRelations();
+
+/// \brief Canonical lowercase name, e.g. "overlapped-by".
+const char* AllenRelationToString(AllenRelation rel);
+
+/// \brief Parses a canonical name (also accepts "inverse before" style
+/// aliases used in the paper).
+Result<AllenRelation> ParseAllenRelation(const std::string& name);
+
+/// \brief The inverse relation: Inverse(r)(Y, X) iff r(X, Y). Equals is its
+/// own inverse.
+AllenRelation Inverse(AllenRelation rel);
+
+/// \brief Classifies the relation of non-empty X to non-empty Y. Exactly one
+/// relation holds for any such pair.
+Result<AllenRelation> Classify(const TimeInterval& x, const TimeInterval& y);
+
+/// \brief True if `rel` holds between X and Y (both non-empty).
+bool Holds(AllenRelation rel, const TimeInterval& x, const TimeInterval& y);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_ALLEN_ALLEN_H_

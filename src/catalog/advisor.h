@@ -1,0 +1,65 @@
+// The design-time Advisor: from declared specializations to physical design.
+//
+// This is the paper's motivating use case made concrete: "The additional
+// semantics, when captured by an appropriately extended database system, may
+// be used for selecting appropriate storage structures, indexing techniques,
+// and query processing strategies."
+#ifndef TEMPSPEC_CATALOG_ADVISOR_H_
+#define TEMPSPEC_CATALOG_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/schema.h"
+#include "query/plan.h"
+#include "spec/specialization.h"
+
+namespace tempspec {
+
+/// \brief Storage layout recommendation.
+enum class StorageLayout : uint8_t {
+  kAppendOnlyRollback,  // degenerate/sequential: valid order == stamp order
+  kBitemporalBacklog,   // the general representation
+};
+
+/// \brief Valid-time stamp materialization recommendation.
+enum class StampMaterialization : uint8_t {
+  kStore,          // store vt per element
+  kComputeOnRead,  // determined relation: vt = m(e), omit the stored stamp
+};
+
+/// \brief Extra valid-time index recommendation.
+enum class IndexAdvice : uint8_t {
+  kNone,              // tt index suffices (degenerate / banded / monotone)
+  kIntervalIndex,     // general relations
+};
+
+/// \brief Time-stamp encoding recommendation.
+enum class EncodingAdvice : uint8_t {
+  kRaw,
+  kDeltaUnit,  // regular relations: store k, not the chronon count
+};
+
+/// \brief The Advisor's complete recommendation for one relation.
+struct AdvisorReport {
+  StorageLayout storage = StorageLayout::kBitemporalBacklog;
+  StampMaterialization stamps = StampMaterialization::kStore;
+  IndexAdvice index = IndexAdvice::kIntervalIndex;
+  EncodingAdvice encoding = EncodingAdvice::kRaw;
+  ExecutionStrategy timeslice_strategy = ExecutionStrategy::kFullScan;
+  /// All event-taxonomy properties implied by the declared ones (via the
+  /// Figure 2 lattice), most general first.
+  std::vector<std::string> inherited_properties;
+  /// Declared specializations that are implied by other declared ones.
+  std::vector<std::string> redundant_declarations;
+  std::vector<std::string> notes;
+
+  std::string ToString() const;
+};
+
+/// \brief Produces an AdvisorReport for a declared relation design.
+AdvisorReport Advise(const Schema& schema, const SpecializationSet& specs);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_CATALOG_ADVISOR_H_

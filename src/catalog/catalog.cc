@@ -1,0 +1,105 @@
+#include "catalog/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "lang/ddl.h"
+#include "util/string_util.h"
+
+namespace tempspec {
+
+Status Catalog::SaveSchemas(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '", path, "' for writing");
+  }
+  for (const auto& [name, rel] : relations_) {
+    out << ToDdl(rel->schema(), rel->specializations()) << "\n\n";
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write to '", path, "' failed");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Catalog::LoadSchemas(const std::string& path,
+                                    const RelationOptions& base) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '", path, "' for reading");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  // DDL contains no string literals, so top-level ';' splitting is safe.
+  size_t count = 0;
+  for (const std::string& statement : Split(buffer.str(), ';')) {
+    if (Trim(statement).empty()) continue;
+    RelationOptions options = base;
+    TS_RETURN_NOT_OK(CreateRelationFromDdl(statement, options).status());
+    ++count;
+  }
+  return count;
+}
+
+Result<TemporalRelation*> Catalog::CreateRelationFromDdl(const std::string& ddl,
+                                                         RelationOptions base) {
+  TS_ASSIGN_OR_RETURN(ParsedRelation parsed, ParseCreateRelation(ddl));
+  base.schema = std::move(parsed.schema);
+  base.specializations = std::move(parsed.specializations);
+  return CreateRelation(std::move(base));
+}
+
+Result<TemporalRelation*> Catalog::CreateRelation(RelationOptions options) {
+  if (!options.schema) {
+    return Status::InvalidArgument("relation requires a schema");
+  }
+  const std::string name = options.schema->relation_name();
+  if (relations_.count(name)) {
+    return Status::AlreadyExists("relation '", name, "' already registered");
+  }
+  TS_ASSIGN_OR_RETURN(auto relation, TemporalRelation::Open(std::move(options)));
+  TemporalRelation* ptr = relation.get();
+  relations_[name] = std::move(relation);
+  return ptr;
+}
+
+Result<TemporalRelation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '", name, "'");
+  }
+  return it->second.get();
+}
+
+Result<AdvisorReport> Catalog::AdviseFor(const std::string& name) const {
+  TS_ASSIGN_OR_RETURN(TemporalRelation * rel, Get(name));
+  return Advise(rel->schema(), rel->specializations());
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("no relation named '", name, "'");
+  }
+  return Status::OK();
+}
+
+std::string Catalog::Describe() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += rel->schema().ToString() + "\n";
+    out += rel->specializations().ToString();
+    out += Advise(rel->schema(), rel->specializations()).ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tempspec

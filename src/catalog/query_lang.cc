@@ -1,0 +1,189 @@
+#include "catalog/query_lang.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "query/executor.h"
+#include "timex/calendar.h"
+#include "util/string_util.h"
+
+namespace tempspec {
+
+namespace {
+
+// Minimal word/quoted-literal scanner (the DDL tokenizer does not handle
+// quoted time literals).
+class QueryCursor {
+ public:
+  explicit QueryCursor(std::string_view input) : input_(input) {}
+
+  Status SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() {
+    SkipSpace().Check();
+    return pos_ >= input_.size() || input_[pos_] == ';';
+  }
+
+  /// Reads the next bare word, upper-cased.
+  Result<std::string> Word() {
+    SkipSpace().Check();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a word at '",
+                                     std::string(input_.substr(pos_, 10)), "'");
+    }
+    std::string w(input_.substr(start, pos_ - start));
+    for (auto& c : w) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return w;
+  }
+
+  /// Reads the next bare word without upper-casing (relation names).
+  Result<std::string> Identifier() {
+    SkipSpace().Check();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a relation name");
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  bool TryWord(const std::string& expected) {
+    const size_t saved = pos_;
+    auto w = Word();
+    if (w.ok() && w.ValueOrDie() == expected) return true;
+    pos_ = saved;
+    return false;
+  }
+
+  Status ExpectWord(const std::string& expected) {
+    if (TryWord(expected)) return Status::OK();
+    return Status::InvalidArgument("expected ", expected);
+  }
+
+  Result<TimePoint> TimeLiteral() {
+    SkipSpace().Check();
+    if (pos_ >= input_.size() || input_[pos_] != '\'') {
+      return Status::InvalidArgument("expected a quoted time literal");
+    }
+    const size_t close = input_.find('\'', pos_ + 1);
+    if (close == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated time literal");
+    }
+    const std::string text(input_.substr(pos_ + 1, close - pos_ - 1));
+    pos_ = close + 1;
+    return ParseTimePoint(text);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
+                                 const std::string& statement) {
+  QueryCursor cur(statement);
+  QueryOutput out;
+
+  TS_ASSIGN_OR_RETURN(std::string verb, cur.Word());
+  if (verb == "EXPLAIN") {
+    out.explain_only = true;
+    TS_ASSIGN_OR_RETURN(verb, cur.Word());
+  }
+
+  if (verb == "CURRENT") {
+    TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+    TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    QueryExecutor exec(*rel);
+    if (!out.explain_only) out.elements = exec.Current(&out.stats);
+    out.plan_description = "current-state scan";
+  } else if (verb == "ROLLBACK") {
+    TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+    TS_RETURN_NOT_OK(cur.ExpectWord("TO"));
+    TS_ASSIGN_OR_RETURN(TimePoint tt, cur.TimeLiteral());
+    TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    QueryExecutor exec(*rel);
+    if (!out.explain_only) out.elements = exec.Rollback(tt, &out.stats);
+    out.plan_description = rel->snapshots() != nullptr
+                               ? "snapshot + differential replay"
+                               : "existence-interval scan";
+  } else if (verb == "TIMESLICE") {
+    TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+    TS_RETURN_NOT_OK(cur.ExpectWord("AT"));
+    TS_ASSIGN_OR_RETURN(TimePoint vt, cur.TimeLiteral());
+    TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    QueryExecutor exec(*rel);
+    if (cur.TryWord("AS")) {
+      TS_RETURN_NOT_OK(cur.ExpectWord("OF"));
+      TS_ASSIGN_OR_RETURN(TimePoint tt, cur.TimeLiteral());
+      if (!out.explain_only) {
+        out.elements = exec.TimesliceAsOf(vt, tt, &out.stats);
+      }
+      out.plan_description = "bitemporal scan (valid at vt, believed at tt)";
+    } else {
+      const PlanChoice plan = exec.optimizer().PlanTimeslice(vt);
+      if (!out.explain_only) {
+        out.elements = exec.TimesliceWith(plan, vt, &out.stats);
+      }
+      out.plan_description = std::string(ExecutionStrategyToString(plan.strategy)) +
+                             " — " + plan.rationale;
+    }
+  } else if (verb == "RANGE") {
+    TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+    TS_RETURN_NOT_OK(cur.ExpectWord("FROM"));
+    TS_ASSIGN_OR_RETURN(TimePoint lo, cur.TimeLiteral());
+    TS_RETURN_NOT_OK(cur.ExpectWord("TO"));
+    TS_ASSIGN_OR_RETURN(TimePoint hi, cur.TimeLiteral());
+    if (!(lo < hi)) {
+      return Status::InvalidArgument("RANGE requires FROM < TO");
+    }
+    TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    QueryExecutor exec(*rel);
+    const PlanChoice plan = exec.optimizer().PlanValidRange(lo, hi);
+    if (!out.explain_only) {
+      out.elements = exec.ValidRangeWith(plan, lo, hi, &out.stats);
+    }
+    out.plan_description = std::string(ExecutionStrategyToString(plan.strategy)) +
+                           " — " + plan.rationale;
+  } else {
+    return Status::InvalidArgument(
+        "unknown query verb '", verb,
+        "' (expected CURRENT, TIMESLICE, RANGE, ROLLBACK, or EXPLAIN)");
+  }
+
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after statement");
+  }
+  return out;
+}
+
+std::string QueryOutput::ToString() const {
+  std::ostringstream ss;
+  if (!plan_description.empty()) ss << "plan: " << plan_description << "\n";
+  if (explain_only) return ss.str();
+  for (const Element& e : elements) {
+    ss << "  " << e.ToString() << "\n";
+  }
+  ss << elements.size() << " element(s), " << stats.elements_examined
+     << " examined\n";
+  return ss.str();
+}
+
+}  // namespace tempspec

@@ -1,0 +1,41 @@
+// Query statements over catalog relations — the three query classes of
+// Section 1, as text:
+//
+//   CURRENT <relation>
+//   TIMESLICE <relation> AT '1992-02-03 10:30:00'
+//   RANGE <relation> FROM '1992-02-01' TO '1992-03-01'
+//   ROLLBACK <relation> TO '1992-02-03 10:30:00'
+//   TIMESLICE <relation> AT '...' AS OF '...'      (bitemporal)
+//   EXPLAIN TIMESLICE <relation> AT '...'          (plan only)
+//
+// Time literals are single-quoted "YYYY-MM-DD[ HH:MM[:SS[.ffffff]]]".
+#ifndef TEMPSPEC_CATALOG_QUERY_LANG_H_
+#define TEMPSPEC_CATALOG_QUERY_LANG_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/plan.h"
+
+namespace tempspec {
+
+/// \brief Result of executing one query statement.
+struct QueryOutput {
+  std::vector<Element> elements;  // empty for EXPLAIN
+  QueryStats stats;
+  /// Set for planned (timeslice/range) queries and EXPLAIN.
+  std::string plan_description;
+  bool explain_only = false;
+
+  /// \brief Tabular rendering (element per line).
+  std::string ToString() const;
+};
+
+/// \brief Parses and executes one statement against the catalog.
+Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
+                                 const std::string& statement);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_CATALOG_QUERY_LANG_H_

@@ -1,0 +1,37 @@
+#include "index/append_index.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+Status AppendOnlyIndex::Append(TimePoint key, uint64_t value) {
+  if (!keys_.empty() && key.micros() < keys_.back()) {
+    return Status::InvalidArgument(
+        "append-only index requires non-decreasing keys: ", key.ToString(),
+        " after ", TimePoint::FromMicros(keys_.back()).ToString());
+  }
+  keys_.push_back(key.micros());
+  values_.push_back(value);
+  return Status::OK();
+}
+
+size_t AppendOnlyIndex::LowerBound(TimePoint key) const {
+  return static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), key.micros()) - keys_.begin());
+}
+
+size_t AppendOnlyIndex::UpperBound(TimePoint key) const {
+  return static_cast<size_t>(
+      std::upper_bound(keys_.begin(), keys_.end(), key.micros()) - keys_.begin());
+}
+
+std::vector<uint64_t> AppendOnlyIndex::Range(TimePoint lo, TimePoint hi) const {
+  std::vector<uint64_t> out;
+  if (lo > hi) return out;
+  for (size_t i = LowerBound(lo), end = UpperBound(hi); i < end; ++i) {
+    out.push_back(values_[i]);
+  }
+  return out;
+}
+
+}  // namespace tempspec

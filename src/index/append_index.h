@@ -1,0 +1,49 @@
+// Append-only time index for monotone relations.
+//
+// Section 3.1: "At the implementation level, a degenerate temporal relation
+// can be advantageously treated as a rollback relation due to the fact that
+// relations are append-only and elements are entered in time-stamp order."
+// When a relation is degenerate, sequential, or non-decreasing, its stamps
+// arrive sorted, so the index is just the array itself plus binary search —
+// no tree maintenance, perfect locality.
+#ifndef TEMPSPEC_INDEX_APPEND_INDEX_H_
+#define TEMPSPEC_INDEX_APPEND_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "timex/time_point.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Sorted append-only index: keys must arrive in non-decreasing order.
+class AppendOnlyIndex {
+ public:
+  /// \brief Appends a key/value pair; rejects out-of-order keys (a violation
+  /// of the specialization that justified this index).
+  Status Append(TimePoint key, uint64_t value);
+
+  /// \brief Values with key in [lo, hi] (inclusive), via binary search.
+  std::vector<uint64_t> Range(TimePoint lo, TimePoint hi) const;
+
+  /// \brief Values with the exact key.
+  std::vector<uint64_t> Lookup(TimePoint key) const { return Range(key, key); }
+
+  /// \brief Position of the first key >= `key` (for replay cursors).
+  size_t LowerBound(TimePoint key) const;
+  /// \brief Position of the first key > `key`.
+  size_t UpperBound(TimePoint key) const;
+
+  uint64_t ValueAt(size_t pos) const { return values_[pos]; }
+  TimePoint KeyAt(size_t pos) const { return TimePoint::FromMicros(keys_[pos]); }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<int64_t> keys_;
+  std::vector<uint64_t> values_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_INDEX_APPEND_INDEX_H_

@@ -1,0 +1,134 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+struct BTreeIndex::Node {
+  bool leaf = true;
+  std::vector<int64_t> keys;                    // sorted
+  std::vector<uint64_t> values;                 // leaf: parallel to keys
+  std::vector<std::unique_ptr<Node>> children;  // internal: keys.size() + 1
+  Node* next = nullptr;                         // leaf chain
+};
+
+BTreeIndex::BTreeIndex() : root_(std::make_unique<Node>()) {}
+
+BTreeIndex::~BTreeIndex() = default;
+
+void BTreeIndex::SplitChild(Node* parent, size_t index) {
+  Node* child = parent->children[index].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  const size_t mid = child->keys.size() / 2;
+
+  int64_t separator;
+  if (child->leaf) {
+    // B+tree: the separator is copied up; all records stay in leaves.
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->values.assign(child->values.begin() + mid, child->values.end());
+    child->keys.resize(mid);
+    child->values.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+
+  parent->keys.insert(parent->keys.begin() + index, separator);
+  parent->children.insert(parent->children.begin() + index + 1, std::move(right));
+}
+
+void BTreeIndex::Insert(int64_t key, uint64_t value) {
+  if (root_->keys.size() >= kFanout) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, value);
+  ++size_;
+}
+
+void BTreeIndex::InsertNonFull(Node* node, int64_t key, uint64_t value) {
+  while (!node->leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    if (node->children[i]->keys.size() >= kFanout) {
+      SplitChild(node, i);
+      if (key >= node->keys[i]) ++i;
+    }
+    node = node->children[i].get();
+  }
+  const auto pos = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t i = static_cast<size_t>(pos - node->keys.begin());
+  node->keys.insert(pos, key);
+  node->values.insert(node->values.begin() + i, value);
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(int64_t key) const {
+  // Descends left of the first separator >= key. Duplicates of a separator
+  // key can straddle the leaf boundary, so this lands on the *leftmost* leaf
+  // that could contain the key; range scans continue along the leaf chain.
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+std::vector<uint64_t> BTreeIndex::Lookup(int64_t key) const {
+  std::vector<uint64_t> out;
+  Scan(key, key, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+void BTreeIndex::Scan(int64_t lo, int64_t hi,
+                      const std::function<bool(int64_t, uint64_t)>& visit) const {
+  if (lo > hi || size_ == 0) return;
+  for (const Node* node = FindLeaf(lo); node != nullptr; node = node->next) {
+    const size_t start = static_cast<size_t>(
+        std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+        node->keys.begin());
+    for (size_t i = start; i < node->keys.size(); ++i) {
+      if (node->keys[i] > hi) return;
+      if (!visit(node->keys[i], node->values[i])) return;
+    }
+  }
+}
+
+std::vector<uint64_t> BTreeIndex::Range(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> out;
+  Scan(lo, hi, [&](int64_t, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+size_t BTreeIndex::height() const {
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,55 @@
+// In-memory B+tree keyed by 64-bit integers (time-stamp chronons).
+//
+// Used as the transaction-time index of a relation: key = tt chronons,
+// value = position in the backlog / element store. Supports duplicate keys,
+// point lookup, and inclusive range scans.
+#ifndef TEMPSPEC_INDEX_BTREE_H_
+#define TEMPSPEC_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace tempspec {
+
+/// \brief B+tree mapping int64 keys to uint64 values.
+class BTreeIndex {
+ public:
+  static constexpr size_t kFanout = 64;  // max keys per node
+
+  BTreeIndex();
+  ~BTreeIndex();
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  void Insert(int64_t key, uint64_t value);
+
+  /// \brief All values with the exact key.
+  std::vector<uint64_t> Lookup(int64_t key) const;
+
+  /// \brief Visits (key, value) pairs with lo <= key <= hi in key order;
+  /// return false from the visitor to stop early.
+  void Scan(int64_t lo, int64_t hi,
+            const std::function<bool(int64_t, uint64_t)>& visit) const;
+
+  /// \brief Values for keys in [lo, hi].
+  std::vector<uint64_t> Range(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return size_; }
+  size_t height() const;
+
+ private:
+  struct Node;
+
+  void SplitChild(Node* parent, size_t index);
+  void InsertNonFull(Node* node, int64_t key, uint64_t value);
+  const Node* FindLeaf(int64_t key) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_INDEX_BTREE_H_

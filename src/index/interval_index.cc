@@ -1,0 +1,72 @@
+#include "index/interval_index.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+void IntervalIndex::Insert(TimePoint begin, TimePoint end, uint64_t value) {
+  delta_.push_back(Entry{begin.micros(), end.micros(), value});
+  // Merge once the linear-scan cost of the delta approaches the logarithmic
+  // core cost; /8 keeps rebuilds amortized-cheap.
+  if (delta_.size() > 64 && delta_.size() * 8 > core_.size()) Rebuild();
+}
+
+void IntervalIndex::Compact() {
+  if (!delta_.empty()) Rebuild();
+}
+
+void IntervalIndex::Rebuild() {
+  core_.insert(core_.end(), delta_.begin(), delta_.end());
+  delta_.clear();
+  std::sort(core_.begin(), core_.end(),
+            [](const Entry& a, const Entry& b) { return a.begin < b.begin; });
+  max_end_.assign(core_.size(), 0);
+  if (!core_.empty()) BuildMaxEnd(0, core_.size());
+}
+
+void IntervalIndex::BuildMaxEnd(size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  int64_t m = core_[mid].end;
+  if (mid > lo) {
+    BuildMaxEnd(lo, mid);
+    m = std::max(m, max_end_[lo + (mid - lo) / 2]);
+  }
+  if (mid + 1 < hi) {
+    BuildMaxEnd(mid + 1, hi);
+    m = std::max(m, max_end_[mid + 1 + (hi - mid - 1) / 2]);
+  }
+  max_end_[mid] = m;
+}
+
+void IntervalIndex::OverlapCore(size_t lo, size_t hi, int64_t qlo, int64_t qhi,
+                                std::vector<uint64_t>* out) const {
+  if (lo >= hi || qlo >= qhi) return;
+  const size_t mid = lo + (hi - lo) / 2;
+  if (max_end_[mid] <= qlo) return;
+  OverlapCore(lo, mid, qlo, qhi, out);
+  const Entry& e = core_[mid];
+  if (e.begin < qhi && qlo < e.end) out->push_back(e.value);
+  if (e.begin < qhi) OverlapCore(mid + 1, hi, qlo, qhi, out);
+}
+
+std::vector<uint64_t> IntervalIndex::Stab(TimePoint tp) const {
+  std::vector<uint64_t> out;
+  const int64_t p = tp.micros();
+  OverlapCore(0, core_.size(), p, p + 1, &out);
+  for (const Entry& e : delta_) {
+    if (e.begin <= p && p < e.end) out.push_back(e.value);
+  }
+  return out;
+}
+
+std::vector<uint64_t> IntervalIndex::Overlapping(TimePoint lo, TimePoint hi) const {
+  std::vector<uint64_t> out;
+  OverlapCore(0, core_.size(), lo.micros(), hi.micros(), &out);
+  for (const Entry& e : delta_) {
+    if (e.begin < hi.micros() && lo.micros() < e.end) out.push_back(e.value);
+  }
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,60 @@
+// Valid-time interval index: stabbing and overlap queries.
+//
+// Implemented as an implicit augmented binary structure over an array of
+// intervals sorted by begin point, where every prefix position carries the
+// maximum end seen in its subtree — giving O(log n + k) stabbing queries.
+// Inserts go to a small unsorted delta buffer (scanned linearly) that is
+// merged into the sorted core once it grows past a fraction of the core, so
+// amortized insertion stays O(log n)-ish without a full dynamic tree.
+#ifndef TEMPSPEC_INDEX_INTERVAL_INDEX_H_
+#define TEMPSPEC_INDEX_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "timex/interval.h"
+#include "timex/time_point.h"
+
+namespace tempspec {
+
+/// \brief Index of [begin, end) intervals with payload values.
+class IntervalIndex {
+ public:
+  struct Entry {
+    int64_t begin;
+    int64_t end;
+    uint64_t value;
+  };
+
+  void Insert(TimePoint begin, TimePoint end, uint64_t value);
+  void Insert(const TimeInterval& iv, uint64_t value) {
+    Insert(iv.begin(), iv.end(), value);
+  }
+
+  /// \brief Values of all intervals containing `tp` (begin <= tp < end).
+  std::vector<uint64_t> Stab(TimePoint tp) const;
+
+  /// \brief Values of all intervals overlapping [lo, hi).
+  std::vector<uint64_t> Overlapping(TimePoint lo, TimePoint hi) const;
+
+  size_t size() const { return core_.size() + delta_.size(); }
+  size_t delta_size() const { return delta_.size(); }
+
+  /// \brief Forces the delta buffer into the sorted core.
+  void Compact();
+
+ private:
+  void OverlapCore(size_t lo, size_t hi, int64_t qlo, int64_t qhi,
+                   std::vector<uint64_t>* out) const;
+  void Rebuild();
+  void BuildMaxEnd(size_t lo, size_t hi);
+
+  std::vector<Entry> core_;       // sorted by begin
+  std::vector<int64_t> max_end_;  // max end over the implicit subtree at mid
+  std::vector<Entry> delta_;      // unsorted recent inserts
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_INDEX_INTERVAL_INDEX_H_

@@ -1,0 +1,721 @@
+#include "lang/ddl.h"
+
+#include <cctype>
+#include <vector>
+
+#include "allen/allen.h"
+#include "spec/inference.h"
+#include "util/string_util.h"
+
+namespace tempspec {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer: upper-cased words, duration-ish literals, punctuation.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kWord, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;  // words upper-cased; raw for punctuation
+  std::string raw;   // original spelling (identifiers, durations)
+};
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';') {
+      out.push_back(Token{Token::Kind::kPunct, std::string(1, c), std::string(1, c)});
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '+' ||
+        c == '-') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_' || input[j] == '+' || input[j] == '-')) {
+        ++j;
+      }
+      const std::string raw = input.substr(i, j - i);
+      std::string upper = raw;
+      for (auto& ch : upper) ch = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(ch)));
+      out.push_back(Token{Token::Kind::kWord, upper, raw});
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '", std::string(1, c),
+                                   "' in DDL");
+  }
+  out.push_back(Token{Token::Kind::kEnd, "", ""});
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  bool TryEat(const std::string& word) {
+    if (Peek().kind == Token::Kind::kWord && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    if (Peek().kind == Token::Kind::kPunct && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Eat(const std::string& word) {
+    if (TryEat(word)) return Status::OK();
+    return Status::InvalidArgument("expected '", word, "' but found '",
+                                   Peek().raw.empty() ? "<end>" : Peek().raw,
+                                   "'");
+  }
+
+  Result<std::string> EatIdentifier(const char* what) {
+    if (Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected ", what, " but found '",
+                                     Peek().raw, "'");
+    }
+    std::string raw = Peek().raw;
+    ++pos_;
+    return raw;
+  }
+
+  Result<Duration> EatDuration() {
+    if (Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected a duration but found '",
+                                     Peek().raw, "'");
+    }
+    TS_ASSIGN_OR_RETURN(Duration d, Duration::Parse(Peek().raw));
+    ++pos_;
+    return d;
+  }
+
+  Result<Granularity> EatGranularity() {
+    if (Peek().kind != Token::Kind::kWord) {
+      return Status::InvalidArgument("expected a granularity but found '",
+                                     Peek().raw, "'");
+    }
+    TS_ASSIGN_OR_RETURN(Granularity g, ParseGranularity(Peek().raw));
+    ++pos_;
+    return g;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Pieces
+// ---------------------------------------------------------------------------
+
+Result<ValueType> ParseType(const std::string& word) {
+  if (word == "INT64" || word == "INT" || word == "BIGINT") return ValueType::kInt64;
+  if (word == "DOUBLE" || word == "FLOAT" || word == "REAL") return ValueType::kDouble;
+  if (word == "STRING" || word == "TEXT" || word == "VARCHAR") return ValueType::kString;
+  if (word == "BOOL" || word == "BOOLEAN") return ValueType::kBool;
+  if (word == "TIME" || word == "TIMESTAMP") return ValueType::kTime;
+  return Status::InvalidArgument("unknown attribute type '", word, "'");
+}
+
+Result<MappingFunction> ParseDeterminedBy(Cursor* cur) {
+  TS_RETURN_NOT_OK(cur->Eat("BY"));
+  if (cur->TryEat("TT")) {
+    TS_RETURN_NOT_OK(cur->Eat("PLUS"));
+    TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+    return MappingFunction::Offset(d);
+  }
+  if (cur->TryEat("FLOOR")) {
+    TS_RETURN_NOT_OK(cur->Eat("("));
+    TS_ASSIGN_OR_RETURN(Granularity g, cur->EatGranularity());
+    TS_RETURN_NOT_OK(cur->Eat(")"));
+    Duration offset = Duration::Zero();
+    if (cur->TryEat("PLUS")) {
+      TS_ASSIGN_OR_RETURN(offset, cur->EatDuration());
+    }
+    return MappingFunction::TruncateThenOffset(g, offset);
+  }
+  if (cur->TryEat("NEXT")) {
+    TS_RETURN_NOT_OK(cur->Eat("("));
+    TS_ASSIGN_OR_RETURN(Granularity g, cur->EatGranularity());
+    TS_RETURN_NOT_OK(cur->Eat(","));
+    TS_ASSIGN_OR_RETURN(Duration phase, cur->EatDuration());
+    TS_RETURN_NOT_OK(cur->Eat(")"));
+    return MappingFunction::NextPhase(g, phase);
+  }
+  return Status::InvalidArgument(
+      "DETERMINED BY expects TT PLUS <d>, FLOOR(<g>), or NEXT(<g>, <d>)");
+}
+
+// Parses the event-type words (after any DELETION / VT_* prefixes); returns
+// nullopt if the cursor does not start an event type.
+Result<std::optional<EventSpecialization>> TryParseEventType(Cursor* cur) {
+  auto wrap = [](Result<EventSpecialization> r)
+      -> Result<std::optional<EventSpecialization>> {
+    TS_RETURN_NOT_OK(r.status());
+    return std::optional<EventSpecialization>(std::move(r).ValueOrDie());
+  };
+
+  if (cur->TryEat("RETROACTIVE")) {
+    return std::optional<EventSpecialization>(EventSpecialization::Retroactive());
+  }
+  if (cur->TryEat("PREDICTIVE")) {
+    return std::optional<EventSpecialization>(EventSpecialization::Predictive());
+  }
+  if (cur->TryEat("DEGENERATE")) {
+    return std::optional<EventSpecialization>(EventSpecialization::Degenerate());
+  }
+  if (cur->Peek().text == "DELAYED" && cur->Peek(1).text == "RETROACTIVE") {
+    cur->TryEat("DELAYED");
+    cur->TryEat("RETROACTIVE");
+    TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+    return wrap(EventSpecialization::DelayedRetroactive(d));
+  }
+  if (cur->Peek().text == "DELAYED" && cur->Peek(1).text == "STRONGLY") {
+    cur->TryEat("DELAYED");
+    cur->TryEat("STRONGLY");
+    TS_RETURN_NOT_OK(cur->Eat("RETROACTIVELY"));
+    TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+    TS_ASSIGN_OR_RETURN(Duration d1, cur->EatDuration());
+    TS_ASSIGN_OR_RETURN(Duration d2, cur->EatDuration());
+    return wrap(EventSpecialization::DelayedStronglyRetroactivelyBounded(d1, d2));
+  }
+  if (cur->Peek().text == "EARLY" && cur->Peek(1).text == "PREDICTIVE") {
+    cur->TryEat("EARLY");
+    cur->TryEat("PREDICTIVE");
+    TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+    return wrap(EventSpecialization::EarlyPredictive(d));
+  }
+  if (cur->Peek().text == "EARLY" && cur->Peek(1).text == "STRONGLY") {
+    cur->TryEat("EARLY");
+    cur->TryEat("STRONGLY");
+    TS_RETURN_NOT_OK(cur->Eat("PREDICTIVELY"));
+    TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+    TS_ASSIGN_OR_RETURN(Duration d1, cur->EatDuration());
+    TS_ASSIGN_OR_RETURN(Duration d2, cur->EatDuration());
+    return wrap(EventSpecialization::EarlyStronglyPredictivelyBounded(d1, d2));
+  }
+  if (cur->TryEat("RETROACTIVELY")) {
+    TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+    TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+    return wrap(EventSpecialization::RetroactivelyBounded(d));
+  }
+  if (cur->TryEat("PREDICTIVELY")) {
+    TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+    TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+    return wrap(EventSpecialization::PredictivelyBounded(d));
+  }
+  if (cur->Peek().text == "STRONGLY") {
+    cur->TryEat("STRONGLY");
+    if (cur->TryEat("RETROACTIVELY")) {
+      TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+      TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+      return wrap(EventSpecialization::StronglyRetroactivelyBounded(d));
+    }
+    if (cur->TryEat("PREDICTIVELY")) {
+      TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+      TS_ASSIGN_OR_RETURN(Duration d, cur->EatDuration());
+      return wrap(EventSpecialization::StronglyPredictivelyBounded(d));
+    }
+    TS_RETURN_NOT_OK(cur->Eat("BOUNDED"));
+    TS_ASSIGN_OR_RETURN(Duration d1, cur->EatDuration());
+    TS_ASSIGN_OR_RETURN(Duration d2, cur->EatDuration());
+    return wrap(EventSpecialization::StronglyBounded(d1, d2));
+  }
+  return std::optional<EventSpecialization>();
+}
+
+SpecScope ParseScopeSuffix(Cursor* cur) {
+  if (cur->Peek().text == "PER" && cur->Peek(1).text == "SURROGATE") {
+    cur->TryEat("PER");
+    cur->TryEat("SURROGATE");
+    return SpecScope::kPerObjectSurrogate;
+  }
+  return SpecScope::kPerRelation;
+}
+
+Status ParseWithClause(Cursor* cur, const Schema& schema,
+                       SpecializationSet* specs) {
+  // Prefixes.
+  TransactionAnchor tt_anchor = TransactionAnchor::kInsertion;
+  std::optional<ValidAnchor> vt_anchor;
+  if (cur->TryEat("DELETION")) tt_anchor = TransactionAnchor::kDeletion;
+  if (cur->TryEat("VT_BEGIN")) vt_anchor = ValidAnchor::kBegin;
+  else if (cur->TryEat("VT_END")) vt_anchor = ValidAnchor::kEnd;
+
+  // Event types (possibly with DETERMINED BY suffix).
+  TS_ASSIGN_OR_RETURN(auto event_spec, TryParseEventType(cur));
+  if (!event_spec && cur->TryEat("DETERMINED")) {
+    // Standalone DETERMINED BY ... = general determined.
+    event_spec = EventSpecialization::General();
+    TS_ASSIGN_OR_RETURN(MappingFunction m, ParseDeterminedBy(cur));
+    event_spec = event_spec->Determined(std::move(m));
+  } else if (event_spec && cur->TryEat("DETERMINED")) {
+    TS_ASSIGN_OR_RETURN(MappingFunction m, ParseDeterminedBy(cur));
+    event_spec = event_spec->Determined(std::move(m));
+  }
+  if (event_spec) {
+    EventSpecialization spec = event_spec->WithAnchor(tt_anchor);
+    if (schema.IsEventRelation()) {
+      if (vt_anchor.has_value()) {
+        return Status::InvalidArgument(
+            "VT_BEGIN/VT_END apply only to interval relations");
+      }
+      specs->AddEvent(std::move(spec));
+    } else {
+      specs->AddAnchoredEvent(AnchoredEventSpec(
+          std::move(spec), vt_anchor.value_or(ValidAnchor::kBoth)));
+    }
+    return Status::OK();
+  }
+  if (vt_anchor.has_value() || tt_anchor == TransactionAnchor::kDeletion) {
+    return Status::InvalidArgument(
+        "DELETION/VT_BEGIN/VT_END prefixes require an event-type clause");
+  }
+
+  // Orderings.
+  if (cur->TryEat("NONDECREASING")) {
+    const SpecScope scope = ParseScopeSuffix(cur);
+    if (schema.IsEventRelation()) {
+      specs->AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing, scope));
+    } else {
+      specs->AddIntervalOrdering(
+          IntervalOrderingSpec(IntervalOrderingKind::kNonDecreasing, scope));
+    }
+    return Status::OK();
+  }
+  if (cur->TryEat("NONINCREASING")) {
+    const SpecScope scope = ParseScopeSuffix(cur);
+    if (schema.IsEventRelation()) {
+      specs->AddOrdering(OrderingSpec(OrderingKind::kNonIncreasing, scope));
+    } else {
+      specs->AddIntervalOrdering(
+          IntervalOrderingSpec(IntervalOrderingKind::kNonIncreasing, scope));
+    }
+    return Status::OK();
+  }
+  if (cur->TryEat("SEQUENTIAL")) {
+    const SpecScope scope = ParseScopeSuffix(cur);
+    if (schema.IsEventRelation()) {
+      specs->AddOrdering(OrderingSpec(OrderingKind::kSequential, scope));
+    } else {
+      specs->AddIntervalOrdering(
+          IntervalOrderingSpec(IntervalOrderingKind::kSequential, scope));
+    }
+    return Status::OK();
+  }
+  if (cur->TryEat("CONTIGUOUS")) {
+    specs->AddSuccessive(SuccessiveSpec::Contiguous(ParseScopeSuffix(cur)));
+    return Status::OK();
+  }
+  if (cur->TryEat("SUCCESSIVE")) {
+    const bool inverse = cur->TryEat("INVERSE");
+    TS_ASSIGN_OR_RETURN(std::string name, cur->EatIdentifier("an Allen relation"));
+    TS_ASSIGN_OR_RETURN(AllenRelation rel, ParseAllenRelation(ToLower(name)));
+    const SpecScope scope = ParseScopeSuffix(cur);
+    specs->AddSuccessive(SuccessiveSpec(rel, scope, inverse));
+    return Status::OK();
+  }
+
+  // Regularity.
+  const bool strict = cur->TryEat("STRICT");
+  std::optional<RegularityDimension> dim;
+  if (cur->TryEat("TRANSACTION")) dim = RegularityDimension::kTransactionTime;
+  else if (cur->TryEat("VALID")) dim = RegularityDimension::kValidTime;
+  else if (cur->TryEat("TEMPORAL")) dim = RegularityDimension::kTemporal;
+  if (dim.has_value()) {
+    const bool interval = cur->TryEat("INTERVAL");
+    TS_RETURN_NOT_OK(cur->Eat("REGULAR"));
+    TS_ASSIGN_OR_RETURN(Duration unit, cur->EatDuration());
+    const SpecScope scope = ParseScopeSuffix(cur);
+    if (interval) {
+      const auto idim = static_cast<IntervalRegularityDimension>(
+          static_cast<int>(*dim));
+      TS_ASSIGN_OR_RETURN(auto spec,
+                          IntervalRegularitySpec::Make(idim, unit, strict, scope));
+      specs->AddIntervalRegularity(spec);
+    } else {
+      TS_ASSIGN_OR_RETURN(auto spec,
+                          RegularitySpec::Make(*dim, unit, strict, scope));
+      specs->AddRegularity(spec);
+    }
+    return Status::OK();
+  }
+  if (strict) {
+    return Status::InvalidArgument(
+        "STRICT must precede TRANSACTION/VALID/TEMPORAL ... REGULAR");
+  }
+  return Status::InvalidArgument("unrecognized specialization clause near '",
+                                 cur->Peek().raw, "'");
+}
+
+}  // namespace
+
+Result<ParsedRelation> ParseCreateRelation(const std::string& statement) {
+  TS_ASSIGN_OR_RETURN(auto tokens, Tokenize(statement));
+  Cursor cur(std::move(tokens));
+
+  TS_RETURN_NOT_OK(cur.Eat("CREATE"));
+  ValidTimeKind kind;
+  if (cur.TryEat("EVENT")) {
+    kind = ValidTimeKind::kEvent;
+  } else if (cur.TryEat("INTERVAL")) {
+    kind = ValidTimeKind::kInterval;
+  } else {
+    return Status::InvalidArgument("expected EVENT or INTERVAL after CREATE");
+  }
+  TS_RETURN_NOT_OK(cur.Eat("RELATION"));
+  TS_ASSIGN_OR_RETURN(std::string name, cur.EatIdentifier("a relation name"));
+
+  TS_RETURN_NOT_OK(cur.Eat("("));
+  std::vector<AttributeDef> attrs;
+  while (!cur.TryEat(")")) {
+    TS_ASSIGN_OR_RETURN(std::string attr_name,
+                        cur.EatIdentifier("an attribute name"));
+    TS_ASSIGN_OR_RETURN(std::string type_word,
+                        cur.EatIdentifier("an attribute type"));
+    std::string upper = type_word;
+    for (auto& ch : upper) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    TS_ASSIGN_OR_RETURN(ValueType type, ParseType(upper));
+    AttributeRole role = AttributeRole::kTimeVarying;
+    if (cur.TryEat("KEY")) role = AttributeRole::kTimeInvariantKey;
+    else if (cur.TryEat("INVARIANT")) role = AttributeRole::kTimeInvariant;
+    else if (cur.TryEat("USERTIME")) role = AttributeRole::kUserDefinedTime;
+    attrs.push_back(AttributeDef{attr_name, type, role});
+    if (!cur.TryEat(",")) {
+      TS_RETURN_NOT_OK(cur.Eat(")"));
+      break;
+    }
+  }
+
+  Granularity granularity;
+  if (cur.TryEat("GRANULARITY")) {
+    TS_ASSIGN_OR_RETURN(granularity, cur.EatGranularity());
+  }
+
+  TS_ASSIGN_OR_RETURN(SchemaPtr schema,
+                      Schema::Make(name, std::move(attrs), kind, granularity));
+
+  SpecializationSet specs;
+  if (cur.TryEat("WITH")) {
+    do {
+      TS_RETURN_NOT_OK(ParseWithClause(&cur, *schema, &specs));
+    } while (cur.TryEat(","));
+  }
+  cur.TryEat(";");
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after statement: '",
+                                   cur.Peek().raw, "'");
+  }
+
+  TS_RETURN_NOT_OK(specs.ValidateFor(*schema));
+  return ParsedRelation{std::move(schema), std::move(specs)};
+}
+
+namespace {
+
+std::string TypeWord(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+    case ValueType::kTime:
+      return "TIME";
+    case ValueType::kNull:
+      break;
+  }
+  return "?";
+}
+
+std::string EventClause(const EventSpecialization& spec) {
+  const Band& band = spec.band();
+  auto neg = [](const BandBound& b) { return (-b.offset).ToString(); };
+  auto pos = [](const BandBound& b) { return b.offset.ToString(); };
+  std::string out;
+  switch (spec.kind()) {
+    case EventSpecKind::kGeneral:
+      out = "";
+      break;
+    case EventSpecKind::kRetroactive:
+      out = "RETROACTIVE";
+      break;
+    case EventSpecKind::kDelayedRetroactive:
+      out = "DELAYED RETROACTIVE " + neg(*band.upper());
+      break;
+    case EventSpecKind::kPredictive:
+      out = "PREDICTIVE";
+      break;
+    case EventSpecKind::kEarlyPredictive:
+      out = "EARLY PREDICTIVE " + pos(*band.lower());
+      break;
+    case EventSpecKind::kRetroactivelyBounded:
+      out = "RETROACTIVELY BOUNDED " + neg(*band.lower());
+      break;
+    case EventSpecKind::kPredictivelyBounded:
+      out = "PREDICTIVELY BOUNDED " + pos(*band.upper());
+      break;
+    case EventSpecKind::kStronglyRetroactivelyBounded:
+      out = "STRONGLY RETROACTIVELY BOUNDED " + neg(*band.lower());
+      break;
+    case EventSpecKind::kDelayedStronglyRetroactivelyBounded:
+      out = "DELAYED STRONGLY RETROACTIVELY BOUNDED " + neg(*band.upper()) +
+            " " + neg(*band.lower());
+      break;
+    case EventSpecKind::kStronglyPredictivelyBounded:
+      out = "STRONGLY PREDICTIVELY BOUNDED " + pos(*band.upper());
+      break;
+    case EventSpecKind::kEarlyStronglyPredictivelyBounded:
+      out = "EARLY STRONGLY PREDICTIVELY BOUNDED " + pos(*band.lower()) + " " +
+            pos(*band.upper());
+      break;
+    case EventSpecKind::kStronglyBounded:
+      out = "STRONGLY BOUNDED " + neg(*band.lower()) + " " + pos(*band.upper());
+      break;
+    case EventSpecKind::kDegenerate:
+      out = "DEGENERATE";
+      break;
+  }
+  if (spec.IsDetermined()) {
+    const std::string mapping = spec.mapping()->ToDdlClause();
+    if (!mapping.empty()) out = out.empty() ? mapping : out + " " + mapping;
+  }
+  if (spec.anchor() == TransactionAnchor::kDeletion) {
+    out = out.empty() ? "DELETION" : "DELETION " + out;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDdl(const Schema& schema, const SpecializationSet& specs) {
+  std::string out = "CREATE ";
+  out += schema.IsEventRelation() ? "EVENT" : "INTERVAL";
+  out += " RELATION " + schema.relation_name() + " (\n";
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeDef& a = schema.attribute(i);
+    out += "    " + a.name + " " + TypeWord(a.type);
+    switch (a.role) {
+      case AttributeRole::kTimeInvariantKey:
+        out += " KEY";
+        break;
+      case AttributeRole::kTimeInvariant:
+        out += " INVARIANT";
+        break;
+      case AttributeRole::kUserDefinedTime:
+        out += " USERTIME";
+        break;
+      case AttributeRole::kTimeVarying:
+        break;
+    }
+    if (i + 1 < schema.num_attributes()) out += ",";
+    out += "\n";
+  }
+  out += ") GRANULARITY " + schema.valid_granularity().ToString();
+
+  std::vector<std::string> clauses;
+  for (const auto& s : specs.event_specs()) {
+    std::string c = EventClause(s);
+    if (c.empty() && !s.IsDetermined()) continue;
+    clauses.push_back(c);
+  }
+  for (const auto& a : specs.anchored_specs()) {
+    std::string prefix;
+    if (a.valid_anchor() == ValidAnchor::kBegin) prefix = "VT_BEGIN ";
+    if (a.valid_anchor() == ValidAnchor::kEnd) prefix = "VT_END ";
+    clauses.push_back(prefix + EventClause(a.spec()));
+  }
+  auto scope_suffix = [](SpecScope s) {
+    return s == SpecScope::kPerObjectSurrogate ? std::string(" PER SURROGATE")
+                                               : std::string();
+  };
+  for (const auto& o : specs.orderings()) {
+    const char* word = o.kind() == OrderingKind::kNonDecreasing ? "NONDECREASING"
+                       : o.kind() == OrderingKind::kNonIncreasing
+                           ? "NONINCREASING"
+                           : "SEQUENTIAL";
+    clauses.push_back(word + scope_suffix(o.scope()));
+  }
+  for (const auto& o : specs.interval_orderings()) {
+    const char* word =
+        o.kind() == IntervalOrderingKind::kNonDecreasing  ? "NONDECREASING"
+        : o.kind() == IntervalOrderingKind::kNonIncreasing ? "NONINCREASING"
+                                                           : "SEQUENTIAL";
+    clauses.push_back(word + scope_suffix(o.scope()));
+  }
+  for (const auto& s : specs.successive()) {
+    if (s.relation() == AllenRelation::kMeets) {
+      clauses.push_back("CONTIGUOUS" + scope_suffix(s.scope()));
+    } else {
+      std::string name = AllenRelationToString(s.relation());
+      for (auto& ch : name) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      // met-by etc. round-trip through the tokenizer's dash support.
+      clauses.push_back("SUCCESSIVE " + name + scope_suffix(s.scope()));
+    }
+  }
+  auto dim_word = [](int dim) {
+    return dim == 0 ? "TRANSACTION" : (dim == 1 ? "VALID" : "TEMPORAL");
+  };
+  for (const auto& r : specs.regularities()) {
+    std::string c = r.strict() ? "STRICT " : "";
+    c += dim_word(static_cast<int>(r.dimension()));
+    c += " REGULAR " + r.unit().ToString();
+    clauses.push_back(c + scope_suffix(r.scope()));
+  }
+  for (const auto& r : specs.interval_regularities()) {
+    std::string c = r.strict() ? "STRICT " : "";
+    c += dim_word(static_cast<int>(r.dimension()));
+    c += " INTERVAL REGULAR " + r.unit().ToString();
+    clauses.push_back(c + scope_suffix(r.scope()));
+  }
+
+  if (!clauses.empty()) {
+    out += "\nWITH ";
+    out += Join(clauses, ",\n     ");
+  }
+  out += ";";
+  return out;
+}
+
+namespace {
+
+// Suggested bounds are human-facing: widen the observed band outward to
+// whole seconds (a declaration must admit at least what was seen).
+EventProfile RoundedOutward(const EventProfile& p) {
+  EventProfile out = p;
+  auto floor_s = [](int64_t us) {
+    int64_t q = us / kMicrosPerSecond;
+    if (us % kMicrosPerSecond != 0 && us < 0) --q;
+    return q * kMicrosPerSecond;
+  };
+  out.min_offset_us = floor_s(p.min_offset_us);
+  out.max_offset_us = p.max_offset_us == floor_s(p.max_offset_us)
+                          ? p.max_offset_us
+                          : floor_s(p.max_offset_us) + kMicrosPerSecond;
+  out.tightest_band = Band::Between(Duration::Micros(out.min_offset_us),
+                                    Duration::Micros(out.max_offset_us));
+  if (!out.degenerate) {
+    out.classified = EventSpecialization::ClassifyBand(out.tightest_band);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SuggestDdl(const RelationProfile& profile, const Schema& schema) {
+  SpecializationSet specs;
+
+  auto add_regularity = [&](const RegularityProfile& reg, SpecScope scope) {
+    // Any extension is trivially "regular" with its gcd unit; only units of
+    // at least one second are worth declaring.
+    if (reg.temporal_regular && reg.temporal_unit_us >= kMicrosPerSecond) {
+      auto r = RegularitySpec::Make(RegularityDimension::kTemporal,
+                                    Duration::Micros(reg.temporal_unit_us),
+                                    reg.temporal_strict, scope);
+      if (r.ok()) specs.AddRegularity(std::move(r).ValueOrDie());
+      return;  // temporal subsumes both dimensions
+    }
+    if (reg.tt_unit_us >= kMicrosPerSecond) {
+      auto r = RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                    Duration::Micros(reg.tt_unit_us),
+                                    reg.tt_strict, scope);
+      if (r.ok()) specs.AddRegularity(std::move(r).ValueOrDie());
+    }
+    if (reg.vt_unit_us >= kMicrosPerSecond) {
+      auto r = RegularitySpec::Make(RegularityDimension::kValidTime,
+                                    Duration::Micros(reg.vt_unit_us),
+                                    reg.vt_strict, scope);
+      if (r.ok()) specs.AddRegularity(std::move(r).ValueOrDie());
+    }
+  };
+
+  if (schema.IsEventRelation()) {
+    if (profile.event.applicable) {
+      auto spec = SpecFromProfile(
+          profile.event.determined_by ? profile.event
+                                      : RoundedOutward(profile.event));
+      if (spec.ok() && (spec->kind() != EventSpecKind::kGeneral ||
+                        spec->IsDetermined())) {
+        specs.AddEvent(std::move(spec).ValueOrDie());
+      }
+    }
+    if (profile.global_ordering.sequential) {
+      specs.AddOrdering(OrderingSpec(OrderingKind::kSequential));
+    } else if (profile.global_ordering.non_decreasing) {
+      specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+    } else if (profile.global_ordering.non_increasing) {
+      specs.AddOrdering(OrderingSpec(OrderingKind::kNonIncreasing));
+    } else if (profile.per_surrogate_ordering.sequential) {
+      specs.AddOrdering(
+          OrderingSpec(OrderingKind::kSequential, SpecScope::kPerObjectSurrogate));
+    } else if (profile.per_surrogate_ordering.non_decreasing) {
+      specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing,
+                                     SpecScope::kPerObjectSurrogate));
+    }
+    add_regularity(profile.regularity, SpecScope::kPerRelation);
+  } else {
+    auto anchored = [&](const EventProfile& p, ValidAnchor anchor) {
+      if (!p.applicable) return;
+      auto spec = SpecFromProfile(p.determined_by ? p : RoundedOutward(p));
+      if (spec.ok() && spec->kind() != EventSpecKind::kGeneral) {
+        specs.AddAnchoredEvent(AnchoredEventSpec(std::move(spec).ValueOrDie(),
+                                                 anchor));
+      }
+    };
+    anchored(profile.event, ValidAnchor::kBegin);
+    anchored(profile.event_end, ValidAnchor::kEnd);
+    if (profile.global_ordering.non_decreasing) {
+      specs.AddIntervalOrdering(
+          IntervalOrderingSpec(IntervalOrderingKind::kNonDecreasing));
+    }
+    if (profile.global_ordering.non_increasing) {
+      specs.AddIntervalOrdering(
+          IntervalOrderingSpec(IntervalOrderingKind::kNonIncreasing));
+    }
+    if (profile.interval.successive.size() == 1) {
+      specs.AddSuccessive(
+          SuccessiveSpec(*profile.interval.successive.begin()));
+    }
+    if (profile.interval.applicable &&
+        profile.interval.valid_duration_unit_us >= kMicrosPerSecond) {
+      auto r = IntervalRegularitySpec::Make(
+          IntervalRegularityDimension::kValidTime,
+          Duration::Micros(profile.interval.valid_duration_unit_us),
+          profile.interval.valid_strict);
+      if (r.ok()) specs.AddIntervalRegularity(std::move(r).ValueOrDie());
+    }
+  }
+  return ToDdl(schema, specs);
+}
+
+}  // namespace tempspec

@@ -1,0 +1,80 @@
+// A definition language for specialized temporal relations.
+//
+// The paper proposes the taxonomy as design-time vocabulary; this module
+// makes the vocabulary concrete as DDL. A statement declares a relation's
+// schema, granularity, and specializations using the paper's own terms:
+//
+//   CREATE EVENT RELATION plant_temperatures (
+//       sensor INT64 KEY,
+//       celsius DOUBLE
+//   ) GRANULARITY 1s
+//   WITH DELAYED RETROACTIVE 30s,
+//        RETROACTIVELY BOUNDED 120s,
+//        NONDECREASING PER SURROGATE,
+//        TRANSACTION REGULAR 1min;
+//
+//   CREATE INTERVAL RELATION assignments (
+//       employee INT64 KEY,
+//       project STRING
+//   ) GRANULARITY 1h
+//   WITH VT_BEGIN PREDICTIVE,
+//        STRICT VALID INTERVAL REGULAR 1w,
+//        CONTIGUOUS PER SURROGATE;
+//
+// Supported specialization clauses (each maps 1:1 to a Section 3 type):
+//   event (optionally prefixed DELETION, and for interval relations VT_BEGIN
+//   / VT_END / both implied):
+//     RETROACTIVE | DELAYED RETROACTIVE <d> | PREDICTIVE |
+//     EARLY PREDICTIVE <d> | RETROACTIVELY BOUNDED <d> |
+//     PREDICTIVELY BOUNDED <d> | STRONGLY RETROACTIVELY BOUNDED <d> |
+//     DELAYED STRONGLY RETROACTIVELY BOUNDED <d> <d> |
+//     STRONGLY PREDICTIVELY BOUNDED <d> |
+//     EARLY STRONGLY PREDICTIVELY BOUNDED <d> <d> |
+//     STRONGLY BOUNDED <d> <d> | DEGENERATE |
+//     DETERMINED BY TT PLUS <d> | DETERMINED BY FLOOR(<gran>) [PLUS <d>] |
+//     DETERMINED BY NEXT(<gran>, <d>)
+//   inter-event / inter-interval (optionally suffixed PER SURROGATE):
+//     NONDECREASING | NONINCREASING | SEQUENTIAL | CONTIGUOUS |
+//     SUCCESSIVE [INVERSE] <allen-relation> |
+//     [STRICT] TRANSACTION REGULAR <d> | [STRICT] VALID REGULAR <d> |
+//     [STRICT] TEMPORAL REGULAR <d> |
+//     [STRICT] TRANSACTION INTERVAL REGULAR <d> |
+//     [STRICT] VALID INTERVAL REGULAR <d> |
+//     [STRICT] TEMPORAL INTERVAL REGULAR <d>
+#ifndef TEMPSPEC_LANG_DDL_H_
+#define TEMPSPEC_LANG_DDL_H_
+
+#include <string>
+
+#include "model/schema.h"
+#include "spec/specialization.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Result of parsing a CREATE ... RELATION statement.
+struct ParsedRelation {
+  SchemaPtr schema;
+  SpecializationSet specializations;
+};
+
+/// \brief Parses one CREATE [EVENT|INTERVAL] RELATION statement (trailing
+/// semicolon optional). The declaration is validated against the schema
+/// before returning.
+Result<ParsedRelation> ParseCreateRelation(const std::string& statement);
+
+/// \brief Renders a declaration back to canonical DDL (round-trips through
+/// ParseCreateRelation up to formatting).
+std::string ToDdl(const Schema& schema, const SpecializationSet& specs);
+
+/// \brief Turns an inferred RelationProfile (spec/inference.h) into a
+/// suggested CREATE statement for the relation — the textual close of the
+/// design loop: inspect undocumented data, receive the DDL that declares
+/// (and will thereafter enforce) its observed time semantics. Only
+/// exactly-inferred clauses are emitted.
+std::string SuggestDdl(const struct RelationProfile& profile,
+                       const Schema& schema);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_LANG_DDL_H_

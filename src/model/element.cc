@@ -1,0 +1,14 @@
+#include "model/element.h"
+
+namespace tempspec {
+
+std::string Element::ToString() const {
+  std::string out = "e#" + std::to_string(element_surrogate);
+  out += " obj#" + std::to_string(object_surrogate);
+  out += " tt=[" + tt_begin.ToString() + ", " + tt_end.ToString() + ")";
+  out += " vt=" + valid.ToString();
+  out += " " + attributes.ToString();
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,83 @@
+#include "model/schema.h"
+
+#include <unordered_set>
+
+namespace tempspec {
+
+const char* AttributeRoleToString(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kTimeInvariantKey:
+      return "TIME_INVARIANT_KEY";
+    case AttributeRole::kTimeInvariant:
+      return "TIME_INVARIANT";
+    case AttributeRole::kTimeVarying:
+      return "TIME_VARYING";
+    case AttributeRole::kUserDefinedTime:
+      return "USER_DEFINED_TIME";
+  }
+  return "UNKNOWN";
+}
+
+Result<SchemaPtr> Schema::Make(std::string relation_name,
+                               std::vector<AttributeDef> attributes,
+                               ValidTimeKind valid_kind,
+                               Granularity valid_granularity,
+                               Granularity transaction_granularity) {
+  if (relation_name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: '", a.name, "'");
+    }
+    if (a.type == ValueType::kNull) {
+      return Status::InvalidArgument("attribute '", a.name,
+                                     "' must have a concrete type");
+    }
+    if (a.role == AttributeRole::kUserDefinedTime && a.type != ValueType::kTime) {
+      return Status::InvalidArgument("user-defined-time attribute '", a.name,
+                                     "' must have TIME type");
+    }
+  }
+  return SchemaPtr(new Schema(std::move(relation_name), std::move(attributes),
+                              valid_kind, valid_granularity,
+                              transaction_granularity));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '", name, "' in relation '",
+                          relation_name_, "'");
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = relation_name_;
+  out += IsEventRelation() ? " [event" : " [interval";
+  out += ", vt-gran=" + valid_granularity_.ToString();
+  out += ", tt-gran=" + transaction_granularity_.ToString();
+  out += "] (";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tempspec

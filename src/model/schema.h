@@ -1,0 +1,97 @@
+// Relation schemas with the paper's attribute roles.
+//
+// Section 2 distinguishes, within an element: time-invariant attribute values
+// (notably the time-invariant key), time-varying attribute values, and
+// user-defined times (date/time-valued attributes with no system-interpreted
+// semantics). The schema also fixes the valid-time stamp kind (event vs
+// interval) and the relation's time-stamp granularities.
+#ifndef TEMPSPEC_MODEL_SCHEMA_H_
+#define TEMPSPEC_MODEL_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+#include "timex/granularity.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Role of an explicit (non-time-stamp) attribute.
+enum class AttributeRole : uint8_t {
+  kTimeInvariantKey,  // e.g. a social security or account number
+  kTimeInvariant,     // e.g. race: never changes but is not the key
+  kTimeVarying,       // e.g. salary, title, temperature
+  kUserDefinedTime,   // date/time-valued, no system-interpreted semantics
+};
+
+const char* AttributeRoleToString(AttributeRole role);
+
+/// \brief Kind of the valid time-stamp of every element in a relation.
+enum class ValidTimeKind : uint8_t {
+  kEvent,     // a single instant: the fact happened at vt
+  kInterval,  // [vt_b, vt_e): the fact held throughout
+};
+
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  AttributeRole role = AttributeRole::kTimeVarying;
+};
+
+/// \brief Immutable schema of a temporal relation.
+class Schema {
+ public:
+  /// \brief Validates and builds a schema. Rules: attribute names non-empty
+  /// and unique; user-defined-time attributes must have TIME type.
+  static Result<std::shared_ptr<const Schema>> Make(
+      std::string relation_name, std::vector<AttributeDef> attributes,
+      ValidTimeKind valid_kind, Granularity valid_granularity = Granularity(),
+      Granularity transaction_granularity = Granularity());
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+
+  /// \brief Index of the named attribute, or NotFound.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief Indices of attributes with the given role.
+  std::vector<size_t> IndicesWithRole(AttributeRole role) const;
+
+  ValidTimeKind valid_kind() const { return valid_kind_; }
+  bool IsEventRelation() const { return valid_kind_ == ValidTimeKind::kEvent; }
+  bool IsIntervalRelation() const { return valid_kind_ == ValidTimeKind::kInterval; }
+
+  /// \brief Granularity of the valid time-stamps (Section 2: per-relation).
+  Granularity valid_granularity() const { return valid_granularity_; }
+  /// \brief Granularity of the transaction time-stamps.
+  Granularity transaction_granularity() const { return transaction_granularity_; }
+
+  std::string ToString() const;
+
+ private:
+  Schema(std::string relation_name, std::vector<AttributeDef> attributes,
+         ValidTimeKind valid_kind, Granularity valid_granularity,
+         Granularity transaction_granularity)
+      : relation_name_(std::move(relation_name)),
+        attributes_(std::move(attributes)),
+        valid_kind_(valid_kind),
+        valid_granularity_(valid_granularity),
+        transaction_granularity_(transaction_granularity) {}
+
+  std::string relation_name_;
+  std::vector<AttributeDef> attributes_;
+  ValidTimeKind valid_kind_;
+  Granularity valid_granularity_;
+  Granularity transaction_granularity_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_MODEL_SCHEMA_H_

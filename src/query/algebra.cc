@@ -1,0 +1,165 @@
+#include "query/algebra.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tempspec {
+
+Result<std::vector<Element>> Coalesce(std::vector<Element> elements) {
+  for (const Element& e : elements) {
+    if (!e.valid.is_interval()) {
+      return Status::InvalidArgument(
+          "coalescing is defined on interval-stamped elements");
+    }
+  }
+  // Group current elements by (object, attribute values); pass everything
+  // else through untouched.
+  std::vector<Element> out;
+  std::map<std::pair<ObjectSurrogate, std::string>, std::vector<Element>> groups;
+  for (Element& e : elements) {
+    if (!e.IsCurrent()) {
+      out.push_back(std::move(e));
+      continue;
+    }
+    groups[{e.object_surrogate, e.attributes.ToString()}].push_back(std::move(e));
+  }
+  for (auto& [key, group] : groups) {
+    std::sort(group.begin(), group.end(), [](const Element& a, const Element& b) {
+      return a.valid.begin() < b.valid.begin();
+    });
+    Element current = group.front();
+    for (size_t i = 1; i < group.size(); ++i) {
+      Element& next = group[i];
+      if (next.valid.begin() <= current.valid.end()) {
+        // Overlaps or meets: extend. The merged element keeps the earliest
+        // insertion stamp (it has been true since then) and the earliest
+        // surrogate for determinism.
+        const TimePoint end = std::max(current.valid.end(), next.valid.end());
+        current.valid = ValidTime::IntervalUnchecked(current.valid.begin(), end);
+        current.tt_begin = std::min(current.tt_begin, next.tt_begin);
+        current.element_surrogate =
+            std::min(current.element_surrogate, next.element_surrogate);
+      } else {
+        out.push_back(current);
+        current = next;
+      }
+    }
+    out.push_back(current);
+  }
+  std::sort(out.begin(), out.end(), [](const Element& a, const Element& b) {
+    return a.element_surrogate < b.element_surrogate;
+  });
+  return out;
+}
+
+std::vector<JoinedFact> TemporalJoin(std::span<const Element> left,
+                                     std::span<const Element> right) {
+  // Hash the smaller side by object surrogate.
+  std::map<ObjectSurrogate, std::vector<const Element*>> by_object;
+  for (const Element& r : right) {
+    if (r.IsCurrent()) by_object[r.object_surrogate].push_back(&r);
+  }
+  std::vector<JoinedFact> out;
+  for (const Element& l : left) {
+    if (!l.IsCurrent()) continue;
+    auto it = by_object.find(l.object_surrogate);
+    if (it == by_object.end()) continue;
+    for (const Element* r : it->second) {
+      if (l.valid.is_event() && r->valid.is_event()) {
+        if (l.valid.at() == r->valid.at()) {
+          out.push_back(JoinedFact{l.object_surrogate, l.valid, l.attributes,
+                                   r->attributes});
+        }
+        continue;
+      }
+      const TimeInterval li = l.valid.AsInterval();
+      const TimeInterval ri = r->valid.AsInterval();
+      // Event-vs-interval: the event instant must fall inside the interval.
+      if (l.valid.is_event()) {
+        if (ri.Contains(l.valid.at())) {
+          out.push_back(JoinedFact{l.object_surrogate, l.valid, l.attributes,
+                                   r->attributes});
+        }
+        continue;
+      }
+      if (r->valid.is_event()) {
+        if (li.Contains(r->valid.at())) {
+          out.push_back(JoinedFact{l.object_surrogate, r->valid, l.attributes,
+                                   r->attributes});
+        }
+        continue;
+      }
+      const TimeInterval both = li.Intersect(ri);
+      if (!both.IsEmpty()) {
+        out.push_back(JoinedFact{
+            l.object_surrogate,
+            ValidTime::IntervalUnchecked(both.begin(), both.end()), l.attributes,
+            r->attributes});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Element> Restrict(std::span<const Element> elements,
+                              const std::function<bool(const Tuple&)>& predicate) {
+  std::vector<Element> out;
+  for (const Element& e : elements) {
+    if (predicate(e.attributes)) out.push_back(e);
+  }
+  return out;
+}
+
+Result<std::vector<Element>> Project(std::span<const Element> elements,
+                                     const std::vector<size_t>& positions) {
+  std::vector<Element> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) {
+    std::vector<Value> values;
+    values.reserve(positions.size());
+    for (size_t pos : positions) {
+      if (pos >= e.attributes.size()) {
+        return Status::OutOfRange("projection position ", pos,
+                                  " exceeds tuple width ", e.attributes.size());
+      }
+      values.push_back(e.attributes.at(pos));
+    }
+    Element projected = e;
+    projected.attributes = Tuple(std::move(values));
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<double> ValidCoverage(std::span<const Element> elements, TimePoint lo,
+                             TimePoint hi) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("coverage window must be non-empty");
+  }
+  std::vector<TimeInterval> intervals;
+  for (const Element& e : elements) {
+    if (!e.IsCurrent()) continue;
+    if (!e.valid.is_interval()) {
+      return Status::InvalidArgument(
+          "coverage is defined on interval-stamped elements");
+    }
+    const TimeInterval clipped = e.valid.AsInterval().Intersect({lo, hi});
+    if (!clipped.IsEmpty()) intervals.push_back(clipped);
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeInterval& a, const TimeInterval& b) {
+              return a.begin() < b.begin();
+            });
+  int64_t covered = 0;
+  TimePoint cursor = lo;
+  for (const TimeInterval& iv : intervals) {
+    const TimePoint start = std::max(cursor, iv.begin());
+    if (iv.end() > start) {
+      covered += iv.end().MicrosSince(start);
+      cursor = iv.end();
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(hi.MicrosSince(lo));
+}
+
+}  // namespace tempspec

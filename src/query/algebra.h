@@ -1,0 +1,58 @@
+// Temporal-algebra operators over element sets.
+//
+// The paper notes (Section 4) that "specialized temporal relations present
+// an opportunity to optimize temporal queries"; these operators are the
+// query-side vocabulary the optimizer accelerates: valid-time coalescing,
+// temporal (valid-time) join on object surrogates, and restriction/
+// projection helpers. All operators are pure: they consume and produce
+// element vectors and never touch the store.
+#ifndef TEMPSPEC_QUERY_ALGEBRA_H_
+#define TEMPSPEC_QUERY_ALGEBRA_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "model/element.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Valid-time coalescing: merges value-equivalent interval elements
+/// of the same object whose valid intervals overlap or meet, producing one
+/// element per maximal covered interval (classic temporal coalescing).
+/// Event elements and current/deleted status are preserved as-is; only
+/// current elements are merged. Fails on event-stamped input.
+Result<std::vector<Element>> Coalesce(std::vector<Element> elements);
+
+/// \brief Valid-time natural join on object surrogate: pairs of current
+/// elements (one from each side) describing the same object with
+/// intersecting valid time. For interval inputs the result's valid time is
+/// the intersection; for event inputs the stamps must be equal.
+struct JoinedFact {
+  ObjectSurrogate object;
+  ValidTime valid;     // the intersection
+  Tuple left;          // attribute values from the left element
+  Tuple right;         // attribute values from the right element
+};
+std::vector<JoinedFact> TemporalJoin(std::span<const Element> left,
+                                     std::span<const Element> right);
+
+/// \brief Restriction: elements whose attributes satisfy the predicate.
+std::vector<Element> Restrict(std::span<const Element> elements,
+                              const std::function<bool(const Tuple&)>& predicate);
+
+/// \brief Projection of attribute positions (order preserved; positions must
+/// be in range).
+Result<std::vector<Element>> Project(std::span<const Element> elements,
+                                     const std::vector<size_t>& positions);
+
+/// \brief Per-object valid-time cover: the fraction of [lo, hi) covered by
+/// the valid intervals of an object's current elements. A workhorse for
+/// lifeline analyses (and a consumer of Coalesce).
+Result<double> ValidCoverage(std::span<const Element> elements, TimePoint lo,
+                             TimePoint hi);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_ALGEBRA_H_

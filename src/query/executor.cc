@@ -1,0 +1,159 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+namespace {
+
+void Count(QueryStats* stats, uint64_t examined, uint64_t probes = 0) {
+  if (stats == nullptr) return;
+  stats->elements_examined += examined;
+  stats->index_probes += probes;
+}
+
+}  // namespace
+
+bool QueryExecutor::MatchesRange(const Element& e, TimePoint lo,
+                                 TimePoint hi) const {
+  if (!e.IsCurrent()) return false;
+  if (e.valid.is_event()) {
+    const TimePoint vt = e.valid.at();
+    return lo <= vt && vt < hi;
+  }
+  return e.valid.begin() < hi && lo < e.valid.end();
+}
+
+std::vector<Element> QueryExecutor::Current(QueryStats* stats) const {
+  std::vector<Element> out;
+  for (const Element& e : relation_.elements()) {
+    Count(stats, 1);
+    if (e.IsCurrent()) out.push_back(e);
+  }
+  if (stats) stats->results += out.size();
+  return out;
+}
+
+std::vector<Element> QueryExecutor::Rollback(TimePoint tt,
+                                             QueryStats* stats) const {
+  std::vector<Element> out = relation_.StateAt(tt);
+  Count(stats, relation_.snapshots() ? out.size() : relation_.size());
+  if (stats) stats->results += out.size();
+  return out;
+}
+
+std::vector<Element> QueryExecutor::Timeslice(TimePoint vt,
+                                              QueryStats* stats) const {
+  return TimesliceWith(optimizer_.PlanTimeslice(vt), vt, stats);
+}
+
+std::vector<Element> QueryExecutor::TimesliceWith(const PlanChoice& plan,
+                                                  TimePoint vt,
+                                                  QueryStats* stats) const {
+  return ValidRangeWith(plan, vt, TimePoint::FromMicros(vt.micros() + 1), stats);
+}
+
+std::vector<Element> QueryExecutor::ValidRange(TimePoint lo, TimePoint hi,
+                                               QueryStats* stats) const {
+  return ValidRangeWith(optimizer_.PlanValidRange(lo, hi), lo, hi, stats);
+}
+
+std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
+                                                   TimePoint lo, TimePoint hi,
+                                                   QueryStats* stats) const {
+  std::vector<Element> out;
+  const auto elements = relation_.elements();
+
+  switch (plan.strategy) {
+    case ExecutionStrategy::kFullScan: {
+      for (const Element& e : elements) {
+        Count(stats, 1);
+        if (MatchesRange(e, lo, hi)) out.push_back(e);
+      }
+      break;
+    }
+
+    case ExecutionStrategy::kValidIndex: {
+      std::vector<uint64_t> positions =
+          relation_.valid_index().Overlapping(lo, hi);
+      Count(stats, positions.size(), 1);
+      std::sort(positions.begin(), positions.end());
+      for (uint64_t pos : positions) {
+        const Element& e = elements[pos];
+        if (MatchesRange(e, lo, hi)) out.push_back(e);
+      }
+      break;
+    }
+
+    case ExecutionStrategy::kRollbackEquivalence:
+    case ExecutionStrategy::kTransactionWindow: {
+      // The declared specialization guarantees every match was stored inside
+      // the transaction-time window; scan only those positions via the
+      // append-only transaction index.
+      const AppendOnlyIndex& idx = relation_.transaction_index();
+      const size_t begin = idx.LowerBound(plan.tt_window.begin());
+      const size_t end = plan.tt_window.end().IsMax()
+                             ? idx.size()
+                             : idx.LowerBound(plan.tt_window.end());
+      Count(stats, end > begin ? end - begin : 0, 1);
+      for (size_t i = begin; i < end; ++i) {
+        const Element& e = elements[idx.ValueAt(i)];
+        if (MatchesRange(e, lo, hi)) out.push_back(e);
+      }
+      break;
+    }
+
+    case ExecutionStrategy::kMonotoneBinarySearch: {
+      // Valid times are non-decreasing in insertion order: binary search the
+      // element array directly.
+      auto vt_of = [&](size_t i) { return elements[i].valid.at(); };
+      size_t lo_pos = 0, hi_pos = elements.size();
+      {
+        size_t a = 0, b = elements.size();
+        while (a < b) {
+          const size_t mid = a + (b - a) / 2;
+          if (vt_of(mid) < lo) {
+            a = mid + 1;
+          } else {
+            b = mid;
+          }
+        }
+        lo_pos = a;
+      }
+      {
+        size_t a = lo_pos, b = elements.size();
+        while (a < b) {
+          const size_t mid = a + (b - a) / 2;
+          if (vt_of(mid) < hi) {
+            a = mid + 1;
+          } else {
+            b = mid;
+          }
+        }
+        hi_pos = a;
+      }
+      Count(stats, hi_pos - lo_pos, 1);
+      for (size_t i = lo_pos; i < hi_pos; ++i) {
+        if (MatchesRange(elements[i], lo, hi)) out.push_back(elements[i]);
+      }
+      break;
+    }
+  }
+
+  if (stats) stats->results += out.size();
+  return out;
+}
+
+std::vector<Element> QueryExecutor::TimesliceAsOf(TimePoint vt, TimePoint tt,
+                                                  QueryStats* stats) const {
+  std::vector<Element> out;
+  for (const Element& e : relation_.elements()) {
+    Count(stats, 1);
+    if (!e.ExistsAt(tt)) continue;
+    if (e.valid.ValidAt(vt)) out.push_back(e);
+  }
+  if (stats) stats->results += out.size();
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,63 @@
+// Execution of the three temporal query classes over a TemporalRelation.
+//
+// Section 1 distinguishes (1) current queries, (2) historical queries (facts
+// about the modeled reality — timeslice / valid-time range), and (3)
+// rollback queries (the database as stored at a past transaction time). All
+// timeslice strategies are interchangeable: they return the same result set;
+// only the number of elements examined differs (QueryStats).
+#ifndef TEMPSPEC_QUERY_EXECUTOR_H_
+#define TEMPSPEC_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "query/optimizer.h"
+#include "query/plan.h"
+#include "relation/temporal_relation.h"
+
+namespace tempspec {
+
+/// \brief Executes temporal queries against one relation.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const TemporalRelation& relation)
+      : relation_(relation),
+        optimizer_(relation.specializations(), relation.schema()) {}
+
+  const Optimizer& optimizer() const { return optimizer_; }
+
+  /// \brief Current query: the present state of the relation.
+  std::vector<Element> Current(QueryStats* stats = nullptr) const;
+
+  /// \brief Rollback query: the state as stored at transaction time `tt`.
+  std::vector<Element> Rollback(TimePoint tt, QueryStats* stats = nullptr) const;
+
+  /// \brief Historical (timeslice) query: current-belief facts valid at
+  /// `vt`. Strategy chosen by the optimizer.
+  std::vector<Element> Timeslice(TimePoint vt, QueryStats* stats = nullptr) const;
+
+  /// \brief Timeslice with an explicit plan (for baseline measurements).
+  std::vector<Element> TimesliceWith(const PlanChoice& plan, TimePoint vt,
+                                     QueryStats* stats = nullptr) const;
+
+  /// \brief Facts whose valid time intersects [lo, hi), current belief.
+  std::vector<Element> ValidRange(TimePoint lo, TimePoint hi,
+                                  QueryStats* stats = nullptr) const;
+  std::vector<Element> ValidRangeWith(const PlanChoice& plan, TimePoint lo,
+                                      TimePoint hi,
+                                      QueryStats* stats = nullptr) const;
+
+  /// \brief Bitemporal query: facts valid at `vt` as believed at transaction
+  /// time `tt`.
+  std::vector<Element> TimesliceAsOf(TimePoint vt, TimePoint tt,
+                                     QueryStats* stats = nullptr) const;
+
+ private:
+  bool MatchesRange(const Element& e, TimePoint lo, TimePoint hi) const;
+
+  const TemporalRelation& relation_;
+  Optimizer optimizer_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_EXECUTOR_H_

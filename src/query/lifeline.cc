@@ -1,0 +1,53 @@
+#include "query/lifeline.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+Result<std::vector<LifelineEntry>> AttributeHistory(
+    const TemporalRelation& relation, ObjectSurrogate object,
+    const std::string& attribute) {
+  TS_ASSIGN_OR_RETURN(size_t attr_index, relation.schema().IndexOf(attribute));
+  std::vector<const Element*> lifeline = relation.PartitionOf(object);
+  if (lifeline.empty()) {
+    return Status::NotFound("object #", object, " has no elements in '",
+                            relation.schema().relation_name(), "'");
+  }
+  std::vector<const Element*> current;
+  for (const Element* e : lifeline) {
+    if (e->IsCurrent()) current.push_back(e);
+  }
+  std::stable_sort(current.begin(), current.end(),
+                   [](const Element* a, const Element* b) {
+                     return a->valid.begin() < b->valid.begin();
+                   });
+  std::vector<LifelineEntry> out;
+  for (const Element* e : current) {
+    Value v = e->attributes.at(attr_index);
+    if (!out.empty() && relation.schema().IsIntervalRelation() &&
+        out.back().value == v &&
+        out.back().valid.end() == e->valid.begin()) {
+      // Merge adjacent equal values (value-equivalent coalescing).
+      out.back().valid = ValidTime::IntervalUnchecked(out.back().valid.begin(),
+                                                      e->valid.end());
+      continue;
+    }
+    out.push_back(LifelineEntry{e->valid, std::move(v)});
+  }
+  return out;
+}
+
+Result<Value> AttributeAt(const TemporalRelation& relation,
+                          ObjectSurrogate object, const std::string& attribute,
+                          TimePoint vt) {
+  TS_ASSIGN_OR_RETURN(size_t attr_index, relation.schema().IndexOf(attribute));
+  for (const Element* e : relation.PartitionOf(object)) {
+    if (e->IsCurrent() && e->valid.ValidAt(vt)) {
+      return e->attributes.at(attr_index);
+    }
+  }
+  return Status::NotFound("object #", object, " has no current fact valid at ",
+                          vt.ToString());
+}
+
+}  // namespace tempspec

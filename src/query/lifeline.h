@@ -1,0 +1,40 @@
+// Lifeline analysis: the evolution of one object's time-varying attributes.
+//
+// Section 2: "At any point in time, each real-world object may have, in a
+// single relation, a set of associated elements, all with the same object
+// surrogate (c.f., a 'life-line' or a 'time sequence')." These helpers turn
+// a per-surrogate partition into the value history of one attribute and
+// answer "what was attribute A of object O at valid time vt, as currently
+// believed?".
+#ifndef TEMPSPEC_QUERY_LIFELINE_H_
+#define TEMPSPEC_QUERY_LIFELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/temporal_relation.h"
+
+namespace tempspec {
+
+/// \brief One step of an attribute's history.
+struct LifelineEntry {
+  ValidTime valid;  // when the value held (event or interval)
+  Value value;
+};
+
+/// \brief The currently-believed history of `attribute` for `object`, in
+/// valid-time order. Interval relations: one entry per current element
+/// (adjacent equal values are merged); event relations: one entry per event.
+Result<std::vector<LifelineEntry>> AttributeHistory(
+    const TemporalRelation& relation, ObjectSurrogate object,
+    const std::string& attribute);
+
+/// \brief The currently-believed value of `attribute` for `object` at valid
+/// time `vt`; NotFound when no current element covers vt.
+Result<Value> AttributeAt(const TemporalRelation& relation,
+                          ObjectSurrogate object, const std::string& attribute,
+                          TimePoint vt);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_LIFELINE_H_

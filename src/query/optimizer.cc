@@ -1,0 +1,133 @@
+#include "query/optimizer.h"
+
+namespace tempspec {
+
+Optimizer::Optimizer(const SpecializationSet& specs, const Schema& schema)
+    : specs_(specs), schema_(schema) {}
+
+namespace {
+
+bool IsFixedBand(const Band& b) {
+  return (!b.lower() || b.lower()->offset.IsFixed()) &&
+         (!b.upper() || b.upper()->offset.IsFixed());
+}
+
+}  // namespace
+
+std::optional<Band> Optimizer::CombinedFixedBand() const {
+  Band acc = Band::All();
+  bool any = false;
+  if (schema_.IsEventRelation()) {
+    for (const auto& s : specs_.event_specs()) {
+      if (s.anchor() != TransactionAnchor::kInsertion) continue;
+      const Band& b = s.band();
+      if (!IsFixedBand(b)) continue;  // calendric: window is anchor-dependent
+      acc = acc.Intersect(b);
+      any = any || !b.IsUnrestricted();
+    }
+  } else {
+    // Interval relations: a match covers the queried instant, so
+    // vt_b <= q < vt_e. A *lower* bound on vt_b - tt caps tt from above
+    // (tt <= vt_b - lo_b <= q - lo_b), and an *upper* bound on vt_e - tt
+    // caps it from below (tt >= vt_e - hi_e > q - hi_e). Combine the usable
+    // half-bands into one effective band of "q - tt".
+    for (const auto& a : specs_.anchored_specs()) {
+      if (a.spec().anchor() != TransactionAnchor::kInsertion) continue;
+      const Band& b = a.spec().band();
+      if (!IsFixedBand(b)) continue;
+      if (a.valid_anchor() != ValidAnchor::kEnd && b.lower()) {
+        acc = acc.Intersect(Band::AtLeast(b.lower()->offset, b.lower()->open));
+        any = true;
+      }
+      if (a.valid_anchor() != ValidAnchor::kBegin && b.upper()) {
+        acc = acc.Intersect(Band::AtMost(b.upper()->offset, b.upper()->open));
+        any = true;
+      }
+    }
+  }
+  if (!any || acc.IsUnrestricted()) return std::nullopt;
+  return acc;
+}
+
+bool Optimizer::ValidTimesMonotone() const {
+  for (const auto& o : specs_.orderings()) {
+    if (o.scope() != SpecScope::kPerRelation) continue;
+    if (o.kind() == OrderingKind::kNonDecreasing ||
+        o.kind() == OrderingKind::kSequential) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Optimizer::IsDegenerate() const {
+  for (const auto& s : specs_.event_specs()) {
+    if (s.kind() == EventSpecKind::kDegenerate &&
+        s.anchor() == TransactionAnchor::kInsertion) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// The band constrains vt - tt to [lo, hi]; solving for tt over a valid-time
+// query range [vlo, vhi] gives tt in [vlo - hi, vhi - lo]. Unbounded sides
+// stay unbounded.
+TimeInterval WindowFromBand(const Band& band, TimePoint vlo, TimePoint vhi) {
+  TimePoint tlo = TimePoint::Min();
+  TimePoint thi = TimePoint::Max();
+  if (band.upper()) tlo = vlo - band.upper()->offset;
+  if (band.lower()) thi = vhi - band.lower()->offset;
+  // Window is inclusive of thi; TimeInterval is half-open, so bump by one
+  // chronon when finite.
+  if (!thi.IsMax()) thi = TimePoint::FromMicros(thi.micros() + 1);
+  return TimeInterval(tlo, thi);
+}
+
+}  // namespace
+
+PlanChoice Optimizer::PlanTimeslice(TimePoint vt) const {
+  return PlanValidRange(vt, TimePoint::FromMicros(vt.micros() + 1));
+}
+
+PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
+  PlanChoice plan;
+  const TimePoint hi_incl = TimePoint::FromMicros(hi.micros() - 1);
+
+  if (IsDegenerate()) {
+    // vt = tt within the granularity: matches can only have been stored in
+    // the granules covering the queried valid range.
+    const Granularity g = schema_.valid_granularity();
+    plan.strategy = ExecutionStrategy::kRollbackEquivalence;
+    plan.tt_window = TimeInterval(g.Truncate(lo), g.NextGranule(hi_incl));
+    plan.rationale =
+        "degenerate relation: valid time equals transaction time within "
+        "granularity " + g.ToString() + "; timeslice answered as rollback";
+    return plan;
+  }
+
+  if (auto band = CombinedFixedBand()) {
+    plan.strategy = ExecutionStrategy::kTransactionWindow;
+    plan.tt_window = WindowFromBand(*band, lo, hi_incl);
+    plan.rationale = "declared band " + band->ToString() +
+                     " bounds the storage delay; scanning tt window " +
+                     plan.tt_window.ToString();
+    return plan;
+  }
+
+  if (schema_.IsEventRelation() && ValidTimesMonotone()) {
+    plan.strategy = ExecutionStrategy::kMonotoneBinarySearch;
+    plan.rationale =
+        "non-decreasing/sequential relation: valid times are sorted in "
+        "insertion order; binary search";
+    return plan;
+  }
+
+  plan.strategy = ExecutionStrategy::kValidIndex;
+  plan.rationale = "general relation: valid-time interval index probe";
+  return plan;
+}
+
+}  // namespace tempspec

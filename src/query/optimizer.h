@@ -1,0 +1,48 @@
+// Specialization-aware planning.
+#ifndef TEMPSPEC_QUERY_OPTIMIZER_H_
+#define TEMPSPEC_QUERY_OPTIMIZER_H_
+
+#include <optional>
+
+#include "model/schema.h"
+#include "query/plan.h"
+#include "spec/specialization.h"
+
+namespace tempspec {
+
+/// \brief Chooses execution strategies from the declared specializations.
+class Optimizer {
+ public:
+  Optimizer(const SpecializationSet& specs, const Schema& schema);
+
+  /// \brief Plans a timeslice (historical) query at valid time `vt`.
+  ///
+  /// Strategy ladder (first applicable wins):
+  ///  1. degenerate           -> rollback equivalence on the append-only store
+  ///  2. any fixed band       -> transaction-time window [vt - hi, vt - lo]
+  ///  3. non-decr/sequential  -> binary search on the insertion order
+  ///  4. otherwise            -> valid-time interval index
+  PlanChoice PlanTimeslice(TimePoint vt) const;
+
+  /// \brief Plans a valid-time range query over [lo, hi).
+  PlanChoice PlanValidRange(TimePoint lo, TimePoint hi) const;
+
+  /// \brief The combined insertion-anchored band over the queried valid
+  /// endpoint(s), when one is declared with fixed offsets.
+  std::optional<Band> CombinedFixedBand() const;
+
+  /// \brief True if valid times are guaranteed non-decreasing in insertion
+  /// order (globally non-decreasing or sequential is declared).
+  bool ValidTimesMonotone() const;
+
+  /// \brief True if the relation is declared degenerate.
+  bool IsDegenerate() const;
+
+ private:
+  const SpecializationSet& specs_;
+  const Schema& schema_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_OPTIMIZER_H_

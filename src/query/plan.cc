@@ -1,0 +1,21 @@
+#include "query/plan.h"
+
+namespace tempspec {
+
+const char* ExecutionStrategyToString(ExecutionStrategy s) {
+  switch (s) {
+    case ExecutionStrategy::kFullScan:
+      return "full scan";
+    case ExecutionStrategy::kValidIndex:
+      return "valid-time interval index";
+    case ExecutionStrategy::kTransactionWindow:
+      return "transaction-time window scan";
+    case ExecutionStrategy::kRollbackEquivalence:
+      return "rollback equivalence (degenerate)";
+    case ExecutionStrategy::kMonotoneBinarySearch:
+      return "monotone binary search";
+  }
+  return "unknown";
+}
+
+}  // namespace tempspec

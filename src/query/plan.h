@@ -1,0 +1,57 @@
+// Query plans: how a temporal query will be executed, and why.
+//
+// The paper's central systems claim is that specialization semantics, "when
+// captured by an appropriately extended database system, may be used for
+// selecting appropriate storage structures, indexing techniques, and query
+// processing strategies." The optimizer here turns a declared
+// SpecializationSet into an execution strategy for the three query classes
+// of Section 1: current, historical (timeslice), and rollback queries.
+#ifndef TEMPSPEC_QUERY_PLAN_H_
+#define TEMPSPEC_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "timex/interval.h"
+
+namespace tempspec {
+
+enum class ExecutionStrategy : uint8_t {
+  /// Examine every element.
+  kFullScan,
+  /// Probe the valid-time interval index.
+  kValidIndex,
+  /// Derive a transaction-time window from the declared band and range-scan
+  /// the (always monotone) transaction-time index.
+  kTransactionWindow,
+  /// Degenerate relations: valid time equals transaction time (within the
+  /// granularity), so a timeslice IS a rollback — answered on the
+  /// append-only store.
+  kRollbackEquivalence,
+  /// Non-decreasing / sequential relations: valid times are sorted in
+  /// insertion order, so binary search directly on the element array.
+  kMonotoneBinarySearch,
+};
+
+const char* ExecutionStrategyToString(ExecutionStrategy s);
+
+/// \brief The optimizer's decision for one query.
+struct PlanChoice {
+  ExecutionStrategy strategy = ExecutionStrategy::kFullScan;
+  /// For kTransactionWindow / kRollbackEquivalence: the transaction-time
+  /// window guaranteed (by the declared band) to contain every match.
+  TimeInterval tt_window = TimeInterval::All();
+  /// Human-readable justification naming the specialization used.
+  std::string rationale;
+};
+
+/// \brief Execution counters for measuring strategy effectiveness.
+struct QueryStats {
+  uint64_t elements_examined = 0;
+  uint64_t index_probes = 0;
+  uint64_t results = 0;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_PLAN_H_

@@ -1,0 +1,143 @@
+#include "spec/band.h"
+
+namespace tempspec {
+
+namespace {
+
+// Range of microseconds a duration can denote, over all anchor instants.
+// Calendar months span 28..31 days.
+struct MicrosRange {
+  int64_t lo;
+  int64_t hi;
+};
+
+MicrosRange RangeOf(Duration d) {
+  constexpr int64_t kMinMonth = 28 * kMicrosPerDay;
+  constexpr int64_t kMaxMonth = 31 * kMicrosPerDay;
+  const int64_t m = d.months();
+  MicrosRange r{d.micros(), d.micros()};
+  if (m >= 0) {
+    r.lo += m * kMinMonth;
+    r.hi += m * kMaxMonth;
+  } else {
+    r.lo += m * kMaxMonth;
+    r.hi += m * kMinMonth;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::optional<int> CompareOffsets(Duration a, Duration b) {
+  if (a == b) return 0;
+  if (a.IsFixed() && b.IsFixed()) {
+    return a.micros() < b.micros() ? -1 : (a.micros() > b.micros() ? 1 : 0);
+  }
+  const MicrosRange ra = RangeOf(a);
+  const MicrosRange rb = RangeOf(b);
+  if (ra.hi < rb.lo) return -1;
+  if (rb.hi < ra.lo) return 1;
+  return std::nullopt;
+}
+
+bool Band::Contains(TimePoint tt, TimePoint vt) const {
+  if (lower_) {
+    const TimePoint anchor = tt + lower_->offset;
+    if (lower_->open ? !(vt > anchor) : !(vt >= anchor)) return false;
+  }
+  if (upper_) {
+    const TimePoint anchor = tt + upper_->offset;
+    if (upper_->open ? !(vt < anchor) : !(vt <= anchor)) return false;
+  }
+  return true;
+}
+
+std::optional<bool> Band::IsEmpty() const {
+  if (!lower_ || !upper_) return false;
+  auto cmp = CompareOffsets(lower_->offset, upper_->offset);
+  if (!cmp) return std::nullopt;
+  if (*cmp > 0) return true;
+  if (*cmp == 0) return lower_->open || upper_->open;
+  return false;
+}
+
+std::optional<bool> Band::SubsetOf(const Band& other) const {
+  // this ⊆ other iff other's lower is at/below ours and other's upper is
+  // at/above ours, with openness respected.
+  auto lower_ok = [&]() -> std::optional<bool> {
+    if (!other.lower_) return true;
+    if (!lower_) return false;
+    auto cmp = CompareOffsets(other.lower_->offset, lower_->offset);
+    if (!cmp) return std::nullopt;
+    if (*cmp < 0) return true;
+    if (*cmp > 0) return false;
+    // Equal offsets: an open outer bound excludes the line a closed inner
+    // bound includes.
+    return !(other.lower_->open && !lower_->open);
+  }();
+  auto upper_ok = [&]() -> std::optional<bool> {
+    if (!other.upper_) return true;
+    if (!upper_) return false;
+    auto cmp = CompareOffsets(upper_->offset, other.upper_->offset);
+    if (!cmp) return std::nullopt;
+    if (*cmp < 0) return true;
+    if (*cmp > 0) return false;
+    return !(other.upper_->open && !upper_->open);
+  }();
+  if (lower_ok.has_value() && !*lower_ok) return false;
+  if (upper_ok.has_value() && !*upper_ok) return false;
+  if (!lower_ok || !upper_ok) return std::nullopt;
+  return true;
+}
+
+Band Band::Intersect(const Band& other) const {
+  Band out = *this;
+  auto tighter_lower = [](const BandBound& a, const BandBound& b) {
+    auto cmp = CompareOffsets(a.offset, b.offset);
+    if (!cmp) return a;  // incomparable: keep ours (conservative)
+    if (*cmp > 0) return a;
+    if (*cmp < 0) return b;
+    return BandBound{a.offset, a.open || b.open};
+  };
+  auto tighter_upper = [](const BandBound& a, const BandBound& b) {
+    auto cmp = CompareOffsets(a.offset, b.offset);
+    if (!cmp) return a;
+    if (*cmp < 0) return a;
+    if (*cmp > 0) return b;
+    return BandBound{a.offset, a.open || b.open};
+  };
+  if (other.lower_) {
+    out.lower_ = out.lower_ ? tighter_lower(*out.lower_, *other.lower_)
+                            : *other.lower_;
+  }
+  if (other.upper_) {
+    out.upper_ = out.upper_ ? tighter_upper(*out.upper_, *other.upper_)
+                            : *other.upper_;
+  }
+  return out;
+}
+
+std::string Band::ToString() const {
+  std::string out;
+  auto fmt = [](Duration d) {
+    std::string s = d.ToString();
+    if (!s.empty() && s[0] != '-') s = "+" + s;
+    return s;
+  };
+  if (lower_) {
+    out += lower_->open ? "(" : "[";
+    out += fmt(lower_->offset);
+  } else {
+    out += "(-inf";
+  }
+  out += ", ";
+  if (upper_) {
+    out += fmt(upper_->offset);
+    out += upper_->open ? ")" : "]";
+  } else {
+    out += "+inf)";
+  }
+  return out;
+}
+
+}  // namespace tempspec

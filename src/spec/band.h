@@ -1,0 +1,106 @@
+// Bands: regions of the (transaction time, valid time) plane bounded by
+// lines parallel to vt = tt.
+//
+// The completeness argument of Section 3.1 observes that, under the paper's
+// assumptions, every isolated-event specialization is a *connected region of
+// the plane bounded by at most two lines parallel to vt = tt*. Such a region
+// is fully described by a (possibly unbounded) interval of the offset
+// vt - tt: we call it a Band. All eleven specialized event types plus the
+// general type are bands; Figure 1 is the picture of twelve of them.
+//
+// Offsets are Durations so that calendric bounds ("one month") keep their
+// calendar-dependent meaning: a bound is always *applied to* the transaction
+// time of the element being checked, never converted to a fixed number.
+#ifndef TEMPSPEC_SPEC_BAND_H_
+#define TEMPSPEC_SPEC_BAND_H_
+
+#include <optional>
+#include <string>
+
+#include "timex/duration.h"
+#include "timex/time_point.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief One side of a band: the line vt = tt + offset, with the side being
+/// closed (point on the line included) or open.
+struct BandBound {
+  Duration offset;
+  bool open = false;  // paper assumption 4: <=-versions by default
+
+  friend bool operator==(const BandBound&, const BandBound&) = default;
+};
+
+/// \brief An interval of the offset vt - tt; absent bounds are infinite.
+///
+/// satisfied(tt, vt)  iff  tt + lower (<|<=) vt (<|<=) tt + upper.
+class Band {
+ public:
+  /// \brief The unrestricted band (the general temporal relation).
+  Band() = default;
+
+  static Band All() { return Band(); }
+  /// \brief vt >= tt + offset (or > when open).
+  static Band AtLeast(Duration offset, bool open = false) {
+    Band b;
+    b.lower_ = BandBound{offset, open};
+    return b;
+  }
+  /// \brief vt <= tt + offset (or < when open).
+  static Band AtMost(Duration offset, bool open = false) {
+    Band b;
+    b.upper_ = BandBound{offset, open};
+    return b;
+  }
+  /// \brief tt + lo <= vt <= tt + hi (closed unless flagged open).
+  static Band Between(Duration lo, Duration hi, bool lower_open = false,
+                      bool upper_open = false) {
+    Band b;
+    b.lower_ = BandBound{lo, lower_open};
+    b.upper_ = BandBound{hi, upper_open};
+    return b;
+  }
+  /// \brief vt = tt + offset exactly.
+  static Band Exactly(Duration offset) { return Between(offset, offset); }
+
+  const std::optional<BandBound>& lower() const { return lower_; }
+  const std::optional<BandBound>& upper() const { return upper_; }
+
+  bool IsUnrestricted() const { return !lower_ && !upper_; }
+
+  /// \brief True if the stamp pair lies inside the band. Calendric offsets
+  /// are applied to `tt` via calendar arithmetic.
+  bool Contains(TimePoint tt, TimePoint vt) const;
+
+  /// \brief Emptiness is only decidable for fixed offsets; calendric bands
+  /// report nullopt unless trivially non-empty.
+  std::optional<bool> IsEmpty() const;
+
+  /// \brief Three-valued subset test: true/false when decidable, nullopt when
+  /// calendric offsets make the comparison anchor-dependent. Band containment
+  /// is exactly specialization implication for isolated-event types.
+  std::optional<bool> SubsetOf(const Band& other) const;
+
+  /// \brief Conservative intersection: picks the tighter bound on each side
+  /// (when offsets are calendric-incomparable, keeps this band's bound).
+  Band Intersect(const Band& other) const;
+
+  /// \brief e.g. "(-inf, +0]", "[-30s, +0]", "[+3d, +7d]".
+  std::string ToString() const;
+
+  friend bool operator==(const Band&, const Band&) = default;
+
+ private:
+  std::optional<BandBound> lower_;
+  std::optional<BandBound> upper_;
+};
+
+/// \brief Compares two signed duration offsets when possible. Fixed vs fixed
+/// is exact; comparisons involving calendar months use the 28..31-day month
+/// range and return nullopt when the ranges overlap.
+std::optional<int> CompareOffsets(Duration a, Duration b);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_BAND_H_

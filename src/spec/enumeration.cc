@@ -1,0 +1,51 @@
+#include "spec/enumeration.h"
+
+namespace tempspec {
+
+std::vector<EnumeratedRegion> EnumerateEventRegions(Duration delta_small,
+                                                    Duration delta_large) {
+  std::vector<EnumeratedRegion> out;
+  auto add = [&](std::string construction, Band band) {
+    out.push_back(EnumeratedRegion{std::move(construction), band,
+                                   EventSpecialization::ClassifyBand(band)});
+  };
+
+  // Zero lines: no restriction.
+  add("zero lines", Band::All());
+
+  // One line, two half-planes per line kind. Kind (1): vt = tt + Δ, Δ > 0.
+  add("one line, kind (1), upper", Band::AtLeast(delta_small));
+  add("one line, kind (1), lower", Band::AtMost(delta_small));
+  // Kind (2): vt = tt.
+  add("one line, kind (2), upper", Band::AtLeast(Duration::Zero()));
+  add("one line, kind (2), lower", Band::AtMost(Duration::Zero()));
+  // Kind (3): vt = tt - Δ, Δ > 0.
+  add("one line, kind (3), upper", Band::AtLeast(-delta_small));
+  add("one line, kind (3), lower", Band::AtMost(-delta_small));
+
+  // Two lines: the five viable combinations (the lower line bounds from
+  // below, the upper from above; (2)+(2) is a single line, and combinations
+  // whose band would be empty are not regions).
+  add("two lines, kinds (1)+(1)", Band::Between(delta_small, delta_large));
+  add("two lines, kinds (2)+(1)", Band::Between(Duration::Zero(), delta_small));
+  add("two lines, kinds (3)+(1)", Band::Between(-delta_small, delta_large));
+  add("two lines, kinds (3)+(2)", Band::Between(-delta_small, Duration::Zero()));
+  add("two lines, kinds (3)+(3)", Band::Between(-delta_large, -delta_small));
+
+  return out;
+}
+
+std::string RenderFigure1(const std::vector<EnumeratedRegion>& regions) {
+  std::string out;
+  for (const auto& r : regions) {
+    out += r.construction;
+    out += ": ";
+    out += r.band.ToString();
+    out += "  =>  ";
+    out += EventSpecKindToString(r.kind);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,270 @@
+#include "spec/event_spec.h"
+
+namespace tempspec {
+
+namespace {
+
+Status RequirePositive(Duration dt, const char* what) {
+  if (!dt.IsPositive()) {
+    return Status::InvalidArgument(what, " requires a positive bound, got ",
+                                   dt.ToString());
+  }
+  return Status::OK();
+}
+
+Status RequireNonNegative(Duration dt, const char* what) {
+  if (dt.IsNegative()) {
+    return Status::InvalidArgument(what, " requires a non-negative bound, got ",
+                                   dt.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* EventSpecKindToString(EventSpecKind kind) {
+  switch (kind) {
+    case EventSpecKind::kGeneral:
+      return "general";
+    case EventSpecKind::kRetroactive:
+      return "retroactive";
+    case EventSpecKind::kDelayedRetroactive:
+      return "delayed retroactive";
+    case EventSpecKind::kPredictive:
+      return "predictive";
+    case EventSpecKind::kEarlyPredictive:
+      return "early predictive";
+    case EventSpecKind::kRetroactivelyBounded:
+      return "retroactively bounded";
+    case EventSpecKind::kPredictivelyBounded:
+      return "predictively bounded";
+    case EventSpecKind::kStronglyRetroactivelyBounded:
+      return "strongly retroactively bounded";
+    case EventSpecKind::kDelayedStronglyRetroactivelyBounded:
+      return "delayed strongly retroactively bounded";
+    case EventSpecKind::kStronglyPredictivelyBounded:
+      return "strongly predictively bounded";
+    case EventSpecKind::kEarlyStronglyPredictivelyBounded:
+      return "early strongly predictively bounded";
+    case EventSpecKind::kStronglyBounded:
+      return "strongly bounded";
+    case EventSpecKind::kDegenerate:
+      return "degenerate";
+  }
+  return "unknown";
+}
+
+EventSpecialization EventSpecialization::General() {
+  return EventSpecialization(EventSpecKind::kGeneral, Band::All());
+}
+
+EventSpecialization EventSpecialization::Retroactive(bool open) {
+  return EventSpecialization(EventSpecKind::kRetroactive,
+                             Band::AtMost(Duration::Zero(), open));
+}
+
+Result<EventSpecialization> EventSpecialization::DelayedRetroactive(Duration dt,
+                                                                    bool open) {
+  TS_RETURN_NOT_OK(RequirePositive(dt, "delayed retroactive"));
+  return EventSpecialization(EventSpecKind::kDelayedRetroactive,
+                             Band::AtMost(-dt, open));
+}
+
+EventSpecialization EventSpecialization::Predictive(bool open) {
+  return EventSpecialization(EventSpecKind::kPredictive,
+                             Band::AtLeast(Duration::Zero(), open));
+}
+
+Result<EventSpecialization> EventSpecialization::EarlyPredictive(Duration dt,
+                                                                 bool open) {
+  TS_RETURN_NOT_OK(RequirePositive(dt, "early predictive"));
+  return EventSpecialization(EventSpecKind::kEarlyPredictive,
+                             Band::AtLeast(dt, open));
+}
+
+Result<EventSpecialization> EventSpecialization::RetroactivelyBounded(Duration dt,
+                                                                      bool open) {
+  TS_RETURN_NOT_OK(RequireNonNegative(dt, "retroactively bounded"));
+  return EventSpecialization(EventSpecKind::kRetroactivelyBounded,
+                             Band::AtLeast(-dt, open));
+}
+
+Result<EventSpecialization> EventSpecialization::PredictivelyBounded(Duration dt,
+                                                                     bool open) {
+  TS_RETURN_NOT_OK(RequirePositive(dt, "predictively bounded"));
+  return EventSpecialization(EventSpecKind::kPredictivelyBounded,
+                             Band::AtMost(dt, open));
+}
+
+Result<EventSpecialization> EventSpecialization::StronglyRetroactivelyBounded(
+    Duration dt) {
+  TS_RETURN_NOT_OK(RequireNonNegative(dt, "strongly retroactively bounded"));
+  return EventSpecialization(EventSpecKind::kStronglyRetroactivelyBounded,
+                             Band::Between(-dt, Duration::Zero()));
+}
+
+Result<EventSpecialization>
+EventSpecialization::DelayedStronglyRetroactivelyBounded(Duration dt_min,
+                                                         Duration dt_max) {
+  TS_RETURN_NOT_OK(
+      RequireNonNegative(dt_min, "delayed strongly retroactively bounded"));
+  auto cmp = CompareOffsets(dt_min, dt_max);
+  if (!cmp || *cmp >= 0) {
+    return Status::InvalidArgument(
+        "delayed strongly retroactively bounded requires Δt_min < Δt_max, got ",
+        dt_min.ToString(), " vs ", dt_max.ToString());
+  }
+  return EventSpecialization(EventSpecKind::kDelayedStronglyRetroactivelyBounded,
+                             Band::Between(-dt_max, -dt_min));
+}
+
+Result<EventSpecialization> EventSpecialization::StronglyPredictivelyBounded(
+    Duration dt) {
+  TS_RETURN_NOT_OK(RequirePositive(dt, "strongly predictively bounded"));
+  return EventSpecialization(EventSpecKind::kStronglyPredictivelyBounded,
+                             Band::Between(Duration::Zero(), dt));
+}
+
+Result<EventSpecialization>
+EventSpecialization::EarlyStronglyPredictivelyBounded(Duration dt_min,
+                                                      Duration dt_max) {
+  TS_RETURN_NOT_OK(
+      RequirePositive(dt_min, "early strongly predictively bounded"));
+  auto cmp = CompareOffsets(dt_min, dt_max);
+  if (!cmp || *cmp >= 0) {
+    return Status::InvalidArgument(
+        "early strongly predictively bounded requires Δt_min < Δt_max, got ",
+        dt_min.ToString(), " vs ", dt_max.ToString());
+  }
+  return EventSpecialization(EventSpecKind::kEarlyStronglyPredictivelyBounded,
+                             Band::Between(dt_min, dt_max));
+}
+
+Result<EventSpecialization> EventSpecialization::StronglyBounded(Duration dt1,
+                                                                 Duration dt2) {
+  TS_RETURN_NOT_OK(RequireNonNegative(dt1, "strongly bounded"));
+  TS_RETURN_NOT_OK(RequireNonNegative(dt2, "strongly bounded"));
+  return EventSpecialization(EventSpecKind::kStronglyBounded,
+                             Band::Between(-dt1, dt2));
+}
+
+EventSpecialization EventSpecialization::Degenerate() {
+  return EventSpecialization(EventSpecKind::kDegenerate,
+                             Band::Exactly(Duration::Zero()));
+}
+
+EventSpecKind EventSpecialization::ClassifyBand(const Band& band) {
+  const auto& lo = band.lower();
+  const auto& hi = band.upper();
+  auto sign = [](const BandBound& b) {
+    auto cmp = CompareOffsets(b.offset, Duration::Zero());
+    return cmp.value_or(2);  // 2 = indeterminate calendric sign
+  };
+  if (!lo && !hi) return EventSpecKind::kGeneral;
+  if (!lo) {
+    const int s = sign(*hi);
+    if (s < 0) return EventSpecKind::kDelayedRetroactive;
+    if (s == 0) return EventSpecKind::kRetroactive;
+    return EventSpecKind::kPredictivelyBounded;
+  }
+  if (!hi) {
+    const int s = sign(*lo);
+    if (s < 0) return EventSpecKind::kRetroactivelyBounded;
+    if (s == 0) return EventSpecKind::kPredictive;
+    return EventSpecKind::kEarlyPredictive;
+  }
+  const int slo = sign(*lo);
+  const int shi = sign(*hi);
+  if (slo == 0 && shi == 0) return EventSpecKind::kDegenerate;
+  if (shi < 0) return EventSpecKind::kDelayedStronglyRetroactivelyBounded;
+  if (slo > 0) return EventSpecKind::kEarlyStronglyPredictivelyBounded;
+  if (shi == 0) return EventSpecKind::kStronglyRetroactivelyBounded;
+  if (slo == 0) return EventSpecKind::kStronglyPredictivelyBounded;
+  return EventSpecKind::kStronglyBounded;
+}
+
+EventSpecialization EventSpecialization::WithAnchor(TransactionAnchor anchor) const {
+  EventSpecialization out = *this;
+  out.anchor_ = anchor;
+  if (out.mapping_) out.mapping_ = out.mapping_->WithAnchor(anchor);
+  return out;
+}
+
+EventSpecialization EventSpecialization::Determined(MappingFunction m) const {
+  EventSpecialization out = *this;
+  out.mapping_ = m.WithAnchor(anchor_);
+  return out;
+}
+
+bool EventSpecialization::Satisfies(TimePoint tt, TimePoint vt) const {
+  return band_.Contains(tt, vt);
+}
+
+Status EventSpecialization::CheckElement(const Element& e,
+                                         Granularity granularity) const {
+  const TimePoint tt = AnchoredTransactionTime(e, anchor_);
+  // A property relative to the deletion time constrains nothing until the
+  // element is logically deleted.
+  if (anchor_ == TransactionAnchor::kDeletion && tt.IsMax()) return Status::OK();
+  const TimePoint vt = e.valid.at();
+
+  if (mapping_) {
+    const TimePoint expected = mapping_->Apply(e);
+    if (vt != expected) {
+      return Status::ConstraintViolation(
+          "determined relation: vt ", vt.ToString(), " differs from mapping ",
+          mapping_->ToString(), " = ", expected.ToString(), " for element #",
+          e.element_surrogate);
+    }
+    // The mapping output itself must obey the band (e.g. "retroactively
+    // determined": m(e) <= tt).
+    if (kind_ != EventSpecKind::kDegenerate && !band_.Contains(tt, expected)) {
+      return Status::ConstraintViolation(
+          "determined relation: mapping value ", expected.ToString(),
+          " escapes band ", band_.ToString(), " of ",
+          EventSpecKindToString(kind_), " at tt ", tt.ToString());
+    }
+    if (kind_ != EventSpecKind::kDegenerate) return Status::OK();
+  }
+
+  if (kind_ == EventSpecKind::kDegenerate) {
+    // Section 3.1: identical "within the selected granularity".
+    if (!granularity.Same(tt, vt)) {
+      return Status::ConstraintViolation(
+          "degenerate relation: vt ", vt.ToString(), " and tt ", tt.ToString(),
+          " differ beyond granularity ", granularity.ToString(),
+          " for element #", e.element_surrogate);
+    }
+    return Status::OK();
+  }
+
+  if (!band_.Contains(tt, vt)) {
+    return Status::ConstraintViolation(
+        EventSpecKindToString(kind_), " relation: offset of vt ", vt.ToString(),
+        " from ", TransactionAnchorToString(anchor_), " time ", tt.ToString(),
+        " escapes band ", band_.ToString(), " for element #",
+        e.element_surrogate);
+  }
+  return Status::OK();
+}
+
+std::optional<bool> EventSpecialization::Implies(
+    const EventSpecialization& other) const {
+  if (anchor_ != other.anchor_) return false;
+  // A determined relation implies its undetermined counterpart, but not the
+  // reverse; two determined types require band containment as well (we do not
+  // attempt mapping-equivalence reasoning).
+  if (other.IsDetermined() && !IsDetermined()) return false;
+  return band_.SubsetOf(other.band_);
+}
+
+std::string EventSpecialization::ToString() const {
+  std::string out = TransactionAnchorToString(anchor_);
+  out += " ";
+  out += EventSpecKindToString(kind_);
+  if (mapping_) out += " determined {" + mapping_->ToString() + "}";
+  out += " " + band_.ToString();
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,152 @@
+// The isolated-event taxonomy (Section 3.1).
+//
+// Each specialized type restricts the pair (tt_e, vt_e) of every element in
+// every possible extension (intensional definitions). Each property is
+// relative to ONE of the two transaction times: insertion (tt_b) or deletion
+// (tt_d); a relation that has a property for both may be called
+// "modification <property>".
+//
+// All types here are bands of the offset vt - tt (see band.h):
+//
+//   general                                  (-inf, +inf)
+//   retroactive                              (-inf, 0]
+//   delayed retroactive, Δt > 0              (-inf, -Δt]
+//   predictive                               [0, +inf)
+//   early predictive, Δt > 0                 [+Δt, +inf)
+//   retroactively bounded, Δt >= 0           [-Δt, +inf)
+//   predictively bounded, Δt > 0             (-inf, +Δt]
+//   strongly retroactively bounded, Δt >= 0  [-Δt, 0]
+//   delayed strongly retro. bounded          [-Δt_max, -Δt_min], 0<=Δt_min<Δt_max
+//   strongly predictively bounded, Δt > 0    [0, +Δt]
+//   early strongly pred. bounded             [+Δt_min, +Δt_max], 0<Δt_min<Δt_max
+//   strongly bounded, Δt1,Δt2 >= 0           [-Δt1, +Δt2]
+//   degenerate                               vt = tt within the granularity
+//
+// Per the paper's completeness assumption 4, closed (<=) bounds are the
+// default; open variants are available on every constructor.
+//
+// A *determined* relation additionally fixes vt = m(e) for a mapping
+// function m; every undetermined type has a determined counterpart whose
+// mapping must obey the type's band.
+#ifndef TEMPSPEC_SPEC_EVENT_SPEC_H_
+#define TEMPSPEC_SPEC_EVENT_SPEC_H_
+
+#include <optional>
+#include <string>
+
+#include "model/element.h"
+#include "spec/band.h"
+#include "spec/mapping.h"
+#include "timex/granularity.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+enum class EventSpecKind : uint8_t {
+  kGeneral = 0,
+  kRetroactive,
+  kDelayedRetroactive,
+  kPredictive,
+  kEarlyPredictive,
+  kRetroactivelyBounded,
+  kPredictivelyBounded,
+  kStronglyRetroactivelyBounded,
+  kDelayedStronglyRetroactivelyBounded,
+  kStronglyPredictivelyBounded,
+  kEarlyStronglyPredictivelyBounded,
+  kStronglyBounded,
+  kDegenerate,
+};
+
+constexpr size_t kNumEventSpecKinds = 13;
+
+/// \brief The paper's name of the type, e.g. "strongly retroactively bounded".
+const char* EventSpecKindToString(EventSpecKind kind);
+
+/// \brief An instance of an isolated-event specialization: a kind plus its
+/// instantiated bounds, the transaction-time anchor it constrains, and an
+/// optional mapping function making it determined.
+class EventSpecialization {
+ public:
+  /// \brief The unrestricted relation.
+  static EventSpecialization General();
+  /// \brief vt <= tt: the event occurred before it was stored.
+  static EventSpecialization Retroactive(bool open = false);
+  /// \brief vt <= tt - Δt, Δt > 0: a minimum storage delay.
+  static Result<EventSpecialization> DelayedRetroactive(Duration dt,
+                                                        bool open = false);
+  /// \brief vt >= tt: not valid until after storage.
+  static EventSpecialization Predictive(bool open = false);
+  /// \brief vt >= tt + Δt, Δt > 0: stored at least Δt in advance.
+  static Result<EventSpecialization> EarlyPredictive(Duration dt, bool open = false);
+  /// \brief vt >= tt - Δt, Δt >= 0: never stored more than Δt late.
+  static Result<EventSpecialization> RetroactivelyBounded(Duration dt,
+                                                          bool open = false);
+  /// \brief vt <= tt + Δt, Δt > 0: never stored more than Δt early.
+  static Result<EventSpecialization> PredictivelyBounded(Duration dt,
+                                                         bool open = false);
+  /// \brief tt - Δt <= vt <= tt.
+  static Result<EventSpecialization> StronglyRetroactivelyBounded(Duration dt);
+  /// \brief tt - Δt_max <= vt <= tt - Δt_min, 0 <= Δt_min < Δt_max.
+  static Result<EventSpecialization> DelayedStronglyRetroactivelyBounded(
+      Duration dt_min, Duration dt_max);
+  /// \brief tt <= vt <= tt + Δt.
+  static Result<EventSpecialization> StronglyPredictivelyBounded(Duration dt);
+  /// \brief tt + Δt_min <= vt <= tt + Δt_max, 0 < Δt_min < Δt_max.
+  static Result<EventSpecialization> EarlyStronglyPredictivelyBounded(
+      Duration dt_min, Duration dt_max);
+  /// \brief tt - Δt1 <= vt <= tt + Δt2.
+  static Result<EventSpecialization> StronglyBounded(Duration dt1, Duration dt2);
+  /// \brief vt = tt within the relation's granularity.
+  static EventSpecialization Degenerate();
+
+  /// \brief Classifies an arbitrary band into the tightest kind of the
+  /// taxonomy that exactly matches its shape (used by the completeness
+  /// enumeration and the inference engine).
+  static EventSpecKind ClassifyBand(const Band& band);
+
+  EventSpecKind kind() const { return kind_; }
+  const Band& band() const { return band_; }
+
+  TransactionAnchor anchor() const { return anchor_; }
+  /// \brief Returns a copy constraining the deletion (or insertion) time
+  /// instead; e.g. "deletion retroactive" vs "insertion retroactive".
+  EventSpecialization WithAnchor(TransactionAnchor anchor) const;
+
+  bool IsDetermined() const { return mapping_.has_value(); }
+  const std::optional<MappingFunction>& mapping() const { return mapping_; }
+  /// \brief The determined counterpart with mapping m: vt must equal m(e) and
+  /// m(e) must obey this type's band (e.g. "retroactively determined").
+  EventSpecialization Determined(MappingFunction m) const;
+
+  /// \brief Checks a (tt, vt) stamp pair against the band (no mapping, no
+  /// granularity — the raw Figure 1 region test).
+  bool Satisfies(TimePoint tt, TimePoint vt) const;
+
+  /// \brief Full intensional check of one element: picks the anchored
+  /// transaction time, applies the granularity rule for degenerate types, and
+  /// verifies the mapping for determined types. Elements whose anchored
+  /// transaction time is still open (tt_d = until-changed) pass vacuously.
+  Status CheckElement(const Element& e, Granularity granularity) const;
+
+  /// \brief True if every extension satisfying this type also satisfies
+  /// `other` (band containment); nullopt when calendric bounds make it
+  /// anchor-dependent.
+  std::optional<bool> Implies(const EventSpecialization& other) const;
+
+  /// \brief e.g. "insertion delayed retroactive(Δt=30s) [(-inf, -30s]]".
+  std::string ToString() const;
+
+ private:
+  EventSpecialization(EventSpecKind kind, Band band)
+      : kind_(kind), band_(band) {}
+
+  EventSpecKind kind_;
+  Band band_;
+  TransactionAnchor anchor_ = TransactionAnchor::kInsertion;
+  std::optional<MappingFunction> mapping_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_EVENT_SPEC_H_

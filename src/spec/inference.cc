@@ -1,0 +1,398 @@
+#include "spec/inference.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "spec/interinterval_spec.h"
+
+namespace tempspec {
+
+namespace {
+
+EventProfile InferEventProfile(std::span<const EventStamp> stamps,
+                               Granularity granularity) {
+  EventProfile p;
+  if (stamps.empty()) return p;
+  p.applicable = true;
+  p.degenerate = true;
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (const auto& s : stamps) {
+    const int64_t off = s.vt.MicrosSince(s.tt);
+    lo = std::min(lo, off);
+    hi = std::max(hi, off);
+    if (!granularity.Same(s.tt, s.vt)) p.degenerate = false;
+  }
+  p.min_offset_us = lo;
+  p.max_offset_us = hi;
+  p.tightest_band = Band::Between(Duration::Micros(lo), Duration::Micros(hi));
+  p.classified = p.degenerate
+                     ? EventSpecKind::kDegenerate
+                     : EventSpecialization::ClassifyBand(p.tightest_band);
+  p.determined_by = FitMappingFunction(stamps);
+  return p;
+}
+
+OrderingProfile InferOrdering(std::span<const EventStamp> stamps, SpecScope scope) {
+  OrderingProfile p;
+  p.non_decreasing =
+      OrderingSpec(OrderingKind::kNonDecreasing, scope).CheckStamps(stamps).ok();
+  p.non_increasing =
+      OrderingSpec(OrderingKind::kNonIncreasing, scope).CheckStamps(stamps).ok();
+  p.sequential =
+      OrderingSpec(OrderingKind::kSequential, scope).CheckStamps(stamps).ok();
+  return p;
+}
+
+bool AllAdjacentDiffsEqual(std::span<const TimePoint> sorted, int64_t unit) {
+  if (unit == 0) return false;
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i + 1].MicrosSince(sorted[i]) != unit) return false;
+  }
+  return true;
+}
+
+RegularityProfile InferRegularity(std::span<const EventStamp> stamps) {
+  RegularityProfile p;
+  if (stamps.empty()) return p;
+
+  std::vector<TimePoint> tts, vts;
+  tts.reserve(stamps.size());
+  vts.reserve(stamps.size());
+  for (const auto& s : stamps) {
+    tts.push_back(s.tt);
+    vts.push_back(s.vt);
+  }
+
+  p.tt_unit_us = InferUnit(tts);
+  p.tt_regular = true;  // congruence always holds for SOME unit (the gcd)
+  p.vt_unit_us = InferUnit(vts);
+  p.vt_regular = true;
+
+  std::vector<TimePoint> tt_sorted = tts, vt_sorted = vts;
+  std::sort(tt_sorted.begin(), tt_sorted.end());
+  std::sort(vt_sorted.begin(), vt_sorted.end());
+  p.tt_strict = AllAdjacentDiffsEqual(tt_sorted, p.tt_unit_us);
+  p.vt_strict = AllAdjacentDiffsEqual(vt_sorted, p.vt_unit_us);
+
+  // Temporal regularity requires a shared multiplier k for both stamps,
+  // which forces vt - tt to be constant across elements.
+  const int64_t offset0 = stamps.front().vt.MicrosSince(stamps.front().tt);
+  p.temporal_regular =
+      std::all_of(stamps.begin(), stamps.end(), [&](const EventStamp& s) {
+        return s.vt.MicrosSince(s.tt) == offset0;
+      });
+  if (p.temporal_regular) {
+    p.temporal_unit_us = p.tt_unit_us;
+    p.temporal_strict = p.tt_strict;
+  }
+  return p;
+}
+
+IntervalProfile InferInterval(std::span<const Element> elements,
+                              TransactionAnchor anchor) {
+  IntervalProfile p;
+  std::vector<IntervalStamp> stamps = ExtractIntervalStamps(elements, anchor);
+  if (stamps.empty()) return p;
+  p.applicable = true;
+
+  int64_t valid_gcd = 0;
+  bool valid_all_equal = true;
+  int64_t first_len = stamps.front().valid.end().MicrosSince(
+      stamps.front().valid.begin());
+  for (const auto& s : stamps) {
+    const int64_t len = s.valid.end().MicrosSince(s.valid.begin());
+    valid_gcd = std::gcd(valid_gcd, len);
+    if (len != first_len) valid_all_equal = false;
+  }
+  p.valid_duration_unit_us = valid_gcd;
+  p.valid_strict = valid_all_equal && first_len > 0;
+
+  int64_t exist_gcd = 0;
+  bool exist_all_equal = true;
+  std::optional<int64_t> first_exist;
+  for (const Element& e : elements) {
+    if (e.tt_end.IsMax()) continue;
+    const int64_t len = e.tt_end.MicrosSince(e.tt_begin);
+    exist_gcd = std::gcd(exist_gcd, len);
+    if (!first_exist) first_exist = len;
+    if (len != *first_exist) exist_all_equal = false;
+  }
+  p.existence_duration_unit_us = exist_gcd;
+  p.existence_strict = first_exist.has_value() && exist_all_equal && *first_exist > 0;
+
+  // Allen relations of every successive pair, in transaction-time order.
+  std::stable_sort(stamps.begin(), stamps.end(),
+                   [](const IntervalStamp& a, const IntervalStamp& b) {
+                     return a.tt < b.tt;
+                   });
+  bool first_pair = true;
+  for (size_t i = 0; i + 1 < stamps.size(); ++i) {
+    auto rel = Classify(stamps[i].valid, stamps[i + 1].valid);
+    if (!rel.ok()) {
+      p.successive.clear();
+      break;
+    }
+    if (first_pair) {
+      p.successive.insert(rel.ValueOrDie());
+      first_pair = false;
+    } else if (!p.successive.count(rel.ValueOrDie())) {
+      // A successive-X property must hold for every pair; intersect.
+      p.successive.clear();
+      break;
+    }
+  }
+  p.contiguous = p.successive.count(AllenRelation::kMeets) > 0;
+  return p;
+}
+
+}  // namespace
+
+int64_t InferUnit(std::span<const TimePoint> stamps) {
+  if (stamps.size() < 2) return 0;
+  int64_t g = 0;
+  for (const TimePoint& tp : stamps) {
+    g = std::gcd(g, std::llabs(tp.MicrosSince(stamps.front())));
+  }
+  return g;
+}
+
+std::optional<MappingFunction> FitMappingFunction(
+    std::span<const EventStamp> stamps) {
+  if (stamps.empty()) return std::nullopt;
+
+  auto fits = [&](const MappingFunction& m) {
+    return std::all_of(stamps.begin(), stamps.end(), [&](const EventStamp& s) {
+      return m.ApplyToTransactionTime(s.tt) == s.vt;
+    });
+  };
+
+  // Family 1: constant offset m(e) = tt + c.
+  const int64_t c = stamps.front().vt.MicrosSince(stamps.front().tt);
+  MappingFunction offset = MappingFunction::Offset(Duration::Micros(c));
+  if (fits(offset)) return offset;
+
+  // Family 2: truncate to a granule, plus the residual offset of the first
+  // stamp ("valid from the most recent hour").
+  for (Granularity g : {Granularity::Second(), Granularity::Minute(),
+                        Granularity::Hour(), Granularity::Day()}) {
+    const int64_t resid =
+        stamps.front().vt.MicrosSince(g.Truncate(stamps.front().tt));
+    MappingFunction trunc = MappingFunction::TruncateThenOffset(
+        g, Duration::Micros(resid));
+    if (fits(trunc)) return trunc;
+  }
+
+  // Family 3: next granule boundary at a phase ("next closest 8:00 a.m.").
+  for (Granularity g : {Granularity::Hour(), Granularity::Day()}) {
+    const TimePoint tt0 = stamps.front().tt;
+    const TimePoint vt0 = stamps.front().vt;
+    if (vt0 < tt0) continue;
+    const int64_t phase = vt0.MicrosSince(g.Truncate(vt0));
+    MappingFunction next = MappingFunction::NextPhase(g, Duration::Micros(phase));
+    if (fits(next)) return next;
+  }
+  return std::nullopt;
+}
+
+Result<EventSpecialization> SpecFromProfile(const EventProfile& profile) {
+  if (!profile.applicable) {
+    return Status::InvalidArgument("profile has no stamps to declare from");
+  }
+  Duration lo = Duration::Micros(profile.min_offset_us);
+  Duration hi = Duration::Micros(profile.max_offset_us);
+  // A zero-width band (constant offset) cannot instantiate the two-bound
+  // types, whose Δt_min < Δt_max is strict; widen by one chronon.
+  if (profile.min_offset_us == profile.max_offset_us) {
+    if (profile.classified == EventSpecKind::kDelayedStronglyRetroactivelyBounded) {
+      lo = lo - Duration::Micros(1);
+    } else if (profile.classified ==
+               EventSpecKind::kEarlyStronglyPredictivelyBounded) {
+      hi = hi + Duration::Micros(1);
+    }
+  }
+  Result<EventSpecialization> spec = EventSpecialization::General();
+  switch (profile.classified) {
+    case EventSpecKind::kGeneral:
+      spec = EventSpecialization::General();
+      break;
+    case EventSpecKind::kRetroactive:
+      spec = EventSpecialization::Retroactive();
+      break;
+    case EventSpecKind::kDelayedRetroactive:
+      spec = EventSpecialization::DelayedRetroactive(-hi);
+      break;
+    case EventSpecKind::kPredictive:
+      spec = EventSpecialization::Predictive();
+      break;
+    case EventSpecKind::kEarlyPredictive:
+      spec = EventSpecialization::EarlyPredictive(lo);
+      break;
+    case EventSpecKind::kRetroactivelyBounded:
+      spec = EventSpecialization::RetroactivelyBounded(-lo);
+      break;
+    case EventSpecKind::kPredictivelyBounded:
+      spec = EventSpecialization::PredictivelyBounded(hi);
+      break;
+    case EventSpecKind::kStronglyRetroactivelyBounded:
+      spec = EventSpecialization::StronglyRetroactivelyBounded(-lo);
+      break;
+    case EventSpecKind::kDelayedStronglyRetroactivelyBounded:
+      spec = EventSpecialization::DelayedStronglyRetroactivelyBounded(-hi, -lo);
+      break;
+    case EventSpecKind::kStronglyPredictivelyBounded:
+      spec = EventSpecialization::StronglyPredictivelyBounded(hi);
+      break;
+    case EventSpecKind::kEarlyStronglyPredictivelyBounded:
+      spec = EventSpecialization::EarlyStronglyPredictivelyBounded(lo, hi);
+      break;
+    case EventSpecKind::kStronglyBounded:
+      spec = EventSpecialization::StronglyBounded(-lo, hi);
+      break;
+    case EventSpecKind::kDegenerate:
+      spec = EventSpecialization::Degenerate();
+      break;
+  }
+  TS_RETURN_NOT_OK(spec.status());
+  if (profile.determined_by) {
+    return spec.ValueOrDie().Determined(*profile.determined_by);
+  }
+  return spec;
+}
+
+RelationProfile InferProfile(std::span<const Element> elements,
+                             ValidTimeKind valid_kind, Granularity granularity) {
+  RelationProfile profile;
+  profile.element_count = elements.size();
+  profile.valid_kind = valid_kind;
+
+  constexpr TransactionAnchor kAnchor = TransactionAnchor::kInsertion;
+
+  if (valid_kind == ValidTimeKind::kEvent) {
+    std::vector<EventStamp> stamps = ExtractEventStamps(elements, kAnchor);
+    profile.event = InferEventProfile(stamps, granularity);
+    profile.global_ordering = InferOrdering(stamps, SpecScope::kPerRelation);
+    profile.per_surrogate_ordering =
+        InferOrdering(stamps, SpecScope::kPerObjectSurrogate);
+    profile.regularity = InferRegularity(stamps);
+
+    // Per-surrogate regularity: profile each life-line, summarize with the
+    // gcd of units and the conjunction of strictness.
+    std::map<ObjectSurrogate, std::vector<EventStamp>> partitions;
+    for (const EventStamp& s : stamps) partitions[s.partition].push_back(s);
+    RegularityProfile per;
+    bool first_partition = true;
+    for (const auto& [object, group] : partitions) {
+      (void)object;
+      const RegularityProfile p = InferRegularity(group);
+      if (first_partition) {
+        per = p;
+        first_partition = false;
+        continue;
+      }
+      per.tt_unit_us = std::gcd(per.tt_unit_us, p.tt_unit_us);
+      per.vt_unit_us = std::gcd(per.vt_unit_us, p.vt_unit_us);
+      per.tt_strict = per.tt_strict && p.tt_strict &&
+                      per.tt_unit_us == p.tt_unit_us;
+      per.vt_strict = per.vt_strict && p.vt_strict &&
+                      per.vt_unit_us == p.vt_unit_us;
+      per.temporal_regular = per.temporal_regular && p.temporal_regular;
+      per.temporal_unit_us = std::gcd(per.temporal_unit_us, p.temporal_unit_us);
+      per.temporal_strict = per.temporal_strict && p.temporal_strict &&
+                            per.temporal_unit_us == p.temporal_unit_us;
+    }
+    profile.per_surrogate_regularity = per;
+  } else {
+    std::vector<EventStamp> begins, ends;
+    for (const Element& e : elements) {
+      begins.push_back(EventStamp{e.tt_begin, e.valid.begin(), e.object_surrogate});
+      ends.push_back(EventStamp{e.tt_begin, e.valid.end(), e.object_surrogate});
+    }
+    profile.event = InferEventProfile(begins, granularity);
+    profile.event_end = InferEventProfile(ends, granularity);
+    profile.interval = InferInterval(elements, kAnchor);
+
+    std::vector<IntervalStamp> istamps = ExtractIntervalStamps(elements, kAnchor);
+    profile.global_ordering.non_decreasing =
+        IntervalOrderingSpec(IntervalOrderingKind::kNonDecreasing)
+            .CheckStamps(istamps)
+            .ok();
+    profile.global_ordering.non_increasing =
+        IntervalOrderingSpec(IntervalOrderingKind::kNonIncreasing)
+            .CheckStamps(istamps)
+            .ok();
+    profile.global_ordering.sequential =
+        IntervalOrderingSpec(IntervalOrderingKind::kSequential)
+            .CheckStamps(istamps)
+            .ok();
+    IntervalOrderingSpec nd(IntervalOrderingKind::kNonDecreasing,
+                            SpecScope::kPerObjectSurrogate);
+    IntervalOrderingSpec ni(IntervalOrderingKind::kNonIncreasing,
+                            SpecScope::kPerObjectSurrogate);
+    IntervalOrderingSpec sq(IntervalOrderingKind::kSequential,
+                            SpecScope::kPerObjectSurrogate);
+    profile.per_surrogate_ordering.non_decreasing = nd.CheckStamps(istamps).ok();
+    profile.per_surrogate_ordering.non_increasing = ni.CheckStamps(istamps).ok();
+    profile.per_surrogate_ordering.sequential = sq.CheckStamps(istamps).ok();
+  }
+  return profile;
+}
+
+std::string RelationProfile::Report() const {
+  std::ostringstream ss;
+  ss << "Specialization profile (" << element_count << " elements, "
+     << (valid_kind == ValidTimeKind::kEvent ? "event" : "interval")
+     << " relation)\n";
+
+  auto describe_event = [&](const char* label, const EventProfile& p) {
+    if (!p.applicable) return;
+    ss << "  " << label << ": " << EventSpecKindToString(p.classified)
+       << ", offsets in " << p.tightest_band.ToString();
+    if (p.determined_by) ss << ", determined by " << p.determined_by->ToString();
+    ss << "\n";
+  };
+  describe_event(valid_kind == ValidTimeKind::kEvent ? "event" : "vt_b", event);
+  if (valid_kind == ValidTimeKind::kInterval) describe_event("vt_e", event_end);
+
+  auto describe_ordering = [&](const char* label, const OrderingProfile& o) {
+    ss << "  " << label << ":";
+    if (o.sequential) ss << " sequential";
+    if (o.non_decreasing) ss << " non-decreasing";
+    if (o.non_increasing) ss << " non-increasing";
+    if (!o.sequential && !o.non_decreasing && !o.non_increasing) ss << " general";
+    ss << "\n";
+  };
+  describe_ordering("global ordering", global_ordering);
+  describe_ordering("per-surrogate ordering", per_surrogate_ordering);
+
+  if (valid_kind == ValidTimeKind::kEvent) {
+    ss << "  regularity: tt unit " << regularity.tt_unit_us << "us"
+       << (regularity.tt_strict ? " (strict)" : "") << ", vt unit "
+       << regularity.vt_unit_us << "us"
+       << (regularity.vt_strict ? " (strict)" : "");
+    if (regularity.temporal_regular) {
+      ss << ", temporal unit " << regularity.temporal_unit_us << "us"
+         << (regularity.temporal_strict ? " (strict)" : "");
+    }
+    ss << "\n";
+  } else if (interval.applicable) {
+    ss << "  interval regularity: valid unit " << interval.valid_duration_unit_us
+       << "us" << (interval.valid_strict ? " (strict)" : "")
+       << ", existence unit " << interval.existence_duration_unit_us << "us"
+       << (interval.existence_strict ? " (strict)" : "") << "\n";
+    if (!interval.successive.empty()) {
+      ss << "  successive transaction time:";
+      for (AllenRelation rel : interval.successive) {
+        ss << " " << AllenRelationToString(rel);
+      }
+      ss << "\n";
+    }
+  }
+  return ss.str();
+}
+
+}  // namespace tempspec

@@ -1,0 +1,123 @@
+// Specialization inference: given an extension, recover the tightest
+// specializations it satisfies.
+//
+// The paper positions the taxonomy as a design-time vocabulary: "This
+// taxonomy may be employed during database design to specify the particular
+// time semantics of temporal relations." This engine closes the loop for
+// existing data: it inspects an extension and reports, for every axis of the
+// taxonomy, the tightest type the data satisfies — a candidate declaration
+// for the designer and the input to the storage/index Advisor.
+//
+// Inference works over fixed (chronon) offsets; calendric bounds are a
+// declaration-side concept.
+#ifndef TEMPSPEC_SPEC_INFERENCE_H_
+#define TEMPSPEC_SPEC_INFERENCE_H_
+
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+
+#include "allen/allen.h"
+#include "model/element.h"
+#include "model/schema.h"
+#include "spec/band.h"
+#include "spec/event_spec.h"
+#include "spec/interevent_spec.h"
+#include "spec/mapping.h"
+
+namespace tempspec {
+
+/// \brief Tightest isolated-event characterization of one valid-time anchor.
+struct EventProfile {
+  bool applicable = false;       // false when there were no stamps to inspect
+  int64_t min_offset_us = 0;     // min over elements of vt - tt (microseconds)
+  int64_t max_offset_us = 0;
+  Band tightest_band;            // [min, max]
+  EventSpecKind classified = EventSpecKind::kGeneral;
+  bool degenerate = false;       // vt = tt within the granularity, everywhere
+  /// Set when a mapping function from the standard families reproduces every
+  /// valid time exactly (the relation is determined).
+  std::optional<MappingFunction> determined_by;
+};
+
+/// \brief Which orderings hold (per Section 3.2 / 3.4 definitions).
+struct OrderingProfile {
+  bool non_decreasing = false;
+  bool non_increasing = false;
+  bool sequential = false;
+};
+
+/// \brief Inferred event regularity (units in microseconds; 0 = only one
+/// distinct stamp, i.e. any unit works).
+struct RegularityProfile {
+  bool tt_regular = false;
+  int64_t tt_unit_us = 0;
+  bool tt_strict = false;
+  bool vt_regular = false;
+  int64_t vt_unit_us = 0;
+  bool vt_strict = false;
+  bool temporal_regular = false;  // requires tt - vt constant across elements
+  int64_t temporal_unit_us = 0;
+  bool temporal_strict = false;
+};
+
+/// \brief Inferred interval-specific properties.
+struct IntervalProfile {
+  bool applicable = false;
+  int64_t valid_duration_unit_us = 0;  // gcd of valid-interval lengths
+  bool valid_strict = false;           // all lengths equal (the unit)
+  int64_t existence_duration_unit_us = 0;  // gcd over closed existence intervals
+  bool existence_strict = false;
+  /// Allen relations holding between every successive pair (empty when fewer
+  /// than two stamps).
+  std::set<AllenRelation> successive;
+  bool contiguous = false;  // successive contains kMeets
+};
+
+/// \brief Complete inferred profile of a relation extension.
+struct RelationProfile {
+  size_t element_count = 0;
+  ValidTimeKind valid_kind = ValidTimeKind::kEvent;
+
+  EventProfile event;        // event relations: vt; interval relations: vt_b
+  EventProfile event_end;    // interval relations only: vt_e
+
+  OrderingProfile global_ordering;
+  OrderingProfile per_surrogate_ordering;
+  RegularityProfile regularity;
+  /// Per-surrogate regularity (§3: "the application of the specializations
+  /// on a per partition basis may in many situations prove to be more
+  /// relevant"): every life-line regular on its own; units summarized by
+  /// their gcd, strictness by conjunction.
+  RegularityProfile per_surrogate_regularity;
+  IntervalProfile interval;
+
+  /// \brief Multi-line human-readable report (the design-tool output).
+  std::string Report() const;
+};
+
+/// \brief Infers the profile of an extension. Uses the insertion transaction
+/// time throughout (the paper's default); `granularity` drives the
+/// degenerate test.
+RelationProfile InferProfile(std::span<const Element> elements,
+                             ValidTimeKind valid_kind, Granularity granularity);
+
+/// \brief Greatest common divisor of the distances of all stamps from the
+/// first, in microseconds; 0 when all stamps coincide.
+int64_t InferUnit(std::span<const TimePoint> stamps);
+
+/// \brief Materializes an inferred event profile as a declarable
+/// specialization instance of its classified kind (bounds taken from the
+/// observed offsets; determined mappings carried over). Fails for an empty
+/// profile.
+Result<EventSpecialization> SpecFromProfile(const EventProfile& profile);
+
+/// \brief Tries the standard mapping-function families (constant offset;
+/// truncate-to-{second,minute,hour,day} plus offset) against (tt, vt) pairs.
+std::optional<MappingFunction> FitMappingFunction(
+    std::span<const EventStamp> stamps);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_INFERENCE_H_

@@ -1,0 +1,392 @@
+#include "spec/interevent_spec.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tempspec {
+
+const char* SpecScopeToString(SpecScope scope) {
+  return scope == SpecScope::kPerRelation ? "per relation" : "per surrogate";
+}
+
+std::vector<EventStamp> ExtractEventStamps(std::span<const Element> elements,
+                                           TransactionAnchor anchor) {
+  std::vector<EventStamp> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) {
+    const TimePoint tt = AnchoredTransactionTime(e, anchor);
+    if (anchor == TransactionAnchor::kDeletion && tt.IsMax()) continue;
+    out.push_back(EventStamp{tt, e.valid.at(), e.object_surrogate});
+  }
+  return out;
+}
+
+namespace {
+
+// Groups stamps by partition (or one group for per-relation scope) and sorts
+// each group by transaction time.
+std::map<ObjectSurrogate, std::vector<EventStamp>> GroupStamps(
+    std::span<const EventStamp> stamps, SpecScope scope) {
+  std::map<ObjectSurrogate, std::vector<EventStamp>> groups;
+  for (const auto& s : stamps) {
+    const ObjectSurrogate key =
+        scope == SpecScope::kPerRelation ? 0 : s.partition;
+    groups[key].push_back(s);
+  }
+  for (auto& [key, group] : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const EventStamp& a, const EventStamp& b) {
+                       return a.tt < b.tt;
+                     });
+  }
+  return groups;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Orderings
+// ---------------------------------------------------------------------------
+
+const char* OrderingKindToString(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kNonDecreasing:
+      return "non-decreasing";
+    case OrderingKind::kNonIncreasing:
+      return "non-increasing";
+    case OrderingKind::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+Status OrderingSpec::CheckStamps(std::span<const EventStamp> stamps) const {
+  for (auto& [key, group] : GroupStamps(stamps, scope_)) {
+    (void)key;
+    // The definitions quantify over all pairs with tt < tt'; all three
+    // properties are transitive along the tt order, so checking adjacent
+    // pairs (plus a running max for sequential) is equivalent.
+    TimePoint running_max = TimePoint::Min();
+    for (size_t i = 0; i + 1 < group.size(); ++i) {
+      const EventStamp& a = group[i];
+      const EventStamp& b = group[i + 1];
+      if (a.tt == b.tt) {
+        return Status::ConstraintViolation(
+            "duplicate transaction time ", a.tt.ToString(),
+            " — transaction stamps must be unique");
+      }
+      switch (kind_) {
+        case OrderingKind::kNonDecreasing:
+          if (!(a.vt <= b.vt)) {
+            return Status::ConstraintViolation(
+                "non-decreasing violated: vt ", b.vt.ToString(), " at tt ",
+                b.tt.ToString(), " precedes earlier vt ", a.vt.ToString());
+          }
+          break;
+        case OrderingKind::kNonIncreasing:
+          if (!(a.vt >= b.vt)) {
+            return Status::ConstraintViolation(
+                "non-increasing violated: vt ", b.vt.ToString(), " at tt ",
+                b.tt.ToString(), " exceeds earlier vt ", a.vt.ToString());
+          }
+          break;
+        case OrderingKind::kSequential: {
+          running_max = std::max(running_max, std::max(a.tt, a.vt));
+          const TimePoint next_min = std::min(b.tt, b.vt);
+          if (!(running_max <= next_min)) {
+            return Status::ConstraintViolation(
+                "sequential violated at tt ", b.tt.ToString(), ": max(tt,vt) ",
+                running_max.ToString(), " of earlier elements exceeds min(tt,vt) ",
+                next_min.ToString());
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string OrderingSpec::ToString() const {
+  std::string out = scope_ == SpecScope::kPerRelation ? "globally " : "per surrogate ";
+  out += OrderingKindToString(kind_);
+  return out;
+}
+
+Status OnlineOrderingChecker::Check(const EventStamp& stamp) const {
+  const ObjectSurrogate key =
+      spec_.scope() == SpecScope::kPerRelation ? 0 : stamp.partition;
+  auto it = states_.find(key);
+  if (it == states_.end()) return Status::OK();
+  const State& st = it->second;
+  if (st.has_prev) {
+    switch (spec_.kind()) {
+      case OrderingKind::kNonDecreasing:
+        if (!(stamp.vt >= st.prev_vt)) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: vt ", stamp.vt.ToString(),
+              " precedes previous vt ", st.prev_vt.ToString());
+        }
+        break;
+      case OrderingKind::kNonIncreasing:
+        if (!(stamp.vt <= st.prev_vt)) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: vt ", stamp.vt.ToString(),
+              " exceeds previous vt ", st.prev_vt.ToString());
+        }
+        break;
+      case OrderingKind::kSequential:
+        if (!(st.running_max <= std::min(stamp.tt, stamp.vt))) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: max(tt,vt) ",
+              st.running_max.ToString(), " of stored elements exceeds min(tt,vt) ",
+              std::min(stamp.tt, stamp.vt).ToString());
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void OnlineOrderingChecker::Commit(const EventStamp& stamp) {
+  const ObjectSurrogate key =
+      spec_.scope() == SpecScope::kPerRelation ? 0 : stamp.partition;
+  State& st = states_[key];
+  st.has_prev = true;
+  st.prev_vt = stamp.vt;
+  st.running_max = std::max(st.running_max, std::max(stamp.tt, stamp.vt));
+}
+
+// ---------------------------------------------------------------------------
+// Regularity
+// ---------------------------------------------------------------------------
+
+const char* RegularityDimensionToString(RegularityDimension dim) {
+  switch (dim) {
+    case RegularityDimension::kTransactionTime:
+      return "transaction time";
+    case RegularityDimension::kValidTime:
+      return "valid time";
+    case RegularityDimension::kTemporal:
+      return "temporal";
+  }
+  return "unknown";
+}
+
+bool IsCongruent(TimePoint a, TimePoint b, Duration unit) {
+  return UnitMultiplier(a, b, unit).has_value();
+}
+
+std::optional<int64_t> UnitMultiplier(TimePoint a, TimePoint b, Duration unit) {
+  if (unit.IsFixed()) {
+    const int64_t u = unit.micros();
+    const int64_t diff = b.MicrosSince(a);
+    if (diff % u != 0) return std::nullopt;
+    return diff / u;
+  }
+  // Calendric unit: find the candidate k from whole-month distance, then
+  // verify exactly. A pure-month unit advances monotonically, so the
+  // candidate is unique; mixed units are checked around the estimate.
+  if (unit.micros() == 0) {
+    const int64_t months = WholeMonthsBetween(a, b);
+    if (months % unit.months() != 0) return std::nullopt;
+    const int64_t k = months / unit.months();
+    return (a + unit * k) == b ? std::optional<int64_t>(k) : std::nullopt;
+  }
+  const int64_t approx_unit =
+      unit.months() * 30 * kMicrosPerDay + unit.micros();
+  if (approx_unit == 0) return std::nullopt;
+  const int64_t est = b.MicrosSince(a) / approx_unit;
+  for (int64_t k = est - 2; k <= est + 2; ++k) {
+    if ((a + unit * k) == b) return k;
+  }
+  return std::nullopt;
+}
+
+Result<RegularitySpec> RegularitySpec::Make(RegularityDimension dim, Duration unit,
+                                            bool strict, SpecScope scope) {
+  if (!unit.IsPositive()) {
+    return Status::InvalidArgument("regularity time unit must be positive, got ",
+                                   unit.ToString());
+  }
+  return RegularitySpec(dim, unit, strict, scope);
+}
+
+Status RegularitySpec::CheckStamps(std::span<const EventStamp> stamps) const {
+  for (auto& [key, group] : GroupStamps(stamps, scope_)) {
+    (void)key;
+    if (group.empty()) continue;
+
+    if (!strict_) {
+      // Congruence relative to the group's first stamp is equivalent to the
+      // pairwise ∃k definition.
+      const EventStamp& anchor = group.front();
+      for (const EventStamp& s : group) {
+        const auto ktt = UnitMultiplier(anchor.tt, s.tt, unit_);
+        const auto kvt = UnitMultiplier(anchor.vt, s.vt, unit_);
+        switch (dim_) {
+          case RegularityDimension::kTransactionTime:
+            if (!ktt) {
+              return Status::ConstraintViolation(
+                  ToString(), " violated: tt ", s.tt.ToString(),
+                  " not a multiple of ", unit_.ToString(), " from ",
+                  anchor.tt.ToString());
+            }
+            break;
+          case RegularityDimension::kValidTime:
+            if (!kvt) {
+              return Status::ConstraintViolation(
+                  ToString(), " violated: vt ", s.vt.ToString(),
+                  " not a multiple of ", unit_.ToString(), " from ",
+                  anchor.vt.ToString());
+            }
+            break;
+          case RegularityDimension::kTemporal:
+            if (!ktt || !kvt || *ktt != *kvt) {
+              return Status::ConstraintViolation(
+                  ToString(), " violated: multipliers differ (tt: ",
+                  ktt ? std::to_string(*ktt) : "none", ", vt: ",
+                  kvt ? std::to_string(*kvt) : "none", ") at tt ",
+                  s.tt.ToString());
+            }
+            break;
+        }
+      }
+      continue;
+    }
+
+    // Strict versions: the chain steps by exactly one unit.
+    switch (dim_) {
+      case RegularityDimension::kTransactionTime:
+        for (size_t i = 0; i + 1 < group.size(); ++i) {
+          if (group[i].tt + unit_ != group[i + 1].tt) {
+            return Status::ConstraintViolation(
+                ToString(), " violated: tt ", group[i + 1].tt.ToString(),
+                " does not follow ", group[i].tt.ToString(), " by exactly ",
+                unit_.ToString());
+          }
+        }
+        break;
+      case RegularityDimension::kValidTime: {
+        // Sorted valid times must form a gap-free arithmetic progression
+        // with distinct values.
+        std::vector<TimePoint> vts;
+        vts.reserve(group.size());
+        for (const auto& s : group) vts.push_back(s.vt);
+        std::sort(vts.begin(), vts.end());
+        for (size_t i = 0; i + 1 < vts.size(); ++i) {
+          if (vts[i] + unit_ != vts[i + 1]) {
+            return Status::ConstraintViolation(
+                ToString(), " violated: vt ", vts[i + 1].ToString(),
+                " does not follow ", vts[i].ToString(), " by exactly ",
+                unit_.ToString());
+          }
+        }
+        break;
+      }
+      case RegularityDimension::kTemporal:
+        for (size_t i = 0; i + 1 < group.size(); ++i) {
+          if (group[i].tt + unit_ != group[i + 1].tt ||
+              group[i].vt + unit_ != group[i + 1].vt) {
+            return Status::ConstraintViolation(
+                ToString(), " violated between tt ", group[i].tt.ToString(),
+                " and tt ", group[i + 1].tt.ToString(),
+                ": both stamps must advance by exactly ", unit_.ToString());
+          }
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string RegularitySpec::ToString() const {
+  std::string out = scope_ == SpecScope::kPerRelation ? "" : "per surrogate ";
+  if (strict_) out += "strict ";
+  out += RegularityDimensionToString(dim_);
+  out += " event regular(";
+  out += unit_.ToString();
+  out += ")";
+  return out;
+}
+
+Status OnlineRegularityChecker::Check(const EventStamp& stamp) const {
+  const ObjectSurrogate key =
+      spec_.scope() == SpecScope::kPerRelation ? 0 : stamp.partition;
+  auto it = states_.find(key);
+  if (it == states_.end() || !it->second.has_anchor) return Status::OK();
+  const State& st = it->second;
+  const Duration unit = spec_.unit();
+
+  if (!spec_.strict()) {
+    const auto ktt = UnitMultiplier(st.tt0, stamp.tt, unit);
+    const auto kvt = UnitMultiplier(st.vt0, stamp.vt, unit);
+    bool ok = true;
+    switch (spec_.dimension()) {
+      case RegularityDimension::kTransactionTime:
+        ok = ktt.has_value();
+        break;
+      case RegularityDimension::kValidTime:
+        ok = kvt.has_value();
+        break;
+      case RegularityDimension::kTemporal:
+        ok = ktt && kvt && *ktt == *kvt;
+        break;
+    }
+    if (!ok) {
+      return Status::ConstraintViolation(spec_.ToString(),
+                                         " violated by stamp (tt ",
+                                         stamp.tt.ToString(), ", vt ",
+                                         stamp.vt.ToString(), ")");
+    }
+  } else {
+    switch (spec_.dimension()) {
+      case RegularityDimension::kTransactionTime:
+        if (st.last_tt + unit != stamp.tt) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: tt ", stamp.tt.ToString(),
+              " must be exactly ", unit.ToString(), " after ",
+              st.last_tt.ToString());
+        }
+        break;
+      case RegularityDimension::kValidTime:
+        // Admissible only at either end of the progression.
+        if (stamp.vt != st.max_vt + unit && stamp.vt != st.min_vt - unit) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: vt ", stamp.vt.ToString(),
+              " must extend the progression at ", (st.min_vt - unit).ToString(),
+              " or ", (st.max_vt + unit).ToString());
+        }
+        break;
+      case RegularityDimension::kTemporal:
+        if (st.last_tt + unit != stamp.tt || st.last_vt + unit != stamp.vt) {
+          return Status::ConstraintViolation(
+              spec_.ToString(), " violated: both stamps must advance exactly ",
+              unit.ToString(), " from (tt ", st.last_tt.ToString(), ", vt ",
+              st.last_vt.ToString(), ")");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void OnlineRegularityChecker::Commit(const EventStamp& stamp) {
+  const ObjectSurrogate key =
+      spec_.scope() == SpecScope::kPerRelation ? 0 : stamp.partition;
+  State& st = states_[key];
+  if (!st.has_anchor) {
+    st.has_anchor = true;
+    st.tt0 = stamp.tt;
+    st.vt0 = stamp.vt;
+    st.min_vt = stamp.vt;
+    st.max_vt = stamp.vt;
+  } else {
+    st.min_vt = std::min(st.min_vt, stamp.vt);
+    st.max_vt = std::max(st.max_vt, stamp.vt);
+  }
+  st.last_tt = stamp.tt;
+  st.last_vt = stamp.vt;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,204 @@
+// The inter-event taxonomy (Section 3.2): orderings and regularity.
+//
+// These properties restrict the interrelationship of the time-stamps of
+// *distinct* elements over all possible extensions. Each may be applied
+// globally (per relation) or per partition — the distinguished partitioning
+// is per object surrogate, but any partitioning qualifies; a relation
+// satisfies a property per partition iff every partition satisfies it per
+// relation.
+//
+// Orderings (Figure 3):
+//   globally non-decreasing: tt < tt'  =>  vt <= vt'
+//   globally non-increasing: tt < tt'  =>  vt >= vt'
+//   globally sequential:     tt < tt'  =>  max(tt, vt) <= min(tt', vt')
+//
+// Regularity (Figure 4), with time unit Δt > 0:
+//   transaction time event regular: ∀e,e' ∃k  tt = tt' + kΔt
+//   valid time event regular:       ∀e,e' ∃k  vt = vt' + kΔt
+//   temporal event regular:         ∀e,e' ∃k  both, with the same k
+// plus strict versions where successive elements are spaced exactly Δt.
+#ifndef TEMPSPEC_SPEC_INTEREVENT_SPEC_H_
+#define TEMPSPEC_SPEC_INTEREVENT_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/element.h"
+#include "spec/mapping.h"
+#include "timex/duration.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Scope of an inter-element property.
+enum class SpecScope : uint8_t {
+  kPerRelation,         // "global"
+  kPerObjectSurrogate,  // the per-surrogate partitioning of Section 2
+};
+
+const char* SpecScopeToString(SpecScope scope);
+
+/// \brief A (transaction time, valid time) stamp pair of one event element.
+struct EventStamp {
+  TimePoint tt;
+  TimePoint vt;
+  ObjectSurrogate partition = 0;  // used only by per-partition scopes
+};
+
+/// \brief Extracts the event stamps of elements (anchored transaction time;
+/// elements with an open deletion anchor are skipped, as the property cannot
+/// constrain them yet).
+std::vector<EventStamp> ExtractEventStamps(std::span<const Element> elements,
+                                           TransactionAnchor anchor);
+
+// ---------------------------------------------------------------------------
+// Orderings
+// ---------------------------------------------------------------------------
+
+enum class OrderingKind : uint8_t {
+  kNonDecreasing,
+  kNonIncreasing,
+  kSequential,
+};
+
+const char* OrderingKindToString(OrderingKind kind);
+
+/// \brief An ordering property instance.
+class OrderingSpec {
+ public:
+  OrderingSpec(OrderingKind kind, SpecScope scope = SpecScope::kPerRelation)
+      : kind_(kind), scope_(scope) {}
+
+  OrderingKind kind() const { return kind_; }
+  SpecScope scope() const { return scope_; }
+
+  /// \brief Batch check of a full extension.
+  Status CheckStamps(std::span<const EventStamp> stamps) const;
+
+  std::string ToString() const;
+
+ private:
+  OrderingKind kind_;
+  SpecScope scope_;
+};
+
+/// \brief Incremental ordering checker: feed stamps in transaction-time
+/// order; O(1) state per partition.
+class OnlineOrderingChecker {
+ public:
+  explicit OnlineOrderingChecker(OrderingSpec spec) : spec_(spec) {}
+
+  /// \brief Checks the next stamp without recording it (must have tt greater
+  /// than all previously committed stamps in its scope group; the relation's
+  /// transaction clock guarantees this).
+  Status Check(const EventStamp& stamp) const;
+
+  /// \brief Records an admitted stamp.
+  void Commit(const EventStamp& stamp);
+
+  /// \brief Check then commit.
+  Status OnInsert(const EventStamp& stamp) {
+    TS_RETURN_NOT_OK(Check(stamp));
+    Commit(stamp);
+    return Status::OK();
+  }
+
+  void Reset() { states_.clear(); }
+
+ private:
+  struct State {
+    bool has_prev = false;
+    TimePoint prev_vt;
+    TimePoint running_max = TimePoint::Min();  // max(tt, vt) over all stamps
+  };
+
+  OrderingSpec spec_;
+  std::unordered_map<ObjectSurrogate, State> states_;
+};
+
+// ---------------------------------------------------------------------------
+// Regularity
+// ---------------------------------------------------------------------------
+
+enum class RegularityDimension : uint8_t {
+  kTransactionTime,
+  kValidTime,
+  kTemporal,  // both stamps, with a shared multiplier k
+};
+
+const char* RegularityDimensionToString(RegularityDimension dim);
+
+/// \brief A regularity property instance.
+class RegularitySpec {
+ public:
+  static Result<RegularitySpec> Make(RegularityDimension dim, Duration unit,
+                                     bool strict = false,
+                                     SpecScope scope = SpecScope::kPerRelation);
+
+  RegularityDimension dimension() const { return dim_; }
+  Duration unit() const { return unit_; }
+  bool strict() const { return strict_; }
+  SpecScope scope() const { return scope_; }
+
+  /// \brief Batch check of a full extension.
+  Status CheckStamps(std::span<const EventStamp> stamps) const;
+
+  std::string ToString() const;
+
+ private:
+  RegularitySpec(RegularityDimension dim, Duration unit, bool strict,
+                 SpecScope scope)
+      : dim_(dim), unit_(unit), strict_(strict), scope_(scope) {}
+
+  RegularityDimension dim_;
+  Duration unit_;
+  bool strict_;
+  SpecScope scope_;
+};
+
+/// \brief Incremental regularity checker; O(1) state per partition.
+///
+/// For strict valid-time regularity an insert is admissible only if it
+/// extends the arithmetic progression of valid times at either end —
+/// anything else could never lead to an extension satisfying the intensional
+/// definition.
+class OnlineRegularityChecker {
+ public:
+  explicit OnlineRegularityChecker(RegularitySpec spec) : spec_(spec) {}
+
+  Status Check(const EventStamp& stamp) const;
+  void Commit(const EventStamp& stamp);
+  Status OnInsert(const EventStamp& stamp) {
+    TS_RETURN_NOT_OK(Check(stamp));
+    Commit(stamp);
+    return Status::OK();
+  }
+
+  void Reset() { states_.clear(); }
+
+ private:
+  struct State {
+    bool has_anchor = false;
+    TimePoint tt0, vt0;        // congruence anchors (non-strict)
+    TimePoint last_tt, last_vt;  // strict tt / strict temporal
+    TimePoint min_vt, max_vt;    // strict vt progression ends
+  };
+
+  RegularitySpec spec_;
+  std::unordered_map<ObjectSurrogate, State> states_;
+};
+
+/// \brief True if b = a + k*unit for some integer k (calendric units use
+/// calendar arithmetic). unit must be positive.
+bool IsCongruent(TimePoint a, TimePoint b, Duration unit);
+
+/// \brief The integer k with b = a + k*unit, when one exists.
+std::optional<int64_t> UnitMultiplier(TimePoint a, TimePoint b, Duration unit);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_INTEREVENT_SPEC_H_

@@ -1,0 +1,207 @@
+#include "spec/interinterval_spec.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tempspec {
+
+std::vector<IntervalStamp> ExtractIntervalStamps(std::span<const Element> elements,
+                                                 TransactionAnchor anchor) {
+  std::vector<IntervalStamp> out;
+  out.reserve(elements.size());
+  for (const Element& e : elements) {
+    const TimePoint tt = AnchoredTransactionTime(e, anchor);
+    if (anchor == TransactionAnchor::kDeletion && tt.IsMax()) continue;
+    out.push_back(IntervalStamp{tt, e.valid.AsInterval(), e.object_surrogate});
+  }
+  return out;
+}
+
+namespace {
+
+std::map<ObjectSurrogate, std::vector<IntervalStamp>> GroupStamps(
+    std::span<const IntervalStamp> stamps, SpecScope scope) {
+  std::map<ObjectSurrogate, std::vector<IntervalStamp>> groups;
+  for (const auto& s : stamps) {
+    const ObjectSurrogate key =
+        scope == SpecScope::kPerRelation ? 0 : s.partition;
+    groups[key].push_back(s);
+  }
+  for (auto& [key, group] : groups) {
+    std::stable_sort(group.begin(), group.end(),
+                     [](const IntervalStamp& a, const IntervalStamp& b) {
+                       return a.tt < b.tt;
+                     });
+  }
+  return groups;
+}
+
+TimePoint OrderedPoint(const IntervalStamp& s, OrderingEndpoint ep) {
+  return ep == OrderingEndpoint::kBegin ? s.valid.begin() : s.valid.end();
+}
+
+}  // namespace
+
+Status IntervalOrderingSpec::CheckStamps(
+    std::span<const IntervalStamp> stamps) const {
+  for (auto& [key, group] : GroupStamps(stamps, scope_)) {
+    (void)key;
+    TimePoint running_max = TimePoint::Min();
+    for (size_t i = 0; i + 1 < group.size(); ++i) {
+      const IntervalStamp& a = group[i];
+      const IntervalStamp& b = group[i + 1];
+      switch (kind_) {
+        case IntervalOrderingKind::kNonDecreasing:
+          if (!(OrderedPoint(a, endpoint_) <= OrderedPoint(b, endpoint_))) {
+            return Status::ConstraintViolation(
+                ToString(), " violated: interval ", b.valid.ToString(),
+                " at tt ", b.tt.ToString(), " starts before earlier interval ",
+                a.valid.ToString());
+          }
+          break;
+        case IntervalOrderingKind::kNonIncreasing:
+          if (!(OrderedPoint(b, endpoint_) <= OrderedPoint(a, endpoint_))) {
+            return Status::ConstraintViolation(
+                ToString(), " violated: interval ", b.valid.ToString(),
+                " at tt ", b.tt.ToString(), " ends after earlier interval ",
+                a.valid.ToString());
+          }
+          break;
+        case IntervalOrderingKind::kSequential: {
+          running_max = std::max(running_max, std::max(a.tt, a.valid.end()));
+          const TimePoint next_min = std::min(b.tt, b.valid.begin());
+          if (!(running_max <= next_min)) {
+            return Status::ConstraintViolation(
+                ToString(), " violated at tt ", b.tt.ToString(),
+                ": an earlier interval was still open (or unstored) at ",
+                next_min.ToString());
+          }
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string IntervalOrderingSpec::ToString() const {
+  std::string out = scope_ == SpecScope::kPerRelation ? "globally " : "per surrogate ";
+  switch (kind_) {
+    case IntervalOrderingKind::kNonDecreasing:
+      out += "non-decreasing";
+      break;
+    case IntervalOrderingKind::kNonIncreasing:
+      out += "non-increasing";
+      break;
+    case IntervalOrderingKind::kSequential:
+      out += "sequential";
+      break;
+  }
+  if (kind_ != IntervalOrderingKind::kSequential) {
+    out += endpoint_ == OrderingEndpoint::kBegin ? " (starts)" : " (ends)";
+  }
+  return out;
+}
+
+Status SuccessiveSpec::CheckStamps(std::span<const IntervalStamp> stamps) const {
+  for (auto& [key, group] : GroupStamps(stamps, scope_)) {
+    (void)key;
+    for (size_t i = 0; i + 1 < group.size(); ++i) {
+      const IntervalStamp& a = group[i];
+      const IntervalStamp& b = group[i + 1];
+      if (!Holds(relation_, a.valid, b.valid)) {
+        auto actual = Classify(a.valid, b.valid);
+        return Status::ConstraintViolation(
+            ToString(), " violated: ", a.valid.ToString(), " then ",
+            b.valid.ToString(), " are related by ",
+            actual.ok() ? AllenRelationToString(actual.ValueOrDie()) : "nothing",
+            ", not ", AllenRelationToString(relation_));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string SuccessiveSpec::ToString() const {
+  std::string out = scope_ == SpecScope::kPerRelation ? "" : "per surrogate ";
+  if (relation_ == AllenRelation::kMeets && !display_inverse_) {
+    out += scope_ == SpecScope::kPerRelation ? "globally contiguous (st-meets)"
+                                             : "contiguous (st-meets)";
+    return out;
+  }
+  out += display_inverse_ ? "sti-" : "st-";
+  out += AllenRelationToString(display_inverse_ ? Inverse(relation_) : relation_);
+  return out;
+}
+
+Status OnlineIntervalChecker::Check(const IntervalStamp& stamp) const {
+  const SpecScope scope = has_successive_ ? successive_.scope() : ordering_->scope();
+  const ObjectSurrogate key =
+      scope == SpecScope::kPerRelation ? 0 : stamp.partition;
+  auto it = states_.find(key);
+  if (it == states_.end()) return Status::OK();
+  const State& st = it->second;
+
+  if (st.has_prev) {
+    if (has_successive_) {
+      if (!Holds(successive_.relation(), st.prev_valid, stamp.valid)) {
+        return Status::ConstraintViolation(
+            successive_.ToString(), " violated: ", st.prev_valid.ToString(),
+            " then ", stamp.valid.ToString());
+      }
+    } else {
+      switch (ordering_->kind()) {
+        case IntervalOrderingKind::kNonDecreasing: {
+          const TimePoint prev = ordering_->endpoint() == OrderingEndpoint::kBegin
+                                     ? st.prev_valid.begin()
+                                     : st.prev_valid.end();
+          const TimePoint cur = ordering_->endpoint() == OrderingEndpoint::kBegin
+                                    ? stamp.valid.begin()
+                                    : stamp.valid.end();
+          if (!(prev <= cur)) {
+            return Status::ConstraintViolation(ordering_->ToString(),
+                                               " violated by ",
+                                               stamp.valid.ToString());
+          }
+          break;
+        }
+        case IntervalOrderingKind::kNonIncreasing: {
+          const TimePoint prev = ordering_->endpoint() == OrderingEndpoint::kBegin
+                                     ? st.prev_valid.begin()
+                                     : st.prev_valid.end();
+          const TimePoint cur = ordering_->endpoint() == OrderingEndpoint::kBegin
+                                    ? stamp.valid.begin()
+                                    : stamp.valid.end();
+          if (!(cur <= prev)) {
+            return Status::ConstraintViolation(ordering_->ToString(),
+                                               " violated by ",
+                                               stamp.valid.ToString());
+          }
+          break;
+        }
+        case IntervalOrderingKind::kSequential:
+          if (!(st.running_max <= std::min(stamp.tt, stamp.valid.begin()))) {
+            return Status::ConstraintViolation(ordering_->ToString(),
+                                               " violated by ",
+                                               stamp.valid.ToString(), " at tt ",
+                                               stamp.tt.ToString());
+          }
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void OnlineIntervalChecker::Commit(const IntervalStamp& stamp) {
+  const SpecScope scope = has_successive_ ? successive_.scope() : ordering_->scope();
+  const ObjectSurrogate key =
+      scope == SpecScope::kPerRelation ? 0 : stamp.partition;
+  State& st = states_[key];
+  st.has_prev = true;
+  st.prev_valid = stamp.valid;
+  st.running_max =
+      std::max(st.running_max, std::max(stamp.tt, stamp.valid.end()));
+}
+
+}  // namespace tempspec

@@ -1,0 +1,155 @@
+// The inter-interval taxonomy (Section 3.4).
+//
+// Restrictions on the interrelationship of the valid intervals of distinct
+// elements of an interval relation:
+//
+//   globally sequential:     tt < tt'  =>  max(tt, vt_e) <= min(tt', vt_b')
+//                            — each interval occurs and is stored before the
+//                            next commences.
+//   globally non-decreasing: tt < tt'  =>  vt_b <= vt_b'   (start points)
+//   globally non-increasing: tt < tt'  =>  vt_e' <= vt_e   (end points)
+//   globally contiguous:     the end of each interval coincides with the
+//                            start of the next stored interval
+//                            (= successive transaction time MEETS)
+//   successive transaction time X, for each of Allen's 13 relations X:
+//                            elements adjacent in transaction time have valid
+//                            intervals related by X ("st-X"); "sti-X" denotes
+//                            successive transaction time inverse X.
+//
+// All properties may be applied per relation or per partition.
+//
+// Note on the printed definitions: the scan of the paper garbles the
+// endpoint superscripts of non-decreasing/non-increasing; we adopt the
+// symmetric reading (starts for non-decreasing, ends for non-increasing),
+// which makes the Figure 5 edges provable. Both endpoint choices are
+// available via OrderingEndpoint.
+#ifndef TEMPSPEC_SPEC_INTERINTERVAL_SPEC_H_
+#define TEMPSPEC_SPEC_INTERINTERVAL_SPEC_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "allen/allen.h"
+#include "model/element.h"
+#include "spec/interevent_spec.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief A (transaction time, valid interval) stamp of one interval element.
+struct IntervalStamp {
+  TimePoint tt;
+  TimeInterval valid;
+  ObjectSurrogate partition = 0;
+};
+
+/// \brief Extracts interval stamps (anchored transaction time; open deletion
+/// anchors are skipped).
+std::vector<IntervalStamp> ExtractIntervalStamps(std::span<const Element> elements,
+                                                 TransactionAnchor anchor);
+
+enum class IntervalOrderingKind : uint8_t {
+  kNonDecreasing,
+  kNonIncreasing,
+  kSequential,
+};
+
+enum class OrderingEndpoint : uint8_t { kBegin, kEnd };
+
+/// \brief Ordering properties over interval stamps.
+class IntervalOrderingSpec {
+ public:
+  IntervalOrderingSpec(IntervalOrderingKind kind,
+                       SpecScope scope = SpecScope::kPerRelation)
+      : kind_(kind), scope_(scope) {
+    endpoint_ = kind == IntervalOrderingKind::kNonIncreasing
+                    ? OrderingEndpoint::kEnd
+                    : OrderingEndpoint::kBegin;
+  }
+
+  IntervalOrderingSpec WithEndpoint(OrderingEndpoint ep) const {
+    IntervalOrderingSpec out = *this;
+    out.endpoint_ = ep;
+    return out;
+  }
+
+  IntervalOrderingKind kind() const { return kind_; }
+  SpecScope scope() const { return scope_; }
+  OrderingEndpoint endpoint() const { return endpoint_; }
+
+  Status CheckStamps(std::span<const IntervalStamp> stamps) const;
+
+  std::string ToString() const;
+
+ private:
+  IntervalOrderingKind kind_;
+  SpecScope scope_;
+  OrderingEndpoint endpoint_;
+};
+
+/// \brief "Successive transaction time X": elements adjacent in transaction
+/// time (within the scope group) have valid intervals related by the Allen
+/// relation X. Globally contiguous is SuccessiveSpec(kMeets).
+class SuccessiveSpec {
+ public:
+  SuccessiveSpec(AllenRelation relation, SpecScope scope = SpecScope::kPerRelation,
+                 bool inverse = false)
+      : relation_(inverse ? Inverse(relation) : relation),
+        display_inverse_(inverse),
+        scope_(scope) {}
+
+  /// \brief The paper's "globally contiguous" (st-meets).
+  static SuccessiveSpec Contiguous(SpecScope scope = SpecScope::kPerRelation) {
+    return SuccessiveSpec(AllenRelation::kMeets, scope);
+  }
+
+  AllenRelation relation() const { return relation_; }
+  SpecScope scope() const { return scope_; }
+
+  Status CheckStamps(std::span<const IntervalStamp> stamps) const;
+
+  std::string ToString() const;
+
+ private:
+  AllenRelation relation_;
+  bool display_inverse_;
+  SpecScope scope_;
+};
+
+/// \brief Incremental checker for interval orderings and successive-X.
+class OnlineIntervalChecker {
+ public:
+  explicit OnlineIntervalChecker(IntervalOrderingSpec spec)
+      : ordering_(spec), has_successive_(false), successive_(AllenRelation::kMeets) {}
+  explicit OnlineIntervalChecker(SuccessiveSpec spec)
+      : has_successive_(true), successive_(spec) {}
+
+  Status Check(const IntervalStamp& stamp) const;
+  void Commit(const IntervalStamp& stamp);
+  Status OnInsert(const IntervalStamp& stamp) {
+    TS_RETURN_NOT_OK(Check(stamp));
+    Commit(stamp);
+    return Status::OK();
+  }
+
+  void Reset() { states_.clear(); }
+
+ private:
+  struct State {
+    bool has_prev = false;
+    TimeInterval prev_valid;
+    TimePoint running_max = TimePoint::Min();  // for sequential
+  };
+
+  std::optional<IntervalOrderingSpec> ordering_;
+  bool has_successive_;
+  SuccessiveSpec successive_;
+  std::unordered_map<ObjectSurrogate, State> states_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_INTERINTERVAL_SPEC_H_

@@ -1,0 +1,152 @@
+#include "spec/interval_spec.h"
+
+namespace tempspec {
+
+const char* ValidAnchorToString(ValidAnchor anchor) {
+  switch (anchor) {
+    case ValidAnchor::kBegin:
+      return "vt_b";
+    case ValidAnchor::kEnd:
+      return "vt_e";
+    case ValidAnchor::kBoth:
+      return "vt_b&vt_e";
+  }
+  return "?";
+}
+
+namespace {
+
+Status CheckEndpoint(const EventSpecialization& spec, const Element& e,
+                     TimePoint endpoint, const char* endpoint_name,
+                     Granularity granularity) {
+  const TimePoint tt = AnchoredTransactionTime(e, spec.anchor());
+  if (spec.anchor() == TransactionAnchor::kDeletion && tt.IsMax()) {
+    return Status::OK();
+  }
+  if (spec.mapping()) {
+    const TimePoint expected = spec.mapping()->Apply(e);
+    if (endpoint != expected) {
+      return Status::ConstraintViolation(
+          endpoint_name, "-determined violated: ", endpoint.ToString(),
+          " differs from ", spec.mapping()->ToString(), " = ",
+          expected.ToString());
+    }
+  }
+  if (spec.kind() == EventSpecKind::kDegenerate) {
+    if (!granularity.Same(tt, endpoint)) {
+      return Status::ConstraintViolation(
+          endpoint_name, "-degenerate violated: ", endpoint.ToString(),
+          " and tt ", tt.ToString(), " differ beyond granularity ",
+          granularity.ToString());
+    }
+    return Status::OK();
+  }
+  if (!spec.Satisfies(tt, endpoint)) {
+    return Status::ConstraintViolation(
+        endpoint_name, "-", EventSpecKindToString(spec.kind()),
+        " violated: ", endpoint.ToString(), " escapes band ",
+        spec.band().ToString(), " at ", TransactionAnchorToString(spec.anchor()),
+        " time ", tt.ToString(), " for element #", e.element_surrogate);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AnchoredEventSpec::CheckElement(const Element& e,
+                                       Granularity granularity) const {
+  if (!e.valid.is_interval()) {
+    return Status::InvalidArgument(
+        "anchored event specialization requires interval-stamped elements");
+  }
+  if (valid_anchor_ == ValidAnchor::kBegin || valid_anchor_ == ValidAnchor::kBoth) {
+    TS_RETURN_NOT_OK(
+        CheckEndpoint(spec_, e, e.valid.begin(), "vt_b", granularity));
+  }
+  if (valid_anchor_ == ValidAnchor::kEnd || valid_anchor_ == ValidAnchor::kBoth) {
+    TS_RETURN_NOT_OK(CheckEndpoint(spec_, e, e.valid.end(), "vt_e", granularity));
+  }
+  return Status::OK();
+}
+
+std::string AnchoredEventSpec::ToString() const {
+  std::string out = ValidAnchorToString(valid_anchor_);
+  out += "-";
+  out += spec_.ToString();
+  return out;
+}
+
+const char* IntervalRegularityDimensionToString(IntervalRegularityDimension dim) {
+  switch (dim) {
+    case IntervalRegularityDimension::kTransactionTime:
+      return "transaction time";
+    case IntervalRegularityDimension::kValidTime:
+      return "valid time";
+    case IntervalRegularityDimension::kTemporal:
+      return "temporal";
+  }
+  return "unknown";
+}
+
+Result<IntervalRegularitySpec> IntervalRegularitySpec::Make(
+    IntervalRegularityDimension dim, Duration unit, bool strict, SpecScope scope) {
+  if (!unit.IsPositive()) {
+    return Status::InvalidArgument(
+        "interval regularity time unit must be positive, got ", unit.ToString());
+  }
+  return IntervalRegularitySpec(dim, unit, strict, scope);
+}
+
+Status IntervalRegularitySpec::CheckElement(const Element& e) const {
+  auto check_duration = [&](TimePoint from, TimePoint to,
+                            const char* what) -> Status {
+    const auto k = UnitMultiplier(from, to, unit_);
+    if (!k || *k < 0) {
+      return Status::ConstraintViolation(
+          ToString(), " violated: ", what, " duration from ", from.ToString(),
+          " to ", to.ToString(), " is not a non-negative multiple of ",
+          unit_.ToString());
+    }
+    if (strict_ && *k != 1) {
+      return Status::ConstraintViolation(
+          ToString(), " violated: ", what, " duration is ", *k,
+          " units, expected exactly 1");
+    }
+    return Status::OK();
+  };
+
+  const bool check_tt = dim_ != IntervalRegularityDimension::kValidTime;
+  const bool check_vt = dim_ != IntervalRegularityDimension::kTransactionTime;
+
+  if (check_tt && !e.tt_end.IsMax()) {
+    TS_RETURN_NOT_OK(check_duration(e.tt_begin, e.tt_end, "existence"));
+  }
+  if (check_vt) {
+    if (!e.valid.is_interval()) {
+      return Status::InvalidArgument(
+          "valid-time interval regularity requires interval-stamped elements");
+    }
+    TS_RETURN_NOT_OK(check_duration(e.valid.begin(), e.valid.end(), "valid"));
+  }
+  return Status::OK();
+}
+
+Status IntervalRegularitySpec::CheckExtension(
+    std::span<const Element> elements) const {
+  for (const Element& e : elements) {
+    TS_RETURN_NOT_OK(CheckElement(e));
+  }
+  return Status::OK();
+}
+
+std::string IntervalRegularitySpec::ToString() const {
+  std::string out;
+  if (strict_) out += "strict ";
+  out += IntervalRegularityDimensionToString(dim_);
+  out += " interval regular(";
+  out += unit_.ToString();
+  out += ")";
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,107 @@
+// The isolated-interval taxonomy (Section 3.3).
+//
+// For interval relations the valid time-stamp is [vt_b, vt_e). Two families
+// of restrictions apply to intervals in isolation:
+//
+// 1. Every isolated-event characterization (Section 3.1) may be applied to
+//    either endpoint: a relation can be vt_b-retroactive, vt_e-degenerate,
+//    and so on. If both endpoints satisfy a property it is simply named, e.g.
+//    "retroactive". AnchoredEventSpec captures this.
+//
+// 2. Interval regularity: the *durations* of the transaction-time existence
+//    interval [tt_b, tt_d), of the valid interval, or of both, are integral
+//    multiples of a time unit; strict versions fix the multiple at one (all
+//    intervals exactly one unit long).
+#ifndef TEMPSPEC_SPEC_INTERVAL_SPEC_H_
+#define TEMPSPEC_SPEC_INTERVAL_SPEC_H_
+
+#include <span>
+#include <string>
+
+#include "model/element.h"
+#include "spec/event_spec.h"
+#include "spec/interevent_spec.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Which endpoint of the valid interval an event property applies to.
+enum class ValidAnchor : uint8_t {
+  kBegin,  // vt_b
+  kEnd,    // vt_e
+  kBoth,   // the plainly named property: both endpoints satisfy it
+};
+
+const char* ValidAnchorToString(ValidAnchor anchor);
+
+/// \brief An isolated-event specialization applied to an endpoint of the
+/// valid interval of every element, e.g. "vt_e-retroactive": every interval
+/// is stored (at the anchored transaction time) only after it has ended.
+class AnchoredEventSpec {
+ public:
+  AnchoredEventSpec(EventSpecialization spec, ValidAnchor anchor)
+      : spec_(std::move(spec)), valid_anchor_(anchor) {}
+
+  const EventSpecialization& spec() const { return spec_; }
+  ValidAnchor valid_anchor() const { return valid_anchor_; }
+
+  /// \brief Checks one interval-stamped element.
+  Status CheckElement(const Element& e, Granularity granularity) const;
+
+  std::string ToString() const;
+
+ private:
+  EventSpecialization spec_;
+  ValidAnchor valid_anchor_;
+};
+
+/// \brief Dimension of interval regularity.
+enum class IntervalRegularityDimension : uint8_t {
+  kTransactionTime,  // tt_d = tt_b + kΔt
+  kValidTime,        // vt_e = vt_b + kΔt
+  kTemporal,         // both, same unit (independent multipliers)
+};
+
+const char* IntervalRegularityDimensionToString(IntervalRegularityDimension dim);
+
+/// \brief Interval regularity: durations are multiples of `unit`; strict
+/// versions require the multiple to be exactly one.
+///
+/// Transaction-time interval regularity constrains the existence interval,
+/// which is only determined once the element is logically deleted; current
+/// elements therefore pass vacuously.
+class IntervalRegularitySpec {
+ public:
+  static Result<IntervalRegularitySpec> Make(
+      IntervalRegularityDimension dim, Duration unit, bool strict = false,
+      SpecScope scope = SpecScope::kPerRelation);
+
+  IntervalRegularityDimension dimension() const { return dim_; }
+  Duration unit() const { return unit_; }
+  bool strict() const { return strict_; }
+  SpecScope scope() const { return scope_; }
+
+  /// \brief Checks one element (regularity of durations is a per-element
+  /// property, so scope does not change the outcome; it is carried for
+  /// catalog bookkeeping).
+  Status CheckElement(const Element& e) const;
+
+  /// \brief Batch check.
+  Status CheckExtension(std::span<const Element> elements) const;
+
+  std::string ToString() const;
+
+ private:
+  IntervalRegularitySpec(IntervalRegularityDimension dim, Duration unit,
+                         bool strict, SpecScope scope)
+      : dim_(dim), unit_(unit), strict_(strict), scope_(scope) {}
+
+  IntervalRegularityDimension dim_;
+  Duration unit_;
+  bool strict_;
+  SpecScope scope_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_INTERVAL_SPEC_H_

@@ -1,0 +1,95 @@
+// Generalization/specialization lattices (Figures 2-5).
+//
+// "A relation type can be specialized into any of the successor relation
+// types, and a relation type inherits all the properties of its predecessor
+// relation types." The lattices let applications that need only a few
+// specializations work at a coarser level, and let the catalog infer every
+// property implied by a declared one.
+//
+// Edges marked derivable are machine-checkable implications (verified by the
+// property-test suite); edges marked asserted reproduce the figure as printed
+// where the implication depends on the paper's strict-inequality reading.
+#ifndef TEMPSPEC_SPEC_LATTICE_H_
+#define TEMPSPEC_SPEC_LATTICE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief A directed acyclic graph of specialization names; edges point from
+/// the more general type to the more specialized type.
+class SpecLattice {
+ public:
+  enum class EdgeKind : uint8_t {
+    kDerivable,  // provable from the definitions in this library
+    kAsserted,   // drawn in the paper's figure; depends on strictness reading
+  };
+
+  struct Edge {
+    std::string parent;
+    std::string child;
+    EdgeKind kind;
+  };
+
+  /// \brief Adds a node; idempotent.
+  void AddNode(const std::string& name);
+  /// \brief Adds parent -> child; creates nodes as needed. Rejects edges that
+  /// would create a cycle.
+  Status AddEdge(const std::string& parent, const std::string& child,
+                 EdgeKind kind = EdgeKind::kDerivable);
+
+  bool HasNode(const std::string& name) const;
+  const std::vector<std::string>& nodes() const { return node_order_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  std::vector<std::string> ParentsOf(const std::string& name) const;
+  std::vector<std::string> ChildrenOf(const std::string& name) const;
+
+  /// \brief True if `descendant` is reachable from `ancestor` (a relation of
+  /// type `descendant` inherits all properties of `ancestor`). A node is its
+  /// own ancestor.
+  bool IsDescendant(const std::string& ancestor, const std::string& descendant) const;
+
+  /// \brief Every ancestor of `name`, i.e. all properties a relation of this
+  /// type also has, in topological order from the most general.
+  std::vector<std::string> AncestorsOf(const std::string& name) const;
+
+  /// \brief Nodes in a topological order (general types first).
+  std::vector<std::string> TopologicalOrder() const;
+
+  /// \brief Nodes with no parents / no children.
+  std::vector<std::string> Roots() const;
+  std::vector<std::string> Leaves() const;
+
+  /// \brief Multi-line rendering: one "parent -> child" per line in
+  /// topological order (used by the figure-reproduction benches).
+  std::string ToString() const;
+
+  // The four figures of the paper.
+
+  /// \brief Figure 2: the event-based taxonomy (undetermined types).
+  static const SpecLattice& EventTaxonomy();
+  /// \brief Figure 3: inter-event orderings.
+  static const SpecLattice& InterEventOrderings();
+  /// \brief Figure 4: inter-event regularity.
+  static const SpecLattice& InterEventRegularity();
+  /// \brief Figure 5: the inter-interval taxonomy over Allen's relations.
+  static const SpecLattice& InterIntervalTaxonomy();
+
+ private:
+  std::vector<std::string> node_order_;
+  std::set<std::string> node_set_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::map<std::string, std::vector<std::string>> parents_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_LATTICE_H_

@@ -1,0 +1,109 @@
+#include "spec/mapping.h"
+
+namespace tempspec {
+
+const char* TransactionAnchorToString(TransactionAnchor anchor) {
+  return anchor == TransactionAnchor::kInsertion ? "insertion" : "deletion";
+}
+
+MappingFunction MappingFunction::Offset(Duration delta) {
+  MappingFunction m;
+  m.kind_ = Kind::kOffset;
+  m.delta_ = delta;
+  return m;
+}
+
+MappingFunction MappingFunction::TruncateThenOffset(Granularity g, Duration delta) {
+  MappingFunction m;
+  m.kind_ = Kind::kTruncate;
+  m.granularity_ = g;
+  m.delta_ = delta;
+  return m;
+}
+
+MappingFunction MappingFunction::NextPhase(Granularity g, Duration phase,
+                                           bool strictly_after) {
+  MappingFunction m;
+  m.kind_ = Kind::kNextPhase;
+  m.granularity_ = g;
+  m.phase_ = phase;
+  m.strictly_after_ = strictly_after;
+  return m;
+}
+
+MappingFunction MappingFunction::Custom(std::string name,
+                                        std::function<TimePoint(const Element&)> fn) {
+  MappingFunction m;
+  m.kind_ = Kind::kCustom;
+  m.name_ = std::move(name);
+  m.custom_ = std::move(fn);
+  return m;
+}
+
+TimePoint MappingFunction::ApplyToTransactionTime(TimePoint tt) const {
+  switch (kind_) {
+    case Kind::kOffset:
+      return tt + delta_;
+    case Kind::kTruncate:
+      return granularity_.Truncate(tt) + delta_;
+    case Kind::kNextPhase: {
+      // Boundaries sit at granule start + phase. Shift so boundaries align
+      // with granule starts, take the ceiling, shift back.
+      const TimePoint shifted = tt - phase_;
+      TimePoint boundary = granularity_.Truncate(shifted);
+      bool on_boundary = (boundary + phase_) == tt;
+      if ((boundary + phase_) < tt || (on_boundary && strictly_after_)) {
+        boundary = granularity_.NextGranule(shifted);
+      }
+      return boundary + phase_;
+    }
+    case Kind::kCustom:
+      return tt;  // custom mappings require the full element
+  }
+  return tt;
+}
+
+TimePoint MappingFunction::Apply(const Element& e) const {
+  if (kind_ == Kind::kCustom) return custom_(e);
+  return ApplyToTransactionTime(AnchoredTransactionTime(e, anchor_));
+}
+
+std::string MappingFunction::ToDdlClause() const {
+  switch (kind_) {
+    case Kind::kOffset:
+      return "DETERMINED BY TT PLUS " + delta_.ToString();
+    case Kind::kTruncate: {
+      std::string s = "DETERMINED BY FLOOR(" + granularity_.ToString() + ")";
+      if (!delta_.IsZero()) s += " PLUS " + delta_.ToString();
+      return s;
+    }
+    case Kind::kNextPhase:
+      return "DETERMINED BY NEXT(" + granularity_.ToString() + ", " +
+             phase_.ToString() + ")";
+    case Kind::kCustom:
+      return "";
+  }
+  return "";
+}
+
+std::string MappingFunction::ToString() const {
+  const std::string tt =
+      anchor_ == TransactionAnchor::kInsertion ? "tt_b" : "tt_d";
+  switch (kind_) {
+    case Kind::kOffset:
+      return "m(e) = " + tt + " + " + delta_.ToString();
+    case Kind::kTruncate: {
+      std::string s = "m(e) = floor(" + tt + ", " + granularity_.ToString() + ")";
+      if (!delta_.IsZero()) s += " + " + delta_.ToString();
+      return s;
+    }
+    case Kind::kNextPhase:
+      return "m(e) = next(" + tt + ", " + granularity_.ToString() + " @ " +
+             phase_.ToString() + (strictly_after_ ? ", strict)" : ")");
+    case Kind::kCustom:
+      return "m(e) = " + name_;
+  }
+  return "m(e) = ?";
+}
+
+}  // namespace tempspec

@@ -1,0 +1,105 @@
+// Mapping functions for determined temporal relations (Section 3.1).
+//
+// "A mapping function m for a relation R takes as argument an element e of a
+// relation and returns a valid time-stamp, computed using any of the
+// attributes of e, excluding vt_e, but including the surrogate and
+// transaction time-stamp attributes. A temporal relation R is determined if
+// it has a mapping function that correctly computes the valid time-stamps of
+// its elements."
+//
+// The paper's three sample functions are all expressible here:
+//   m1(e) = tt_b + Δt                  — "valid after a fixed delay"
+//   m2(e) = ⌊tt_b⌋_hrs − Δt?           — "valid from the most recent hour"
+//   m3(e) = ⌈tt_b⌉_day + 8 hrs         — "valid from the next closest 8:00 a.m."
+#ifndef TEMPSPEC_SPEC_MAPPING_H_
+#define TEMPSPEC_SPEC_MAPPING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "model/element.h"
+#include "timex/duration.h"
+#include "timex/granularity.h"
+#include "timex/time_point.h"
+
+namespace tempspec {
+
+/// \brief Which transaction time of the element the mapping reads.
+enum class TransactionAnchor : uint8_t {
+  kInsertion,  // tt_b — the default throughout the paper's examples
+  kDeletion,   // tt_d
+};
+
+const char* TransactionAnchorToString(TransactionAnchor anchor);
+
+/// \brief Reads the anchored transaction time of an element.
+inline TimePoint AnchoredTransactionTime(const Element& e, TransactionAnchor a) {
+  return a == TransactionAnchor::kInsertion ? e.tt_begin : e.tt_end;
+}
+
+/// \brief A declarative valid-time mapping function. Built from a pipeline of
+/// primitive steps applied to the anchored transaction time; a custom
+/// element-level function hook covers mappings over other attributes or the
+/// surrogate.
+class MappingFunction {
+ public:
+  /// \brief m(e) = tt + Δt ("valid after a fixed delay"; Δt may be negative
+  /// or calendric).
+  static MappingFunction Offset(Duration delta);
+
+  /// \brief m(e) = ⌊tt⌋_g + Δt ("valid from the most recent <granule>").
+  static MappingFunction TruncateThenOffset(Granularity g,
+                                            Duration delta = Duration::Zero());
+
+  /// \brief m(e) = start of the next granule boundary at phase `phase` at or
+  /// after tt ("valid from the next closest 8:00 a.m." = NextPhase(Day, 8h)).
+  /// When `strictly_after` is set, a tt already on the boundary maps to the
+  /// following one.
+  static MappingFunction NextPhase(Granularity g, Duration phase,
+                                   bool strictly_after = false);
+
+  /// \brief Arbitrary user mapping over the whole element (minus its valid
+  /// time). `name` is used for display.
+  static MappingFunction Custom(std::string name,
+                                std::function<TimePoint(const Element&)> fn);
+
+  /// \brief Computes the valid time-stamp for an element.
+  TimePoint Apply(const Element& e) const;
+
+  /// \brief Convenience for event workloads: applies to a bare transaction
+  /// time (only valid for non-custom mappings).
+  TimePoint ApplyToTransactionTime(TimePoint tt) const;
+
+  TransactionAnchor anchor() const { return anchor_; }
+  MappingFunction WithAnchor(TransactionAnchor anchor) const {
+    MappingFunction m = *this;
+    m.anchor_ = anchor;
+    return m;
+  }
+
+  std::string ToString() const;
+
+  /// \brief Canonical DDL spelling ("DETERMINED BY TT PLUS 30s", "DETERMINED
+  /// BY FLOOR(1h) PLUS 5min", "DETERMINED BY NEXT(day, 8h)"); empty for
+  /// custom mappings, which have no textual form.
+  std::string ToDdlClause() const;
+
+ private:
+  enum class Kind { kOffset, kTruncate, kNextPhase, kCustom };
+
+  MappingFunction() = default;
+
+  Kind kind_ = Kind::kOffset;
+  TransactionAnchor anchor_ = TransactionAnchor::kInsertion;
+  Duration delta_;
+  Granularity granularity_;
+  Duration phase_;
+  bool strictly_after_ = false;
+  std::string name_;
+  std::function<TimePoint(const Element&)> custom_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_MAPPING_H_

@@ -1,0 +1,146 @@
+// SpecializationSet and ConstraintChecker: the bridge between the taxonomy
+// and the relation engine.
+//
+// A SpecializationSet is the designer's declaration of the time semantics of
+// one relation — any combination of isolated-event types (per valid anchor
+// for interval relations), inter-event orderings/regularity, and interval
+// properties. The ConstraintChecker enforces the declaration intensionally:
+// every update that would produce an extension violating any declared
+// property is rejected (Section 3: "for a relation schema to have a
+// particular type, all its possible (non-empty) extensions must satisfy the
+// definition of the type").
+#ifndef TEMPSPEC_SPEC_SPECIALIZATION_H_
+#define TEMPSPEC_SPEC_SPECIALIZATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/element.h"
+#include "model/schema.h"
+#include "spec/event_spec.h"
+#include "spec/interevent_spec.h"
+#include "spec/interinterval_spec.h"
+#include "spec/interval_spec.h"
+
+namespace tempspec {
+
+/// \brief A declared combination of specializations for one relation.
+class SpecializationSet {
+ public:
+  SpecializationSet() = default;
+
+  /// \brief Isolated-event type for an event relation (Section 3.1).
+  SpecializationSet& AddEvent(EventSpecialization spec) {
+    event_specs_.push_back(std::move(spec));
+    return *this;
+  }
+  /// \brief Isolated-event type applied to an endpoint of an interval
+  /// relation (Section 3.3), e.g. vt_e-retroactive.
+  SpecializationSet& AddAnchoredEvent(AnchoredEventSpec spec) {
+    anchored_specs_.push_back(std::move(spec));
+    return *this;
+  }
+  /// \brief Inter-event ordering (Section 3.2).
+  SpecializationSet& AddOrdering(OrderingSpec spec) {
+    orderings_.push_back(spec);
+    return *this;
+  }
+  /// \brief Inter-event regularity (Section 3.2).
+  SpecializationSet& AddRegularity(RegularitySpec spec) {
+    regularities_.push_back(spec);
+    return *this;
+  }
+  /// \brief Inter-interval ordering (Section 3.4).
+  SpecializationSet& AddIntervalOrdering(IntervalOrderingSpec spec) {
+    interval_orderings_.push_back(spec);
+    return *this;
+  }
+  /// \brief Successive transaction time X (Section 3.4).
+  SpecializationSet& AddSuccessive(SuccessiveSpec spec) {
+    successive_.push_back(spec);
+    return *this;
+  }
+  /// \brief Interval regularity (Section 3.3).
+  SpecializationSet& AddIntervalRegularity(IntervalRegularitySpec spec) {
+    interval_regularities_.push_back(spec);
+    return *this;
+  }
+
+  const std::vector<EventSpecialization>& event_specs() const {
+    return event_specs_;
+  }
+  const std::vector<AnchoredEventSpec>& anchored_specs() const {
+    return anchored_specs_;
+  }
+  const std::vector<OrderingSpec>& orderings() const { return orderings_; }
+  const std::vector<RegularitySpec>& regularities() const { return regularities_; }
+  const std::vector<IntervalOrderingSpec>& interval_orderings() const {
+    return interval_orderings_;
+  }
+  const std::vector<SuccessiveSpec>& successive() const { return successive_; }
+  const std::vector<IntervalRegularitySpec>& interval_regularities() const {
+    return interval_regularities_;
+  }
+
+  bool empty() const {
+    return event_specs_.empty() && anchored_specs_.empty() && orderings_.empty() &&
+           regularities_.empty() && interval_orderings_.empty() &&
+           successive_.empty() && interval_regularities_.empty();
+  }
+
+  /// \brief Checks that the declared properties fit the relation kind (event
+  /// specs on event relations, anchored/interval specs on interval
+  /// relations) and that no two declared bands are contradictory (an
+  /// insertion-anchored band pair with empty intersection can never admit an
+  /// element).
+  Status ValidateFor(const Schema& schema) const;
+
+  /// \brief One declaration per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<EventSpecialization> event_specs_;
+  std::vector<AnchoredEventSpec> anchored_specs_;
+  std::vector<OrderingSpec> orderings_;
+  std::vector<RegularitySpec> regularities_;
+  std::vector<IntervalOrderingSpec> interval_orderings_;
+  std::vector<SuccessiveSpec> successive_;
+  std::vector<IntervalRegularitySpec> interval_regularities_;
+};
+
+/// \brief Stateful intensional enforcement of a SpecializationSet.
+///
+/// Feed OnInsert for every insertion (in transaction-time order; the
+/// relation's clock guarantees monotone stamps) and OnLogicalDelete when an
+/// element's tt_d is set. Inter-element properties are enforced online for
+/// the insertion anchor; deletion-anchored isolated properties are enforced
+/// at deletion time.
+class ConstraintChecker {
+ public:
+  ConstraintChecker(const SpecializationSet& specs, Granularity granularity);
+
+  /// \brief Checks a prospective insertion. Does not mutate state on error,
+  /// so a rejected element can be corrected and retried.
+  Status OnInsert(const Element& e);
+
+  /// \brief Checks a prospective logical deletion (e.tt_end must be set).
+  Status OnLogicalDelete(const Element& e) const;
+
+  /// \brief Batch verification of a full extension against every declared
+  /// property (including deletion anchors); used on recovery and by tests.
+  Status CheckExtension(std::span<const Element> elements) const;
+
+  void Reset();
+
+ private:
+  const SpecializationSet specs_;
+  Granularity granularity_;
+  std::vector<OnlineOrderingChecker> ordering_checkers_;
+  std::vector<OnlineRegularityChecker> regularity_checkers_;
+  std::vector<OnlineIntervalChecker> interval_checkers_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_SPEC_SPECIALIZATION_H_

@@ -1,0 +1,236 @@
+#include "storage/backlog.h"
+
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/serde.h"
+
+namespace tempspec {
+
+namespace {
+constexpr uint32_t kBacklogMagic = 0x544C4B42;  // "BKLT"
+}  // namespace
+
+std::string BacklogEntry::Encode() const {
+  std::string out;
+  Encoder enc(&out);
+  enc.PutU8(static_cast<uint8_t>(op));
+  enc.PutTimePoint(tt);
+  if (op == BacklogOpType::kInsert) {
+    EncodeElement(element, &enc);
+  } else {
+    enc.PutU64(target);
+  }
+  return out;
+}
+
+Result<BacklogEntry> BacklogEntry::Decode(std::string_view payload) {
+  Decoder dec(payload);
+  BacklogEntry entry;
+  TS_ASSIGN_OR_RETURN(uint8_t op, dec.GetU8());
+  if (op != static_cast<uint8_t>(BacklogOpType::kInsert) &&
+      op != static_cast<uint8_t>(BacklogOpType::kLogicalDelete)) {
+    return Status::Corruption("unknown backlog op ", static_cast<int>(op));
+  }
+  entry.op = static_cast<BacklogOpType>(op);
+  TS_ASSIGN_OR_RETURN(entry.tt, dec.GetTimePoint());
+  if (entry.op == BacklogOpType::kInsert) {
+    TS_ASSIGN_OR_RETURN(entry.element, DecodeElement(&dec));
+  } else {
+    TS_ASSIGN_OR_RETURN(entry.target, dec.GetU64());
+  }
+  return entry;
+}
+
+Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
+  auto store = std::unique_ptr<BacklogStore>(new BacklogStore());
+  if (options.directory.empty()) return store;
+
+  TS_ASSIGN_OR_RETURN(store->disk_,
+                      DiskManager::Open(options.directory + "/backlog.pages"));
+  store->buffer_pool_pages_ = options.buffer_pool_pages;
+  store->pool_ = std::make_unique<BufferPool>(store->disk_.get(),
+                                              options.buffer_pool_pages);
+  TS_RETURN_NOT_OK(store->RecoverFromPages());
+
+  TS_ASSIGN_OR_RETURN(store->wal_,
+                      WriteAheadLog::Open(options.directory + "/backlog.wal",
+                                          options.sync_mode));
+  // WAL holds the operations appended since the last checkpoint.
+  auto replayed = store->wal_->Replay(
+      [&](uint64_t, std::string_view payload) -> Status {
+        TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(payload));
+        store->entries_.push_back(std::move(entry));
+        return Status::OK();
+      });
+  TS_RETURN_NOT_OK(replayed.status());
+  return store;
+}
+
+Status BacklogStore::RecoverFromPages() {
+  if (disk_->page_count() == 0) {
+    // Fresh file: create and flush the header page, so a process that exits
+    // without ever checkpointing still leaves a well-formed file behind.
+    {
+      TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
+      SlottedPage sp(header.mutable_page());
+      sp.Init();
+      std::string meta;
+      Encoder enc(&meta);
+      enc.PutU32(kBacklogMagic);
+      enc.PutU64(0);
+      TS_RETURN_NOT_OK(sp.Insert(meta).status());
+    }
+    return pool_->FlushAll();
+  }
+
+  TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Fetch(0));
+  Page page_copy = header.page();
+  SlottedPage sp(&page_copy);
+  TS_ASSIGN_OR_RETURN(std::string_view meta, sp.Get(0));
+  Decoder dec(meta);
+  TS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
+  if (magic != kBacklogMagic) {
+    return Status::Corruption("bad backlog page-file magic");
+  }
+  TS_ASSIGN_OR_RETURN(uint64_t persisted, dec.GetU64());
+
+  uint64_t read = 0;
+  for (PageId id = 1; id < disk_->page_count() && read < persisted; ++id) {
+    TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
+    Page data_copy = guard.page();
+    SlottedPage data(&data_copy);
+    for (uint16_t slot = 0; slot < data.slot_count() && read < persisted; ++slot) {
+      TS_ASSIGN_OR_RETURN(std::string_view record, data.Get(slot));
+      TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(record));
+      entries_.push_back(std::move(entry));
+      ++read;
+    }
+  }
+  if (read != persisted) {
+    return Status::Corruption("backlog page file claims ", persisted,
+                              " entries but only ", read, " are readable");
+  }
+  persisted_entries_ = persisted;
+  return Status::OK();
+}
+
+Status BacklogStore::Append(const BacklogEntry& entry) {
+  if (wal_) {
+    TS_RETURN_NOT_OK(wal_->Append(entry.Encode()).status());
+  }
+  entries_.push_back(entry);
+  return Status::OK();
+}
+
+std::vector<Element> BacklogStore::MaterializeState(TimePoint tt) const {
+  std::unordered_map<ElementSurrogate, Element> alive;
+  for (const BacklogEntry& e : entries_) {
+    if (e.tt > tt) break;  // entries are in transaction-time order
+    if (e.op == BacklogOpType::kInsert) {
+      alive.emplace(e.element.element_surrogate, e.element);
+    } else {
+      alive.erase(e.target);
+    }
+  }
+  std::vector<Element> out;
+  out.reserve(alive.size());
+  for (auto& [id, element] : alive) out.push_back(std::move(element));
+  return out;
+}
+
+std::vector<Element> BacklogStore::ReconstructElements() const {
+  std::vector<Element> out;
+  std::unordered_map<ElementSurrogate, size_t> index;
+  for (const BacklogEntry& e : entries_) {
+    if (e.op == BacklogOpType::kInsert) {
+      index[e.element.element_surrogate] = out.size();
+      out.push_back(e.element);
+    } else {
+      auto it = index.find(e.target);
+      if (it != index.end()) out[it->second].tt_end = e.tt;
+    }
+  }
+  return out;
+}
+
+Status BacklogStore::PersistRange(size_t begin, size_t end) {
+  PageId current = disk_->page_count() > 1 ? disk_->page_count() - 1 : kInvalidPageId;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string record = entries_[i].Encode();
+    bool stored = false;
+    if (current != kInvalidPageId) {
+      TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+      SlottedPage sp(guard.mutable_page());
+      if (sp.Fits(record.size())) {
+        TS_RETURN_NOT_OK(sp.Insert(record).status());
+        stored = true;
+      }
+    }
+    if (!stored) {
+      TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Allocate());
+      SlottedPage sp(guard.mutable_page());
+      sp.Init();
+      TS_RETURN_NOT_OK(sp.Insert(record).status());
+      current = guard.id();
+    }
+  }
+  return Status::OK();
+}
+
+Status BacklogStore::WriteHeader() {
+  TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Fetch(0));
+  SlottedPage sp(header.mutable_page());
+  sp.Init();
+  std::string meta;
+  Encoder enc(&meta);
+  enc.PutU32(kBacklogMagic);
+  enc.PutU64(persisted_entries_);
+  return sp.Insert(meta).status();
+}
+
+Status BacklogStore::Checkpoint() {
+  if (!wal_) return Status::OK();
+  TS_RETURN_NOT_OK(PersistRange(persisted_entries_, entries_.size()));
+  persisted_entries_ = entries_.size();
+
+  // Rewrite the header, flush pages, then reset the WAL: the order matters —
+  // an entry must never exist only in a reset WAL.
+  TS_RETURN_NOT_OK(WriteHeader());
+  TS_RETURN_NOT_OK(pool_->FlushAll());
+  return wal_->Reset();
+}
+
+Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
+  entries_ = std::move(entries);
+  persisted_entries_ = 0;
+  if (!wal_) return Status::OK();
+
+  // Drop cached frames (they reference discarded pages), wipe the page
+  // file, write the compacted history, and only then reset the WAL.
+  pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
+  TS_RETURN_NOT_OK(disk_->Truncate());
+  {
+    TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
+    SlottedPage sp(header.mutable_page());
+    sp.Init();
+    std::string meta;
+    Encoder enc(&meta);
+    enc.PutU32(kBacklogMagic);
+    enc.PutU64(0);
+    TS_RETURN_NOT_OK(sp.Insert(meta).status());
+  }
+  TS_RETURN_NOT_OK(PersistRange(0, entries_.size()));
+  persisted_entries_ = entries_.size();
+  TS_RETURN_NOT_OK(WriteHeader());
+  TS_RETURN_NOT_OK(pool_->FlushAll());
+  return wal_->Reset();
+}
+
+size_t BacklogStore::EncodedBytes() const {
+  size_t total = 0;
+  for (const auto& e : entries_) total += e.Encode().size();
+  return total;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,87 @@
+#include "storage/buffer_pool.h"
+
+namespace tempspec {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  TS_ASSIGN_OR_RETURN(size_t frame, GetFrame(id));
+  return PageGuard(this, frame, id);
+}
+
+Result<PageGuard> BufferPool::Allocate() {
+  TS_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+  return Fetch(id);
+}
+
+Result<size_t> BufferPool::GetFrame(PageId id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    Frame& f = *frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return it->second;
+  }
+  ++misses_;
+
+  size_t index;
+  if (frames_.size() < capacity_) {
+    frames_.push_back(std::make_unique<Frame>());
+    index = frames_.size() - 1;
+  } else {
+    TS_ASSIGN_OR_RETURN(index, FindVictim());
+    Frame& victim = *frames_[index];
+    if (victim.dirty) {
+      TS_RETURN_NOT_OK(disk_->WritePage(victim.id, victim.page));
+    }
+    table_.erase(victim.id);
+    ++evictions_;
+  }
+
+  Frame& f = *frames_[index];
+  TS_RETURN_NOT_OK(disk_->ReadPage(id, &f.page));
+  f.id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.in_lru = false;
+  table_[id] = index;
+  return index;
+}
+
+Result<size_t> BufferPool::FindVictim() {
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all ", capacity_,
+                            " frames are pinned");
+  }
+  const size_t index = lru_.front();
+  lru_.pop_front();
+  frames_[index]->in_lru = false;
+  return index;
+}
+
+void BufferPool::Unpin(size_t frame_index, bool dirty) {
+  Frame& f = *frames_[frame_index];
+  f.dirty = f.dirty || dirty;
+  if (--f.pin_count == 0) {
+    lru_.push_back(frame_index);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& frame : frames_) {
+    if (frame->id != kInvalidPageId && frame->dirty) {
+      TS_RETURN_NOT_OK(disk_->WritePage(frame->id, frame->page));
+      frame->dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace tempspec

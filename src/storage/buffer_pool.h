@@ -1,0 +1,112 @@
+// Buffer pool: fixed set of in-memory frames over a DiskManager, with LRU
+// eviction and pin counting.
+#ifndef TEMPSPEC_STORAGE_BUFFER_POOL_H_
+#define TEMPSPEC_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Handle to a pinned page; unpins on destruction.
+class PageGuard;
+
+/// \brief LRU-evicting cache of pages.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// \brief Pins a page, reading it from disk on miss. Fails when every
+  /// frame is pinned.
+  Result<PageGuard> Fetch(PageId id);
+
+  /// \brief Allocates a fresh page on disk and pins it.
+  Result<PageGuard> Allocate();
+
+  /// \brief Writes all dirty frames back and fsyncs.
+  Status FlushAll();
+
+  // Statistics (monotonic since construction).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  Result<size_t> GetFrame(PageId id);
+  Result<size_t> FindVictim();
+  void Unpin(size_t frame_index, bool dirty);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::list<size_t> lru_;  // front = least recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_index, PageId id)
+      : pool_(pool), frame_(frame_index), id_(id) {}
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    return *this;
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  const Page& page() const { return pool_->frames_[frame_]->page; }
+  /// \brief Mutable access; marks the frame dirty.
+  Page* mutable_page() {
+    dirty_ = true;
+    return &pool_->frames_[frame_]->page;
+  }
+
+  void Release() {
+    if (pool_) {
+      pool_->Unpin(frame_, dirty_);
+      pool_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+  bool dirty_ = false;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_STORAGE_BUFFER_POOL_H_

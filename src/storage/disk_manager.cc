@@ -1,0 +1,92 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tempspec {
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open '", path, "': ", std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat '", path, "': ", std::strerror(err));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("file '", path, "' size ", st.st_size,
+                              " is not a multiple of the page size");
+  }
+  const uint64_t pages = static_cast<uint64_t>(st.st_size) / kPageSize;
+  return std::unique_ptr<DiskManager>(new DiskManager(path, fd, pages));
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  Page zero;
+  zero.Zero();
+  const PageId id = page_count_;
+  TS_RETURN_NOT_OK(WritePageInternal(id, zero));
+  page_count_ = id + 1;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) const {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page ", id, " beyond end of file (", page_count_,
+                              " pages)");
+  }
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pread(fd_, out->data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short read of page ", id, " from '", path_, "'");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page ", id, " beyond end of file (", page_count_,
+                              " pages); AllocatePage first");
+  }
+  return WritePageInternal(id, page);
+}
+
+Status DiskManager::WritePageInternal(PageId id, const Page& page) {
+  const off_t offset = static_cast<off_t>(id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short write of page ", id, " to '", path_, "'");
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("truncate failed on '", path_, "': ",
+                           std::strerror(errno));
+  }
+  page_count_ = 0;
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on '", path_, "': ",
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace tempspec

@@ -1,0 +1,54 @@
+// File-backed page storage.
+#ifndef TEMPSPEC_STORAGE_DISK_MANAGER_H_
+#define TEMPSPEC_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief Owns one data file as an array of pages.
+class DiskManager {
+ public:
+  /// \brief Opens (creating if absent) the file at `path`.
+  static Result<std::unique_ptr<DiskManager>> Open(const std::string& path);
+
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// \brief Number of pages currently in the file.
+  uint64_t page_count() const { return page_count_; }
+
+  /// \brief Extends the file by one zeroed page; returns its id.
+  Result<PageId> AllocatePage();
+
+  Status ReadPage(PageId id, Page* out) const;
+  Status WritePage(PageId id, const Page& page);
+
+  /// \brief fsync.
+  Status Sync();
+
+  /// \brief Discards all pages (used by backlog compaction). Any cached
+  /// frames above this manager must be dropped by the caller first.
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DiskManager(std::string path, int fd, uint64_t page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+
+  Status WritePageInternal(PageId id, const Page& page);
+
+  std::string path_;
+  int fd_;
+  uint64_t page_count_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_STORAGE_DISK_MANAGER_H_

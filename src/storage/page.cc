@@ -1,0 +1,52 @@
+#include "storage/page.h"
+
+namespace tempspec {
+
+void SlottedPage::Init() {
+  page_->Zero();
+  WriteU16(0, 0);                                   // slot_count
+  WriteU16(2, static_cast<uint16_t>(kPageSize));    // free_offset (record end)
+}
+
+size_t SlottedPage::FreeSpace() const {
+  const size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  const size_t free_offset = ReadU16(2) == 0 ? kPageSize : ReadU16(2);
+  return free_offset > dir_end ? free_offset - dir_end : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kPageSize - kHeaderSize - kSlotEntrySize) {
+    return Status::InvalidArgument("record of ", record.size(),
+                                   " bytes exceeds page capacity");
+  }
+  if (!Fits(record.size())) {
+    return Status::OutOfRange("page full: need ", record.size() + kSlotEntrySize,
+                              " bytes, have ", FreeSpace());
+  }
+  const uint16_t count = slot_count();
+  const uint16_t free_offset = ReadU16(2) == 0 ? kPageSize : ReadU16(2);
+  const uint16_t rec_offset = static_cast<uint16_t>(free_offset - record.size());
+  std::memcpy(page_->data + rec_offset, record.data(), record.size());
+  const size_t slot_pos = kHeaderSize + count * kSlotEntrySize;
+  WriteU16(slot_pos, rec_offset);
+  WriteU16(slot_pos + 2, static_cast<uint16_t>(record.size()));
+  WriteU16(0, count + 1);
+  WriteU16(2, rec_offset);
+  return count;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::OutOfRange("slot ", slot, " out of range (", slot_count(),
+                              " slots)");
+  }
+  const size_t slot_pos = kHeaderSize + slot * kSlotEntrySize;
+  const uint16_t offset = ReadU16(slot_pos);
+  const uint16_t len = ReadU16(slot_pos + 2);
+  if (offset + len > kPageSize) {
+    return Status::Corruption("slot ", slot, " points outside the page");
+  }
+  return std::string_view(page_->data + offset, len);
+}
+
+}  // namespace tempspec

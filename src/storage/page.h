@@ -1,0 +1,67 @@
+// Fixed-size pages and the slotted-page record layout.
+#ifndef TEMPSPEC_STORAGE_PAGE_H_
+#define TEMPSPEC_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace tempspec {
+
+constexpr size_t kPageSize = 8192;
+using PageId = uint64_t;
+constexpr PageId kInvalidPageId = ~0ull;
+
+/// \brief A raw page buffer.
+struct Page {
+  alignas(8) char data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+};
+
+/// \brief Slotted-record view over a Page.
+///
+/// Layout: [u16 slot_count][u16 free_offset][slot directory: u16 off, u16 len
+/// per slot][... free space ...][records packed from the end].
+class SlottedPage {
+ public:
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// \brief Formats an empty page.
+  void Init();
+
+  uint16_t slot_count() const { return ReadU16(0); }
+
+  /// \brief Free bytes remaining (accounting for the new slot entry).
+  size_t FreeSpace() const;
+
+  /// \brief True if a record of `size` bytes fits.
+  bool Fits(size_t size) const { return FreeSpace() >= size + kSlotEntrySize; }
+
+  /// \brief Appends a record; returns its slot index.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// \brief Reads the record in a slot.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+ private:
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotEntrySize = 4;
+
+  uint16_t ReadU16(size_t offset) const {
+    uint16_t v;
+    std::memcpy(&v, page_->data + offset, 2);
+    return v;
+  }
+  void WriteU16(size_t offset, uint16_t v) {
+    std::memcpy(page_->data + offset, &v, 2);
+  }
+
+  Page* page_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_STORAGE_PAGE_H_

@@ -1,0 +1,60 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+
+namespace tempspec {
+
+void SnapshotManager::Refresh() {
+  const auto& entries = store_->entries();
+  while (consumed_ < entries.size()) {
+    const BacklogEntry& e = entries[consumed_];
+    if (e.op == BacklogOpType::kInsert) {
+      running_.emplace(e.element.element_surrogate, e.element);
+    } else {
+      running_.erase(e.target);
+    }
+    ++consumed_;
+    if (consumed_ % interval_ == 0) {
+      snapshots_.push_back(Snapshot{e.tt, consumed_, running_});
+    }
+  }
+}
+
+std::vector<Element> SnapshotManager::StateAt(TimePoint tt) const {
+  // Latest snapshot whose covered transaction time is <= tt. Snapshot
+  // positions and transaction times increase together.
+  const Snapshot* base = nullptr;
+  auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), tt,
+      [](TimePoint t, const Snapshot& s) { return t < s.tt; });
+  if (it != snapshots_.begin()) base = &*std::prev(it);
+
+  std::unordered_map<ElementSurrogate, Element> state;
+  size_t position = 0;
+  if (base != nullptr) {
+    state = base->state;
+    position = base->position;
+  }
+  const auto& entries = store_->entries();
+  for (size_t i = position; i < entries.size(); ++i) {
+    const BacklogEntry& e = entries[i];
+    if (e.tt > tt) break;
+    if (e.op == BacklogOpType::kInsert) {
+      state.emplace(e.element.element_surrogate, e.element);
+    } else {
+      state.erase(e.target);
+    }
+  }
+  std::vector<Element> out;
+  out.reserve(state.size());
+  for (auto& [id, element] : state) out.push_back(element);
+  return out;
+}
+
+size_t SnapshotManager::cached_elements() const {
+  size_t total = running_.size();
+  for (const auto& s : snapshots_) total += s.state.size();
+  return total;
+}
+
+}  // namespace tempspec

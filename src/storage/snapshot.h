@@ -1,0 +1,55 @@
+// Snapshot cache with differential replay.
+//
+// Rollback on a pure backlog is O(operations before tt). Caching periodic
+// materialized states and replaying only the differential suffix is the
+// technique of the paper's [JMRS90] reference ("using caching, cache
+// indexing, and differential techniques to efficiently support transaction
+// time"); bench_e9_rollback measures the effect.
+#ifndef TEMPSPEC_STORAGE_SNAPSHOT_H_
+#define TEMPSPEC_STORAGE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backlog.h"
+
+namespace tempspec {
+
+/// \brief Periodic materialized states over a BacklogStore.
+class SnapshotManager {
+ public:
+  /// \brief Takes a snapshot every `interval` appended operations.
+  SnapshotManager(const BacklogStore* store, size_t interval)
+      : store_(store), interval_(interval == 0 ? 1 : interval) {}
+
+  /// \brief Catches up with the store, materializing any snapshots that are
+  /// due. Call after appends (any batching is fine).
+  void Refresh();
+
+  /// \brief Historical state at `tt`: nearest cached snapshot at or before
+  /// `tt`, plus differential replay of the remaining operations.
+  std::vector<Element> StateAt(TimePoint tt) const;
+
+  size_t snapshot_count() const { return snapshots_.size(); }
+
+  /// \brief Approximate resident size of the cache, in elements.
+  size_t cached_elements() const;
+
+ private:
+  struct Snapshot {
+    TimePoint tt;                     // transaction time covered
+    size_t position;                  // operations applied (prefix length)
+    std::unordered_map<ElementSurrogate, Element> state;
+  };
+
+  const BacklogStore* store_;
+  size_t interval_;
+  size_t consumed_ = 0;  // operations folded into `running_`
+  std::unordered_map<ElementSurrogate, Element> running_;
+  std::vector<Snapshot> snapshots_;  // ordered by position
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,123 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "storage/serde.h"
+
+namespace tempspec {
+
+namespace {
+constexpr size_t kRecordHeaderSize = 4 + 4 + 8;  // len, crc, lsn
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path,
+                                                           SyncMode mode,
+                                                           uint32_t sync_every) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open WAL '", path, "': ", std::strerror(errno));
+  }
+  auto wal = std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, mode, sync_every == 0 ? 1 : sync_every));
+  // Scan once to learn the next LSN (replay discards payloads).
+  auto replayed = wal->Replay(
+      [](uint64_t, std::string_view) { return Status::OK(); });
+  TS_RETURN_NOT_OK(replayed.status());
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
+  const uint64_t lsn = next_lsn_;
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  Encoder enc(&record);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(Crc32(payload));
+  enc.PutU64(lsn);
+  record.append(payload.data(), payload.size());
+
+  size_t done = 0;
+  while (done < record.size()) {
+    ssize_t n = ::write(fd_, record.data() + done, record.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("WAL append failed: ", std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  bytes_written_ += record.size();
+  ++next_lsn_;
+
+  if (mode_ == SyncMode::kAlways ||
+      (mode_ == SyncMode::kEveryN && ++appends_since_sync_ >= sync_every_)) {
+    TS_RETURN_NOT_OK(Sync());
+  }
+  return lsn;
+}
+
+Status WriteAheadLog::Sync() {
+  appends_since_sync_ = 0;
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("WAL fsync failed: ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::Replay(
+    const std::function<Status(uint64_t, std::string_view)>& fn) {
+  // Read the whole file via a separate descriptor so the append offset is
+  // untouched.
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot reopen WAL '", path_, "' for replay");
+  }
+  std::string content;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    content.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  uint64_t count = 0;
+  size_t pos = 0;
+  uint64_t max_lsn_seen = next_lsn_ == 0 ? 0 : next_lsn_ - 1;
+  bool any = next_lsn_ > 0;
+  while (pos + kRecordHeaderSize <= content.size()) {
+    Decoder dec(std::string_view(content).substr(pos, kRecordHeaderSize));
+    const uint32_t len = dec.GetU32().ValueOrDie();
+    const uint32_t crc = dec.GetU32().ValueOrDie();
+    const uint64_t lsn = dec.GetU64().ValueOrDie();
+    if (pos + kRecordHeaderSize + len > content.size()) break;  // torn tail
+    const std::string_view payload(content.data() + pos + kRecordHeaderSize, len);
+    if (Crc32(payload) != crc) break;  // corrupt tail
+    TS_RETURN_NOT_OK(fn(lsn, payload));
+    if (!any || lsn > max_lsn_seen) {
+      max_lsn_seen = lsn;
+      any = true;
+    }
+    ++count;
+    pos += kRecordHeaderSize + len;
+  }
+  if (any) next_lsn_ = max_lsn_seen + 1;
+  return count;
+}
+
+Status WriteAheadLog::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("WAL truncate failed: ", std::strerror(errno));
+  }
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+}  // namespace tempspec

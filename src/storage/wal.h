@@ -1,0 +1,68 @@
+// Write-ahead log: durable, CRC-guarded, append-only record stream.
+//
+// The backlog store writes every operation here before applying it; recovery
+// replays the log. A torn tail (partial record, CRC mismatch) terminates
+// replay cleanly — standard crash semantics.
+#ifndef TEMPSPEC_STORAGE_WAL_H_
+#define TEMPSPEC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace tempspec {
+
+enum class SyncMode : uint8_t {
+  kNone,      // rely on the OS page cache (fastest, weakest)
+  kEveryN,    // fsync every N appends
+  kAlways,    // fsync per append
+};
+
+/// \brief Append-only log file with CRC-checked records.
+class WriteAheadLog {
+ public:
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     SyncMode mode = SyncMode::kNone,
+                                                     uint32_t sync_every = 64);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// \brief Appends a record; returns its LSN (sequential from 0).
+  Result<uint64_t> Append(std::string_view payload);
+
+  Status Sync();
+
+  /// \brief Replays all intact records from the beginning. Returns the
+  /// number of records delivered.
+  Result<uint64_t> Replay(
+      const std::function<Status(uint64_t lsn, std::string_view payload)>& fn);
+
+  /// \brief Discards the log contents (after a checkpoint has persisted
+  /// everything elsewhere). LSNs continue from where they were.
+  Status Reset();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WriteAheadLog(std::string path, int fd, SyncMode mode, uint32_t sync_every)
+      : path_(std::move(path)), fd_(fd), mode_(mode), sync_every_(sync_every) {}
+
+  std::string path_;
+  int fd_;
+  SyncMode mode_;
+  uint32_t sync_every_;
+  uint32_t appends_since_sync_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_STORAGE_WAL_H_

@@ -1,0 +1,17 @@
+#include "timex/clock.h"
+
+#include <chrono>
+
+namespace tempspec {
+
+TimePoint SystemClock::Next() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const int64_t micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  TimePoint tp = TimePoint::FromMicros(micros);
+  if (!(tp > last_)) tp = TimePoint::FromMicros(last_.micros() + 1);
+  last_ = tp;
+  return tp;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,136 @@
+#include "timex/granularity.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tempspec {
+
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FixedUnitMicros(Granularity::Unit unit) {
+  switch (unit) {
+    case Granularity::Unit::kMicrosecond:
+      return 1;
+    case Granularity::Unit::kMillisecond:
+      return 1000;
+    case Granularity::Unit::kSecond:
+      return kMicrosPerSecond;
+    case Granularity::Unit::kMinute:
+      return kMicrosPerMinute;
+    case Granularity::Unit::kHour:
+      return kMicrosPerHour;
+    case Granularity::Unit::kDay:
+      return kMicrosPerDay;
+    case Granularity::Unit::kWeek:
+      return kMicrosPerWeek;
+    default:
+      return 0;  // calendric
+  }
+}
+
+}  // namespace
+
+TimePoint Granularity::Truncate(TimePoint tp) const {
+  if (tp.IsMin() || tp.IsMax()) return tp;
+  if (!IsCalendric()) {
+    const int64_t granule = FixedUnitMicros(unit_) * count_;
+    return TimePoint::FromMicros(FloorDiv(tp.micros(), granule) * granule);
+  }
+  CivilDateTime c = ToCivil(tp);
+  const int64_t monthsPerGranule = (unit_ == Unit::kMonth ? 1 : 12) * count_;
+  int64_t linear = static_cast<int64_t>(c.year) * 12 + (c.month - 1);
+  linear = FloorDiv(linear, monthsPerGranule) * monthsPerGranule;
+  CivilDateTime start;
+  start.year = static_cast<int32_t>(FloorDiv(linear, 12));
+  start.month = static_cast<int32_t>(linear - static_cast<int64_t>(start.year) * 12) + 1;
+  start.day = 1;
+  return FromCivil(start);
+}
+
+TimePoint Granularity::Ceil(TimePoint tp) const {
+  const TimePoint floor = Truncate(tp);
+  return floor == tp ? tp : NextGranule(tp);
+}
+
+TimePoint Granularity::NextGranule(TimePoint tp) const {
+  if (tp.IsMin() || tp.IsMax()) return tp;
+  const TimePoint floor = Truncate(tp);
+  return floor + AsDuration();
+}
+
+Duration Granularity::AsDuration() const {
+  switch (unit_) {
+    case Unit::kMonth:
+      return Duration::Months(count_);
+    case Unit::kYear:
+      return Duration::Years(count_);
+    default:
+      return Duration::Micros(FixedUnitMicros(unit_) * count_);
+  }
+}
+
+std::string Granularity::ToString() const {
+  const char* name = "";
+  switch (unit_) {
+    case Unit::kMicrosecond:
+      name = "us";
+      break;
+    case Unit::kMillisecond:
+      name = "ms";
+      break;
+    case Unit::kSecond:
+      name = "s";
+      break;
+    case Unit::kMinute:
+      name = "min";
+      break;
+    case Unit::kHour:
+      name = "h";
+      break;
+    case Unit::kDay:
+      name = "day";
+      break;
+    case Unit::kWeek:
+      name = "week";
+      break;
+    case Unit::kMonth:
+      name = "month";
+      break;
+    case Unit::kYear:
+      name = "year";
+      break;
+  }
+  if (count_ == 1) return name;
+  return std::to_string(count_) + name;
+}
+
+Result<Granularity> ParseGranularity(const std::string& text) {
+  std::string s = ToLower(std::string(Trim(text)));
+  size_t i = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  int32_t count = 1;
+  if (i > 0) count = std::atoi(s.substr(0, i).c_str());
+  if (count < 1) return Status::InvalidArgument("granularity count must be >= 1");
+  const std::string unit = s.substr(i);
+  using U = Granularity::Unit;
+  if (unit == "us" || unit == "microsecond") return Granularity(U::kMicrosecond, count);
+  if (unit == "ms" || unit == "millisecond") return Granularity(U::kMillisecond, count);
+  if (unit == "s" || unit == "sec" || unit == "second") return Granularity(U::kSecond, count);
+  if (unit == "min" || unit == "minute") return Granularity(U::kMinute, count);
+  if (unit == "h" || unit == "hour") return Granularity(U::kHour, count);
+  if (unit == "day" || unit == "d") return Granularity(U::kDay, count);
+  if (unit == "week" || unit == "w") return Granularity(U::kWeek, count);
+  if (unit == "month" || unit == "mo") return Granularity(U::kMonth, count);
+  if (unit == "year" || unit == "y") return Granularity(U::kYear, count);
+  return Status::InvalidArgument("unknown granularity unit: '", unit, "'");
+}
+
+}  // namespace tempspec

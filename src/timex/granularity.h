@@ -1,0 +1,86 @@
+// Granularity: the chronon size of a relation's time-stamps.
+//
+// Section 2: "Each relation may have an individual valid time-stamp
+// granularity, or the database system may impose a fixed granularity."
+// Section 3.1: degenerate relations require equality "within the selected
+// granularity", and valid-time event regularity with unit Δt expresses a
+// granularity of Δt.
+#ifndef TEMPSPEC_TIMEX_GRANULARITY_H_
+#define TEMPSPEC_TIMEX_GRANULARITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "timex/duration.h"
+#include "timex/time_point.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief A partition of the time line into equal granules. Fixed units
+/// (micros..weeks) and calendric units (month, year) are supported.
+class Granularity {
+ public:
+  enum class Unit : uint8_t {
+    kMicrosecond,
+    kMillisecond,
+    kSecond,
+    kMinute,
+    kHour,
+    kDay,
+    kWeek,   // anchored so granule boundaries fall on Thursdays (epoch day)
+    kMonth,  // calendric
+    kYear,   // calendric
+  };
+
+  constexpr Granularity() : unit_(Unit::kMicrosecond), count_(1) {}
+  /// \brief `count` consecutive `unit`s per granule, e.g. (kMinute, 15).
+  /// count must be >= 1.
+  constexpr Granularity(Unit unit, int32_t count = 1) : unit_(unit), count_(count) {}
+
+  static constexpr Granularity Microsecond() { return {Unit::kMicrosecond}; }
+  static constexpr Granularity Millisecond() { return {Unit::kMillisecond}; }
+  static constexpr Granularity Second() { return {Unit::kSecond}; }
+  static constexpr Granularity Minute() { return {Unit::kMinute}; }
+  static constexpr Granularity Hour() { return {Unit::kHour}; }
+  static constexpr Granularity Day() { return {Unit::kDay}; }
+  static constexpr Granularity Week() { return {Unit::kWeek}; }
+  static constexpr Granularity Month() { return {Unit::kMonth}; }
+  static constexpr Granularity Year() { return {Unit::kYear}; }
+
+  Unit unit() const { return unit_; }
+  int32_t count() const { return count_; }
+
+  bool IsCalendric() const { return unit_ == Unit::kMonth || unit_ == Unit::kYear; }
+
+  /// \brief Start of the granule containing tp (floor). Sentinels map to
+  /// themselves.
+  TimePoint Truncate(TimePoint tp) const;
+
+  /// \brief Start of the first granule at or after tp (ceiling).
+  TimePoint Ceil(TimePoint tp) const;
+
+  /// \brief Start of the granule strictly after the one containing tp.
+  TimePoint NextGranule(TimePoint tp) const;
+
+  /// \brief True if both instants fall into the same granule — the paper's
+  /// "identical within the selected granularity" (degenerate relations).
+  bool Same(TimePoint a, TimePoint b) const { return Truncate(a) == Truncate(b); }
+
+  /// \brief The granule length as a Duration (calendric for month/year).
+  Duration AsDuration() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(Granularity a, Granularity b) = default;
+
+ private:
+  Unit unit_;
+  int32_t count_;
+};
+
+Result<Granularity> ParseGranularity(const std::string& text);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TIMEX_GRANULARITY_H_

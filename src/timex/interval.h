@@ -1,0 +1,77 @@
+// Half-open time intervals [begin, end).
+//
+// Used both for valid-time interval stamps (Section 3.3) and for element
+// existence intervals [tt_b, tt_d) (Section 2).
+#ifndef TEMPSPEC_TIMEX_INTERVAL_H_
+#define TEMPSPEC_TIMEX_INTERVAL_H_
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "timex/duration.h"
+#include "timex/time_point.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief A half-open interval [begin, end) on the shared time line.
+/// begin <= end; begin == end denotes the empty interval at begin.
+class TimeInterval {
+ public:
+  constexpr TimeInterval() : begin_(TimePoint::Min()), end_(TimePoint::Max()) {}
+  constexpr TimeInterval(TimePoint begin, TimePoint end) : begin_(begin), end_(end) {}
+
+  static Result<TimeInterval> Make(TimePoint begin, TimePoint end) {
+    if (end < begin) {
+      return Status::InvalidArgument("interval end ", end.ToString(),
+                                     " precedes begin ", begin.ToString());
+    }
+    return TimeInterval(begin, end);
+  }
+
+  /// \brief The whole time line.
+  static constexpr TimeInterval All() { return TimeInterval(); }
+  /// \brief [begin, forever) — the existence interval of a current element.
+  static constexpr TimeInterval From(TimePoint begin) {
+    return TimeInterval(begin, TimePoint::Max());
+  }
+
+  constexpr TimePoint begin() const { return begin_; }
+  constexpr TimePoint end() const { return end_; }
+
+  constexpr bool IsEmpty() const { return begin_ >= end_; }
+
+  constexpr bool Contains(TimePoint tp) const { return begin_ <= tp && tp < end_; }
+  constexpr bool Contains(const TimeInterval& other) const {
+    return begin_ <= other.begin_ && other.end_ <= end_;
+  }
+  constexpr bool Overlaps(const TimeInterval& other) const {
+    return begin_ < other.end_ && other.begin_ < end_;
+  }
+
+  TimeInterval Intersect(const TimeInterval& other) const {
+    return TimeInterval(std::max(begin_, other.begin_), std::min(end_, other.end_));
+  }
+
+  /// \brief Fixed duration end - begin; meaningful only for non-sentinel ends.
+  Duration Length() const { return end_ - begin_; }
+
+  std::string ToString() const {
+    return "[" + begin_.ToString() + ", " + end_.ToString() + ")";
+  }
+
+  friend constexpr bool operator==(const TimeInterval&, const TimeInterval&) = default;
+
+ private:
+  TimePoint begin_;
+  TimePoint end_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TimeInterval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TIMEX_INTERVAL_H_

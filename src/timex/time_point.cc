@@ -1,0 +1,13 @@
+#include "timex/time_point.h"
+
+#include "timex/calendar.h"
+
+namespace tempspec {
+
+std::string TimePoint::ToString() const { return FormatTimePoint(*this); }
+
+std::ostream& operator<<(std::ostream& os, TimePoint tp) {
+  return os << tp.ToString();
+}
+
+}  // namespace tempspec

@@ -1,0 +1,76 @@
+// TimePoint: the chronon domain shared by valid and transaction time.
+//
+// The paper (Section 3) requires that valid and transaction time-stamps be
+// drawn from the same totally ordered domain so they can be compared; we use
+// a 64-bit count of microseconds since the Unix epoch (one chronon = 1 us).
+// Granularities coarser than a chronon are modeled separately (granularity.h).
+#ifndef TEMPSPEC_TIMEX_TIME_POINT_H_
+#define TEMPSPEC_TIMEX_TIME_POINT_H_
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace tempspec {
+
+/// \brief An instant on the shared valid/transaction time line.
+///
+/// TimePoint is a strong typedef over int64 microseconds. Min() and Max() are
+/// reserved sentinels: Max() denotes "until changed" / "forever" (used as the
+/// open deletion time tt_d of elements still current), Min() denotes
+/// "beginning of time".
+class TimePoint {
+ public:
+  constexpr TimePoint() : micros_(0) {}
+
+  static constexpr TimePoint FromMicros(int64_t micros) { return TimePoint(micros); }
+  static constexpr TimePoint FromSeconds(int64_t seconds) {
+    return TimePoint(seconds * 1'000'000);
+  }
+
+  /// \brief Beginning of time.
+  static constexpr TimePoint Min() {
+    return TimePoint(std::numeric_limits<int64_t>::min());
+  }
+  /// \brief "Until changed" / end of time.
+  static constexpr TimePoint Max() {
+    return TimePoint(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr int64_t seconds() const { return micros_ / 1'000'000; }
+
+  constexpr bool IsMin() const { return *this == Min(); }
+  constexpr bool IsMax() const { return *this == Max(); }
+
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+  /// \brief Difference in whole microseconds. Only meaningful for
+  /// non-sentinel operands.
+  constexpr int64_t MicrosSince(TimePoint other) const {
+    return micros_ - other.micros_;
+  }
+
+  /// \brief ISO-8601-like rendering in UTC, e.g. "1992-02-03 10:30:00.000000";
+  /// sentinels render as "-inf" / "+inf".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_;
+};
+
+std::ostream& operator<<(std::ostream& os, TimePoint tp);
+
+constexpr int64_t kMicrosPerSecond = 1'000'000;
+constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+constexpr int64_t kMicrosPerWeek = 7 * kMicrosPerDay;
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TIMEX_TIME_POINT_H_

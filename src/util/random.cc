@@ -1,0 +1,29 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace tempspec {
+
+int64_t Random::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over the (unnormalized) harmonic weights. n is small
+  // in our workloads (object populations), so the O(n) walk is acceptable and
+  // keeps the generator allocation-free.
+  double norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) norm += 1.0 / std::pow(i + 1, theta);
+  double u = NextDouble() * norm;
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1, theta);
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+std::string Random::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Uniform(0, 25));
+  return out;
+}
+
+}  // namespace tempspec

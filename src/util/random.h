@@ -1,0 +1,53 @@
+// Deterministic pseudo-random generation for workloads, tests, and benches.
+#ifndef TEMPSPEC_UTIL_RANDOM_H_
+#define TEMPSPEC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace tempspec {
+
+/// \brief Seeded PRNG wrapper so every workload/test is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// \brief Bernoulli trial with probability p of returning true.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+  /// \brief Exponentially distributed value with the given mean (>= 0).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// \brief Normally distributed value.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// \brief Zipf-like skewed rank in [0, n): rank r with weight 1/(r+1)^theta.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// \brief Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_UTIL_RANDOM_H_

@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+#ifndef TEMPSPEC_UTIL_RESULT_H_
+#define TEMPSPEC_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace tempspec {
+
+/// \brief Holds either a successfully computed T or the Status explaining why
+/// no value could be produced.
+///
+/// Constructing from an OK status is a programming error and is converted to
+/// an Internal error so misuse is observable rather than silent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// \brief The contained value; must not be called on an error result.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) status().Check();
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace tempspec
+
+// Propagates an error Status from an expression returning Status.
+#define TS_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::tempspec::Status _ts_status = (expr);       \
+    if (!_ts_status.ok()) return _ts_status;      \
+  } while (false)
+
+#define TS_CONCAT_IMPL(x, y) x##y
+#define TS_CONCAT(x, y) TS_CONCAT_IMPL(x, y)
+
+// Evaluates an expression returning Result<T>; on success binds the value to
+// `lhs`, on failure returns the error Status.
+#define TS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  TS_ASSIGN_OR_RETURN_IMPL(TS_CONCAT(_ts_result_, __LINE__), lhs, rexpr)
+
+#define TS_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                             \
+  if (!result_name.ok()) return result_name.status();     \
+  lhs = std::move(result_name).ValueOrDie()
+
+#endif  // TEMPSPEC_UTIL_RESULT_H_

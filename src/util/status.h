@@ -1,0 +1,134 @@
+// Status: error-code + message return type, in the style of Apache Arrow and
+// RocksDB. Functions that can fail return Status (or Result<T>, see
+// result.h); exceptions are not used on library paths.
+#ifndef TEMPSPEC_UTIL_STATUS_H_
+#define TEMPSPEC_UTIL_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace tempspec {
+
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kConstraintViolation = 2,  // a temporal-specialization constraint rejected an update
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kNotImplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns the canonical name of a status code, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus a human-readable message.
+///
+/// OK carries no allocation; error states allocate a small state block.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ConstraintViolation(Args&&... args) {
+    return Make(StatusCode::kConstraintViolation, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Corruption(Args&&... args) {
+    return Make(StatusCode::kCorruption, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsConstraintViolation() const {
+    return code() == StatusCode::kConstraintViolation;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process if this status is an error. Use only in
+  /// examples/tests and for invariants that cannot fail.
+  void Check() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream ss;
+    (ss << ... << args);
+    return Status(code, ss.str());
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_UTIL_STATUS_H_

@@ -1,0 +1,111 @@
+// Workload generators, one per application scenario named in the paper.
+//
+// Each generator builds a relation whose declared specialization matches the
+// scenario, then drives its LogicalClock so transaction times land exactly
+// where the scenario requires:
+//
+//   Process monitoring (Section 3.1, retroactive / delayed retroactive):
+//     periodically sampled sensor values stored after a transmission delay.
+//   Degenerate monitoring (Section 3.1, degenerate):
+//     no delay within the granularity; the asynchronous recording method.
+//   Direct-deposit payroll (Section 3.1, predictive / early strongly
+//     predictively bounded): checks valid on the 1st, tape sent 3..7 days
+//     ahead.
+//   Employee assignments (Sections 3.1/3.3/3.4, retroactively bounded,
+//     weekly intervals, per-surrogate contiguity).
+//   Accounting (Section 3.1, strongly bounded): current-month entries with
+//     bounded corrections.
+//   Order entry (Section 3.1, predictively bounded): pending orders at most
+//     30 days out, plus filled past orders.
+//   Archaeology (Sections 3.2/3.4, non-increasing): excavation uncovers
+//     progressively earlier strata.
+//   General (baseline): unrestricted offsets.
+#ifndef TEMPSPEC_WORKLOAD_WORKLOADS_H_
+#define TEMPSPEC_WORKLOAD_WORKLOADS_H_
+
+#include <memory>
+
+#include "relation/temporal_relation.h"
+#include "timex/clock.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace tempspec {
+
+/// \brief A relation plus the logical clock that drives it.
+struct ScenarioRelation {
+  std::unique_ptr<TemporalRelation> relation;
+  std::shared_ptr<LogicalClock> clock;
+
+  TemporalRelation* operator->() { return relation.get(); }
+  TemporalRelation& operator*() { return *relation; }
+};
+
+/// \brief Common generator knobs.
+struct WorkloadConfig {
+  size_t num_objects = 16;      // sensors / employees / accounts / squares
+  size_t ops_per_object = 64;   // samples / checks / assignments per object
+  uint64_t seed = 42;
+  /// Storage directory ("" = in-memory) and snapshot interval are forwarded.
+  std::string storage_directory;
+  size_t snapshot_interval = 0;
+  /// When set, the relation is created WITHOUT its scenario's declared
+  /// specializations (baseline mode: same data, no semantics to exploit).
+  bool declare_specializations = true;
+};
+
+// Every Make* returns an opened relation with the scenario's schema and (per
+// config) declared specializations; every Generate* fills it. Generators are
+// deterministic under the same config.
+
+/// \brief Temperature sampling with transmission delay in
+/// [min_delay, max_delay]; declared delayed retroactive(min_delay) and
+/// retroactively bounded(max_delay), sampled every `sample_every`.
+Result<ScenarioRelation> MakeProcessMonitoring(const WorkloadConfig& config,
+                                               Duration min_delay,
+                                               Duration max_delay,
+                                               Duration sample_every);
+Status GenerateProcessMonitoring(const WorkloadConfig& config, Duration min_delay,
+                                 Duration max_delay, Duration sample_every,
+                                 ScenarioRelation* scenario);
+
+/// \brief Zero-delay sampling: degenerate (+ strict temporal regularity when
+/// jitterless).
+Result<ScenarioRelation> MakeDegenerateMonitoring(const WorkloadConfig& config,
+                                                  Duration sample_every);
+Status GenerateDegenerateMonitoring(const WorkloadConfig& config,
+                                    Duration sample_every,
+                                    ScenarioRelation* scenario);
+
+/// \brief Direct-deposit payroll: early strongly predictively bounded
+/// (3..7 days).
+Result<ScenarioRelation> MakePayroll(const WorkloadConfig& config);
+Status GeneratePayroll(const WorkloadConfig& config, ScenarioRelation* scenario);
+
+/// \brief Weekly project assignments (interval relation): vt_b-retroactively
+/// bounded(1mo), strict valid interval regular (1 week), per-surrogate
+/// contiguous.
+Result<ScenarioRelation> MakeAssignments(const WorkloadConfig& config);
+Status GenerateAssignments(const WorkloadConfig& config,
+                           ScenarioRelation* scenario);
+
+/// \brief Accounting entries: strongly bounded (5 days back, 2 days ahead).
+Result<ScenarioRelation> MakeAccounting(const WorkloadConfig& config);
+Status GenerateAccounting(const WorkloadConfig& config, ScenarioRelation* scenario);
+
+/// \brief Order database: predictively bounded (30 days).
+Result<ScenarioRelation> MakeOrders(const WorkloadConfig& config);
+Status GenerateOrders(const WorkloadConfig& config, ScenarioRelation* scenario);
+
+/// \brief Archaeology (interval relation): globally non-increasing strata.
+Result<ScenarioRelation> MakeArchaeology(const WorkloadConfig& config);
+Status GenerateArchaeology(const WorkloadConfig& config, ScenarioRelation* scenario);
+
+/// \brief Unrestricted baseline: offsets uniform in [-spread, +spread].
+Result<ScenarioRelation> MakeGeneral(const WorkloadConfig& config);
+Status GenerateGeneral(const WorkloadConfig& config, Duration spread,
+                       ScenarioRelation* scenario);
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_WORKLOAD_WORKLOADS_H_

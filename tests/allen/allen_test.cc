@@ -1,0 +1,138 @@
+#include "allen/allen.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+TimeInterval IV(int64_t b, int64_t e) { return TimeInterval(T(b), T(e)); }
+
+TEST(AllenTest, AllThirteenRelationsClassify) {
+  const TimeInterval y = IV(10, 20);
+  EXPECT_EQ(Classify(IV(1, 5), y).ValueOrDie(), AllenRelation::kBefore);
+  EXPECT_EQ(Classify(IV(1, 10), y).ValueOrDie(), AllenRelation::kMeets);
+  EXPECT_EQ(Classify(IV(5, 15), y).ValueOrDie(), AllenRelation::kOverlaps);
+  EXPECT_EQ(Classify(IV(10, 15), y).ValueOrDie(), AllenRelation::kStarts);
+  EXPECT_EQ(Classify(IV(12, 18), y).ValueOrDie(), AllenRelation::kDuring);
+  EXPECT_EQ(Classify(IV(15, 20), y).ValueOrDie(), AllenRelation::kFinishes);
+  EXPECT_EQ(Classify(IV(10, 20), y).ValueOrDie(), AllenRelation::kEquals);
+  EXPECT_EQ(Classify(IV(25, 30), y).ValueOrDie(), AllenRelation::kAfter);
+  EXPECT_EQ(Classify(IV(20, 30), y).ValueOrDie(), AllenRelation::kMetBy);
+  EXPECT_EQ(Classify(IV(15, 25), y).ValueOrDie(), AllenRelation::kOverlappedBy);
+  EXPECT_EQ(Classify(IV(10, 25), y).ValueOrDie(), AllenRelation::kStartedBy);
+  EXPECT_EQ(Classify(IV(5, 25), y).ValueOrDie(), AllenRelation::kContains);
+  EXPECT_EQ(Classify(IV(5, 20), y).ValueOrDie(), AllenRelation::kFinishedBy);
+}
+
+TEST(AllenTest, EmptyIntervalsRejected) {
+  EXPECT_FALSE(Classify(IV(5, 5), IV(1, 2)).ok());
+  EXPECT_FALSE(Classify(IV(1, 2), IV(5, 5)).ok());
+}
+
+TEST(AllenTest, InverseIsInvolution) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    EXPECT_EQ(Inverse(Inverse(rel)), rel) << AllenRelationToString(rel);
+  }
+  EXPECT_EQ(Inverse(AllenRelation::kEquals), AllenRelation::kEquals);
+}
+
+TEST(AllenTest, ParseCanonicalNamesAndAliases) {
+  for (AllenRelation rel : AllAllenRelations()) {
+    ASSERT_OK_AND_ASSIGN(AllenRelation parsed,
+                         ParseAllenRelation(AllenRelationToString(rel)));
+    EXPECT_EQ(parsed, rel);
+  }
+  EXPECT_EQ(ParseAllenRelation("equal").ValueOrDie(), AllenRelation::kEquals);
+  // The paper names inverses as "inverse before", "inverse finishes".
+  EXPECT_EQ(ParseAllenRelation("inverse before").ValueOrDie(),
+            AllenRelation::kAfter);
+  EXPECT_EQ(ParseAllenRelation("inverse finishes").ValueOrDie(),
+            AllenRelation::kFinishedBy);
+  EXPECT_FALSE(ParseAllenRelation("sideways").ok());
+}
+
+// Property (the paper's [All83] claim): for any two non-empty intervals,
+// EXACTLY ONE of the thirteen relations holds.
+TEST(AllenPropertyTest, ExactlyOneRelationHoldsExhaustive) {
+  // All interval pairs over a small integer domain — covers every endpoint
+  // equality pattern.
+  for (int64_t xb = 0; xb < 5; ++xb) {
+    for (int64_t xe = xb + 1; xe <= 5; ++xe) {
+      for (int64_t yb = 0; yb < 5; ++yb) {
+        for (int64_t ye = yb + 1; ye <= 5; ++ye) {
+          int holds = 0;
+          for (AllenRelation rel : AllAllenRelations()) {
+            holds += Holds(rel, IV(xb, xe), IV(yb, ye)) ? 1 : 0;
+          }
+          EXPECT_EQ(holds, 1) << "[" << xb << "," << xe << ") vs [" << yb << ","
+                              << ye << ")";
+        }
+      }
+    }
+  }
+}
+
+// Property: Classify(x, y) == Inverse(Classify(y, x)).
+TEST(AllenPropertyTest, ClassifyCommutesWithInverse) {
+  Random rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int64_t xb = rng.Uniform(0, 50);
+    const int64_t xe = xb + rng.Uniform(1, 20);
+    const int64_t yb = rng.Uniform(0, 50);
+    const int64_t ye = yb + rng.Uniform(1, 20);
+    const AllenRelation xy = Classify(IV(xb, xe), IV(yb, ye)).ValueOrDie();
+    const AllenRelation yx = Classify(IV(yb, ye), IV(xb, xe)).ValueOrDie();
+    EXPECT_EQ(xy, Inverse(yx));
+  }
+}
+
+// Property: the seven base relations' endpoint characterizations.
+TEST(AllenPropertyTest, EndpointCharacterizations) {
+  Random rng(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int64_t xb = rng.Uniform(0, 30);
+    const int64_t xe = xb + rng.Uniform(1, 10);
+    const int64_t yb = rng.Uniform(0, 30);
+    const int64_t ye = yb + rng.Uniform(1, 10);
+    const TimeInterval x = IV(xb, xe), y = IV(yb, ye);
+    switch (Classify(x, y).ValueOrDie()) {
+      case AllenRelation::kBefore:
+        EXPECT_LT(xe, yb);
+        break;
+      case AllenRelation::kMeets:
+        EXPECT_EQ(xe, yb);
+        break;
+      case AllenRelation::kOverlaps:
+        EXPECT_LT(xb, yb);
+        EXPECT_LT(yb, xe);
+        EXPECT_LT(xe, ye);
+        break;
+      case AllenRelation::kStarts:
+        EXPECT_EQ(xb, yb);
+        EXPECT_LT(xe, ye);
+        break;
+      case AllenRelation::kDuring:
+        EXPECT_GT(xb, yb);
+        EXPECT_LT(xe, ye);
+        break;
+      case AllenRelation::kFinishes:
+        EXPECT_GT(xb, yb);
+        EXPECT_EQ(xe, ye);
+        break;
+      case AllenRelation::kEquals:
+        EXPECT_EQ(xb, yb);
+        EXPECT_EQ(xe, ye);
+        break;
+      default:
+        break;  // inverses covered via ClassifyCommutesWithInverse
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

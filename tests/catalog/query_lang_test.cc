@@ -1,0 +1,113 @@
+#include "catalog/query_lang.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "timex/calendar.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+
+class QueryLangTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<LogicalClock>(Civil(1992, 2, 3, 10, 0),
+                                            Duration::Minutes(10));
+    RelationOptions base;
+    base.clock = clock_;
+    TemporalRelation* rel =
+        catalog_
+            .CreateRelationFromDdl(
+                "CREATE EVENT RELATION samples (sensor INT64 KEY, v DOUBLE) "
+                "GRANULARITY 1s WITH DEGENERATE",
+                base)
+            .ValueOrDie();
+    for (int i = 0; i < 12; ++i) {
+      const TimePoint now = clock_->Peek();
+      ids_.push_back(
+          rel->InsertEvent(1, now, Tuple{int64_t{1}, 1.0 * i}).ValueOrDie());
+    }
+    rel->LogicalDelete(ids_[0]).Check();
+  }
+
+  Catalog catalog_;
+  std::shared_ptr<LogicalClock> clock_;
+  std::vector<ElementSurrogate> ids_;
+};
+
+TEST_F(QueryLangTest, CurrentQuery) {
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "CURRENT samples"));
+  EXPECT_EQ(out.elements.size(), 11u);
+  EXPECT_NE(out.ToString().find("11 element(s)"), std::string::npos);
+}
+
+TEST_F(QueryLangTest, TimesliceUsesDegenerateStrategy) {
+  // Third sample: valid (and stored) at 10:20.
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput out,
+      ExecuteQuery(catalog_, "TIMESLICE samples AT '1992-02-03 10:20:00'"));
+  EXPECT_EQ(out.elements.size(), 1u);
+  EXPECT_NE(out.plan_description.find("rollback equivalence"), std::string::npos);
+  EXPECT_LE(out.stats.elements_examined, 2u);
+}
+
+TEST_F(QueryLangTest, RollbackQuery) {
+  // As stored at 10:20 (three inserts, no deletes yet — the delete happens
+  // at the 13th stamp).
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput out,
+      ExecuteQuery(catalog_, "ROLLBACK samples TO '1992-02-03 10:20:00'"));
+  EXPECT_EQ(out.elements.size(), 3u);
+}
+
+TEST_F(QueryLangTest, RangeQuery) {
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_,
+                                    "RANGE samples FROM '1992-02-03 10:00:00' "
+                                    "TO '1992-02-03 10:30:00'"));
+  // Samples at 10:00 (deleted), 10:10, 10:20 — current ones only.
+  EXPECT_EQ(out.elements.size(), 2u);
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "RANGE samples FROM '1992-02-03 11:00:00' TO "
+                            "'1992-02-03 10:00:00'")
+                   .ok());
+}
+
+TEST_F(QueryLangTest, BitemporalAsOf) {
+  // The 10:00 sample was believed until its deletion (13th stamp, 12:00).
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput then,
+      ExecuteQuery(catalog_, "TIMESLICE samples AT '1992-02-03 10:00:00' AS OF "
+                             "'1992-02-03 10:05:00'"));
+  EXPECT_EQ(then.elements.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput now,
+      ExecuteQuery(catalog_, "TIMESLICE samples AT '1992-02-03 10:00:00' AS OF "
+                             "'1992-02-03 23:00:00'"));
+  EXPECT_EQ(now.elements.size(), 0u);
+}
+
+TEST_F(QueryLangTest, ExplainOnly) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput out,
+      ExecuteQuery(catalog_,
+                   "EXPLAIN TIMESLICE samples AT '1992-02-03 10:20:00'"));
+  EXPECT_TRUE(out.explain_only);
+  EXPECT_TRUE(out.elements.empty());
+  EXPECT_NE(out.plan_description.find("degenerate"), std::string::npos);
+}
+
+TEST_F(QueryLangTest, Errors) {
+  EXPECT_FALSE(ExecuteQuery(catalog_, "CURRENT nope").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "FROBNICATE samples").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "TIMESLICE samples AT bare").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "TIMESLICE samples AT '1992-13-99'").ok());
+  EXPECT_FALSE(
+      ExecuteQuery(catalog_, "CURRENT samples trailing garbage").ok());
+}
+
+}  // namespace
+}  // namespace tempspec

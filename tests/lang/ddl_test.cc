@@ -1,0 +1,268 @@
+#include "lang/ddl.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/inference.h"
+#include "spec/specialization.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+TEST(DdlTest, ParsesEventRelationWithBands) {
+  ASSERT_OK_AND_ASSIGN(ParsedRelation parsed, ParseCreateRelation(R"(
+      CREATE EVENT RELATION plant_temperatures (
+          sensor INT64 KEY,
+          celsius DOUBLE
+      ) GRANULARITY 1s
+      WITH DELAYED RETROACTIVE 30s,
+           RETROACTIVELY BOUNDED 120s;
+  )"));
+  EXPECT_EQ(parsed.schema->relation_name(), "plant_temperatures");
+  EXPECT_TRUE(parsed.schema->IsEventRelation());
+  EXPECT_EQ(parsed.schema->num_attributes(), 2u);
+  EXPECT_EQ(parsed.schema->attribute(0).role, AttributeRole::kTimeInvariantKey);
+  EXPECT_EQ(parsed.schema->valid_granularity(), Granularity::Second());
+  ASSERT_EQ(parsed.specializations.event_specs().size(), 2u);
+  EXPECT_EQ(parsed.specializations.event_specs()[0].kind(),
+            EventSpecKind::kDelayedRetroactive);
+  EXPECT_EQ(parsed.specializations.event_specs()[1].kind(),
+            EventSpecKind::kRetroactivelyBounded);
+}
+
+TEST(DdlTest, ParsesAllEventTypes) {
+  const struct {
+    const char* clause;
+    EventSpecKind kind;
+  } cases[] = {
+      {"RETROACTIVE", EventSpecKind::kRetroactive},
+      {"DELAYED RETROACTIVE 30s", EventSpecKind::kDelayedRetroactive},
+      {"PREDICTIVE", EventSpecKind::kPredictive},
+      {"EARLY PREDICTIVE 3d", EventSpecKind::kEarlyPredictive},
+      {"RETROACTIVELY BOUNDED 1mo", EventSpecKind::kRetroactivelyBounded},
+      {"PREDICTIVELY BOUNDED 30d", EventSpecKind::kPredictivelyBounded},
+      {"STRONGLY RETROACTIVELY BOUNDED 30s",
+       EventSpecKind::kStronglyRetroactivelyBounded},
+      {"DELAYED STRONGLY RETROACTIVELY BOUNDED 2d 31d",
+       EventSpecKind::kDelayedStronglyRetroactivelyBounded},
+      {"STRONGLY PREDICTIVELY BOUNDED 7d",
+       EventSpecKind::kStronglyPredictivelyBounded},
+      {"EARLY STRONGLY PREDICTIVELY BOUNDED 3d 7d",
+       EventSpecKind::kEarlyStronglyPredictivelyBounded},
+      {"STRONGLY BOUNDED 5d 2d", EventSpecKind::kStronglyBounded},
+      {"DEGENERATE", EventSpecKind::kDegenerate},
+  };
+  for (const auto& c : cases) {
+    const std::string ddl =
+        std::string("CREATE EVENT RELATION r (id INT64 KEY) WITH ") + c.clause;
+    ASSERT_OK_AND_ASSIGN(ParsedRelation parsed, ParseCreateRelation(ddl));
+    ASSERT_EQ(parsed.specializations.event_specs().size(), 1u) << c.clause;
+    EXPECT_EQ(parsed.specializations.event_specs()[0].kind(), c.kind)
+        << c.clause;
+  }
+}
+
+TEST(DdlTest, ParsesDeletionAnchor) {
+  ASSERT_OK_AND_ASSIGN(ParsedRelation parsed,
+                       ParseCreateRelation("CREATE EVENT RELATION r (id INT64 "
+                                           "KEY) WITH DELETION RETROACTIVE"));
+  ASSERT_EQ(parsed.specializations.event_specs().size(), 1u);
+  EXPECT_EQ(parsed.specializations.event_specs()[0].anchor(),
+            TransactionAnchor::kDeletion);
+}
+
+TEST(DdlTest, ParsesDeterminedForms) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedRelation offset,
+      ParseCreateRelation("CREATE EVENT RELATION r (id INT64 KEY) WITH "
+                          "PREDICTIVE DETERMINED BY TT PLUS 30s"));
+  ASSERT_TRUE(offset.specializations.event_specs()[0].IsDetermined());
+
+  ASSERT_OK_AND_ASSIGN(
+      ParsedRelation floor,
+      ParseCreateRelation("CREATE EVENT RELATION r (id INT64 KEY) WITH "
+                          "RETROACTIVE DETERMINED BY FLOOR(1h)"));
+  const auto& m = floor.specializations.event_specs()[0].mapping();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->ApplyToTransactionTime(testing::Civil(1992, 2, 3, 10, 42)),
+            testing::Civil(1992, 2, 3, 10, 0));
+
+  ASSERT_OK_AND_ASSIGN(
+      ParsedRelation next,
+      ParseCreateRelation("CREATE EVENT RELATION r (id INT64 KEY) WITH "
+                          "DETERMINED BY NEXT(1day, 8h)"));
+  const auto& nm = next.specializations.event_specs()[0].mapping();
+  ASSERT_TRUE(nm.has_value());
+  EXPECT_EQ(nm->ApplyToTransactionTime(testing::Civil(1992, 2, 3, 14, 0)),
+            testing::Civil(1992, 2, 4, 8, 0));
+}
+
+TEST(DdlTest, ParsesOrderingsAndRegularity) {
+  ASSERT_OK_AND_ASSIGN(ParsedRelation parsed, ParseCreateRelation(R"(
+      CREATE EVENT RELATION r (id INT64 KEY)
+      WITH NONDECREASING PER SURROGATE,
+           SEQUENTIAL,
+           STRICT TEMPORAL REGULAR 10s,
+           VALID REGULAR 1mo
+  )"));
+  ASSERT_EQ(parsed.specializations.orderings().size(), 2u);
+  EXPECT_EQ(parsed.specializations.orderings()[0].scope(),
+            SpecScope::kPerObjectSurrogate);
+  EXPECT_EQ(parsed.specializations.orderings()[1].kind(),
+            OrderingKind::kSequential);
+  ASSERT_EQ(parsed.specializations.regularities().size(), 2u);
+  EXPECT_TRUE(parsed.specializations.regularities()[0].strict());
+  EXPECT_EQ(parsed.specializations.regularities()[1].unit(), Duration::Months(1));
+}
+
+TEST(DdlTest, ParsesIntervalRelation) {
+  ASSERT_OK_AND_ASSIGN(ParsedRelation parsed, ParseCreateRelation(R"(
+      CREATE INTERVAL RELATION assignments (
+          employee INT64 KEY,
+          project STRING
+      ) GRANULARITY 1h
+      WITH VT_BEGIN PREDICTIVE,
+           VT_END RETROACTIVE,
+           STRICT VALID INTERVAL REGULAR 1w,
+           CONTIGUOUS PER SURROGATE,
+           SUCCESSIVE INVERSE MEETS
+  )"));
+  EXPECT_TRUE(parsed.schema->IsIntervalRelation());
+  ASSERT_EQ(parsed.specializations.anchored_specs().size(), 2u);
+  EXPECT_EQ(parsed.specializations.anchored_specs()[0].valid_anchor(),
+            ValidAnchor::kBegin);
+  EXPECT_EQ(parsed.specializations.anchored_specs()[1].valid_anchor(),
+            ValidAnchor::kEnd);
+  ASSERT_EQ(parsed.specializations.interval_regularities().size(), 1u);
+  EXPECT_TRUE(parsed.specializations.interval_regularities()[0].strict());
+  ASSERT_EQ(parsed.specializations.successive().size(), 2u);
+  EXPECT_EQ(parsed.specializations.successive()[1].relation(),
+            AllenRelation::kMetBy);
+}
+
+TEST(DdlTest, BareEventTypeOnIntervalRelationAppliesToBothEndpoints) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedRelation parsed,
+      ParseCreateRelation(
+          "CREATE INTERVAL RELATION r (id INT64 KEY) WITH RETROACTIVE"));
+  ASSERT_EQ(parsed.specializations.anchored_specs().size(), 1u);
+  EXPECT_EQ(parsed.specializations.anchored_specs()[0].valid_anchor(),
+            ValidAnchor::kBoth);
+}
+
+TEST(DdlTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(ParseCreateRelation("CREATE RELATION r (id INT64)").ok());
+  EXPECT_FALSE(ParseCreateRelation("CREATE EVENT RELATION (id INT64)").ok());
+  EXPECT_FALSE(
+      ParseCreateRelation("CREATE EVENT RELATION r (id WIDGET)").ok());
+  EXPECT_FALSE(ParseCreateRelation(
+                   "CREATE EVENT RELATION r (id INT64) WITH FROBNICATED")
+                   .ok());
+  EXPECT_FALSE(ParseCreateRelation(
+                   "CREATE EVENT RELATION r (id INT64) WITH DELAYED RETROACTIVE")
+                   .ok());  // missing duration
+  EXPECT_FALSE(
+      ParseCreateRelation(
+          "CREATE EVENT RELATION r (id INT64) WITH VT_BEGIN RETROACTIVE")
+          .ok());  // VT_ anchors are interval-only
+  EXPECT_FALSE(ParseCreateRelation(
+                   "CREATE EVENT RELATION r (id INT64) WITH RETROACTIVE extra")
+                   .ok());
+}
+
+TEST(DdlTest, DeletionAnchorComposesWithDeterminedAndBounds) {
+  ASSERT_OK_AND_ASSIGN(
+      ParsedRelation parsed,
+      ParseCreateRelation("CREATE EVENT RELATION r (id INT64 KEY) WITH "
+                          "DELETION DELAYED RETROACTIVE 30s, "
+                          "RETROACTIVE DETERMINED BY FLOOR(1min) PLUS 30s"));
+  ASSERT_EQ(parsed.specializations.event_specs().size(), 2u);
+  EXPECT_EQ(parsed.specializations.event_specs()[0].anchor(),
+            TransactionAnchor::kDeletion);
+  EXPECT_EQ(parsed.specializations.event_specs()[0].kind(),
+            EventSpecKind::kDelayedRetroactive);
+  EXPECT_TRUE(parsed.specializations.event_specs()[1].IsDetermined());
+  // Round-trips.
+  const std::string rendered = ToDdl(*parsed.schema, parsed.specializations);
+  ASSERT_OK_AND_ASSIGN(ParsedRelation again, ParseCreateRelation(rendered));
+  EXPECT_EQ(ToDdl(*again.schema, again.specializations), rendered);
+}
+
+TEST(DdlTest, RejectsContradictoryDeclarations) {
+  EXPECT_FALSE(ParseCreateRelation(
+                   "CREATE EVENT RELATION r (id INT64 KEY) WITH RETROACTIVE, "
+                   "EARLY PREDICTIVE 3d")
+                   .ok());
+}
+
+TEST(DdlTest, SuggestDdlFromInferredProfile) {
+  // Degenerate, strictly 10s-regular data: the suggestion names both.
+  std::vector<Element> elements;
+  for (int i = 0; i < 30; ++i) {
+    elements.push_back(testing::MakeEventElement(
+        testing::T(i * 10), testing::T(i * 10), i + 1, i % 3 + 1));
+  }
+  SchemaPtr schema =
+      Schema::Make("feed",
+                   {AttributeDef{"id", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey}},
+                   ValidTimeKind::kEvent, Granularity::Second())
+          .ValueOrDie();
+  RelationProfile profile =
+      InferProfile(elements, ValidTimeKind::kEvent, Granularity::Second());
+  const std::string suggested = SuggestDdl(profile, *schema);
+  EXPECT_NE(suggested.find("DEGENERATE"), std::string::npos);
+  EXPECT_NE(suggested.find("STRICT TEMPORAL REGULAR 10s"), std::string::npos);
+  EXPECT_NE(suggested.find("SEQUENTIAL"), std::string::npos);
+  // The suggestion is itself valid DDL that re-admits the data.
+  ASSERT_OK_AND_ASSIGN(ParsedRelation parsed, ParseCreateRelation(suggested));
+  ConstraintChecker checker(parsed.specializations, Granularity::Second());
+  EXPECT_OK(checker.CheckExtension(elements));
+}
+
+TEST(DdlTest, SuggestDdlForIntervalChain) {
+  std::vector<Element> elements;
+  for (int i = 0; i < 10; ++i) {
+    elements.push_back(testing::MakeIntervalElement(
+        testing::T(i * 100 - 5), testing::T(i * 100), testing::T((i + 1) * 100),
+        i + 1, 1));
+  }
+  SchemaPtr schema =
+      Schema::Make("chain",
+                   {AttributeDef{"id", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey}},
+                   ValidTimeKind::kInterval, Granularity::Second())
+          .ValueOrDie();
+  RelationProfile profile =
+      InferProfile(elements, ValidTimeKind::kInterval, Granularity::Second());
+  const std::string suggested = SuggestDdl(profile, *schema);
+  EXPECT_NE(suggested.find("CONTIGUOUS"), std::string::npos);
+  EXPECT_NE(suggested.find("STRICT VALID INTERVAL REGULAR"), std::string::npos);
+  ASSERT_OK(ParseCreateRelation(suggested).status());
+}
+
+TEST(DdlTest, RoundTripsThroughToDdl) {
+  const char* statements[] = {
+      "CREATE EVENT RELATION a (id INT64 KEY, v DOUBLE) GRANULARITY 1s WITH "
+      "DELAYED STRONGLY RETROACTIVELY BOUNDED 2d 31d, NONDECREASING, STRICT "
+      "TRANSACTION REGULAR 10s",
+      "CREATE INTERVAL RELATION b (id INT64 KEY) GRANULARITY 1h WITH VT_BEGIN "
+      "PREDICTIVE, CONTIGUOUS PER SURROGATE, STRICT VALID INTERVAL REGULAR 7d",
+      "CREATE EVENT RELATION c (id INT64 KEY) WITH PREDICTIVE DETERMINED BY "
+      "NEXT(1day, 8h), VALID REGULAR 1mo",
+  };
+  for (const char* stmt : statements) {
+    ASSERT_OK_AND_ASSIGN(ParsedRelation first, ParseCreateRelation(stmt));
+    const std::string rendered =
+        ToDdl(*first.schema, first.specializations);
+    ASSERT_OK_AND_ASSIGN(ParsedRelation second, ParseCreateRelation(rendered));
+    // Compare by re-rendering: canonical form is a fixed point.
+    EXPECT_EQ(ToDdl(*second.schema, second.specializations), rendered) << stmt;
+    EXPECT_EQ(second.schema->ToString(), first.schema->ToString());
+    EXPECT_EQ(second.specializations.ToString(),
+              first.specializations.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

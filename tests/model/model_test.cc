@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "model/element.h"
+#include "model/schema.h"
+#include "model/tuple.h"
+#include "model/value.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_EQ(Value(7).AsInt64(), 7);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(T(9)).AsTime(), T(9));
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0));  // different types
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+SchemaPtr TestSchema() {
+  return Schema::Make(
+             "employees",
+             {AttributeDef{"ssn", ValueType::kInt64,
+                           AttributeRole::kTimeInvariantKey},
+              AttributeDef{"race", ValueType::kString,
+                           AttributeRole::kTimeInvariant},
+              AttributeDef{"salary", ValueType::kDouble,
+                           AttributeRole::kTimeVarying},
+              AttributeDef{"hired_on", ValueType::kTime,
+                           AttributeRole::kUserDefinedTime}},
+             ValidTimeKind::kInterval, Granularity::Day())
+      .ValueOrDie();
+}
+
+TEST(SchemaTest, RolesAndLookup) {
+  SchemaPtr s = TestSchema();
+  EXPECT_EQ(s->num_attributes(), 4u);
+  EXPECT_TRUE(s->IsIntervalRelation());
+  ASSERT_OK_AND_ASSIGN(size_t idx, s->IndexOf("salary"));
+  EXPECT_EQ(idx, 2u);
+  EXPECT_FALSE(s->IndexOf("nope").ok());
+  EXPECT_EQ(s->IndicesWithRole(AttributeRole::kTimeInvariantKey),
+            std::vector<size_t>{0});
+  EXPECT_EQ(s->IndicesWithRole(AttributeRole::kUserDefinedTime),
+            std::vector<size_t>{3});
+  EXPECT_EQ(s->valid_granularity(), Granularity::Day());
+}
+
+TEST(SchemaTest, RejectsBadDefinitions) {
+  EXPECT_FALSE(Schema::Make("", {}, ValidTimeKind::kEvent).ok());
+  EXPECT_FALSE(Schema::Make("r",
+                            {AttributeDef{"a", ValueType::kInt64},
+                             AttributeDef{"a", ValueType::kInt64}},
+                            ValidTimeKind::kEvent)
+                   .ok());
+  EXPECT_FALSE(
+      Schema::Make("r", {AttributeDef{"", ValueType::kInt64}}, ValidTimeKind::kEvent)
+          .ok());
+  // User-defined times must be TIME-typed (Section 2).
+  EXPECT_FALSE(Schema::Make("r",
+                            {AttributeDef{"t", ValueType::kInt64,
+                                          AttributeRole::kUserDefinedTime}},
+                            ValidTimeKind::kEvent)
+                   .ok());
+}
+
+TEST(TupleTest, ConformanceChecksTypesAndArity) {
+  SchemaPtr s = TestSchema();
+  Tuple good{int64_t{123456789}, "unknown", 55000.0, testing::Civil(1990, 6, 1)};
+  EXPECT_OK(good.Conforms(*s));
+
+  Tuple with_null{int64_t{1}, Value::Null(), 1.0, Value::Null()};
+  EXPECT_OK(with_null.Conforms(*s));
+
+  Tuple wrong_type{int64_t{1}, "x", "not a double", testing::Civil(1990, 6, 1)};
+  EXPECT_NOT_OK(wrong_type.Conforms(*s));
+
+  Tuple too_short{int64_t{1}};
+  EXPECT_NOT_OK(too_short.Conforms(*s));
+}
+
+TEST(TupleTest, GetByName) {
+  SchemaPtr s = TestSchema();
+  Tuple t{int64_t{9}, "x", 100.0, testing::Civil(1990, 6, 1)};
+  ASSERT_OK_AND_ASSIGN(Value v, t.Get(*s, "salary"));
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 100.0);
+  EXPECT_FALSE(t.Get(*s, "bogus").ok());
+}
+
+TEST(ValidTimeTest, EventSemantics) {
+  const ValidTime v = ValidTime::Event(T(10));
+  EXPECT_TRUE(v.is_event());
+  EXPECT_EQ(v.at(), T(10));
+  EXPECT_TRUE(v.ValidAt(T(10)));
+  EXPECT_FALSE(v.ValidAt(T(11)));
+}
+
+TEST(ValidTimeTest, IntervalSemantics) {
+  ASSERT_OK_AND_ASSIGN(ValidTime v, ValidTime::Interval(T(10), T(20)));
+  EXPECT_TRUE(v.is_interval());
+  EXPECT_TRUE(v.ValidAt(T(10)));
+  EXPECT_TRUE(v.ValidAt(T(19)));
+  EXPECT_FALSE(v.ValidAt(T(20)));
+  EXPECT_FALSE(ValidTime::Interval(T(20), T(10)).ok());
+}
+
+TEST(ElementTest, ExistenceInterval) {
+  Element e = testing::MakeEventElement(T(100), T(90));
+  EXPECT_TRUE(e.IsCurrent());
+  EXPECT_TRUE(e.ExistsAt(T(100)));
+  EXPECT_TRUE(e.ExistsAt(T(1000000)));
+  EXPECT_FALSE(e.ExistsAt(T(99)));
+  e.tt_end = T(200);
+  EXPECT_FALSE(e.IsCurrent());
+  EXPECT_TRUE(e.ExistsAt(T(199)));
+  EXPECT_FALSE(e.ExistsAt(T(200)));  // half-open existence interval
+}
+
+TEST(SurrogateGeneratorTest, MonotoneAndRecoverable) {
+  SurrogateGenerator gen;
+  const uint64_t a = gen.Next();
+  const uint64_t b = gen.Next();
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, kInvalidElementSurrogate);
+  gen.EnsureAbove(1000);
+  EXPECT_GT(gen.Next(), 1000u);
+  // Zero start is corrected away from the invalid surrogate.
+  SurrogateGenerator zero(0);
+  EXPECT_NE(zero.Next(), kInvalidElementSurrogate);
+}
+
+}  // namespace
+}  // namespace tempspec

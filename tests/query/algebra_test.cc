@@ -1,0 +1,140 @@
+#include "query/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::MakeEventElement;
+using testing::MakeIntervalElement;
+using testing::T;
+
+Element WithAttrs(Element e, Tuple attrs) {
+  e.attributes = std::move(attrs);
+  return e;
+}
+
+TEST(CoalesceTest, MergesMeetingAndOverlapping) {
+  std::vector<Element> input = {
+      WithAttrs(MakeIntervalElement(T(1), T(0), T(10), 1, 7), Tuple{"on"}),
+      WithAttrs(MakeIntervalElement(T(2), T(10), T(20), 2, 7), Tuple{"on"}),
+      WithAttrs(MakeIntervalElement(T(3), T(15), T(30), 3, 7), Tuple{"on"}),
+      WithAttrs(MakeIntervalElement(T(4), T(40), T(50), 4, 7), Tuple{"on"}),
+  };
+  ASSERT_OK_AND_ASSIGN(auto out, Coalesce(input));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].valid.begin(), T(0));
+  EXPECT_EQ(out[0].valid.end(), T(30));
+  EXPECT_EQ(out[0].tt_begin, T(1));  // earliest insertion stamp survives
+  EXPECT_EQ(out[1].valid.begin(), T(40));
+}
+
+TEST(CoalesceTest, DistinguishesObjectsAndValues) {
+  std::vector<Element> input = {
+      WithAttrs(MakeIntervalElement(T(1), T(0), T(10), 1, 1), Tuple{"on"}),
+      WithAttrs(MakeIntervalElement(T(2), T(10), T(20), 2, 2), Tuple{"on"}),
+      WithAttrs(MakeIntervalElement(T(3), T(10), T(20), 3, 1), Tuple{"off"}),
+  };
+  ASSERT_OK_AND_ASSIGN(auto out, Coalesce(input));
+  EXPECT_EQ(out.size(), 3u);  // different objects / different values
+}
+
+TEST(CoalesceTest, DeletedElementsPassThrough) {
+  Element deleted = WithAttrs(MakeIntervalElement(T(1), T(0), T(10), 1, 1),
+                              Tuple{"on"});
+  deleted.tt_end = T(5);
+  std::vector<Element> input = {
+      deleted,
+      WithAttrs(MakeIntervalElement(T(6), T(5), T(15), 2, 1), Tuple{"on"}),
+  };
+  ASSERT_OK_AND_ASSIGN(auto out, Coalesce(input));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CoalesceTest, RejectsEvents) {
+  std::vector<Element> input = {MakeEventElement(T(1), T(0))};
+  EXPECT_FALSE(Coalesce(input).ok());
+}
+
+TEST(TemporalJoinTest, IntervalIntersection) {
+  std::vector<Element> assignments = {
+      WithAttrs(MakeIntervalElement(T(1), T(0), T(100), 1, 7), Tuple{"apollo"}),
+  };
+  std::vector<Element> offices = {
+      WithAttrs(MakeIntervalElement(T(2), T(50), T(200), 2, 7), Tuple{"bldg-3"}),
+      WithAttrs(MakeIntervalElement(T(3), T(150), T(250), 3, 7), Tuple{"bldg-9"}),
+      WithAttrs(MakeIntervalElement(T(4), T(0), T(10), 4, 8), Tuple{"bldg-1"}),
+  };
+  auto joined = TemporalJoin(assignments, offices);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].object, 7u);
+  EXPECT_EQ(joined[0].valid.begin(), T(50));
+  EXPECT_EQ(joined[0].valid.end(), T(100));
+  EXPECT_EQ(joined[0].left.at(0).AsString(), "apollo");
+  EXPECT_EQ(joined[0].right.at(0).AsString(), "bldg-3");
+}
+
+TEST(TemporalJoinTest, EventAndMixedStamps) {
+  std::vector<Element> events = {
+      WithAttrs(MakeEventElement(T(1), T(60), 1, 7), Tuple{int64_t{42}}),
+      WithAttrs(MakeEventElement(T(2), T(500), 2, 7), Tuple{int64_t{43}}),
+  };
+  std::vector<Element> intervals = {
+      WithAttrs(MakeIntervalElement(T(3), T(0), T(100), 3, 7), Tuple{"ctx"}),
+  };
+  auto joined = TemporalJoin(events, intervals);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_TRUE(joined[0].valid.is_event());
+  EXPECT_EQ(joined[0].valid.at(), T(60));
+
+  // Event-to-event requires equal stamps.
+  std::vector<Element> other = {
+      WithAttrs(MakeEventElement(T(4), T(60), 4, 7), Tuple{"x"}),
+      WithAttrs(MakeEventElement(T(5), T(61), 5, 7), Tuple{"y"}),
+  };
+  EXPECT_EQ(TemporalJoin(events, other).size(), 1u);
+}
+
+TEST(TemporalJoinTest, DeletedElementsExcluded) {
+  Element dead = WithAttrs(MakeIntervalElement(T(1), T(0), T(100), 1, 7),
+                           Tuple{"gone"});
+  dead.tt_end = T(2);
+  std::vector<Element> left = {dead};
+  std::vector<Element> right = {
+      WithAttrs(MakeIntervalElement(T(3), T(0), T(100), 2, 7), Tuple{"here"}),
+  };
+  EXPECT_TRUE(TemporalJoin(left, right).empty());
+}
+
+TEST(RestrictProjectTest, Basics) {
+  std::vector<Element> input = {
+      WithAttrs(MakeEventElement(T(1), T(0), 1), Tuple{int64_t{5}, "a"}),
+      WithAttrs(MakeEventElement(T(2), T(1), 2), Tuple{int64_t{9}, "b"}),
+  };
+  auto big = Restrict(input, [](const Tuple& t) { return t.at(0).AsInt64() > 6; });
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].attributes.at(1).AsString(), "b");
+
+  ASSERT_OK_AND_ASSIGN(auto projected, Project(input, {1}));
+  EXPECT_EQ(projected[0].attributes.size(), 1u);
+  EXPECT_EQ(projected[0].attributes.at(0).AsString(), "a");
+  EXPECT_FALSE(Project(input, {5}).ok());
+}
+
+TEST(ValidCoverageTest, ComputesCoveredFraction) {
+  std::vector<Element> input = {
+      MakeIntervalElement(T(1), T(0), T(25), 1, 1),
+      MakeIntervalElement(T(2), T(20), T(50), 2, 1),  // overlaps previous
+      MakeIntervalElement(T(3), T(75), T(100), 3, 1),
+  };
+  ASSERT_OK_AND_ASSIGN(double cover, ValidCoverage(input, T(0), T(100)));
+  EXPECT_DOUBLE_EQ(cover, 0.75);
+  ASSERT_OK_AND_ASSIGN(double partial, ValidCoverage(input, T(90), T(110)));
+  EXPECT_DOUBLE_EQ(partial, 0.5);
+  EXPECT_FALSE(ValidCoverage(input, T(10), T(10)).ok());
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,130 @@
+#include "query/lifeline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+std::unique_ptr<TemporalRelation> IntervalRelation(
+    std::shared_ptr<LogicalClock>* clock) {
+  RelationOptions options;
+  options.schema =
+      Schema::Make("titles",
+                   {AttributeDef{"employee", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey},
+                    AttributeDef{"title", ValueType::kString,
+                                 AttributeRole::kTimeVarying}},
+                   ValidTimeKind::kInterval, Granularity::Day())
+          .ValueOrDie();
+  *clock = std::make_shared<LogicalClock>(T(0), Duration::Seconds(1));
+  options.clock = *clock;
+  return TemporalRelation::Open(std::move(options)).ValueOrDie();
+}
+
+TEST(LifelineTest, AttributeHistoryMergesEqualAdjacentValues) {
+  std::shared_ptr<LogicalClock> clock;
+  auto rel = IntervalRelation(&clock);
+  ASSERT_OK(rel->InsertInterval(7, T(0), T(100), Tuple{int64_t{7}, "engineer"})
+                .status());
+  ASSERT_OK(rel->InsertInterval(7, T(100), T(200), Tuple{int64_t{7}, "engineer"})
+                .status());
+  ASSERT_OK(rel->InsertInterval(7, T(200), T(300), Tuple{int64_t{7}, "manager"})
+                .status());
+  ASSERT_OK(rel->InsertInterval(8, T(0), T(50), Tuple{int64_t{8}, "intern"})
+                .status());
+
+  ASSERT_OK_AND_ASSIGN(auto history, AttributeHistory(*rel, 7, "title"));
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].value.AsString(), "engineer");
+  EXPECT_EQ(history[0].valid.begin(), T(0));
+  EXPECT_EQ(history[0].valid.end(), T(200));  // merged across the meet
+  EXPECT_EQ(history[1].value.AsString(), "manager");
+}
+
+TEST(LifelineTest, CorrectedFactsUseCurrentBelief) {
+  std::shared_ptr<LogicalClock> clock;
+  auto rel = IntervalRelation(&clock);
+  ASSERT_OK_AND_ASSIGN(
+      ElementSurrogate wrong,
+      rel->InsertInterval(7, T(0), T(100), Tuple{int64_t{7}, "typo"}));
+  ASSERT_OK(rel->Modify(wrong,
+                        ValidTime::IntervalUnchecked(T(0), T(100)),
+                        Tuple{int64_t{7}, "engineer"})
+                .status());
+  ASSERT_OK_AND_ASSIGN(auto history, AttributeHistory(*rel, 7, "title"));
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].value.AsString(), "engineer");
+}
+
+TEST(LifelineTest, AttributeAtLookups) {
+  std::shared_ptr<LogicalClock> clock;
+  auto rel = IntervalRelation(&clock);
+  ASSERT_OK(rel->InsertInterval(7, T(0), T(100), Tuple{int64_t{7}, "engineer"})
+                .status());
+  ASSERT_OK(rel->InsertInterval(7, T(200), T(300), Tuple{int64_t{7}, "manager"})
+                .status());
+  ASSERT_OK_AND_ASSIGN(Value v, AttributeAt(*rel, 7, "title", T(50)));
+  EXPECT_EQ(v.AsString(), "engineer");
+  // Gap in the lifeline.
+  EXPECT_TRUE(AttributeAt(*rel, 7, "title", T(150)).status().IsNotFound());
+  EXPECT_TRUE(AttributeAt(*rel, 99, "title", T(50)).status().IsNotFound());
+  EXPECT_FALSE(AttributeAt(*rel, 7, "salary", T(50)).ok());
+}
+
+TEST(LifelineTest, EventRelationHistory) {
+  RelationOptions options;
+  options.schema =
+      Schema::Make("readings",
+                   {AttributeDef{"sensor", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey},
+                    AttributeDef{"value", ValueType::kDouble,
+                                 AttributeRole::kTimeVarying}},
+                   ValidTimeKind::kEvent, Granularity::Second())
+          .ValueOrDie();
+  options.clock = std::make_shared<LogicalClock>(T(1000), Duration::Seconds(1));
+  auto rel = TemporalRelation::Open(std::move(options)).ValueOrDie();
+  ASSERT_OK(rel->InsertEvent(1, T(20), Tuple{int64_t{1}, 2.0}).status());
+  ASSERT_OK(rel->InsertEvent(1, T(10), Tuple{int64_t{1}, 1.0}).status());
+  ASSERT_OK_AND_ASSIGN(auto history, AttributeHistory(*rel, 1, "value"));
+  ASSERT_EQ(history.size(), 2u);
+  // Sorted by valid time, not insertion order.
+  EXPECT_DOUBLE_EQ(history[0].value.AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(history[1].value.AsDouble(), 2.0);
+}
+
+TEST(GranularityPolicyTest, RejectAndTruncate) {
+  auto make = [](GranularityPolicy policy) {
+    RelationOptions options;
+    options.schema =
+        Schema::Make("hourly",
+                     {AttributeDef{"id", ValueType::kInt64,
+                                   AttributeRole::kTimeInvariantKey}},
+                     ValidTimeKind::kEvent, Granularity::Hour())
+            .ValueOrDie();
+    options.clock = std::make_shared<LogicalClock>(T(0), Duration::Seconds(1));
+    options.granularity_policy = policy;
+    return TemporalRelation::Open(std::move(options)).ValueOrDie();
+  };
+
+  auto reject = make(GranularityPolicy::kReject);
+  EXPECT_OK(reject->InsertEvent(1, T(7200), Tuple{int64_t{1}}).status());
+  EXPECT_FALSE(reject->InsertEvent(1, T(7260), Tuple{int64_t{1}}).ok());
+
+  auto truncate = make(GranularityPolicy::kTruncate);
+  ASSERT_OK_AND_ASSIGN(ElementSurrogate id,
+                       truncate->InsertEvent(1, T(7260), Tuple{int64_t{1}}));
+  ASSERT_OK_AND_ASSIGN(Element e, truncate->GetElement(id));
+  EXPECT_EQ(e.valid.at(), T(7200));  // snapped to the hour
+
+  auto ignore = make(GranularityPolicy::kIgnore);
+  ASSERT_OK_AND_ASSIGN(ElementSurrogate raw,
+                       ignore->InsertEvent(1, T(7260), Tuple{int64_t{1}}));
+  EXPECT_EQ(ignore->GetElement(raw)->valid.at(), T(7260));
+}
+
+}  // namespace
+}  // namespace tempspec

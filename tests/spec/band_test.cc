@@ -1,0 +1,132 @@
+#include "spec/band.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+using testing::T;
+
+TEST(BandTest, UnrestrictedContainsEverything) {
+  const Band all = Band::All();
+  EXPECT_TRUE(all.IsUnrestricted());
+  EXPECT_TRUE(all.Contains(T(0), T(1000000)));
+  EXPECT_TRUE(all.Contains(T(1000000), T(-1000000)));
+}
+
+TEST(BandTest, AtMostClosedAndOpen) {
+  const Band retro = Band::AtMost(Duration::Zero());
+  EXPECT_TRUE(retro.Contains(T(100), T(100)));  // closed: on the line
+  EXPECT_TRUE(retro.Contains(T(100), T(50)));
+  EXPECT_FALSE(retro.Contains(T(100), T(101)));
+
+  const Band strict = Band::AtMost(Duration::Zero(), /*open=*/true);
+  EXPECT_FALSE(strict.Contains(T(100), T(100)));
+  EXPECT_TRUE(strict.Contains(T(100), T(99)));
+}
+
+TEST(BandTest, AtLeastWithOffset) {
+  const Band early = Band::AtLeast(Duration::Days(3));
+  EXPECT_TRUE(early.Contains(T(0), T(0) + Duration::Days(3)));
+  EXPECT_TRUE(early.Contains(T(0), T(0) + Duration::Days(10)));
+  EXPECT_FALSE(early.Contains(T(0), T(0) + Duration::Days(2)));
+}
+
+TEST(BandTest, BetweenBand) {
+  const Band b = Band::Between(-Duration::Hours(2), Duration::Hours(1));
+  EXPECT_TRUE(b.Contains(T(10000), T(10000)));
+  EXPECT_TRUE(b.Contains(T(10000), T(10000) - Duration::Hours(2)));
+  EXPECT_TRUE(b.Contains(T(10000), T(10000) + Duration::Hours(1)));
+  EXPECT_FALSE(b.Contains(T(10000), T(10000) - Duration::Hours(3)));
+  EXPECT_FALSE(b.Contains(T(10000), T(10000) + Duration::Hours(2)));
+}
+
+TEST(BandTest, CalendricBoundUsesCalendarArithmetic) {
+  // vt <= tt - 1 month, evaluated at a 29-day February anchor.
+  const Band b = Band::AtMost(-Duration::Months(1));
+  const TimePoint tt = Civil(1992, 3, 29);
+  EXPECT_TRUE(b.Contains(tt, Civil(1992, 2, 29)));
+  EXPECT_FALSE(b.Contains(tt, Civil(1992, 3, 1)));
+}
+
+TEST(BandTest, EmptinessDetection) {
+  EXPECT_EQ(Band::Between(Duration::Seconds(10), Duration::Seconds(5)).IsEmpty(),
+            std::optional<bool>(true));
+  EXPECT_EQ(Band::Between(Duration::Seconds(5), Duration::Seconds(10)).IsEmpty(),
+            std::optional<bool>(false));
+  EXPECT_EQ(Band::Exactly(Duration::Zero()).IsEmpty(),
+            std::optional<bool>(false));
+  // Same offset but one side open: empty.
+  EXPECT_EQ(Band::Between(Duration::Zero(), Duration::Zero(), true, false)
+                .IsEmpty(),
+            std::optional<bool>(true));
+  EXPECT_EQ(Band::All().IsEmpty(), std::optional<bool>(false));
+}
+
+TEST(BandTest, SubsetOfDecidableCases) {
+  const Band retro = Band::AtMost(Duration::Zero());
+  const Band delayed = Band::AtMost(-Duration::Seconds(30));
+  const Band strongly = Band::Between(-Duration::Seconds(30), Duration::Zero());
+  const Band all = Band::All();
+
+  EXPECT_EQ(delayed.SubsetOf(retro), std::optional<bool>(true));
+  EXPECT_EQ(retro.SubsetOf(delayed), std::optional<bool>(false));
+  EXPECT_EQ(strongly.SubsetOf(retro), std::optional<bool>(true));
+  EXPECT_EQ(strongly.SubsetOf(delayed), std::optional<bool>(false));
+  EXPECT_EQ(retro.SubsetOf(all), std::optional<bool>(true));
+  EXPECT_EQ(all.SubsetOf(retro), std::optional<bool>(false));
+  EXPECT_EQ(retro.SubsetOf(retro), std::optional<bool>(true));
+}
+
+TEST(BandTest, SubsetOfOpennessMatters) {
+  const Band closed = Band::AtMost(Duration::Zero(), false);
+  const Band open = Band::AtMost(Duration::Zero(), true);
+  EXPECT_EQ(open.SubsetOf(closed), std::optional<bool>(true));
+  EXPECT_EQ(closed.SubsetOf(open), std::optional<bool>(false));
+}
+
+TEST(BandTest, CalendricComparisonsAreThreeValued) {
+  // One month (28..31 days) vs 30 days: indeterminate.
+  EXPECT_EQ(CompareOffsets(Duration::Months(1), Duration::Days(30)),
+            std::nullopt);
+  // One month vs 40 days: decidable.
+  EXPECT_EQ(CompareOffsets(Duration::Months(1), Duration::Days(40)),
+            std::optional<int>(-1));
+  EXPECT_EQ(CompareOffsets(Duration::Months(1), Duration::Days(20)),
+            std::optional<int>(1));
+  EXPECT_EQ(CompareOffsets(Duration::Months(1), Duration::Months(1)),
+            std::optional<int>(0));
+
+  const Band month = Band::AtMost(-Duration::Months(1));
+  const Band days30 = Band::AtMost(-Duration::Days(30));
+  EXPECT_EQ(month.SubsetOf(days30), std::nullopt);
+}
+
+TEST(BandTest, IntersectTightensBothSides) {
+  const Band a = Band::AtLeast(-Duration::Days(5));
+  const Band b = Band::AtMost(Duration::Days(2));
+  const Band both = a.Intersect(b);
+  EXPECT_TRUE(both.Contains(T(0), T(0)));
+  EXPECT_FALSE(both.Contains(T(0), T(0) - Duration::Days(6)));
+  EXPECT_FALSE(both.Contains(T(0), T(0) + Duration::Days(3)));
+
+  const Band tighter = both.Intersect(Band::AtMost(Duration::Days(1)));
+  EXPECT_FALSE(tighter.Contains(T(0), T(0) + Duration::Days(2)));
+  EXPECT_TRUE(tighter.Contains(T(0), T(0) + Duration::Days(1)));
+}
+
+TEST(BandTest, ToStringShapes) {
+  EXPECT_EQ(Band::All().ToString(), "(-inf, +inf)");
+  EXPECT_EQ(Band::AtMost(Duration::Zero()).ToString(), "(-inf, +0]");
+  EXPECT_EQ(Band::AtLeast(Duration::Seconds(30), true).ToString(),
+            "(+30s, +inf)");
+  EXPECT_EQ(
+      Band::Between(-Duration::Seconds(30), Duration::Zero()).ToString(),
+      "[-30s, +0]");
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,116 @@
+// Machine-checks the completeness theorem of Section 3.1 and the content of
+// Figure 1: the 0/1/2-line enumeration yields exactly the eleven specialized
+// isolated-event relation types plus the general type.
+#include "spec/enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+TEST(CompletenessTest, EnumerationYieldsTwelveRegions) {
+  const auto regions = EnumerateEventRegions();
+  // 1 (zero lines) + 6 (one line) + 5 (two lines) = 12 = Figure 1's panes.
+  EXPECT_EQ(regions.size(), 12u);
+}
+
+TEST(CompletenessTest, RegionKindsAreExactlyTheTaxonomy) {
+  const auto regions = EnumerateEventRegions();
+  std::set<EventSpecKind> kinds;
+  for (const auto& r : regions) kinds.insert(r.kind);
+  // All regions classify to distinct kinds: the enumeration is irredundant.
+  EXPECT_EQ(kinds.size(), regions.size());
+
+  // The eleven specialized types of the theorem, plus general. Degenerate is
+  // the separate (2)+(2) coincident-line case and is intentionally NOT a
+  // region of the enumeration.
+  const std::set<EventSpecKind> expected = {
+      EventSpecKind::kGeneral,
+      EventSpecKind::kEarlyPredictive,
+      EventSpecKind::kPredictivelyBounded,
+      EventSpecKind::kPredictive,
+      EventSpecKind::kRetroactive,
+      EventSpecKind::kRetroactivelyBounded,
+      EventSpecKind::kDelayedRetroactive,
+      EventSpecKind::kEarlyStronglyPredictivelyBounded,
+      EventSpecKind::kStronglyPredictivelyBounded,
+      EventSpecKind::kStronglyBounded,
+      EventSpecKind::kStronglyRetroactivelyBounded,
+      EventSpecKind::kDelayedStronglyRetroactivelyBounded,
+  };
+  EXPECT_EQ(kinds, expected);
+  EXPECT_EQ(kinds.count(EventSpecKind::kDegenerate), 0u);
+}
+
+TEST(CompletenessTest, OneLineRegionsMatchPaperText) {
+  // "With one line, there are two distinct regions for each of the three
+  // line-types, resulting in six distinct specialized temporal event
+  // relations: early predictive and predictively bounded, predictive and
+  // retroactive, and retroactively bounded and delayed retroactive."
+  const auto regions = EnumerateEventRegions();
+  std::map<std::string, EventSpecKind> by_construction;
+  for (const auto& r : regions) by_construction[r.construction] = r.kind;
+
+  EXPECT_EQ(by_construction["one line, kind (1), upper"],
+            EventSpecKind::kEarlyPredictive);
+  EXPECT_EQ(by_construction["one line, kind (1), lower"],
+            EventSpecKind::kPredictivelyBounded);
+  EXPECT_EQ(by_construction["one line, kind (2), upper"],
+            EventSpecKind::kPredictive);
+  EXPECT_EQ(by_construction["one line, kind (2), lower"],
+            EventSpecKind::kRetroactive);
+  EXPECT_EQ(by_construction["one line, kind (3), upper"],
+            EventSpecKind::kRetroactivelyBounded);
+  EXPECT_EQ(by_construction["one line, kind (3), lower"],
+            EventSpecKind::kDelayedRetroactive);
+}
+
+TEST(CompletenessTest, TwoLineRegionsMatchPaperText) {
+  // "(1) and (1) (early strongly predictively bounded), (1) and (2)
+  // (strongly predictively bounded), (1) and (3) (strongly bounded), (2) and
+  // (3) (strongly retroactively bounded), and (3) and (3) (delayed strong[ly]
+  // retroactively bounded)."
+  const auto regions = EnumerateEventRegions();
+  std::map<std::string, EventSpecKind> by_construction;
+  for (const auto& r : regions) by_construction[r.construction] = r.kind;
+
+  EXPECT_EQ(by_construction["two lines, kinds (1)+(1)"],
+            EventSpecKind::kEarlyStronglyPredictivelyBounded);
+  EXPECT_EQ(by_construction["two lines, kinds (2)+(1)"],
+            EventSpecKind::kStronglyPredictivelyBounded);
+  EXPECT_EQ(by_construction["two lines, kinds (3)+(1)"],
+            EventSpecKind::kStronglyBounded);
+  EXPECT_EQ(by_construction["two lines, kinds (3)+(2)"],
+            EventSpecKind::kStronglyRetroactivelyBounded);
+  EXPECT_EQ(by_construction["two lines, kinds (3)+(3)"],
+            EventSpecKind::kDelayedStronglyRetroactivelyBounded);
+}
+
+TEST(CompletenessTest, ClassificationIsScaleInvariant) {
+  // The taxonomy types depend on the signs of the bounds, not their sizes:
+  // re-running the enumeration with different Δ values must give the same
+  // classification per construction.
+  const auto small = EnumerateEventRegions(Duration::Millis(1), Duration::Millis(2));
+  const auto large = EnumerateEventRegions(Duration::Days(10), Duration::Days(400));
+  ASSERT_EQ(small.size(), large.size());
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].construction, large[i].construction);
+    EXPECT_EQ(small[i].kind, large[i].kind) << small[i].construction;
+  }
+}
+
+TEST(CompletenessTest, RenderedFigureMentionsEveryKind) {
+  const std::string fig = RenderFigure1(EnumerateEventRegions());
+  EXPECT_NE(fig.find("general"), std::string::npos);
+  EXPECT_NE(fig.find("strongly bounded"), std::string::npos);
+  EXPECT_NE(fig.find("delayed retroactive"), std::string::npos);
+  EXPECT_NE(fig.find("early strongly predictively bounded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,371 @@
+#include "spec/event_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+using testing::MakeEventElement;
+using testing::T;
+
+const Granularity kSec = Granularity::Second();
+
+Status CheckPair(const EventSpecialization& spec, TimePoint tt, TimePoint vt) {
+  return spec.CheckElement(MakeEventElement(tt, vt), kSec);
+}
+
+// --- Definitions from Section 3.1, one test per specialized type -----------
+
+TEST(EventSpecTest, Retroactive) {
+  const auto spec = EventSpecialization::Retroactive();
+  EXPECT_OK(CheckPair(spec, T(100), T(50)));
+  EXPECT_OK(CheckPair(spec, T(100), T(100)));  // vt <= tt, closed
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(101)));
+}
+
+TEST(EventSpecTest, DelayedRetroactive) {
+  ASSERT_OK_AND_ASSIGN(auto spec, EventSpecialization::DelayedRetroactive(
+                                      Duration::Seconds(30)));
+  EXPECT_OK(CheckPair(spec, T(100), T(70)));
+  EXPECT_OK(CheckPair(spec, T(100), T(50)));
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(71)));  // delay only 29s
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(100)));
+  // Δt must be positive.
+  EXPECT_FALSE(EventSpecialization::DelayedRetroactive(Duration::Zero()).ok());
+  EXPECT_FALSE(
+      EventSpecialization::DelayedRetroactive(Duration::Seconds(-5)).ok());
+}
+
+TEST(EventSpecTest, Predictive) {
+  const auto spec = EventSpecialization::Predictive();
+  EXPECT_OK(CheckPair(spec, T(100), T(150)));
+  EXPECT_OK(CheckPair(spec, T(100), T(100)));
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(99)));
+}
+
+TEST(EventSpecTest, EarlyPredictive) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       EventSpecialization::EarlyPredictive(Duration::Days(3)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(3)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(5)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(2)));
+}
+
+TEST(EventSpecTest, RetroactivelyBounded) {
+  ASSERT_OK_AND_ASSIGN(auto spec, EventSpecialization::RetroactivelyBounded(
+                                      Duration::Days(30)));
+  // "the valid time-stamp may exceed the transaction time-stamp": future
+  // assignments may be recorded arbitrarily early.
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(400)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(30)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(31)));
+  // Δt = 0 is allowed (degenerates to predictive).
+  EXPECT_TRUE(EventSpecialization::RetroactivelyBounded(Duration::Zero()).ok());
+}
+
+TEST(EventSpecTest, PredictivelyBounded) {
+  ASSERT_OK_AND_ASSIGN(auto spec, EventSpecialization::PredictivelyBounded(
+                                      Duration::Days(30)));
+  // Past and near-term future only (the pending-orders example).
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(1000)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(30)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(31)));
+}
+
+TEST(EventSpecTest, StronglyRetroactivelyBounded) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       EventSpecialization::StronglyRetroactivelyBounded(
+                           Duration::Days(30)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(30)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Seconds(1)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(31)));
+}
+
+TEST(EventSpecTest, DelayedStronglyRetroactivelyBounded) {
+  // Assignments recorded at least 2 days and at most 1 month late.
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, EventSpecialization::DelayedStronglyRetroactivelyBounded(
+                     Duration::Days(2), Duration::Days(31)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(2)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(31)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(10)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(1)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(32)));
+  // Requires Δt_min < Δt_max.
+  EXPECT_FALSE(EventSpecialization::DelayedStronglyRetroactivelyBounded(
+                   Duration::Days(5), Duration::Days(5))
+                   .ok());
+  EXPECT_FALSE(EventSpecialization::DelayedStronglyRetroactivelyBounded(
+                   Duration::Days(6), Duration::Days(5))
+                   .ok());
+}
+
+TEST(EventSpecTest, StronglyPredictivelyBounded) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       EventSpecialization::StronglyPredictivelyBounded(
+                           Duration::Days(7)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(7)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Seconds(1)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(8)));
+}
+
+TEST(EventSpecTest, EarlyStronglyPredictivelyBounded) {
+  // The direct-deposit example: tape sent 3..7 days ahead.
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, EventSpecialization::EarlyStronglyPredictivelyBounded(
+                     Duration::Days(3), Duration::Days(7)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(3)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(7)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(2)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(8)));
+}
+
+TEST(EventSpecTest, StronglyBounded) {
+  ASSERT_OK_AND_ASSIGN(auto spec, EventSpecialization::StronglyBounded(
+                                      Duration::Days(5), Duration::Days(2)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(5)));
+  EXPECT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(2)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) - Duration::Days(6)));
+  EXPECT_NOT_OK(CheckPair(spec, T(0), T(0) + Duration::Days(3)));
+}
+
+TEST(EventSpecTest, DegenerateUsesGranularity) {
+  const auto spec = EventSpecialization::Degenerate();
+  // Identical within one second.
+  EXPECT_OK(spec.CheckElement(
+      MakeEventElement(T(100) + Duration::Micros(100),
+                       T(100) + Duration::Micros(900)),
+      kSec));
+  EXPECT_NOT_OK(spec.CheckElement(MakeEventElement(T(100), T(101)), kSec));
+  // Coarser granularity admits bigger gaps.
+  EXPECT_OK(spec.CheckElement(MakeEventElement(T(100), T(101)),
+                              Granularity::Minute()));
+}
+
+TEST(EventSpecTest, CalendricBound) {
+  // Recorded no later than one calendar month after becoming effective.
+  ASSERT_OK_AND_ASSIGN(auto spec, EventSpecialization::RetroactivelyBounded(
+                                      Duration::Months(1)));
+  EXPECT_OK(CheckPair(spec, Civil(1992, 3, 29), Civil(1992, 2, 29)));
+  EXPECT_NOT_OK(CheckPair(spec, Civil(1992, 3, 29), Civil(1992, 2, 28)));
+}
+
+// --- Open (<) variants, per completeness assumption 4 -----------------------
+
+TEST(EventSpecTest, OpenVariantsExcludeTheBoundary) {
+  const auto retro_open = EventSpecialization::Retroactive(/*open=*/true);
+  EXPECT_OK(CheckPair(retro_open, T(100), T(99)));
+  EXPECT_NOT_OK(CheckPair(retro_open, T(100), T(100)));  // vt < tt strictly
+
+  const auto pred_open = EventSpecialization::Predictive(/*open=*/true);
+  EXPECT_OK(CheckPair(pred_open, T(100), T(101)));
+  EXPECT_NOT_OK(CheckPair(pred_open, T(100), T(100)));
+
+  ASSERT_OK_AND_ASSIGN(auto delayed_open, EventSpecialization::DelayedRetroactive(
+                                              Duration::Seconds(30), /*open=*/true));
+  EXPECT_OK(CheckPair(delayed_open, T(100), T(69)));
+  EXPECT_NOT_OK(CheckPair(delayed_open, T(100), T(70)));  // exactly 30s
+
+  // Mixed: open specializes closed, never the reverse.
+  EXPECT_EQ(retro_open.Implies(EventSpecialization::Retroactive()),
+            std::optional<bool>(true));
+  EXPECT_EQ(EventSpecialization::Retroactive().Implies(retro_open),
+            std::optional<bool>(false));
+}
+
+// --- Anchors (insertion vs deletion, Section 3.1 preamble) -----------------
+
+TEST(EventSpecTest, DeletionAnchorOnlyConstrainsDeletedElements) {
+  const auto spec = EventSpecialization::Retroactive().WithAnchor(
+      TransactionAnchor::kDeletion);
+  // Current element (tt_d open): passes vacuously even with future vt.
+  Element current = MakeEventElement(T(100), T(5000));
+  EXPECT_OK(spec.CheckElement(current, kSec));
+  // Deleted before the valid time: violates deletion-retroactive.
+  Element deleted = MakeEventElement(T(100), T(5000));
+  deleted.tt_end = T(200);
+  EXPECT_NOT_OK(spec.CheckElement(deleted, kSec));
+  // Deleted after the valid time: fine.
+  deleted.tt_end = T(6000);
+  EXPECT_OK(spec.CheckElement(deleted, kSec));
+}
+
+TEST(EventSpecTest, InsertionRetroactiveButNotDeletionRetroactive) {
+  // "it is possible for a relation to be deletion retroactive but not
+  // insertion retroactive" — the two anchors are independent.
+  const auto ins = EventSpecialization::Retroactive();
+  const auto del = EventSpecialization::Retroactive().WithAnchor(
+      TransactionAnchor::kDeletion);
+  Element e = MakeEventElement(T(100), T(150));
+  e.tt_end = T(200);
+  EXPECT_NOT_OK(ins.CheckElement(e, kSec));  // stored before valid
+  EXPECT_OK(del.CheckElement(e, kSec));      // deleted after valid
+}
+
+// --- Determined relations ---------------------------------------------------
+
+TEST(EventSpecTest, DeterminedRequiresExactMapping) {
+  // m1(e) = tt + 10s.
+  const auto spec = EventSpecialization::Predictive().Determined(
+      MappingFunction::Offset(Duration::Seconds(10)));
+  EXPECT_TRUE(spec.IsDetermined());
+  EXPECT_OK(CheckPair(spec, T(100), T(110)));
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(111)));  // obeys band, wrong mapping
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(109)));
+}
+
+TEST(EventSpecTest, RetroactivelyDeterminedMappingMustObeyBand) {
+  // "retroactively determined": m(e) <= tt. A mapping that yields future
+  // stamps violates the type even when vt matches the mapping.
+  const auto spec = EventSpecialization::Retroactive().Determined(
+      MappingFunction::Offset(Duration::Seconds(10)));
+  EXPECT_NOT_OK(CheckPair(spec, T(100), T(110)));
+  const auto good = EventSpecialization::Retroactive().Determined(
+      MappingFunction::Offset(Duration::Seconds(-60)));
+  EXPECT_OK(CheckPair(good, T(100), T(40)));
+}
+
+TEST(EventSpecTest, DeterminedFromMostRecentHour) {
+  // m2(e) = "valid from the beginning of the most recent hour".
+  const auto spec = EventSpecialization::Retroactive().Determined(
+      MappingFunction::TruncateThenOffset(Granularity::Hour()));
+  const TimePoint tt = Civil(1992, 2, 3, 10, 42, 17);
+  EXPECT_OK(CheckPair(spec, tt, Civil(1992, 2, 3, 10, 0, 0)));
+  EXPECT_NOT_OK(CheckPair(spec, tt, Civil(1992, 2, 3, 9, 0, 0)));
+}
+
+TEST(EventSpecTest, PredictivelyDeterminedNextEightAM) {
+  // m3(e) = "valid from the next closest 8:00 a.m." — bank deposits.
+  const auto spec = EventSpecialization::Predictive().Determined(
+      MappingFunction::NextPhase(Granularity::Day(), Duration::Hours(8)));
+  EXPECT_OK(CheckPair(spec, Civil(1992, 2, 3, 14, 30), Civil(1992, 2, 4, 8, 0)));
+  EXPECT_OK(CheckPair(spec, Civil(1992, 2, 3, 6, 0), Civil(1992, 2, 3, 8, 0)));
+  // On the boundary maps to itself (inclusive by default).
+  EXPECT_OK(CheckPair(spec, Civil(1992, 2, 3, 8, 0), Civil(1992, 2, 3, 8, 0)));
+  EXPECT_NOT_OK(
+      CheckPair(spec, Civil(1992, 2, 3, 14, 30), Civil(1992, 2, 4, 9, 0)));
+}
+
+// --- Implication (band containment) ----------------------------------------
+
+TEST(EventSpecTest, ImplicationMatchesBandContainment) {
+  ASSERT_OK_AND_ASSIGN(auto delayed, EventSpecialization::DelayedRetroactive(
+                                         Duration::Seconds(30)));
+  const auto retro = EventSpecialization::Retroactive();
+  EXPECT_EQ(delayed.Implies(retro), std::optional<bool>(true));
+  EXPECT_EQ(retro.Implies(delayed), std::optional<bool>(false));
+  // Determined implies undetermined, not vice versa.
+  const auto det =
+      retro.Determined(MappingFunction::Offset(Duration::Seconds(-1)));
+  EXPECT_EQ(det.Implies(retro), std::optional<bool>(true));
+  EXPECT_EQ(retro.Implies(det), std::optional<bool>(false));
+  // Different anchors never imply each other.
+  EXPECT_EQ(retro.Implies(retro.WithAnchor(TransactionAnchor::kDeletion)),
+            std::optional<bool>(false));
+}
+
+// --- ClassifyBand: every constructor round-trips to its kind ---------------
+
+TEST(EventSpecTest, ClassifyBandRoundTrip) {
+  const Duration d1 = Duration::Seconds(30);
+  const Duration d2 = Duration::Seconds(90);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(Band::All()),
+            EventSpecKind::kGeneral);
+  EXPECT_EQ(
+      EventSpecialization::ClassifyBand(EventSpecialization::Retroactive().band()),
+      EventSpecKind::kRetroactive);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::DelayedRetroactive(d1)->band()),
+            EventSpecKind::kDelayedRetroactive);
+  EXPECT_EQ(
+      EventSpecialization::ClassifyBand(EventSpecialization::Predictive().band()),
+      EventSpecKind::kPredictive);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::EarlyPredictive(d1)->band()),
+            EventSpecKind::kEarlyPredictive);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::RetroactivelyBounded(d1)->band()),
+            EventSpecKind::kRetroactivelyBounded);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::PredictivelyBounded(d1)->band()),
+            EventSpecKind::kPredictivelyBounded);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::StronglyRetroactivelyBounded(d1)->band()),
+            EventSpecKind::kStronglyRetroactivelyBounded);
+  EXPECT_EQ(
+      EventSpecialization::ClassifyBand(
+          EventSpecialization::DelayedStronglyRetroactivelyBounded(d1, d2)->band()),
+      EventSpecKind::kDelayedStronglyRetroactivelyBounded);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::StronglyPredictivelyBounded(d1)->band()),
+            EventSpecKind::kStronglyPredictivelyBounded);
+  EXPECT_EQ(
+      EventSpecialization::ClassifyBand(
+          EventSpecialization::EarlyStronglyPredictivelyBounded(d1, d2)->band()),
+      EventSpecKind::kEarlyStronglyPredictivelyBounded);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::StronglyBounded(d1, d2)->band()),
+            EventSpecKind::kStronglyBounded);
+  EXPECT_EQ(EventSpecialization::ClassifyBand(
+                EventSpecialization::Degenerate().band()),
+            EventSpecKind::kDegenerate);
+}
+
+// --- Property sweep: membership in the band equals the printed definition --
+
+struct BandPropertyCase {
+  const char* name;
+  int64_t lo_us;  // INT64_MIN = unbounded
+  int64_t hi_us;  // INT64_MAX = unbounded
+};
+
+class EventBandPropertyTest : public ::testing::TestWithParam<BandPropertyCase> {};
+
+TEST_P(EventBandPropertyTest, BandMatchesDirectInequalities) {
+  const auto& param = GetParam();
+  Band band;
+  if (param.lo_us == INT64_MIN) {
+    band = Band::AtMost(Duration::Micros(param.hi_us));
+  } else if (param.hi_us == INT64_MAX) {
+    band = Band::AtLeast(Duration::Micros(param.lo_us));
+  } else {
+    band = Band::Between(Duration::Micros(param.lo_us),
+                         Duration::Micros(param.hi_us));
+  }
+  Random rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const TimePoint tt = T(rng.Uniform(-1000, 1000));
+    const TimePoint vt = tt + Duration::Micros(rng.Uniform(-5'000'000, 5'000'000));
+    const int64_t off = vt.MicrosSince(tt);
+    const bool expected =
+        (param.lo_us == INT64_MIN || off >= param.lo_us) &&
+        (param.hi_us == INT64_MAX || off <= param.hi_us);
+    EXPECT_EQ(band.Contains(tt, vt), expected)
+        << param.name << " offset=" << off;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EventBandPropertyTest,
+    ::testing::Values(
+        BandPropertyCase{"retroactive", INT64_MIN, 0},
+        BandPropertyCase{"delayed", INT64_MIN, -2'000'000},
+        BandPropertyCase{"predictive", 0, INT64_MAX},
+        BandPropertyCase{"early", 2'000'000, INT64_MAX},
+        BandPropertyCase{"retro-bounded", -3'000'000, INT64_MAX},
+        BandPropertyCase{"pred-bounded", INT64_MIN, 3'000'000},
+        BandPropertyCase{"strongly-retro", -3'000'000, 0},
+        BandPropertyCase{"strongly-pred", 0, 3'000'000},
+        BandPropertyCase{"strongly", -1'000'000, 2'000'000},
+        BandPropertyCase{"delayed-strong", -4'000'000, -1'000'000},
+        BandPropertyCase{"early-strong", 1'000'000, 4'000'000}));
+
+}  // namespace
+}  // namespace tempspec

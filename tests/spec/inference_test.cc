@@ -1,0 +1,244 @@
+#include "spec/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+using testing::MakeEventElement;
+using testing::MakeIntervalElement;
+using testing::T;
+
+const Granularity kSec = Granularity::Second();
+
+std::vector<Element> EventElements(
+    std::initializer_list<std::pair<int64_t, int64_t>> tt_vt) {
+  std::vector<Element> out;
+  ElementSurrogate id = 1;
+  for (const auto& [tt, vt] : tt_vt) {
+    out.push_back(MakeEventElement(T(tt), T(vt), id, (id % 3) + 1));
+    ++id;
+  }
+  return out;
+}
+
+TEST(InferenceTest, EmptyExtension) {
+  RelationProfile p = InferProfile({}, ValidTimeKind::kEvent, kSec);
+  EXPECT_EQ(p.element_count, 0u);
+  EXPECT_FALSE(p.event.applicable);
+}
+
+TEST(InferenceTest, ClassifiesRetroactiveExtension) {
+  auto elements = EventElements({{100, 60}, {200, 190}, {300, 240}});
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_EQ(p.event.classified, EventSpecKind::kDelayedStronglyRetroactivelyBounded);
+  EXPECT_EQ(p.event.min_offset_us, -60 * kMicrosPerSecond);
+  EXPECT_EQ(p.event.max_offset_us, -10 * kMicrosPerSecond);
+  // The inferred band admits every element.
+  for (const Element& e : elements) {
+    EXPECT_TRUE(p.event.tightest_band.Contains(e.tt_begin, e.valid.at()));
+  }
+}
+
+TEST(InferenceTest, ClassifiesDegenerateWithinGranularity) {
+  std::vector<Element> elements = {
+      MakeEventElement(T(10) + Duration::Micros(100), T(10) + Duration::Micros(500), 1),
+      MakeEventElement(T(20), T(20) + Duration::Micros(999), 2),
+  };
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_TRUE(p.event.degenerate);
+  EXPECT_EQ(p.event.classified, EventSpecKind::kDegenerate);
+}
+
+TEST(InferenceTest, OrderingDetection) {
+  auto nd = EventElements({{1, 10}, {2, 10}, {3, 20}});
+  RelationProfile p = InferProfile(nd, ValidTimeKind::kEvent, kSec);
+  EXPECT_TRUE(p.global_ordering.non_decreasing);
+  EXPECT_FALSE(p.global_ordering.non_increasing);
+
+  auto seq = EventElements({{2, 1}, {4, 3}, {6, 5}});
+  p = InferProfile(seq, ValidTimeKind::kEvent, kSec);
+  EXPECT_TRUE(p.global_ordering.sequential);
+  EXPECT_TRUE(p.global_ordering.non_decreasing);
+}
+
+TEST(InferenceTest, PerSurrogateTighterThanGlobal) {
+  // Interleaved objects, ordered within each object only.
+  std::vector<Element> elements = {
+      MakeEventElement(T(1), T(100), 1, 1), MakeEventElement(T(2), T(10), 2, 2),
+      MakeEventElement(T(3), T(200), 3, 1), MakeEventElement(T(4), T(20), 4, 2),
+  };
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_FALSE(p.global_ordering.non_decreasing);
+  EXPECT_TRUE(p.per_surrogate_ordering.non_decreasing);
+}
+
+TEST(InferenceTest, RegularityUnits) {
+  // tts multiples of 20s, vts multiples of 30s; lockstep offset varies.
+  auto elements = EventElements({{0, 0}, {20, 30}, {60, 90}, {80, 120}});
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_EQ(p.regularity.tt_unit_us, 20 * kMicrosPerSecond);
+  EXPECT_EQ(p.regularity.vt_unit_us, 30 * kMicrosPerSecond);
+  EXPECT_FALSE(p.regularity.temporal_regular);  // offsets differ
+
+  auto lockstep = EventElements({{0, 5}, {20, 25}, {60, 65}});
+  p = InferProfile(lockstep, ValidTimeKind::kEvent, kSec);
+  EXPECT_TRUE(p.regularity.temporal_regular);
+  EXPECT_EQ(p.regularity.temporal_unit_us, 20 * kMicrosPerSecond);
+}
+
+TEST(InferenceTest, StrictRegularity) {
+  auto strict = EventElements({{0, 1}, {10, 11}, {20, 21}});
+  RelationProfile p = InferProfile(strict, ValidTimeKind::kEvent, kSec);
+  EXPECT_TRUE(p.regularity.tt_strict);
+  EXPECT_TRUE(p.regularity.vt_strict);
+  EXPECT_TRUE(p.regularity.temporal_strict);
+
+  auto gapped = EventElements({{0, 1}, {10, 11}, {30, 31}});
+  p = InferProfile(gapped, ValidTimeKind::kEvent, kSec);
+  EXPECT_FALSE(p.regularity.tt_strict);
+  EXPECT_TRUE(p.regularity.temporal_regular);
+  EXPECT_FALSE(p.regularity.temporal_strict);
+}
+
+TEST(InferenceTest, FitsConstantOffsetMapping) {
+  auto elements = EventElements({{100, 110}, {250, 260}, {400, 410}});
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  ASSERT_TRUE(p.event.determined_by.has_value());
+  EXPECT_EQ(p.event.determined_by->ApplyToTransactionTime(T(500)), T(510));
+}
+
+TEST(InferenceTest, FitsTruncationMapping) {
+  // vt = start of the hour containing tt.
+  std::vector<Element> elements = {
+      MakeEventElement(Civil(1992, 2, 3, 10, 42), Civil(1992, 2, 3, 10, 0), 1),
+      MakeEventElement(Civil(1992, 2, 3, 11, 7), Civil(1992, 2, 3, 11, 0), 2),
+      MakeEventElement(Civil(1992, 2, 3, 13, 59), Civil(1992, 2, 3, 13, 0), 3),
+  };
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  ASSERT_TRUE(p.event.determined_by.has_value());
+  EXPECT_EQ(
+      p.event.determined_by->ApplyToTransactionTime(Civil(1992, 2, 3, 20, 30)),
+      Civil(1992, 2, 3, 20, 0));
+}
+
+TEST(InferenceTest, NoMappingForNoisyData) {
+  Random rng(5);
+  std::vector<Element> elements;
+  for (int i = 0; i < 20; ++i) {
+    elements.push_back(MakeEventElement(
+        T(i * 100), T(i * 100 + rng.Uniform(-50, 50)), i + 1));
+  }
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_FALSE(p.event.determined_by.has_value());
+}
+
+TEST(InferenceTest, IntervalProfile) {
+  std::vector<Element> elements = {
+      MakeIntervalElement(T(95), T(100), T(200), 1, 1),
+      MakeIntervalElement(T(195), T(200), T(300), 2, 1),
+      MakeIntervalElement(T(295), T(300), T(400), 3, 1),
+  };
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kInterval, kSec);
+  EXPECT_TRUE(p.interval.applicable);
+  EXPECT_EQ(p.interval.valid_duration_unit_us, 100 * kMicrosPerSecond);
+  EXPECT_TRUE(p.interval.valid_strict);
+  EXPECT_TRUE(p.interval.contiguous);
+  EXPECT_EQ(p.interval.successive.count(AllenRelation::kMeets), 1u);
+  // Begin-anchored event profile: stored exactly 5s before each interval
+  // starts, so the tightest band is the zero-width [5s, 5s].
+  EXPECT_EQ(p.event.classified,
+            EventSpecKind::kEarlyStronglyPredictivelyBounded);
+  EXPECT_TRUE(p.global_ordering.non_decreasing);
+  // Not sequential: each interval is still ongoing when the next is stored.
+  EXPECT_FALSE(p.global_ordering.sequential);
+}
+
+TEST(InferenceTest, MixedSuccessiveRelationsYieldEmptySet) {
+  std::vector<Element> elements = {
+      MakeIntervalElement(T(1), T(0), T(10), 1),
+      MakeIntervalElement(T(2), T(10), T(20), 2),  // meets
+      MakeIntervalElement(T(3), T(15), T(30), 3),  // overlapped... not meets
+  };
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kInterval, kSec);
+  EXPECT_TRUE(p.interval.successive.empty());
+  EXPECT_FALSE(p.interval.contiguous);
+}
+
+TEST(InferenceTest, InferUnitGcd) {
+  std::vector<TimePoint> stamps = {T(0), T(20), T(50)};
+  EXPECT_EQ(InferUnit(stamps), 10 * kMicrosPerSecond);
+  std::vector<TimePoint> one = {T(7)};
+  EXPECT_EQ(InferUnit(one), 0);
+}
+
+TEST(InferenceTest, ReportMentionsKeyFindings) {
+  auto elements = EventElements({{100, 60}, {200, 190}});
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  const std::string report = p.Report();
+  EXPECT_NE(report.find("retroactively bounded"), std::string::npos);
+  EXPECT_NE(report.find("ordering"), std::string::npos);
+}
+
+TEST(InferenceTest, PerSurrogateRegularityTighterThanGlobal) {
+  // Two sensors sampled every 20s each, phase-shifted by 7s: globally the
+  // stamps are only 1s-regular, but each life-line is strictly 20s-regular.
+  std::vector<Element> elements;
+  ElementSurrogate id = 1;
+  for (int i = 0; i < 20; ++i) {
+    elements.push_back(
+        MakeEventElement(T(i * 20), T(i * 20), id, 1));
+    ++id;
+    elements.push_back(
+        MakeEventElement(T(i * 20 + 7), T(i * 20 + 7), id, 2));
+    ++id;
+  }
+  std::sort(elements.begin(), elements.end(),
+            [](const Element& a, const Element& b) {
+              return a.tt_begin < b.tt_begin;
+            });
+  RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+  EXPECT_EQ(p.regularity.tt_unit_us, kMicrosPerSecond);  // gcd(20, 7) = 1
+  EXPECT_FALSE(p.regularity.tt_strict);
+  EXPECT_EQ(p.per_surrogate_regularity.tt_unit_us, 20 * kMicrosPerSecond);
+  EXPECT_TRUE(p.per_surrogate_regularity.tt_strict);
+  EXPECT_TRUE(p.per_surrogate_regularity.temporal_strict);
+}
+
+// Round-trip property: for every scenario band, inference recovers a band
+// whose classification matches the generating discipline.
+TEST(InferencePropertyTest, RecoversGeneratingBand) {
+  Random rng(77);
+  struct Case {
+    int64_t lo_us, hi_us;
+    EventSpecKind expected;
+  };
+  const Case cases[] = {
+      {-90'000'000, -30'000'000, EventSpecKind::kDelayedStronglyRetroactivelyBounded},
+      {-90'000'000, 0, EventSpecKind::kStronglyRetroactivelyBounded},
+      {-90'000'000, 30'000'000, EventSpecKind::kStronglyBounded},
+      {0, 30'000'000, EventSpecKind::kStronglyPredictivelyBounded},
+      {30'000'000, 90'000'000, EventSpecKind::kEarlyStronglyPredictivelyBounded},
+  };
+  for (const auto& c : cases) {
+    std::vector<Element> elements;
+    for (int i = 0; i < 200; ++i) {
+      const int64_t off =
+          i == 0 ? c.lo_us : (i == 1 ? c.hi_us : rng.Uniform(c.lo_us, c.hi_us));
+      elements.push_back(
+          MakeEventElement(T(i * 1000), T(i * 1000) + Duration::Micros(off), i + 1));
+    }
+    RelationProfile p = InferProfile(elements, ValidTimeKind::kEvent, kSec);
+    EXPECT_EQ(p.event.classified, c.expected)
+        << "lo=" << c.lo_us << " hi=" << c.hi_us;
+    EXPECT_EQ(p.event.min_offset_us, c.lo_us);
+    EXPECT_EQ(p.event.max_offset_us, c.hi_us);
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

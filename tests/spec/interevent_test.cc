@@ -1,0 +1,326 @@
+#include "spec/interevent_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+using testing::T;
+
+std::vector<EventStamp> Stamps(
+    std::initializer_list<std::pair<int64_t, int64_t>> tt_vt,
+    std::initializer_list<ObjectSurrogate> partitions = {}) {
+  std::vector<EventStamp> out;
+  size_t i = 0;
+  std::vector<ObjectSurrogate> parts(partitions);
+  for (const auto& [tt, vt] : tt_vt) {
+    out.push_back(EventStamp{T(tt), T(vt), i < parts.size() ? parts[i] : 0});
+    ++i;
+  }
+  return out;
+}
+
+// --- Orderings ---------------------------------------------------------------
+
+TEST(OrderingTest, NonDecreasing) {
+  OrderingSpec spec(OrderingKind::kNonDecreasing);
+  EXPECT_OK(spec.CheckStamps(Stamps({{1, 10}, {2, 10}, {3, 15}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{1, 10}, {2, 9}})));
+}
+
+TEST(OrderingTest, NonIncreasingArchaeology) {
+  // "an archeological relation that records information about progressively
+  // earlier periods uncovered as excavation proceeds."
+  OrderingSpec spec(OrderingKind::kNonIncreasing);
+  EXPECT_OK(spec.CheckStamps(Stamps({{1, 100}, {2, 80}, {3, 80}, {4, 10}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{1, 100}, {2, 101}})));
+}
+
+TEST(OrderingTest, Sequential) {
+  OrderingSpec spec(OrderingKind::kSequential);
+  // Each event occurs and is stored before the next occurs or is stored.
+  EXPECT_OK(spec.CheckStamps(Stamps({{2, 1}, {4, 3}, {6, 5}})));
+  // vt of the second precedes tt of the first: not sequential.
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{2, 1}, {4, 1}})));
+  // tt of the second precedes vt of the first: not sequential.
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{2, 5}, {4, 6}})));
+}
+
+TEST(OrderingTest, SequentialImpliesNonDecreasing) {
+  // Figure 3's edge, checked on random sequential extensions.
+  Random rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<EventStamp> stamps;
+    int64_t frontier = 0;
+    for (int i = 0; i < 20; ++i) {
+      const int64_t a = frontier + rng.Uniform(1, 5);
+      const int64_t b = a + rng.Uniform(0, 5);
+      // Randomly order (tt, vt) within the window; both beyond the frontier.
+      if (rng.OneIn(0.5)) {
+        stamps.push_back(EventStamp{T(b), T(a), 0});
+      } else {
+        stamps.push_back(EventStamp{T(a), T(b), 0});
+      }
+      frontier = b;
+    }
+    std::stable_sort(stamps.begin(), stamps.end(),
+                     [](const EventStamp& x, const EventStamp& y) {
+                       return x.tt < y.tt;
+                     });
+    if (OrderingSpec(OrderingKind::kSequential).CheckStamps(stamps).ok()) {
+      EXPECT_OK(OrderingSpec(OrderingKind::kNonDecreasing).CheckStamps(stamps));
+    }
+  }
+}
+
+TEST(OrderingTest, PerSurrogateScope) {
+  // Interleaved objects: globally non-sequential (object 1's event at vt 30
+  // is still in the future when object 2's is stored), but each life-line is
+  // sequential on its own.
+  auto stamps = Stamps({{10, 30}, {12, 13}, {40, 60}, {42, 45}}, {1, 2, 1, 2});
+  EXPECT_NOT_OK(
+      OrderingSpec(OrderingKind::kSequential, SpecScope::kPerRelation)
+          .CheckStamps(stamps));
+  EXPECT_OK(OrderingSpec(OrderingKind::kSequential,
+                         SpecScope::kPerObjectSurrogate)
+                .CheckStamps(stamps));
+}
+
+TEST(OrderingTest, GlobalImpliesPerPartition) {
+  // Pairwise universally quantified properties restrict to subsets: any
+  // globally ordered extension is ordered per partition as well.
+  Random rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<EventStamp> stamps;
+    int64_t vt = 0;
+    for (int i = 0; i < 30; ++i) {
+      vt += rng.Uniform(0, 4);
+      stamps.push_back(
+          EventStamp{T(i), T(vt), static_cast<ObjectSurrogate>(rng.Uniform(1, 4))});
+    }
+    ASSERT_OK(OrderingSpec(OrderingKind::kNonDecreasing, SpecScope::kPerRelation)
+                  .CheckStamps(stamps));
+    EXPECT_OK(OrderingSpec(OrderingKind::kNonDecreasing,
+                           SpecScope::kPerObjectSurrogate)
+                  .CheckStamps(stamps));
+  }
+}
+
+TEST(OrderingTest, OnlineMatchesBatch) {
+  Random rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<EventStamp> stamps;
+    for (int i = 0; i < 12; ++i) {
+      stamps.push_back(EventStamp{
+          T(i), T(rng.Uniform(0, 20)),
+          static_cast<ObjectSurrogate>(rng.Uniform(1, 3))});
+    }
+    for (OrderingKind kind :
+         {OrderingKind::kNonDecreasing, OrderingKind::kNonIncreasing,
+          OrderingKind::kSequential}) {
+      for (SpecScope scope :
+           {SpecScope::kPerRelation, SpecScope::kPerObjectSurrogate}) {
+        OrderingSpec spec(kind, scope);
+        OnlineOrderingChecker online(spec);
+        Status online_status;
+        for (const auto& s : stamps) {
+          online_status = online.OnInsert(s);
+          if (!online_status.ok()) break;
+        }
+        const Status batch_status = spec.CheckStamps(stamps);
+        EXPECT_EQ(online_status.ok(), batch_status.ok())
+            << spec.ToString() << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(OrderingTest, OnlineCheckDoesNotMutateOnReject) {
+  OnlineOrderingChecker online(OrderingSpec(OrderingKind::kNonDecreasing));
+  ASSERT_OK(online.OnInsert(EventStamp{T(1), T(10), 0}));
+  // Check alone must not commit.
+  EXPECT_NOT_OK(online.Check(EventStamp{T(2), T(5), 0}));
+  EXPECT_OK(online.Check(EventStamp{T(2), T(10), 0}));
+  EXPECT_OK(online.OnInsert(EventStamp{T(2), T(10), 0}));
+}
+
+// --- Regularity ---------------------------------------------------------------
+
+TEST(RegularityTest, TransactionTimeRegular) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                            Duration::Seconds(10)));
+  // "the transaction time-stamps of successively stored elements need not be
+  // evenly spaced; they are merely restricted to be separated by an integral
+  // multiple of a specified duration."
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 3}, {10, 1}, {40, 2}, {50, 99}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 3}, {15, 1}})));
+}
+
+TEST(RegularityTest, ValidTimeRegularExpressesGranularity) {
+  // "if the valid time-stamp granularity is one second then, equivalently,
+  // the relation is valid time event regular with time unit one second."
+  ASSERT_OK_AND_ASSIGN(auto spec, RegularitySpec::Make(
+                                      RegularityDimension::kValidTime,
+                                      Duration::Seconds(1)));
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 5}, {1, 3}, {2, 100}})));
+}
+
+TEST(RegularityTest, TemporalRegularNeedsSharedMultiplier) {
+  ASSERT_OK_AND_ASSIGN(auto spec, RegularitySpec::Make(
+                                      RegularityDimension::kTemporal,
+                                      Duration::Seconds(10)));
+  // Same k for both dimensions: offsets tt - vt constant.
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 5}, {10, 15}, {30, 35}})));
+  // Both regular separately but multipliers differ.
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 0}, {10, 20}})));
+}
+
+TEST(RegularityTest, PaperNoteTemporalIsMoreRestrictiveThanBoth) {
+  // Section 3.2 states both that temporal regularity is "more restrictive
+  // than valid and transaction time event regular together" AND that tt-
+  // regular(Δt1) + vt-regular(Δt2) imply temporal regular(gcd). The two
+  // statements conflict; the definitions support the former. Witness: tt
+  // regular with 28s, vt regular with 6s, NOT temporal regular with 2s.
+  auto stamps = Stamps({{0, 0}, {28, 6}});
+  ASSERT_OK(RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                 Duration::Seconds(28))
+                ->CheckStamps(stamps));
+  ASSERT_OK(RegularitySpec::Make(RegularityDimension::kValidTime,
+                                 Duration::Seconds(6))
+                ->CheckStamps(stamps));
+  EXPECT_NOT_OK(RegularitySpec::Make(RegularityDimension::kTemporal,
+                                     Duration::Seconds(2))
+                    ->CheckStamps(stamps));
+  // The sound direction: temporal regular implies both (same unit).
+  auto lockstep = Stamps({{0, 4}, {20, 24}, {60, 64}});
+  ASSERT_OK(RegularitySpec::Make(RegularityDimension::kTemporal,
+                                 Duration::Seconds(2))
+                ->CheckStamps(lockstep));
+  EXPECT_OK(RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                 Duration::Seconds(2))
+                ->CheckStamps(lockstep));
+  EXPECT_OK(RegularitySpec::Make(RegularityDimension::kValidTime,
+                                 Duration::Seconds(2))
+                ->CheckStamps(lockstep));
+}
+
+TEST(RegularityTest, StrictTransactionTime) {
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                      Duration::Seconds(10), /*strict=*/true));
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 1}, {10, 2}, {20, 3}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 1}, {20, 2}})));  // gap
+}
+
+TEST(RegularityTest, StrictValidTimeDisallowsDuplicatesAndGaps) {
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, RegularitySpec::Make(RegularityDimension::kValidTime,
+                                      Duration::Seconds(10), /*strict=*/true));
+  // Valid times can arrive out of order but must form a gap-free
+  // progression.
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 10}, {1, 0}, {2, 20}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 10}, {1, 10}})));  // duplicate
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 10}, {1, 30}})));  // gap
+}
+
+TEST(RegularityTest, StrictTemporalLockstep) {
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, RegularitySpec::Make(RegularityDimension::kTemporal,
+                                      Duration::Seconds(5), /*strict=*/true));
+  EXPECT_OK(spec.CheckStamps(Stamps({{0, 2}, {5, 7}, {10, 12}})));
+  EXPECT_NOT_OK(spec.CheckStamps(Stamps({{0, 2}, {5, 8}})));
+  // Strict tt + strict vt regular does NOT imply strict temporal (Section
+  // 3.2): stamps stepping in opposite directions.
+  auto opposite = Stamps({{0, 10}, {5, 5}, {10, 0}});
+  ASSERT_OK(RegularitySpec::Make(RegularityDimension::kTransactionTime,
+                                 Duration::Seconds(5), true)
+                ->CheckStamps(opposite));
+  ASSERT_OK(RegularitySpec::Make(RegularityDimension::kValidTime,
+                                 Duration::Seconds(5), true)
+                ->CheckStamps(opposite));
+  EXPECT_NOT_OK(RegularitySpec::Make(RegularityDimension::kTemporal,
+                                     Duration::Seconds(5), true)
+                    ->CheckStamps(opposite));
+}
+
+TEST(RegularityTest, CalendricUnit) {
+  // Monthly deposits: valid times on the 1st of each month are congruent
+  // under a one-month unit despite months of different lengths.
+  ASSERT_OK_AND_ASSIGN(auto spec, RegularitySpec::Make(
+                                      RegularityDimension::kValidTime,
+                                      Duration::Months(1)));
+  std::vector<EventStamp> stamps = {
+      EventStamp{T(0), Civil(1992, 1, 1), 0},
+      EventStamp{T(1), Civil(1992, 2, 1), 0},
+      EventStamp{T(2), Civil(1992, 5, 1), 0},
+  };
+  EXPECT_OK(spec.CheckStamps(stamps));
+  stamps.push_back(EventStamp{T(3), Civil(1992, 6, 2), 0});
+  EXPECT_NOT_OK(spec.CheckStamps(stamps));
+}
+
+TEST(RegularityTest, UnitMultiplierFixedAndCalendric) {
+  EXPECT_EQ(UnitMultiplier(T(0), T(30), Duration::Seconds(10)),
+            std::optional<int64_t>(3));
+  EXPECT_EQ(UnitMultiplier(T(0), T(35), Duration::Seconds(10)), std::nullopt);
+  EXPECT_EQ(UnitMultiplier(T(30), T(0), Duration::Seconds(10)),
+            std::optional<int64_t>(-3));
+  EXPECT_EQ(
+      UnitMultiplier(Civil(1992, 1, 31), Civil(1992, 3, 31), Duration::Months(1)),
+      std::optional<int64_t>(2));
+  // Day-clamping breaks exact congruence: Jan 31 + 1mo = Feb 29 != Mar 1.
+  EXPECT_EQ(
+      UnitMultiplier(Civil(1992, 1, 31), Civil(1992, 3, 1), Duration::Months(1)),
+      std::nullopt);
+}
+
+TEST(RegularityTest, OnlineMatchesBatchForStrictValid) {
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, RegularitySpec::Make(RegularityDimension::kValidTime,
+                                      Duration::Seconds(10), /*strict=*/true));
+  OnlineRegularityChecker online(spec);
+  EXPECT_OK(online.OnInsert(EventStamp{T(0), T(100), 0}));
+  EXPECT_OK(online.OnInsert(EventStamp{T(1), T(110), 0}));   // extends top
+  EXPECT_OK(online.OnInsert(EventStamp{T(2), T(90), 0}));    // extends bottom
+  EXPECT_NOT_OK(online.OnInsert(EventStamp{T(3), T(100), 0}));  // duplicate
+  EXPECT_NOT_OK(online.OnInsert(EventStamp{T(3), T(130), 0}));  // gap
+  EXPECT_OK(online.OnInsert(EventStamp{T(3), T(120), 0}));
+}
+
+TEST(RegularityTest, PaperNotePerPartitionDoesNotImplyGlobal) {
+  // §3.2 claims "the per partition variant implies the global variant" for
+  // non-strict regularity. Counterexample: two single-element partitions are
+  // each (vacuously) tt-regular with ANY unit, but their stamps need not be
+  // congruent to each other. (The converse — global implies per-partition —
+  // holds for all pairwise properties; see GlobalImpliesPerPartition.)
+  std::vector<EventStamp> stamps = {
+      EventStamp{T(0), T(0), 1},
+      EventStamp{T(5), T(5), 2},
+  };
+  ASSERT_OK_AND_ASSIGN(auto per, RegularitySpec::Make(
+                                     RegularityDimension::kTransactionTime,
+                                     Duration::Seconds(10), false,
+                                     SpecScope::kPerObjectSurrogate));
+  ASSERT_OK_AND_ASSIGN(auto global, RegularitySpec::Make(
+                                        RegularityDimension::kTransactionTime,
+                                        Duration::Seconds(10)));
+  EXPECT_OK(per.CheckStamps(stamps));
+  EXPECT_NOT_OK(global.CheckStamps(stamps));
+}
+
+TEST(RegularityTest, RejectsNonPositiveUnit) {
+  EXPECT_FALSE(RegularitySpec::Make(RegularityDimension::kValidTime,
+                                    Duration::Zero())
+                   .ok());
+  EXPECT_FALSE(RegularitySpec::Make(RegularityDimension::kValidTime,
+                                    Duration::Seconds(-1))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,205 @@
+#include "spec/interinterval_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spec/lattice.h"
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+IntervalStamp IS(int64_t tt, int64_t vb, int64_t ve, ObjectSurrogate part = 0) {
+  return IntervalStamp{T(tt), TimeInterval(T(vb), T(ve)), part};
+}
+
+// Braced lists cannot bind to std::span directly; materialize a vector.
+std::vector<IntervalStamp> V(std::initializer_list<IntervalStamp> stamps) {
+  return std::vector<IntervalStamp>(stamps);
+}
+
+TEST(IntervalOrderingTest, SequentialWeeklyAssignments) {
+  // "If the assignment for the next week is recorded during the weekend then
+  // this relation will be per surrogate sequential."
+  IntervalOrderingSpec spec(IntervalOrderingKind::kSequential,
+                            SpecScope::kPerObjectSurrogate);
+  // tt falls between the previous week's end and the next week's start.
+  std::vector<IntervalStamp> stamps = {
+      IS(95, 100, 200, 1), IS(205, 210, 310, 1), IS(315, 320, 420, 1)};
+  EXPECT_OK(spec.CheckStamps(stamps));
+  // Recording Thursday (inside the current week) breaks sequentiality...
+  stamps.push_back(IS(400, 430, 530, 1));
+  EXPECT_NOT_OK(spec.CheckStamps(stamps));
+}
+
+TEST(IntervalOrderingTest, NonDecreasingThursdayRecording) {
+  // "record each Thursday the next week's assignment ... per surrogate
+  // non-decreasing": tt inside the current interval, begins still ascend.
+  IntervalOrderingSpec spec(IntervalOrderingKind::kNonDecreasing,
+                            SpecScope::kPerObjectSurrogate);
+  std::vector<IntervalStamp> stamps = {
+      IS(95, 100, 200, 1), IS(150, 200, 300, 1), IS(250, 300, 400, 1)};
+  EXPECT_OK(spec.CheckStamps(stamps));
+  stamps.push_back(IS(350, 250, 260, 1));
+  EXPECT_NOT_OK(spec.CheckStamps(stamps));
+}
+
+TEST(IntervalOrderingTest, NonIncreasingOnEnds) {
+  IntervalOrderingSpec spec(IntervalOrderingKind::kNonIncreasing);
+  EXPECT_OK(spec.CheckStamps(V({IS(1, 80, 100), IS(2, 60, 80), IS(3, 40, 60)})));
+  EXPECT_NOT_OK(spec.CheckStamps(V({IS(1, 80, 100), IS(2, 90, 110)})));
+}
+
+TEST(SuccessiveTest, ContiguousChain) {
+  SuccessiveSpec spec = SuccessiveSpec::Contiguous();
+  EXPECT_OK(spec.CheckStamps(V({IS(1, 0, 10), IS(2, 10, 20), IS(3, 20, 30)})));
+  EXPECT_NOT_OK(spec.CheckStamps(V({IS(1, 0, 10), IS(2, 11, 20)})));
+  EXPECT_NE(spec.ToString().find("contiguous"), std::string::npos);
+}
+
+TEST(SuccessiveTest, StOverlapsRequiresOverlapInTTOrder) {
+  // "successive transaction time overlaps requires that intervals that are
+  // adjacent in transaction time overlap in valid time, ensuring that the
+  // next element began before the previous one completed."
+  SuccessiveSpec spec(AllenRelation::kOverlaps);
+  EXPECT_OK(spec.CheckStamps(V({IS(1, 0, 10), IS(2, 5, 15), IS(3, 12, 22)})));
+  EXPECT_NOT_OK(spec.CheckStamps(V({IS(1, 0, 10), IS(2, 10, 20)})));  // meets
+}
+
+TEST(SuccessiveTest, InverseMeetsArchaeology) {
+  // Excavation: each newly stored stratum ends where the previous began.
+  SuccessiveSpec spec(AllenRelation::kMeets, SpecScope::kPerRelation,
+                      /*inverse=*/true);
+  EXPECT_OK(spec.CheckStamps(V({IS(1, 20, 30), IS(2, 10, 20), IS(3, 0, 10)})));
+  EXPECT_NOT_OK(spec.CheckStamps(V({IS(1, 20, 30), IS(2, 5, 15)})));
+  EXPECT_NE(spec.ToString().find("sti-meets"), std::string::npos);
+}
+
+TEST(SuccessiveTest, AllThirteenRelationsEnforceable) {
+  // For each Allen relation X, build a three-element chain related by X and
+  // verify st-X accepts it while every other st-Y rejects it.
+  const TimeInterval base(T(100), T(200));
+  for (AllenRelation rel : AllAllenRelations()) {
+    // Construct an interval related to `base` by `rel`.
+    // `first` is chosen so that Classify(first, base) == rel.
+    TimeInterval first;
+    switch (rel) {
+      case AllenRelation::kBefore:        first = TimeInterval(T(10), T(50)); break;
+      case AllenRelation::kMeets:         first = TimeInterval(T(50), T(100)); break;
+      case AllenRelation::kOverlaps:      first = TimeInterval(T(50), T(150)); break;
+      case AllenRelation::kStarts:        first = TimeInterval(T(100), T(150)); break;
+      case AllenRelation::kDuring:        first = TimeInterval(T(120), T(180)); break;
+      case AllenRelation::kFinishes:      first = TimeInterval(T(150), T(200)); break;
+      case AllenRelation::kEquals:        first = TimeInterval(T(100), T(200)); break;
+      case AllenRelation::kAfter:         first = TimeInterval(T(250), T(300)); break;
+      case AllenRelation::kMetBy:         first = TimeInterval(T(200), T(300)); break;
+      case AllenRelation::kOverlappedBy:  first = TimeInterval(T(150), T(250)); break;
+      case AllenRelation::kStartedBy:     first = TimeInterval(T(100), T(300)); break;
+      case AllenRelation::kContains:      first = TimeInterval(T(50), T(300)); break;
+      case AllenRelation::kFinishedBy:    first = TimeInterval(T(50), T(200)); break;
+    }
+    ASSERT_EQ(Classify(first, base).ValueOrDie(), rel)
+        << AllenRelationToString(rel);
+    std::vector<IntervalStamp> stamps = {IntervalStamp{T(1), first, 0},
+                                         IntervalStamp{T(2), base, 0}};
+    for (AllenRelation candidate : AllAllenRelations()) {
+      const Status st = SuccessiveSpec(candidate).CheckStamps(stamps);
+      EXPECT_EQ(st.ok(), candidate == rel)
+          << "chain built for " << AllenRelationToString(rel) << ", checking "
+          << AllenRelationToString(candidate);
+    }
+  }
+}
+
+TEST(OnlineIntervalTest, MatchesBatch) {
+  Random rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<IntervalStamp> stamps;
+    for (int i = 0; i < 10; ++i) {
+      const int64_t b = rng.Uniform(0, 50);
+      stamps.push_back(IS(i, b, b + rng.Uniform(1, 20),
+                          static_cast<ObjectSurrogate>(rng.Uniform(1, 3))));
+    }
+    for (auto kind : {IntervalOrderingKind::kNonDecreasing,
+                      IntervalOrderingKind::kNonIncreasing,
+                      IntervalOrderingKind::kSequential}) {
+      IntervalOrderingSpec spec(kind, SpecScope::kPerObjectSurrogate);
+      OnlineIntervalChecker online(spec);
+      Status online_status;
+      for (const auto& s : stamps) {
+        online_status = online.OnInsert(s);
+        if (!online_status.ok()) break;
+      }
+      EXPECT_EQ(online_status.ok(), spec.CheckStamps(stamps).ok())
+          << spec.ToString() << " trial " << trial;
+    }
+    SuccessiveSpec succ(AllenRelation::kOverlaps);
+    OnlineIntervalChecker online(succ);
+    Status online_status;
+    for (const auto& s : stamps) {
+      online_status = online.OnInsert(s);
+      if (!online_status.ok()) break;
+    }
+    EXPECT_EQ(online_status.ok(), succ.CheckStamps(stamps).ok());
+  }
+}
+
+// Re-derives, from random data, which st-X imply begins-non-decreasing and
+// which imply ends-non-increasing — and checks the Figure 5 lattice encodes
+// exactly those edges.
+TEST(Figure5DerivationTest, OrderingImplicationsMatchLattice) {
+  Random rng(41);
+  std::set<AllenRelation> begins_nd_holds(AllAllenRelations().begin(),
+                                          AllAllenRelations().end());
+  std::set<AllenRelation> ends_ni_holds(AllAllenRelations().begin(),
+                                        AllAllenRelations().end());
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int64_t xb = rng.Uniform(0, 40);
+    const int64_t xe = xb + rng.Uniform(1, 15);
+    const int64_t yb = rng.Uniform(0, 40);
+    const int64_t ye = yb + rng.Uniform(1, 15);
+    const TimeInterval x(T(xb), T(xe)), y(T(yb), T(ye));
+    const AllenRelation rel = Classify(x, y).ValueOrDie();
+    if (!(xb <= yb)) begins_nd_holds.erase(rel);
+    if (!(ye <= xe)) ends_ni_holds.erase(rel);
+  }
+  const SpecLattice& l = SpecLattice::InterIntervalTaxonomy();
+  for (AllenRelation rel : AllAllenRelations()) {
+    std::string name = std::string("st-") + AllenRelationToString(rel);
+    if (rel == AllenRelation::kMeets) name = "globally contiguous (st-meets)";
+    EXPECT_EQ(l.IsDescendant("globally non-decreasing", name),
+              begins_nd_holds.count(rel) > 0)
+        << name;
+    EXPECT_EQ(l.IsDescendant("globally non-increasing", name),
+              ends_ni_holds.count(rel) > 0)
+        << name;
+  }
+}
+
+// Sequential interval extensions are non-decreasing (Figure 5's derivable
+// edge), on random sequential chains.
+TEST(Figure5DerivationTest, SequentialImpliesNonDecreasing) {
+  Random rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<IntervalStamp> stamps;
+    int64_t frontier = 0;
+    for (int i = 0; i < 15; ++i) {
+      const int64_t tt = frontier + rng.Uniform(1, 4);
+      const int64_t vb = tt + rng.Uniform(0, 4);
+      const int64_t ve = vb + rng.Uniform(1, 6);
+      stamps.push_back(IS(tt, vb, ve));
+      frontier = ve;
+    }
+    ASSERT_OK(IntervalOrderingSpec(IntervalOrderingKind::kSequential)
+                  .CheckStamps(stamps));
+    EXPECT_OK(IntervalOrderingSpec(IntervalOrderingKind::kNonDecreasing)
+                  .CheckStamps(stamps));
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,157 @@
+#include "spec/interval_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::MakeIntervalElement;
+using testing::T;
+
+const Granularity kSec = Granularity::Second();
+
+// --- Event characterizations applied to interval endpoints (Section 3.3) ---
+
+TEST(AnchoredEventTest, EndRetroactiveStoresOnlyFinishedIntervals) {
+  // "if an interval is stored as soon as it terminates, a designer may state
+  // that the interval relation is vt_e-retroactive"
+  AnchoredEventSpec spec(EventSpecialization::Retroactive(), ValidAnchor::kEnd);
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(100), T(10), T(50)), kSec));
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(100), T(10), T(100)), kSec));
+  // Interval still open past storage time: vt_e > tt.
+  EXPECT_NOT_OK(
+      spec.CheckElement(MakeIntervalElement(T(100), T(10), T(150)), kSec));
+}
+
+TEST(AnchoredEventTest, BeginPredictiveRecordsBeforeCommencement) {
+  AnchoredEventSpec spec(EventSpecialization::Predictive(), ValidAnchor::kBegin);
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(100), T(120), T(200)), kSec));
+  EXPECT_NOT_OK(
+      spec.CheckElement(MakeIntervalElement(T(100), T(90), T(200)), kSec));
+}
+
+TEST(AnchoredEventTest, BothAnchorsGivePlainName) {
+  // "If the relation is, say, vt_b-retroactive and vt_e-retroactive, it may
+  // simply be termed retroactive."
+  AnchoredEventSpec spec(EventSpecialization::Retroactive(), ValidAnchor::kBoth);
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(100), T(10), T(50)), kSec));
+  // End escapes: whole property fails.
+  EXPECT_NOT_OK(
+      spec.CheckElement(MakeIntervalElement(T(100), T(10), T(150)), kSec));
+  // Begin escapes: fails too.
+  EXPECT_NOT_OK(
+      spec.CheckElement(MakeIntervalElement(T(100), T(101), T(102)), kSec));
+}
+
+TEST(AnchoredEventTest, EndDegenerateWithinGranularity) {
+  // vt_e-degenerate: the interval is recorded the moment it ends.
+  AnchoredEventSpec spec(EventSpecialization::Degenerate(), ValidAnchor::kEnd);
+  EXPECT_OK(spec.CheckElement(
+      MakeIntervalElement(T(100), T(10), T(100) + Duration::Micros(500)), kSec));
+  EXPECT_NOT_OK(
+      spec.CheckElement(MakeIntervalElement(T(100), T(10), T(99)), kSec));
+}
+
+TEST(AnchoredEventTest, RejectsEventElements) {
+  AnchoredEventSpec spec(EventSpecialization::Retroactive(), ValidAnchor::kEnd);
+  EXPECT_NOT_OK(
+      spec.CheckElement(testing::MakeEventElement(T(100), T(50)), kSec));
+}
+
+TEST(AnchoredEventTest, DeletionAnchoredEndpointSpec) {
+  AnchoredEventSpec spec(
+      EventSpecialization::Retroactive().WithAnchor(TransactionAnchor::kDeletion),
+      ValidAnchor::kEnd);
+  // Current element: vacuous.
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(100), T(10), T(500)), kSec));
+  Element e = MakeIntervalElement(T(100), T(10), T(500));
+  e.tt_end = T(400);  // deleted before the interval ended
+  EXPECT_NOT_OK(spec.CheckElement(e, kSec));
+  e.tt_end = T(600);
+  EXPECT_OK(spec.CheckElement(e, kSec));
+}
+
+// --- Interval regularity (Section 3.3) --------------------------------------
+
+TEST(IntervalRegularityTest, ValidTimeIntervalRegular) {
+  // Hires/terminations effective on the 1st or 15th: durations are multiples
+  // of the company's half-month unit; here we use days for clarity.
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, IntervalRegularitySpec::Make(
+                     IntervalRegularityDimension::kValidTime, Duration::Days(7)));
+  EXPECT_OK(spec.CheckElement(
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Days(7))));
+  EXPECT_OK(spec.CheckElement(
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Days(21))));
+  EXPECT_NOT_OK(spec.CheckElement(
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Days(10))));
+}
+
+TEST(IntervalRegularityTest, StrictRequiresExactlyOneUnit) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       IntervalRegularitySpec::Make(
+                           IntervalRegularityDimension::kValidTime,
+                           Duration::Weeks(1), /*strict=*/true));
+  EXPECT_OK(spec.CheckElement(
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Weeks(1))));
+  EXPECT_NOT_OK(spec.CheckElement(
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Weeks(2))));
+  EXPECT_NOT_OK(spec.CheckElement(MakeIntervalElement(T(0), T(0), T(0))));
+}
+
+TEST(IntervalRegularityTest, TransactionTimeChecksExistenceInterval) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       IntervalRegularitySpec::Make(
+                           IntervalRegularityDimension::kTransactionTime,
+                           Duration::Hours(1)));
+  // Current element (open existence interval): vacuous.
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(T(0), T(0), T(10))));
+  Element closed = MakeIntervalElement(T(0), T(0), T(10));
+  closed.tt_end = T(0) + Duration::Hours(3);
+  EXPECT_OK(spec.CheckElement(closed));
+  closed.tt_end = T(0) + Duration::Minutes(90);
+  EXPECT_NOT_OK(spec.CheckElement(closed));
+}
+
+TEST(IntervalRegularityTest, TemporalChecksBothWithSameUnit) {
+  ASSERT_OK_AND_ASSIGN(auto spec,
+                       IntervalRegularitySpec::Make(
+                           IntervalRegularityDimension::kTemporal,
+                           Duration::Hours(1)));
+  Element e = MakeIntervalElement(T(0), T(0), T(0) + Duration::Hours(2));
+  e.tt_end = T(0) + Duration::Hours(5);  // different multiplier is fine
+  EXPECT_OK(spec.CheckElement(e));
+  e.tt_end = T(0) + Duration::Minutes(30);
+  EXPECT_NOT_OK(spec.CheckElement(e));
+}
+
+TEST(IntervalRegularityTest, CalendricUnit) {
+  // "a company policy that all such hires and terminations be effective on
+  // either the first or the fifteenth of each month" — month-granular spans.
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, IntervalRegularitySpec::Make(
+                     IntervalRegularityDimension::kValidTime, Duration::Months(1)));
+  EXPECT_OK(spec.CheckElement(MakeIntervalElement(
+      T(0), testing::Civil(1992, 1, 1), testing::Civil(1992, 4, 1))));
+  EXPECT_NOT_OK(spec.CheckElement(MakeIntervalElement(
+      T(0), testing::Civil(1992, 1, 1), testing::Civil(1992, 4, 2))));
+}
+
+TEST(IntervalRegularityTest, BatchCheck) {
+  ASSERT_OK_AND_ASSIGN(
+      auto spec, IntervalRegularitySpec::Make(
+                     IntervalRegularityDimension::kValidTime, Duration::Days(1)));
+  std::vector<Element> good = {
+      MakeIntervalElement(T(0), T(0), T(0) + Duration::Days(1), 1),
+      MakeIntervalElement(T(1), T(0), T(0) + Duration::Days(3), 2),
+  };
+  EXPECT_OK(spec.CheckExtension(good));
+  good.push_back(
+      MakeIntervalElement(T(2), T(0), T(0) + Duration::Hours(5), 3));
+  EXPECT_NOT_OK(spec.CheckExtension(good));
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,206 @@
+// Machine-checks Figures 2-5: the lattice structure itself, and — for the
+// event taxonomy — that every drawn edge is a *provable* implication (band
+// containment with representative bounds).
+#include "spec/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "spec/event_spec.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+TEST(LatticeTest, BasicDagOperations) {
+  SpecLattice l;
+  ASSERT_OK(l.AddEdge("a", "b"));
+  ASSERT_OK(l.AddEdge("b", "c"));
+  ASSERT_OK(l.AddEdge("a", "d"));
+  EXPECT_TRUE(l.IsDescendant("a", "c"));
+  EXPECT_TRUE(l.IsDescendant("a", "a"));
+  EXPECT_FALSE(l.IsDescendant("c", "a"));
+  EXPECT_FALSE(l.IsDescendant("d", "c"));
+  EXPECT_EQ(l.Roots(), std::vector<std::string>{"a"});
+  EXPECT_EQ(l.AncestorsOf("c"), (std::vector<std::string>{"a", "b"}));
+  // Cycles rejected.
+  EXPECT_FALSE(l.AddEdge("c", "a").ok());
+}
+
+TEST(LatticeTest, TopologicalOrderRespectsEdges) {
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  const auto order = l.TopologicalOrder();
+  EXPECT_EQ(order.size(), l.nodes().size());
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& e : l.edges()) {
+    EXPECT_LT(pos[e.parent], pos[e.child]) << e.parent << " -> " << e.child;
+  }
+}
+
+// --- Figure 2 ---------------------------------------------------------------
+
+TEST(Figure2Test, StructureMatchesPaper) {
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  EXPECT_EQ(l.Roots(), std::vector<std::string>{"general"});
+  // The figure's leaves.
+  const auto leaves = l.Leaves();
+  EXPECT_EQ(leaves.size(), 3u);
+  EXPECT_NE(std::find(leaves.begin(), leaves.end(),
+                      "early strongly predictively bounded"),
+            leaves.end());
+  EXPECT_NE(std::find(leaves.begin(), leaves.end(), "degenerate"), leaves.end());
+  EXPECT_NE(std::find(leaves.begin(), leaves.end(),
+                      "delayed strongly retroactively bounded"),
+            leaves.end());
+
+  // Spot-check the figure's drawn edges.
+  EXPECT_TRUE(l.IsDescendant("general", "degenerate"));
+  EXPECT_TRUE(l.IsDescendant("retroactively bounded", "predictive"));
+  EXPECT_TRUE(l.IsDescendant("predictively bounded", "retroactive"));
+  EXPECT_TRUE(l.IsDescendant("retroactive", "delayed retroactive"));
+  EXPECT_TRUE(l.IsDescendant("predictive", "early predictive"));
+  EXPECT_TRUE(l.IsDescendant("strongly bounded", "degenerate"));
+  // And non-edges.
+  EXPECT_FALSE(l.IsDescendant("retroactive", "predictive"));
+  EXPECT_FALSE(l.IsDescendant("delayed retroactive", "degenerate"));
+  EXPECT_FALSE(l.IsDescendant("early predictive", "degenerate"));
+}
+
+// Representative instance of each named node, with bounds chosen so every
+// drawn edge must hold as band containment (children use bounds within the
+// parents' bounds where the edge semantics require it).
+std::map<std::string, EventSpecialization> RepresentativeInstances() {
+  const Duration d1 = Duration::Seconds(30);
+  const Duration d2 = Duration::Seconds(90);
+  std::map<std::string, EventSpecialization> m;
+  m.emplace("undetermined", EventSpecialization::General());
+  m.emplace("retroactive", EventSpecialization::Retroactive());
+  m.emplace("delayed retroactive",
+            EventSpecialization::DelayedRetroactive(d1).ValueOrDie());
+  m.emplace("predictive", EventSpecialization::Predictive());
+  m.emplace("early predictive",
+            EventSpecialization::EarlyPredictive(d1).ValueOrDie());
+  m.emplace("retroactively bounded",
+            EventSpecialization::RetroactivelyBounded(d2).ValueOrDie());
+  m.emplace("predictively bounded",
+            EventSpecialization::PredictivelyBounded(d2).ValueOrDie());
+  m.emplace("strongly retroactively bounded",
+            EventSpecialization::StronglyRetroactivelyBounded(d2).ValueOrDie());
+  m.emplace(
+      "delayed strongly retroactively bounded",
+      EventSpecialization::DelayedStronglyRetroactivelyBounded(d1, d2).ValueOrDie());
+  m.emplace("strongly predictively bounded",
+            EventSpecialization::StronglyPredictivelyBounded(d2).ValueOrDie());
+  m.emplace(
+      "early strongly predictively bounded",
+      EventSpecialization::EarlyStronglyPredictivelyBounded(d1, d2).ValueOrDie());
+  m.emplace("strongly bounded",
+            EventSpecialization::StronglyBounded(d2, d2).ValueOrDie());
+  m.emplace("degenerate", EventSpecialization::Degenerate());
+  return m;
+}
+
+TEST(Figure2Test, EveryEdgeIsProvableBandContainment) {
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  const auto instances = RepresentativeInstances();
+  for (const auto& e : l.edges()) {
+    if (e.parent == "general") continue;  // everything implies general
+    auto pit = instances.find(e.parent);
+    auto cit = instances.find(e.child);
+    ASSERT_NE(pit, instances.end()) << e.parent;
+    ASSERT_NE(cit, instances.end()) << e.child;
+    const auto implies = cit->second.Implies(pit->second);
+    ASSERT_TRUE(implies.has_value()) << e.parent << " -> " << e.child;
+    EXPECT_TRUE(*implies) << e.parent << " -> " << e.child
+                          << ": child band " << cit->second.band().ToString()
+                          << " not within parent band "
+                          << pit->second.band().ToString();
+  }
+}
+
+TEST(Figure2Test, NoMissingEdgesAmongRepresentatives) {
+  // Completeness of the drawn lattice: whenever one representative instance
+  // implies another, the lattice must record reachability. (The converse of
+  // the soundness test above.)
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  const auto instances = RepresentativeInstances();
+  for (const auto& [child_name, child] : instances) {
+    for (const auto& [parent_name, parent] : instances) {
+      if (child_name == parent_name) continue;
+      const auto implies = child.Implies(parent);
+      if (implies.has_value() && *implies &&
+          !(parent.Implies(child).value_or(false))) {
+        EXPECT_TRUE(l.IsDescendant(parent_name, child_name))
+            << child_name << " implies " << parent_name
+            << " but the lattice lacks the path";
+      }
+    }
+  }
+}
+
+// --- Figures 3 and 4 --------------------------------------------------------
+
+TEST(Figure3Test, StructureMatchesPaper) {
+  const SpecLattice& l = SpecLattice::InterEventOrderings();
+  EXPECT_EQ(l.Roots(), std::vector<std::string>{"general"});
+  EXPECT_TRUE(l.IsDescendant("globally non-decreasing", "globally sequential"));
+  EXPECT_FALSE(l.IsDescendant("globally non-increasing", "globally sequential"));
+  EXPECT_EQ(l.nodes().size(), 4u);
+}
+
+TEST(Figure4Test, StructureMatchesPaper) {
+  const SpecLattice& l = SpecLattice::InterEventRegularity();
+  EXPECT_TRUE(l.IsDescendant("transaction time event regular",
+                             "temporal event regular"));
+  EXPECT_TRUE(
+      l.IsDescendant("valid time event regular", "temporal event regular"));
+  EXPECT_TRUE(l.IsDescendant("transaction time event regular",
+                             "strict transaction time event regular"));
+  EXPECT_TRUE(l.IsDescendant("temporal event regular",
+                             "strict temporal event regular"));
+  EXPECT_TRUE(l.IsDescendant("strict valid time event regular",
+                             "strict temporal event regular"));
+  // Strictness does not cross dimensions.
+  EXPECT_FALSE(l.IsDescendant("strict transaction time event regular",
+                              "strict valid time event regular"));
+  EXPECT_EQ(l.Leaves(), std::vector<std::string>{"strict temporal event regular"});
+}
+
+// --- Figure 5 ---------------------------------------------------------------
+
+TEST(Figure5Test, StructureMatchesPaper) {
+  const SpecLattice& l = SpecLattice::InterIntervalTaxonomy();
+  EXPECT_EQ(l.Roots(), std::vector<std::string>{"general"});
+  // 13 st-X nodes + general + 2 orderings + sequential.
+  EXPECT_EQ(l.nodes().size(), 17u);
+  EXPECT_TRUE(l.HasNode("globally contiguous (st-meets)"));
+  EXPECT_TRUE(
+      l.IsDescendant("globally non-decreasing", "globally contiguous (st-meets)"));
+  EXPECT_TRUE(l.IsDescendant("globally non-increasing", "st-met-by"));
+  EXPECT_TRUE(l.IsDescendant("st-before", "globally sequential"));
+  EXPECT_TRUE(l.IsDescendant("globally non-decreasing", "st-before"));
+  // st-contains forces both orderings.
+  EXPECT_TRUE(l.IsDescendant("globally non-decreasing", "st-contains"));
+  EXPECT_TRUE(l.IsDescendant("globally non-increasing", "st-contains"));
+  // st-during forces neither.
+  EXPECT_FALSE(l.IsDescendant("globally non-decreasing", "st-during"));
+  EXPECT_FALSE(l.IsDescendant("globally non-increasing", "st-during"));
+}
+
+TEST(Figure5Test, AssertedEdgesAreMarked) {
+  const SpecLattice& l = SpecLattice::InterIntervalTaxonomy();
+  size_t asserted = 0;
+  for (const auto& e : l.edges()) {
+    if (e.kind == SpecLattice::EdgeKind::kAsserted) {
+      ++asserted;
+      EXPECT_EQ(e.parent, "st-before");
+      EXPECT_EQ(e.child, "globally sequential");
+    }
+  }
+  EXPECT_EQ(asserted, 1u);
+}
+
+}  // namespace
+}  // namespace tempspec

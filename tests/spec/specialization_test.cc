@@ -1,0 +1,184 @@
+#include "spec/specialization.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::MakeEventElement;
+using testing::MakeIntervalElement;
+using testing::T;
+
+const Granularity kSec = Granularity::Second();
+
+SchemaPtr EventSchema() {
+  return Schema::Make("r",
+                      {AttributeDef{"id", ValueType::kInt64,
+                                    AttributeRole::kTimeInvariantKey}},
+                      ValidTimeKind::kEvent, kSec)
+      .ValueOrDie();
+}
+
+SchemaPtr IntervalSchema() {
+  return Schema::Make("r",
+                      {AttributeDef{"id", ValueType::kInt64,
+                                    AttributeRole::kTimeInvariantKey}},
+                      ValidTimeKind::kInterval, kSec)
+      .ValueOrDie();
+}
+
+TEST(SpecializationSetTest, ValidateRejectsKindMismatch) {
+  SpecializationSet event_specs;
+  event_specs.AddEvent(EventSpecialization::Retroactive());
+  EXPECT_OK(event_specs.ValidateFor(*EventSchema()));
+  EXPECT_NOT_OK(event_specs.ValidateFor(*IntervalSchema()));
+
+  SpecializationSet interval_specs;
+  interval_specs.AddSuccessive(SuccessiveSpec::Contiguous());
+  EXPECT_OK(interval_specs.ValidateFor(*IntervalSchema()));
+  EXPECT_NOT_OK(interval_specs.ValidateFor(*EventSchema()));
+}
+
+TEST(SpecializationSetTest, ValidateRejectsContradictoryBands) {
+  // Retroactive (vt <= tt) AND early predictive (vt >= tt + 3d): empty band.
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive());
+  specs.AddEvent(
+      EventSpecialization::EarlyPredictive(Duration::Days(3)).ValueOrDie());
+  const Status st = specs.ValidateFor(*EventSchema());
+  ASSERT_NOT_OK(st);
+  EXPECT_NE(st.message().find("contradictory"), std::string::npos);
+}
+
+TEST(SpecializationSetTest, CompatibleBandsAccepted) {
+  // Delayed retroactive(30s) + retroactively bounded(120s): band [-120s,-30s].
+  SpecializationSet specs;
+  specs.AddEvent(
+      EventSpecialization::DelayedRetroactive(Duration::Seconds(30)).ValueOrDie());
+  specs.AddEvent(
+      EventSpecialization::RetroactivelyBounded(Duration::Seconds(120)).ValueOrDie());
+  EXPECT_OK(specs.ValidateFor(*EventSchema()));
+}
+
+TEST(SpecializationSetTest, ToStringListsEverything) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive());
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  const std::string s = specs.ToString();
+  EXPECT_NE(s.find("retroactive"), std::string::npos);
+  EXPECT_NE(s.find("non-decreasing"), std::string::npos);
+  EXPECT_EQ(SpecializationSet().ToString().find("general"), 3u);
+}
+
+TEST(ConstraintCheckerTest, EnforcesIsolatedEventSpecs) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive());
+  ConstraintChecker checker(specs, kSec);
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(100), T(50), 1)));
+  EXPECT_NOT_OK(checker.OnInsert(MakeEventElement(T(200), T(300), 2)));
+  // The rejection left no state behind; a correct retry works.
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(200), T(150), 2)));
+}
+
+TEST(ConstraintCheckerTest, EnforcesOrderingsAtomically) {
+  SpecializationSet specs;
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  ASSERT_OK_AND_ASSIGN(auto reg,
+                       RegularitySpec::Make(RegularityDimension::kValidTime,
+                                            Duration::Seconds(10)));
+  specs.AddRegularity(reg);
+  ConstraintChecker checker(specs, kSec);
+  ASSERT_OK(checker.OnInsert(MakeEventElement(T(1), T(100), 1)));
+  // Passes ordering (110 >= 100) but fails regularity (not a 10s multiple):
+  // the ordering checker must not have committed 115.
+  EXPECT_NOT_OK(checker.OnInsert(MakeEventElement(T(2), T(115), 2)));
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(2), T(110), 2)));
+}
+
+TEST(ConstraintCheckerTest, DeletionAnchoredSpecCheckedAtDelete) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive().WithAnchor(
+      TransactionAnchor::kDeletion));
+  ConstraintChecker checker(specs, kSec);
+  // Insertion unconstrained, even with a future valid time.
+  Element e = MakeEventElement(T(100), T(500), 1);
+  ASSERT_OK(checker.OnInsert(e));
+  // Deleting before the fact became valid violates deletion-retroactivity.
+  e.tt_end = T(300);
+  EXPECT_NOT_OK(checker.OnLogicalDelete(e));
+  e.tt_end = T(600);
+  EXPECT_OK(checker.OnLogicalDelete(e));
+}
+
+TEST(ConstraintCheckerTest, IntervalSpecsEnforced) {
+  SpecializationSet specs;
+  specs.AddSuccessive(SuccessiveSpec::Contiguous());
+  ASSERT_OK_AND_ASSIGN(auto weekly,
+                       IntervalRegularitySpec::Make(
+                           IntervalRegularityDimension::kValidTime,
+                           Duration::Seconds(10), /*strict=*/true));
+  specs.AddIntervalRegularity(weekly);
+  ConstraintChecker checker(specs, kSec);
+  ASSERT_OK(checker.OnInsert(MakeIntervalElement(T(1), T(0), T(10), 1)));
+  ASSERT_OK(checker.OnInsert(MakeIntervalElement(T(2), T(10), T(20), 2)));
+  // Wrong length.
+  EXPECT_NOT_OK(checker.OnInsert(MakeIntervalElement(T(3), T(20), T(35), 3)));
+  // Right length but not contiguous.
+  EXPECT_NOT_OK(checker.OnInsert(MakeIntervalElement(T(3), T(25), T(35), 3)));
+  EXPECT_OK(checker.OnInsert(MakeIntervalElement(T(3), T(20), T(30), 3)));
+}
+
+TEST(ConstraintCheckerTest, TransactionTimeIntervalRegularityAtDelete) {
+  SpecializationSet specs;
+  ASSERT_OK_AND_ASSIGN(auto tt_reg,
+                       IntervalRegularitySpec::Make(
+                           IntervalRegularityDimension::kTransactionTime,
+                           Duration::Seconds(100)));
+  specs.AddIntervalRegularity(tt_reg);
+  ConstraintChecker checker(specs, kSec);
+  Element e = MakeIntervalElement(T(0), T(0), T(10), 1);
+  ASSERT_OK(checker.OnInsert(e));
+  e.tt_end = T(150);  // existence of 150s: not a multiple of 100s
+  EXPECT_NOT_OK(checker.OnLogicalDelete(e));
+  e.tt_end = T(200);
+  EXPECT_OK(checker.OnLogicalDelete(e));
+}
+
+TEST(ConstraintCheckerTest, CheckExtensionBatch) {
+  SpecializationSet specs;
+  specs.AddEvent(EventSpecialization::Retroactive());
+  specs.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  ConstraintChecker checker(specs, kSec);
+  std::vector<Element> good = {
+      MakeEventElement(T(10), T(5), 1),
+      MakeEventElement(T(20), T(8), 2),
+  };
+  EXPECT_OK(checker.CheckExtension(good));
+  std::vector<Element> bad_order = {
+      MakeEventElement(T(10), T(8), 1),
+      MakeEventElement(T(20), T(5), 2),
+  };
+  EXPECT_NOT_OK(checker.CheckExtension(bad_order));
+  std::vector<Element> bad_band = {MakeEventElement(T(10), T(50), 1)};
+  EXPECT_NOT_OK(checker.CheckExtension(bad_band));
+}
+
+TEST(ConstraintCheckerTest, PerSurrogateScopeTracksPartitions) {
+  SpecializationSet specs;
+  specs.AddOrdering(
+      OrderingSpec(OrderingKind::kSequential, SpecScope::kPerObjectSurrogate));
+  ConstraintChecker checker(specs, kSec);
+  // Interleaved objects, each sequential on its own.
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(10), T(11), 1, 1)));
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(12), T(13), 2, 2)));
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(20), T(21), 3, 1)));
+  // Object 1's new stamp precedes its previous max: rejected.
+  EXPECT_NOT_OK(checker.OnInsert(MakeEventElement(T(22), T(15), 4, 1)));
+  // But the same stamp on object 2 is fine.
+  EXPECT_OK(checker.OnInsert(MakeEventElement(T(22), T(23), 4, 2)));
+}
+
+}  // namespace
+}  // namespace tempspec

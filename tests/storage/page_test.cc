@@ -1,0 +1,79 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+TEST(SlottedPageTest, InsertAndGet) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  EXPECT_EQ(sp.slot_count(), 0);
+  ASSERT_OK_AND_ASSIGN(uint16_t s0, sp.Insert("alpha"));
+  ASSERT_OK_AND_ASSIGN(uint16_t s1, sp.Insert("beta"));
+  EXPECT_EQ(s0, 0);
+  EXPECT_EQ(s1, 1);
+  EXPECT_EQ(sp.slot_count(), 2);
+  EXPECT_EQ(sp.Get(0).ValueOrDie(), "alpha");
+  EXPECT_EQ(sp.Get(1).ValueOrDie(), "beta");
+  EXPECT_TRUE(sp.Get(2).status().IsOutOfRange());
+}
+
+TEST(SlottedPageTest, EmptyRecordsAllowed) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  ASSERT_OK_AND_ASSIGN(uint16_t s, sp.Insert(""));
+  EXPECT_EQ(sp.Get(s).ValueOrDie(), "");
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  const std::string record(100, 'x');
+  size_t inserted = 0;
+  while (sp.Fits(record.size())) {
+    ASSERT_OK(sp.Insert(record).status());
+    ++inserted;
+  }
+  // 100-byte records + 4-byte slots in an 8 KiB page: expect ~78.
+  EXPECT_GT(inserted, 70u);
+  EXPECT_TRUE(sp.Insert(record).status().IsOutOfRange());
+  // Everything is still readable.
+  for (uint16_t i = 0; i < inserted; ++i) {
+    EXPECT_EQ(sp.Get(i).ValueOrDie(), record);
+  }
+}
+
+TEST(SlottedPageTest, OversizeRecordRejected) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  EXPECT_TRUE(sp.Insert(std::string(kPageSize, 'x')).status().IsInvalidArgument());
+}
+
+TEST(SlottedPageTest, RandomizedRoundTrip) {
+  Random rng(11);
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init();
+  std::vector<std::string> inserted;
+  while (true) {
+    std::string record = rng.NextString(rng.Uniform(0, 200));
+    if (!sp.Fits(record.size())) break;
+    ASSERT_OK(sp.Insert(record).status());
+    inserted.push_back(std::move(record));
+  }
+  ASSERT_GT(inserted.size(), 10u);
+  for (size_t i = 0; i < inserted.size(); ++i) {
+    EXPECT_EQ(sp.Get(static_cast<uint16_t>(i)).ValueOrDie(), inserted[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

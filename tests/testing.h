@@ -1,0 +1,89 @@
+// Shared helpers for the tempspec test suite.
+#ifndef TEMPSPEC_TESTS_TESTING_H_
+#define TEMPSPEC_TESTS_TESTING_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "model/element.h"
+#include "timex/calendar.h"
+#include "timex/duration.h"
+#include "timex/time_point.h"
+#include "util/result.h"
+#include "util/status.h"
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const ::tempspec::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (false)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    const ::tempspec::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                         \
+  } while (false)
+
+#define ASSERT_NOT_OK(expr)                                          \
+  do {                                                               \
+    const ::tempspec::Status _st = (expr);                           \
+    ASSERT_FALSE(_st.ok()) << "expected failure, got OK";            \
+  } while (false)
+
+#define EXPECT_NOT_OK(expr)                                          \
+  do {                                                               \
+    const ::tempspec::Status _st = (expr);                           \
+    EXPECT_FALSE(_st.ok()) << "expected failure, got OK";            \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                             \
+  ASSERT_OK_AND_ASSIGN_IMPL(TS_CONCAT(_r_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(r, lhs, rexpr)                     \
+  auto r = (rexpr);                                                  \
+  ASSERT_TRUE(r.ok()) << r.status().ToString();                      \
+  lhs = std::move(r).ValueOrDie()
+
+namespace tempspec {
+namespace testing {
+
+/// \brief Shorthand instant: seconds since the Unix epoch.
+inline TimePoint T(int64_t seconds) { return TimePoint::FromSeconds(seconds); }
+
+/// \brief Shorthand civil instant.
+inline TimePoint Civil(int32_t y, int32_t mo, int32_t d, int32_t h = 0,
+                       int32_t mi = 0, int32_t s = 0) {
+  return FromCivil(CivilDateTime{y, mo, d, h, mi, s, 0});
+}
+
+/// \brief Builds a minimal event element for spec-level tests.
+inline Element MakeEventElement(TimePoint tt, TimePoint vt,
+                                ElementSurrogate id = 1,
+                                ObjectSurrogate object = 1) {
+  Element e;
+  e.element_surrogate = id;
+  e.object_surrogate = object;
+  e.tt_begin = tt;
+  e.tt_end = TimePoint::Max();
+  e.valid = ValidTime::Event(vt);
+  return e;
+}
+
+/// \brief Builds a minimal interval element.
+inline Element MakeIntervalElement(TimePoint tt, TimePoint vb, TimePoint ve,
+                                   ElementSurrogate id = 1,
+                                   ObjectSurrogate object = 1) {
+  Element e;
+  e.element_surrogate = id;
+  e.object_surrogate = object;
+  e.tt_begin = tt;
+  e.tt_end = TimePoint::Max();
+  e.valid = ValidTime::IntervalUnchecked(vb, ve);
+  return e;
+}
+
+}  // namespace testing
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TESTS_TESTING_H_

@@ -1,0 +1,146 @@
+// Property sweep: granule-partition invariants hold for every supported
+// granularity, including calendric ones, across random instants.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "spec/band.h"
+#include "testing.h"
+#include "timex/granularity.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+class GranularityPropertyTest : public ::testing::TestWithParam<Granularity> {};
+
+TEST_P(GranularityPropertyTest, TruncateIsIdempotentFloor) {
+  const Granularity g = GetParam();
+  Random rng(37);
+  for (int i = 0; i < 2000; ++i) {
+    // ±80 years around the epoch, microsecond resolution.
+    const TimePoint t = TimePoint::FromMicros(
+        rng.Uniform(-2'500'000'000LL, 2'500'000'000LL) * 1000 +
+        rng.Uniform(0, 999));
+    const TimePoint floor = g.Truncate(t);
+    // Floor property.
+    EXPECT_LE(floor, t) << g.ToString() << " at " << t.ToString();
+    // Idempotence.
+    EXPECT_EQ(g.Truncate(floor), floor) << g.ToString();
+    // t lies inside its granule.
+    const TimePoint next = g.NextGranule(t);
+    EXPECT_GT(next, t) << g.ToString();
+    EXPECT_EQ(g.Truncate(TimePoint::FromMicros(next.micros() - 1)), floor)
+        << g.ToString() << " at " << t.ToString();
+  }
+}
+
+TEST_P(GranularityPropertyTest, CeilIsLeastUpperBoundary) {
+  const Granularity g = GetParam();
+  Random rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    const TimePoint t =
+        TimePoint::FromMicros(rng.Uniform(-2'000'000'000LL, 2'000'000'000LL) * 1000);
+    const TimePoint ceil = g.Ceil(t);
+    EXPECT_GE(ceil, t) << g.ToString();
+    EXPECT_EQ(g.Truncate(ceil), ceil) << g.ToString();  // on a boundary
+    // Least: no boundary strictly between t and ceil.
+    if (ceil > t) {
+      EXPECT_LT(g.Truncate(t), t) << g.ToString();
+      EXPECT_EQ(g.NextGranule(t), ceil) << g.ToString();
+    }
+  }
+}
+
+TEST_P(GranularityPropertyTest, SameIsGranuleEquivalence) {
+  const Granularity g = GetParam();
+  Random rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const TimePoint a =
+        TimePoint::FromMicros(rng.Uniform(-1'000'000'000LL, 1'000'000'000LL) * 1000);
+    const TimePoint b =
+        TimePoint::FromMicros(a.micros() + rng.Uniform(-5'000'000, 5'000'000));
+    EXPECT_EQ(g.Same(a, b), g.Truncate(a) == g.Truncate(b)) << g.ToString();
+    EXPECT_TRUE(g.Same(a, a));
+    EXPECT_EQ(g.Same(a, b), g.Same(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGranularities, GranularityPropertyTest,
+    ::testing::Values(Granularity::Millisecond(), Granularity::Second(),
+                      Granularity::Minute(), Granularity::Hour(),
+                      Granularity::Day(), Granularity::Week(),
+                      Granularity::Month(), Granularity::Year(),
+                      Granularity(Granularity::Unit::kMinute, 15),
+                      Granularity(Granularity::Unit::kMonth, 3)),
+    [](const ::testing::TestParamInfo<Granularity>& info) {
+      std::string name = info.param.ToString();
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class BandPropertyTest : public ::testing::Test {};
+
+Band RandomBand(Random* rng) {
+  const int shape = static_cast<int>(rng->Uniform(0, 3));
+  const int64_t a = rng->Uniform(-100, 100) * kMicrosPerSecond;
+  const int64_t b = a + rng->Uniform(0, 200) * kMicrosPerSecond;
+  const bool open_lo = rng->OneIn(0.3);
+  const bool open_hi = rng->OneIn(0.3);
+  switch (shape) {
+    case 0:
+      return Band::All();
+    case 1:
+      return Band::AtLeast(Duration::Micros(a), open_lo);
+    case 2:
+      return Band::AtMost(Duration::Micros(b), open_hi);
+    default:
+      return Band::Between(Duration::Micros(a), Duration::Micros(b), open_lo,
+                           open_hi);
+  }
+}
+
+// SubsetOf is sound: if A ⊆ B is reported, every member of A is in B.
+TEST_F(BandPropertyTest, SubsetOfSoundness) {
+  Random rng(47);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Band a = RandomBand(&rng);
+    const Band b = RandomBand(&rng);
+    const auto subset = a.SubsetOf(b);
+    ASSERT_TRUE(subset.has_value());  // fixed offsets: always decidable
+    const TimePoint tt = testing::T(rng.Uniform(-1000, 1000));
+    for (int probe = 0; probe < 50; ++probe) {
+      const TimePoint vt =
+          tt + Duration::Micros(rng.Uniform(-250, 250) * kMicrosPerSecond);
+      if (*subset && a.Contains(tt, vt)) {
+        EXPECT_TRUE(b.Contains(tt, vt))
+            << a.ToString() << " claimed subset of " << b.ToString();
+      }
+    }
+  }
+}
+
+// SubsetOf is complete on a grid: if every grid member of A is in B over a
+// wide probe range, SubsetOf must not report false (unless A has members
+// outside the grid, which the band shapes here cannot).
+TEST_F(BandPropertyTest, IntersectIsConjunction) {
+  Random rng(53);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Band a = RandomBand(&rng);
+    const Band b = RandomBand(&rng);
+    const Band both = a.Intersect(b);
+    const TimePoint tt = testing::T(rng.Uniform(-1000, 1000));
+    for (int probe = 0; probe < 50; ++probe) {
+      const TimePoint vt =
+          tt + Duration::Micros(rng.Uniform(-250, 250) * kMicrosPerSecond);
+      EXPECT_EQ(both.Contains(tt, vt), a.Contains(tt, vt) && b.Contains(tt, vt))
+          << a.ToString() << " ∩ " << b.ToString() << " = " << both.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,110 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace tempspec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad ", 42, " thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad 42 thing");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad 42 thing");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::ConstraintViolation("x").IsConstraintViolation());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::NotFound("missing");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_TRUE(st.IsNotFound());  // source unchanged
+
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, CopyAssignOkOverError) {
+  Status err = Status::Internal("boom");
+  err = Status::OK();
+  EXPECT_TRUE(err.ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+Status FailingHelper() { return Status::IOError("disk"); }
+
+Status UsesReturnNotOk() {
+  TS_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk().IsIOError());
+}
+
+Result<int> ProducesValue() { return 5; }
+Result<int> ProducesError() { return Status::OutOfRange("x"); }
+
+Status UsesAssignOrReturn(int* out) {
+  TS_ASSIGN_OR_RETURN(int v, ProducesValue());
+  TS_ASSIGN_OR_RETURN(int w, ProducesError());
+  *out = v + w;
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).IsOutOfRange());
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace tempspec

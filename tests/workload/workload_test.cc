@@ -1,0 +1,162 @@
+// Every scenario generator must (a) succeed against its own declared
+// specializations — i.e. the constraint engine accepts the whole workload —
+// and (b) be recognized by the inference engine, closing the loop between
+// generation, enforcement, and design-time inference.
+#include "workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/inference.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.num_objects = 5;
+  config.ops_per_object = 30;
+  return config;
+}
+
+TEST(WorkloadTest, ProcessMonitoringSatisfiesAndInfers) {
+  const WorkloadConfig config = SmallConfig();
+  const Duration min_delay = Duration::Seconds(30);
+  const Duration max_delay = Duration::Seconds(120);
+  ASSERT_OK_AND_ASSIGN(
+      auto scenario,
+      MakeProcessMonitoring(config, min_delay, max_delay, Duration::Minutes(1)));
+  ASSERT_OK(GenerateProcessMonitoring(config, min_delay, max_delay,
+                                      Duration::Minutes(1), &scenario));
+  EXPECT_EQ(scenario->size(), 150u);
+  EXPECT_OK(scenario->CheckExtension());
+
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  // All offsets are storage delays within [-120s, -30s].
+  EXPECT_LE(profile.event.max_offset_us, -30 * kMicrosPerSecond);
+  EXPECT_GE(profile.event.min_offset_us, -120 * kMicrosPerSecond);
+  EXPECT_EQ(profile.event.classified,
+            EventSpecKind::kDelayedStronglyRetroactivelyBounded);
+}
+
+TEST(WorkloadTest, DegenerateMonitoringIsDegenerateAndRegular) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario,
+                       MakeDegenerateMonitoring(config, Duration::Seconds(10)));
+  ASSERT_OK(GenerateDegenerateMonitoring(config, Duration::Seconds(10), &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  EXPECT_TRUE(profile.event.degenerate);
+  EXPECT_TRUE(profile.regularity.temporal_regular);
+  EXPECT_TRUE(profile.regularity.temporal_strict);
+  EXPECT_EQ(profile.regularity.temporal_unit_us, 10 * kMicrosPerSecond);
+  EXPECT_TRUE(profile.global_ordering.non_decreasing);
+}
+
+TEST(WorkloadTest, PayrollIsEarlyStronglyPredictivelyBounded) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakePayroll(config));
+  ASSERT_OK(GeneratePayroll(config, &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  // Leads of 3..7 days.
+  EXPECT_GE(profile.event.min_offset_us, 3 * kMicrosPerDay);
+  EXPECT_LE(profile.event.max_offset_us, 7 * kMicrosPerDay);
+  EXPECT_EQ(profile.event.classified,
+            EventSpecKind::kEarlyStronglyPredictivelyBounded);
+}
+
+TEST(WorkloadTest, AssignmentsContiguousWeeklyIntervals) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeAssignments(config));
+  ASSERT_OK(GenerateAssignments(config, &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kInterval,
+                   scenario->schema().valid_granularity());
+  EXPECT_TRUE(profile.interval.valid_strict);
+  EXPECT_EQ(profile.interval.valid_duration_unit_us,
+            7 * kMicrosPerDay);
+  EXPECT_TRUE(profile.per_surrogate_ordering.non_decreasing);
+}
+
+TEST(WorkloadTest, AccountingStaysWithinBounds) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeAccounting(config));
+  ASSERT_OK(GenerateAccounting(config, &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  EXPECT_GE(profile.event.min_offset_us, -5 * kMicrosPerDay);
+  EXPECT_LE(profile.event.max_offset_us, 2 * kMicrosPerDay);
+  EXPECT_EQ(profile.event.classified, EventSpecKind::kStronglyBounded);
+}
+
+TEST(WorkloadTest, OrdersPredictivelyBounded) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeOrders(config));
+  ASSERT_OK(GenerateOrders(config, &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  EXPECT_LE(profile.event.max_offset_us, 30 * kMicrosPerDay);
+}
+
+TEST(WorkloadTest, ArchaeologyNonIncreasingAndInverseMeets) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeArchaeology(config));
+  ASSERT_OK(GenerateArchaeology(config, &scenario));
+  EXPECT_OK(scenario->CheckExtension());
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kInterval,
+                   scenario->schema().valid_granularity());
+  EXPECT_TRUE(profile.global_ordering.non_increasing);
+  EXPECT_EQ(profile.interval.successive.count(AllenRelation::kMetBy), 1u);
+}
+
+TEST(WorkloadTest, GeneralBaselineHasNoStructure) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeGeneral(config));
+  ASSERT_OK(GenerateGeneral(config, Duration::Hours(2), &scenario));
+  const RelationProfile profile =
+      InferProfile(scenario->elements(), ValidTimeKind::kEvent,
+                   scenario->schema().valid_granularity());
+  EXPECT_EQ(profile.event.classified, EventSpecKind::kStronglyBounded);
+  EXPECT_FALSE(profile.global_ordering.non_decreasing);
+  EXPECT_FALSE(profile.event.degenerate);
+  EXPECT_FALSE(profile.event.determined_by.has_value());
+}
+
+TEST(WorkloadTest, BaselineModeSkipsDeclarations) {
+  WorkloadConfig config = SmallConfig();
+  config.declare_specializations = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto scenario,
+      MakeProcessMonitoring(config, Duration::Seconds(30), Duration::Seconds(120),
+                            Duration::Minutes(1)));
+  EXPECT_TRUE(scenario->specializations().empty());
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  const WorkloadConfig config = SmallConfig();
+  ASSERT_OK_AND_ASSIGN(auto s1, MakeAccounting(config));
+  ASSERT_OK(GenerateAccounting(config, &s1));
+  ASSERT_OK_AND_ASSIGN(auto s2, MakeAccounting(config));
+  ASSERT_OK(GenerateAccounting(config, &s2));
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t i = 0; i < s1->size(); ++i) {
+    EXPECT_EQ(s1->elements()[i].valid, s2->elements()[i].valid);
+    EXPECT_EQ(s1->elements()[i].tt_begin, s2->elements()[i].tt_begin);
+  }
+}
+
+}  // namespace
+}  // namespace tempspec
