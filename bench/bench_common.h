@@ -38,6 +38,21 @@ inline PlanChoice FullScanPlan() {
   return PlanChoice{ExecutionStrategy::kFullScan, TimeInterval::All(), ""};
 }
 
+/// \brief Publishes accumulated QueryStats as per-iteration counters
+/// (examined elements, morsels dispatched, executor wall-clock).
+inline void ReportQueryStats(benchmark::State& state, const QueryStats& stats) {
+  using benchmark::Counter;
+  state.counters["examined"] =
+      Counter(static_cast<double>(stats.elements_examined),
+              Counter::kAvgIterations);
+  state.counters["results"] =
+      Counter(static_cast<double>(stats.results), Counter::kAvgIterations);
+  state.counters["morsels"] = Counter(
+      static_cast<double>(stats.morsels_executed), Counter::kAvgIterations);
+  state.counters["query_micros"] = Counter(
+      static_cast<double>(stats.elapsed_micros), Counter::kAvgIterations);
+}
+
 }  // namespace bench
 }  // namespace tempspec
 

@@ -6,6 +6,7 @@
 // expose the space/time trade-off (counter reports cache residency).
 #include "bench_common.h"
 #include "storage/snapshot.h"
+#include "util/thread_pool.h"
 
 using namespace tempspec;
 using tempspec::bench::Require;
@@ -68,6 +69,24 @@ void BM_Rollback_SnapshotDifferential(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(snapshots.cached_elements()));
 }
 
+void BM_Rollback_SnapshotDifferentialParallel(benchmark::State& state) {
+  // Same replay as above, but the merged state is copied out by the thread
+  // pool (the replay itself is inherently sequential; only materialization
+  // parallelizes, so gains appear when the reconstructed state is large).
+  auto store = MakeBacklog(state.range(0));
+  SnapshotManager snapshots(store.get(), /*interval=*/1024);
+  snapshots.Refresh();
+  ThreadPool pool;
+  Random rng(29);
+  for (auto _ : state) {
+    const TimePoint tt = TimePoint::FromSeconds(rng.Uniform(0, state.range(0)));
+    auto result = snapshots.StateAt(tt, &pool);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(pool.size()));
+}
+
 void BM_Rollback_IntervalSweep(benchmark::State& state) {
   // Fixed backlog, varying snapshot interval: replay cost vs cache size.
   constexpr int64_t kOps = 65536;
@@ -91,6 +110,7 @@ void BM_Rollback_IntervalSweep(benchmark::State& state) {
 
 BENCHMARK(BM_Rollback_NaiveReplay)->Range(1024, 65536);
 BENCHMARK(BM_Rollback_SnapshotDifferential)->Range(1024, 65536);
+BENCHMARK(BM_Rollback_SnapshotDifferentialParallel)->Range(1024, 65536);
 BENCHMARK(BM_Rollback_IntervalSweep)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
 BENCHMARK_MAIN();

@@ -50,22 +50,39 @@ void IntervalIndex::OverlapCore(size_t lo, size_t hi, int64_t qlo, int64_t qhi,
   if (e.begin < qhi) OverlapCore(mid + 1, hi, qlo, qhi, out);
 }
 
+void IntervalIndex::SortHits(std::vector<uint64_t>* out,
+                             size_t core_hits) const {
+  // Core hits come out in begin order, not value order; the delta is scanned
+  // in insertion order, which in practice (positions appended by the
+  // relation) is already ascending. Sort whichever half needs it, then merge
+  // — cheaper than one big sort when either half is pre-sorted, and it gives
+  // callers the value-ascending contract without a per-query sort of theirs.
+  auto mid = out->begin() + static_cast<std::ptrdiff_t>(core_hits);
+  if (!std::is_sorted(out->begin(), mid)) std::sort(out->begin(), mid);
+  if (!std::is_sorted(mid, out->end())) std::sort(mid, out->end());
+  std::inplace_merge(out->begin(), mid, out->end());
+}
+
 std::vector<uint64_t> IntervalIndex::Stab(TimePoint tp) const {
   std::vector<uint64_t> out;
   const int64_t p = tp.micros();
   OverlapCore(0, core_.size(), p, p + 1, &out);
+  const size_t core_hits = out.size();
   for (const Entry& e : delta_) {
     if (e.begin <= p && p < e.end) out.push_back(e.value);
   }
+  SortHits(&out, core_hits);
   return out;
 }
 
 std::vector<uint64_t> IntervalIndex::Overlapping(TimePoint lo, TimePoint hi) const {
   std::vector<uint64_t> out;
   OverlapCore(0, core_.size(), lo.micros(), hi.micros(), &out);
+  const size_t core_hits = out.size();
   for (const Entry& e : delta_) {
     if (e.begin < hi.micros() && lo.micros() < e.end) out.push_back(e.value);
   }
+  SortHits(&out, core_hits);
   return out;
 }
 

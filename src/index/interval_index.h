@@ -32,10 +32,14 @@ class IntervalIndex {
     Insert(iv.begin(), iv.end(), value);
   }
 
-  /// \brief Values of all intervals containing `tp` (begin <= tp < end).
+  /// \brief Values of all intervals containing `tp` (begin <= tp < end),
+  /// in ascending value order.
   std::vector<uint64_t> Stab(TimePoint tp) const;
 
-  /// \brief Values of all intervals overlapping [lo, hi).
+  /// \brief Values of all intervals overlapping [lo, hi), in ascending value
+  /// order. Values are element positions in every engine use, so sorted
+  /// output lets query execution consume probe results in position order
+  /// with no per-query sort.
   std::vector<uint64_t> Overlapping(TimePoint lo, TimePoint hi) const;
 
   size_t size() const { return core_.size() + delta_.size(); }
@@ -47,6 +51,7 @@ class IntervalIndex {
  private:
   void OverlapCore(size_t lo, size_t hi, int64_t qlo, int64_t qhi,
                    std::vector<uint64_t>* out) const;
+  void SortHits(std::vector<uint64_t>* out, size_t core_hits) const;
   void Rebuild();
   void BuildMaxEnd(size_t lo, size_t hi);
 

@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace tempspec {
 
@@ -12,76 +13,104 @@ void Count(QueryStats* stats, uint64_t examined, uint64_t probes = 0) {
   stats->index_probes += probes;
 }
 
+/// \brief Adds wall-clock time to stats->elapsed_micros on scope exit.
+class StatsTimer {
+ public:
+  explicit StatsTimer(QueryStats* stats) : stats_(stats) {
+    if (stats_) start_ = std::chrono::steady_clock::now();
+  }
+  ~StatsTimer() {
+    if (stats_ == nullptr) return;
+    stats_->elapsed_micros += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  QueryStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
-bool QueryExecutor::MatchesRange(const Element& e, TimePoint lo,
-                                 TimePoint hi) const {
-  if (!e.IsCurrent()) return false;
-  if (e.valid.is_event()) {
-    const TimePoint vt = e.valid.at();
-    return lo <= vt && vt < hi;
+template <typename PosAt, typename Pred>
+std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
+                                                    const PosAt& pos_at,
+                                                    const Pred& pred,
+                                                    QueryStats* stats) const {
+  const std::span<const Element> elements = relation_.elements();
+  ThreadPool* pool = options_.pool;
+  const size_t grain = options_.morsel_size == 0 ? 1 : options_.morsel_size;
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && count > grain &&
+      optimizer_.ShouldParallelize(count, options_.parallel_cutoff);
+  std::vector<uint64_t> out;
+  if (!parallel) {
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t pos = pos_at(i);
+      if (pred(elements[pos])) out.push_back(pos);
+    }
+    if (stats && count > 0) stats->morsels_executed += 1;
+    return out;
   }
-  return e.valid.begin() < hi && lo < e.valid.end();
-}
 
-std::vector<Element> QueryExecutor::Current(QueryStats* stats) const {
-  std::vector<Element> out;
-  for (const Element& e : relation_.elements()) {
-    Count(stats, 1);
-    if (e.IsCurrent()) out.push_back(e);
-  }
-  if (stats) stats->results += out.size();
+  // Morsel-parallel: workers claim contiguous candidate chunks and fill
+  // per-morsel buffers; concatenating the buffers in morsel order makes the
+  // output identical to the serial loop above.
+  const size_t morsels = (count + grain - 1) / grain;
+  std::vector<std::vector<uint64_t>> parts(morsels);
+  pool->ParallelFor(count, grain,
+                    [&](size_t morsel, size_t begin, size_t end) {
+                      std::vector<uint64_t>& part = parts[morsel];
+                      for (size_t i = begin; i < end; ++i) {
+                        const uint64_t pos = pos_at(i);
+                        if (pred(elements[pos])) part.push_back(pos);
+                      }
+                    });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  if (stats) stats->morsels_executed += morsels;
   return out;
 }
 
-std::vector<Element> QueryExecutor::Rollback(TimePoint tt,
-                                             QueryStats* stats) const {
-  std::vector<Element> out = relation_.StateAt(tt);
-  Count(stats, relation_.snapshots() ? out.size() : relation_.size());
-  if (stats) stats->results += out.size();
-  return out;
-}
+ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
+                                     TimePoint hi,
+                                     std::optional<TimePoint> as_of,
+                                     QueryStats* stats) const {
+  const std::span<const Element> elements = relation_.elements();
+  // Belief filter: current queries require an open existence interval;
+  // as-of queries require existence at the given transaction time.
+  const auto matches = [lo, hi, as_of](const Element& e) {
+    if (as_of.has_value() ? !e.ExistsAt(*as_of) : !e.IsCurrent()) return false;
+    if (e.valid.is_event()) {
+      const TimePoint vt = e.valid.at();
+      return lo <= vt && vt < hi;
+    }
+    return e.valid.begin() < hi && lo < e.valid.end();
+  };
 
-std::vector<Element> QueryExecutor::Timeslice(TimePoint vt,
-                                              QueryStats* stats) const {
-  return TimesliceWith(optimizer_.PlanTimeslice(vt), vt, stats);
-}
-
-std::vector<Element> QueryExecutor::TimesliceWith(const PlanChoice& plan,
-                                                  TimePoint vt,
-                                                  QueryStats* stats) const {
-  return ValidRangeWith(plan, vt, TimePoint::FromMicros(vt.micros() + 1), stats);
-}
-
-std::vector<Element> QueryExecutor::ValidRange(TimePoint lo, TimePoint hi,
-                                               QueryStats* stats) const {
-  return ValidRangeWith(optimizer_.PlanValidRange(lo, hi), lo, hi, stats);
-}
-
-std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
-                                                   TimePoint lo, TimePoint hi,
-                                                   QueryStats* stats) const {
-  std::vector<Element> out;
-  const auto elements = relation_.elements();
-
+  std::vector<uint64_t> positions;
   switch (plan.strategy) {
     case ExecutionStrategy::kFullScan: {
-      for (const Element& e : elements) {
-        Count(stats, 1);
-        if (MatchesRange(e, lo, hi)) out.push_back(e);
-      }
+      Count(stats, elements.size());
+      positions = CollectMatches(
+          elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
+          matches, stats);
       break;
     }
 
     case ExecutionStrategy::kValidIndex: {
-      std::vector<uint64_t> positions =
+      // Overlapping() returns positions already ascending (contract of
+      // IntervalIndex), so the probe result needs no per-query sort.
+      std::vector<uint64_t> candidates =
           relation_.valid_index().Overlapping(lo, hi);
-      Count(stats, positions.size(), 1);
-      std::sort(positions.begin(), positions.end());
-      for (uint64_t pos : positions) {
-        const Element& e = elements[pos];
-        if (MatchesRange(e, lo, hi)) out.push_back(e);
-      }
+      Count(stats, candidates.size(), 1);
+      positions = CollectMatches(
+          candidates.size(), [&](size_t i) { return candidates[i]; }, matches,
+          stats);
       break;
     }
 
@@ -89,25 +118,26 @@ std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
     case ExecutionStrategy::kTransactionWindow: {
       // The declared specialization guarantees every match was stored inside
       // the transaction-time window; scan only those positions via the
-      // append-only transaction index.
+      // append-only transaction index (its values are insertion-ordered, so
+      // candidate order is position order).
       const AppendOnlyIndex& idx = relation_.transaction_index();
       const size_t begin = idx.LowerBound(plan.tt_window.begin());
       const size_t end = plan.tt_window.end().IsMax()
                              ? idx.size()
                              : idx.LowerBound(plan.tt_window.end());
-      Count(stats, end > begin ? end - begin : 0, 1);
-      for (size_t i = begin; i < end; ++i) {
-        const Element& e = elements[idx.ValueAt(i)];
-        if (MatchesRange(e, lo, hi)) out.push_back(e);
-      }
+      const size_t count = end > begin ? end - begin : 0;
+      Count(stats, count, 1);
+      positions = CollectMatches(
+          count, [&](size_t i) { return idx.ValueAt(begin + i); }, matches,
+          stats);
       break;
     }
 
     case ExecutionStrategy::kMonotoneBinarySearch: {
       // Valid times are non-decreasing in insertion order: binary search the
-      // element array directly.
+      // element array directly, then scan only the matching sub-range.
       auto vt_of = [&](size_t i) { return elements[i].valid.at(); };
-      size_t lo_pos = 0, hi_pos = elements.size();
+      size_t lo_pos = 0;
       {
         size_t a = 0, b = elements.size();
         while (a < b) {
@@ -120,6 +150,7 @@ std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
         }
         lo_pos = a;
       }
+      size_t hi_pos = lo_pos;
       {
         size_t a = lo_pos, b = elements.size();
         while (a < b) {
@@ -133,27 +164,122 @@ std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
         hi_pos = a;
       }
       Count(stats, hi_pos - lo_pos, 1);
-      for (size_t i = lo_pos; i < hi_pos; ++i) {
-        if (MatchesRange(elements[i], lo, hi)) out.push_back(elements[i]);
-      }
+      positions = CollectMatches(
+          hi_pos - lo_pos,
+          [lo_pos](size_t i) { return static_cast<uint64_t>(lo_pos + i); },
+          matches, stats);
       break;
     }
   }
 
-  if (stats) stats->results += out.size();
-  return out;
+  if (stats) stats->results += positions.size();
+  return ResultSet(elements, std::move(positions));
+}
+
+// -- Zero-copy interface ------------------------------------------------------
+
+ResultSet QueryExecutor::CurrentSet(QueryStats* stats) const {
+  StatsTimer timer(stats);
+  const std::span<const Element> elements = relation_.elements();
+  Count(stats, elements.size());
+  std::vector<uint64_t> positions = CollectMatches(
+      elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
+      [](const Element& e) { return e.IsCurrent(); }, stats);
+  if (stats) stats->results += positions.size();
+  return ResultSet(elements, std::move(positions));
+}
+
+ResultSet QueryExecutor::RollbackSet(TimePoint tt, QueryStats* stats) const {
+  StatsTimer timer(stats);
+  const std::span<const Element> elements = relation_.elements();
+  Count(stats, elements.size());
+  std::vector<uint64_t> positions = CollectMatches(
+      elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
+      [tt](const Element& e) { return e.ExistsAt(tt); }, stats);
+  if (stats) stats->results += positions.size();
+  return ResultSet(elements, std::move(positions));
+}
+
+ResultSet QueryExecutor::TimesliceSet(TimePoint vt, QueryStats* stats) const {
+  return TimesliceSetWith(optimizer_.PlanTimeslice(vt), vt, stats);
+}
+
+ResultSet QueryExecutor::TimesliceSetWith(const PlanChoice& plan, TimePoint vt,
+                                          QueryStats* stats) const {
+  StatsTimer timer(stats);
+  return ExecutePlan(plan, vt, TimePoint::FromMicros(vt.micros() + 1),
+                     std::nullopt, stats);
+}
+
+ResultSet QueryExecutor::ValidRangeSet(TimePoint lo, TimePoint hi,
+                                       QueryStats* stats) const {
+  return ValidRangeSetWith(optimizer_.PlanValidRange(lo, hi), lo, hi, stats);
+}
+
+ResultSet QueryExecutor::ValidRangeSetWith(const PlanChoice& plan, TimePoint lo,
+                                           TimePoint hi,
+                                           QueryStats* stats) const {
+  StatsTimer timer(stats);
+  return ExecutePlan(plan, lo, hi, std::nullopt, stats);
+}
+
+ResultSet QueryExecutor::TimesliceAsOfSet(TimePoint vt, TimePoint tt,
+                                          QueryStats* stats) const {
+  StatsTimer timer(stats);
+  // The optimizer's strategies bound where matches were *inserted*; logical
+  // deletion never moves an insertion, so the same plan applies with the
+  // existence filter swapped from IsCurrent() to ExistsAt(tt).
+  const PlanChoice plan = optimizer_.PlanTimeslice(vt);
+  return ExecutePlan(plan, vt, TimePoint::FromMicros(vt.micros() + 1), tt,
+                     stats);
+}
+
+// -- Materializing adapters ---------------------------------------------------
+
+std::vector<Element> QueryExecutor::Current(QueryStats* stats) const {
+  return CurrentSet(stats).Materialize(options_.pool);
+}
+
+std::vector<Element> QueryExecutor::Rollback(TimePoint tt,
+                                             QueryStats* stats) const {
+  if (relation_.snapshots() != nullptr) {
+    // The snapshot/differential cache replays the backlog in O(suffix); it
+    // also reproduces the historical representation (deletion stamps still
+    // open at tt), which a position view over the final store cannot.
+    StatsTimer timer(stats);
+    std::vector<Element> out = relation_.StateAt(tt, options_.pool);
+    Count(stats, out.size());
+    if (stats) stats->results += out.size();
+    return out;
+  }
+  return RollbackSet(tt, stats).Materialize(options_.pool);
+}
+
+std::vector<Element> QueryExecutor::Timeslice(TimePoint vt,
+                                              QueryStats* stats) const {
+  return TimesliceSet(vt, stats).Materialize(options_.pool);
+}
+
+std::vector<Element> QueryExecutor::TimesliceWith(const PlanChoice& plan,
+                                                  TimePoint vt,
+                                                  QueryStats* stats) const {
+  return TimesliceSetWith(plan, vt, stats).Materialize(options_.pool);
+}
+
+std::vector<Element> QueryExecutor::ValidRange(TimePoint lo, TimePoint hi,
+                                               QueryStats* stats) const {
+  return ValidRangeSet(lo, hi, stats).Materialize(options_.pool);
+}
+
+std::vector<Element> QueryExecutor::ValidRangeWith(const PlanChoice& plan,
+                                                   TimePoint lo, TimePoint hi,
+                                                   QueryStats* stats) const {
+  return ValidRangeSetWith(plan, lo, hi, stats).Materialize(options_.pool);
 }
 
 std::vector<Element> QueryExecutor::TimesliceAsOf(TimePoint vt, TimePoint tt,
                                                   QueryStats* stats) const {
-  std::vector<Element> out;
-  for (const Element& e : relation_.elements()) {
-    Count(stats, 1);
-    if (!e.ExistsAt(tt)) continue;
-    if (e.valid.ValidAt(vt)) out.push_back(e);
-  }
-  if (stats) stats->results += out.size();
-  return out;
+  return TimesliceAsOfSet(vt, tt, stats).Materialize(options_.pool);
 }
 
 }  // namespace tempspec

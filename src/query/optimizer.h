@@ -38,6 +38,19 @@ class Optimizer {
   /// \brief True if the relation is declared degenerate.
   bool IsDegenerate() const;
 
+  /// \brief Candidate-count floor below which a parallel scan is not worth
+  /// its dispatch cost: morsel hand-off and buffer merging run in the low
+  /// microseconds, which a serial scan of this many elements undercuts.
+  static constexpr size_t kParallelCutoff = 16384;
+
+  /// \brief Cost cutoff for the executor: parallelize only when the chosen
+  /// strategy leaves at least `cutoff` candidate elements to examine
+  /// (kParallelCutoff unless the executor overrides it, as tests do).
+  bool ShouldParallelize(size_t candidate_elements,
+                         size_t cutoff = kParallelCutoff) const {
+    return candidate_elements >= cutoff;
+  }
+
  private:
   const SpecializationSet& specs_;
   const Schema& schema_;

@@ -50,6 +50,20 @@ struct QueryStats {
   uint64_t elements_examined = 0;
   uint64_t index_probes = 0;
   uint64_t results = 0;
+  /// Wall-clock time spent inside the executor, in microseconds.
+  uint64_t elapsed_micros = 0;
+  /// Morsels dispatched; 1 per query when the scan ran serially.
+  uint64_t morsels_executed = 0;
+
+  /// \brief Accumulates another query's counters (per-worker or per-query
+  /// aggregation; all counters are additive).
+  void Merge(const QueryStats& other) {
+    elements_examined += other.elements_examined;
+    index_probes += other.index_probes;
+    results += other.results;
+    elapsed_micros += other.elapsed_micros;
+    morsels_executed += other.morsels_executed;
+  }
 };
 
 }  // namespace tempspec

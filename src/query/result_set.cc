@@ -1,0 +1,31 @@
+#include "query/result_set.h"
+
+#include "util/thread_pool.h"
+
+namespace tempspec {
+
+namespace {
+// Copies are heavier than scans (tuple values allocate); a smaller morsel
+// than the scan default keeps all workers busy on mid-size results.
+constexpr size_t kMaterializeMorsel = 1024;
+}  // namespace
+
+std::vector<Element> ResultSet::Materialize(ThreadPool* pool) const {
+  std::vector<Element> out;
+  if (pool == nullptr || pool->size() <= 1 ||
+      positions_.size() < 2 * kMaterializeMorsel) {
+    out.reserve(positions_.size());
+    for (uint64_t pos : positions_) out.push_back(base_[pos]);
+    return out;
+  }
+  out.resize(positions_.size());
+  pool->ParallelFor(positions_.size(), kMaterializeMorsel,
+                    [&](size_t /*morsel*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = base_[positions_[i]];
+                      }
+                    });
+  return out;
+}
+
+}  // namespace tempspec

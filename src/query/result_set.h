@@ -1,0 +1,86 @@
+// Zero-copy query results: positions into the relation's element store.
+//
+// Every query strategy ultimately selects a subset of the relation's element
+// array; copying each matching Element (tuple values included) into the
+// result vector dominated query cost for large answers. A ResultSet instead
+// records the matching *positions*, in ascending position order, over a span
+// that stays valid as long as the relation is not mutated. Callers iterate
+// the view directly, or Materialize() — optionally in parallel — when an
+// owning std::vector<Element> is required (the pre-existing QueryExecutor
+// signatures do exactly that, as thin adapters).
+#ifndef TEMPSPEC_QUERY_RESULT_SET_H_
+#define TEMPSPEC_QUERY_RESULT_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/element.h"
+
+namespace tempspec {
+
+class ThreadPool;
+
+/// \brief A non-owning, position-ordered view of query matches.
+///
+/// Validity: the view borrows `base` (the relation's element store); any
+/// mutation of the relation invalidates it. Treat it like an iterator.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  ResultSet(std::span<const Element> base, std::vector<uint64_t> positions)
+      : base_(base), positions_(std::move(positions)) {}
+
+  size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  /// \brief Positions into the base span, ascending.
+  const std::vector<uint64_t>& positions() const { return positions_; }
+
+  /// \brief The i-th matching element (no copy).
+  const Element& operator[](size_t i) const { return base_[positions_[i]]; }
+
+  /// \brief Iteration over the matching elements, no copies.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Element;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Element*;
+    using reference = const Element&;
+
+    const_iterator(const ResultSet* set, size_t i) : set_(set), i_(i) {}
+    reference operator*() const { return (*set_)[i_]; }
+    pointer operator->() const { return &(*set_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++i_;
+      return copy;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) =
+        default;
+
+   private:
+    const ResultSet* set_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// \brief Copies the matches into an owning vector, in position order.
+  /// With a pool, the copies are morsel-parallel (the order — and therefore
+  /// the bytes — are identical either way).
+  std::vector<Element> Materialize(ThreadPool* pool = nullptr) const;
+
+ private:
+  std::span<const Element> base_;
+  std::vector<uint64_t> positions_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_QUERY_RESULT_SET_H_

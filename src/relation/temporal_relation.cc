@@ -220,7 +220,12 @@ Result<Element> TemporalRelation::GetElement(ElementSurrogate surrogate) const {
 }
 
 std::vector<Element> TemporalRelation::StateAt(TimePoint tt) const {
-  if (snapshots_) return snapshots_->StateAt(tt);
+  return StateAt(tt, nullptr);
+}
+
+std::vector<Element> TemporalRelation::StateAt(TimePoint tt,
+                                               ThreadPool* pool) const {
+  if (snapshots_) return snapshots_->StateAt(tt, pool);
   std::vector<Element> out;
   for (const Element& e : elements_) {
     if (e.ExistsAt(tt)) out.push_back(e);

@@ -13,6 +13,16 @@
 //
 // Queries over transaction time (rollback) and valid time (timeslice) are in
 // src/query; this class exposes the raw state-reconstruction primitives.
+//
+// Concurrent-access contract (for the morsel-parallel execution layer): the
+// relation is single-writer. All const member functions — elements(),
+// StateAt(), the index accessors, GetElement(), PartitionOf(), GetStats() —
+// are safe to call from any number of threads simultaneously, PROVIDED no
+// thread is concurrently executing a non-const member (Insert*, Modify,
+// LogicalDelete, VacuumBefore, Checkpoint). The span returned by elements()
+// and any ResultSet built over it are invalidated by every mutation, exactly
+// like an iterator. The engine does no internal locking; interleaving
+// readers with a writer is the caller's responsibility.
 #ifndef TEMPSPEC_RELATION_TEMPORAL_RELATION_H_
 #define TEMPSPEC_RELATION_TEMPORAL_RELATION_H_
 
@@ -32,6 +42,8 @@
 #include "util/result.h"
 
 namespace tempspec {
+
+class ThreadPool;
 
 /// \brief How the relation treats valid stamps that are finer than the
 /// schema's valid-time granularity (Section 2 gives each relation its own
@@ -103,8 +115,10 @@ class TemporalRelation {
   Result<Element> GetElement(ElementSurrogate surrogate) const;
 
   /// \brief The historical state at transaction time tt (rollback
-  /// primitive); uses the snapshot cache when enabled.
+  /// primitive); uses the snapshot cache when enabled. With a pool, the
+  /// snapshot path copies elements morsel-parallel (identical results).
   std::vector<Element> StateAt(TimePoint tt) const;
+  std::vector<Element> StateAt(TimePoint tt, ThreadPool* pool) const;
 
   /// \brief The current state.
   std::vector<Element> CurrentState() const;

@@ -1,8 +1,18 @@
 #include "storage/snapshot.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "util/thread_pool.h"
 
 namespace tempspec {
+
+namespace {
+// Element copies allocate (tuple values); this morsel size keeps dispatch
+// overhead negligible while letting a handful of workers share mid-size
+// states.
+constexpr size_t kCopyMorsel = 1024;
+}  // namespace
 
 void SnapshotManager::Refresh() {
   const auto& entries = store_->entries();
@@ -15,12 +25,20 @@ void SnapshotManager::Refresh() {
     }
     ++consumed_;
     if (consumed_ % interval_ == 0) {
-      snapshots_.push_back(Snapshot{e.tt, consumed_, running_});
+      std::vector<Element> state;
+      state.reserve(running_.size());
+      for (const auto& [id, element] : running_) state.push_back(element);
+      std::sort(state.begin(), state.end(),
+                [](const Element& a, const Element& b) {
+                  return a.element_surrogate < b.element_surrogate;
+                });
+      snapshots_.push_back(Snapshot{e.tt, consumed_, std::move(state)});
     }
   }
 }
 
-std::vector<Element> SnapshotManager::StateAt(TimePoint tt) const {
+std::vector<Element> SnapshotManager::StateAt(TimePoint tt,
+                                              ThreadPool* pool) const {
   // Latest snapshot whose covered transaction time is <= tt. Snapshot
   // positions and transaction times increase together.
   const Snapshot* base = nullptr;
@@ -29,25 +47,55 @@ std::vector<Element> SnapshotManager::StateAt(TimePoint tt) const {
       [](TimePoint t, const Snapshot& s) { return t < s.tt; });
   if (it != snapshots_.begin()) base = &*std::prev(it);
 
-  std::unordered_map<ElementSurrogate, Element> state;
-  size_t position = 0;
-  if (base != nullptr) {
-    state = base->state;
-    position = base->position;
-  }
+  // Differential replay of the suffix: collect inserts still alive at tt as
+  // an overlay, deletions of base residents as tombstones. (A deletion whose
+  // target was inserted inside the suffix cancels the overlay entry instead.)
+  std::unordered_map<ElementSurrogate, const Element*> overlay_map;
+  std::unordered_set<ElementSurrogate> tombstones;
   const auto& entries = store_->entries();
-  for (size_t i = position; i < entries.size(); ++i) {
+  for (size_t i = base ? base->position : 0; i < entries.size(); ++i) {
     const BacklogEntry& e = entries[i];
     if (e.tt > tt) break;
     if (e.op == BacklogOpType::kInsert) {
-      state.emplace(e.element.element_surrogate, e.element);
-    } else {
-      state.erase(e.target);
+      overlay_map.emplace(e.element.element_surrogate, &e.element);
+    } else if (overlay_map.erase(e.target) == 0) {
+      tombstones.insert(e.target);
     }
   }
+  std::vector<std::pair<ElementSurrogate, const Element*>> overlay(
+      overlay_map.begin(), overlay_map.end());
+  std::sort(overlay.begin(), overlay.end());
+
+  // Plan the output: merge the (sorted) base survivors with the (sorted)
+  // overlay into a pointer layout. Pointer work only — no element copies yet.
+  std::vector<const Element*> layout;
+  layout.reserve((base ? base->state.size() : 0) + overlay.size());
+  size_t oi = 0;
+  if (base != nullptr) {
+    for (const Element& e : base->state) {
+      if (tombstones.contains(e.element_surrogate)) continue;
+      while (oi < overlay.size() &&
+             overlay[oi].first < e.element_surrogate) {
+        layout.push_back(overlay[oi++].second);
+      }
+      layout.push_back(&e);
+    }
+  }
+  for (; oi < overlay.size(); ++oi) layout.push_back(overlay[oi].second);
+
+  // Materialize: the element copies dominate (tuple values allocate), so
+  // run them morsel-parallel when a pool is available.
   std::vector<Element> out;
-  out.reserve(state.size());
-  for (auto& [id, element] : state) out.push_back(element);
+  if (pool == nullptr || pool->size() <= 1 || layout.size() < 2 * kCopyMorsel) {
+    out.reserve(layout.size());
+    for (const Element* e : layout) out.push_back(*e);
+    return out;
+  }
+  out.resize(layout.size());
+  pool->ParallelFor(layout.size(), kCopyMorsel,
+                    [&](size_t /*morsel*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) out[i] = *layout[i];
+                    });
   return out;
 }
 

@@ -5,6 +5,14 @@
 // technique of the paper's [JMRS90] reference ("using caching, cache
 // indexing, and differential techniques to efficiently support transaction
 // time"); bench_e9_rollback measures the effect.
+//
+// Snapshots are stored as surrogate-sorted element vectors: the differential
+// suffix becomes a small overlay (inserts) plus a tombstone set (deletes),
+// and materializing the historical state is a merge of two sorted sequences.
+// The merge plans the output layout up front (a vector of element pointers),
+// then copies the elements — the expensive part, tuple values included —
+// morsel-parallel on a ThreadPool when one is supplied. Serial and parallel
+// materialization produce byte-identical, surrogate-ordered states.
 #ifndef TEMPSPEC_STORAGE_SNAPSHOT_H_
 #define TEMPSPEC_STORAGE_SNAPSHOT_H_
 
@@ -15,6 +23,8 @@
 #include "storage/backlog.h"
 
 namespace tempspec {
+
+class ThreadPool;
 
 /// \brief Periodic materialized states over a BacklogStore.
 class SnapshotManager {
@@ -28,8 +38,10 @@ class SnapshotManager {
   void Refresh();
 
   /// \brief Historical state at `tt`: nearest cached snapshot at or before
-  /// `tt`, plus differential replay of the remaining operations.
-  std::vector<Element> StateAt(TimePoint tt) const;
+  /// `tt`, plus differential replay of the remaining operations. The
+  /// returned elements are sorted by element surrogate. With a pool, the
+  /// element copies run morsel-parallel (identical output either way).
+  std::vector<Element> StateAt(TimePoint tt, ThreadPool* pool = nullptr) const;
 
   size_t snapshot_count() const { return snapshots_.size(); }
 
@@ -38,9 +50,9 @@ class SnapshotManager {
 
  private:
   struct Snapshot {
-    TimePoint tt;                     // transaction time covered
-    size_t position;                  // operations applied (prefix length)
-    std::unordered_map<ElementSurrogate, Element> state;
+    TimePoint tt;                 // transaction time covered
+    size_t position;              // operations applied (prefix length)
+    std::vector<Element> state;   // alive elements, sorted by surrogate
   };
 
   const BacklogStore* store_;

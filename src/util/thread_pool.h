@@ -1,0 +1,95 @@
+// Fixed-size thread pool with morsel-driven parallel-for.
+//
+// Execution model (morsel-driven, after Leis et al., "Morsel-Driven
+// Parallelism"): a parallel loop over [0, n) is split into fixed-size
+// contiguous morsels; workers claim morsels from a shared atomic cursor, so
+// load-balancing is dynamic but each morsel is a contiguous, cache-friendly
+// range processed by exactly one thread. The calling thread participates as
+// a worker, so a pool of size 1 degenerates to a plain serial loop and no
+// threads are ever spawned.
+//
+// The pool is lazy: worker threads start on the first parallel job, never at
+// construction. Size defaults to the TEMPSPEC_THREADS environment variable
+// when set, else std::thread::hardware_concurrency().
+//
+// Determinism contract: ParallelFor invokes `fn(morsel, begin, end)` with
+// morsel indexes 0..ceil(n/grain)-1 covering [0, n) in order. Which thread
+// runs which morsel is nondeterministic, but callers that write morsel-local
+// outputs and concatenate them by morsel index obtain results byte-identical
+// to a serial loop.
+#ifndef TEMPSPEC_UTIL_THREAD_POOL_H_
+#define TEMPSPEC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tempspec {
+
+/// \brief Morsel callback: one contiguous chunk [begin, end) of the loop
+/// domain, with its morsel ordinal (begin / grain).
+using MorselFn = std::function<void(size_t morsel, size_t begin, size_t end)>;
+
+/// \brief Fixed-size, lazily started worker pool.
+class ThreadPool {
+ public:
+  /// \brief `threads` = 0 picks the default (TEMPSPEC_THREADS env override,
+  /// else hardware_concurrency, floor 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Worker count, caller included (>= 1).
+  size_t size() const { return size_; }
+
+  /// \brief Runs `fn` over [0, n) in morsels of `grain`. Blocks until every
+  /// morsel has completed. The caller participates as a worker. Safe to call
+  /// from multiple threads (concurrent jobs are serialized). Must not be
+  /// called reentrantly from inside a morsel.
+  void ParallelFor(size_t n, size_t grain, const MorselFn& fn);
+
+  /// \brief Process-wide shared pool (default-sized, lazily started).
+  static ThreadPool& Global();
+
+  /// \brief The default thread count: TEMPSPEC_THREADS when set and positive,
+  /// else hardware_concurrency (floor 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  struct Job {
+    size_t n = 0;
+    size_t grain = 1;
+    size_t morsels = 0;
+    const MorselFn* fn = nullptr;
+    std::atomic<size_t> cursor{0};
+  };
+
+  void EnsureStarted();
+  void WorkerLoop();
+  static void RunMorsels(Job& job);
+
+  const size_t size_;
+
+  std::mutex run_mu_;  // serializes concurrent ParallelFor callers
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  uint64_t epoch_ = 0;      // bumped per job so workers never run one twice
+  size_t inflight_ = 0;     // workers currently inside RunMorsels
+  bool started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,259 @@
+// Strategy-parity property test for the morsel-parallel execution layer.
+//
+// The engine's determinism guarantee: for every ExecutionStrategy, serial and
+// parallel execution return identical, position-ordered results — the same
+// positions, the same elements, byte for byte. This test drives randomized
+// workloads (event and interval relations) through every strategy under a
+// serial executor, a parallel executor with tiny morsels (forcing many
+// morsels even at test sizes), and a parallel executor with default knobs,
+// and asserts exact equality. Built with -DTEMPSPEC_SANITIZE=thread this is
+// also the race-check for the ThreadPool and the per-morsel buffers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/executor.h"
+#include "storage/snapshot.h"
+#include "testing.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/workloads.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+bool SameElement(const Element& a, const Element& b) {
+  return a.element_surrogate == b.element_surrogate &&
+         a.object_surrogate == b.object_surrogate && a.tt_begin == b.tt_begin &&
+         a.tt_end == b.tt_end && a.valid == b.valid &&
+         a.attributes == b.attributes;
+}
+
+void ExpectIdentical(const ResultSet& serial, const ResultSet& parallel,
+                     const char* what) {
+  ASSERT_EQ(serial.positions(), parallel.positions()) << what;
+  const std::vector<Element> a = serial.Materialize();
+  ThreadPool pool(4);
+  const std::vector<Element> b = parallel.Materialize(&pool);
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(SameElement(a[i], b[i])) << what << " element " << i;
+  }
+}
+
+/// \brief All executors over one relation: serial, parallel with morsels
+/// small enough that every strategy fans out, and parallel with defaults.
+struct ExecutorTriple {
+  explicit ExecutorTriple(const TemporalRelation& rel)
+      : pool(4),
+        serial(rel, ExecutorOptions{.pool = nullptr}),
+        tiny_morsels(rel, ExecutorOptions{.pool = &pool,
+                                          .morsel_size = 61,
+                                          .parallel_cutoff = 1}),
+        defaults(rel, ExecutorOptions{.pool = &pool}) {}
+  ThreadPool pool;
+  QueryExecutor serial;
+  QueryExecutor tiny_morsels;
+  QueryExecutor defaults;
+};
+
+void CheckAllStrategiesAtPoint(ExecutorTriple& exec, TimePoint vt,
+                               TimePoint range_hi, TimePoint as_of) {
+  // Every strategy that is executable regardless of declared specialization,
+  // plus whatever the optimizer actually picked.
+  std::vector<PlanChoice> plans = {
+      PlanChoice{ExecutionStrategy::kFullScan, TimeInterval::All(), ""},
+      PlanChoice{ExecutionStrategy::kValidIndex, TimeInterval::All(), ""},
+      exec.serial.optimizer().PlanTimeslice(vt),
+  };
+  for (const PlanChoice& plan : plans) {
+    const char* what = ExecutionStrategyToString(plan.strategy);
+    ExpectIdentical(exec.serial.TimesliceSetWith(plan, vt),
+                    exec.tiny_morsels.TimesliceSetWith(plan, vt), what);
+    ExpectIdentical(exec.serial.TimesliceSetWith(plan, vt),
+                    exec.defaults.TimesliceSetWith(plan, vt), what);
+    ExpectIdentical(exec.serial.ValidRangeSetWith(plan, vt, range_hi),
+                    exec.tiny_morsels.ValidRangeSetWith(plan, vt, range_hi),
+                    what);
+  }
+  ExpectIdentical(exec.serial.TimesliceSet(vt),
+                  exec.tiny_morsels.TimesliceSet(vt), "planned timeslice");
+  ExpectIdentical(exec.serial.CurrentSet(), exec.tiny_morsels.CurrentSet(),
+                  "current");
+  ExpectIdentical(exec.serial.RollbackSet(as_of),
+                  exec.tiny_morsels.RollbackSet(as_of), "rollback");
+  ExpectIdentical(exec.serial.TimesliceAsOfSet(vt, as_of),
+                  exec.tiny_morsels.TimesliceAsOfSet(vt, as_of), "as-of");
+}
+
+TEST(ParallelParityTest, EventRelationBandedStrategies) {
+  WorkloadConfig config;
+  config.num_objects = 16;
+  config.ops_per_object = 200;  // 3200 elements
+  ASSERT_OK_AND_ASSIGN(
+      auto scenario, MakeProcessMonitoring(config, Duration::Seconds(30),
+                                           Duration::Seconds(120),
+                                           Duration::Minutes(1)));
+  ASSERT_OK(GenerateProcessMonitoring(config, Duration::Seconds(30),
+                                      Duration::Seconds(120),
+                                      Duration::Minutes(1), &scenario));
+  ExecutorTriple exec(*scenario.relation);
+  ASSERT_TRUE(exec.serial.optimizer().CombinedFixedBand().has_value());
+
+  Random rng(101);
+  const auto elements = scenario->elements();
+  for (int trial = 0; trial < 24; ++trial) {
+    const Element& probe =
+        elements[static_cast<size_t>(rng.Uniform(0, elements.size() - 1))];
+    const TimePoint vt = probe.valid.at();
+    const TimePoint hi = vt + Duration::Seconds(rng.Uniform(1, 900));
+    const TimePoint as_of = probe.tt_begin + Duration::Seconds(rng.Uniform(0, 50));
+    CheckAllStrategiesAtPoint(exec, vt, hi, as_of);
+  }
+}
+
+TEST(ParallelParityTest, EventRelationMonotoneStrategy) {
+  RelationOptions options;
+  options.schema =
+      Schema::Make("mono",
+                   {AttributeDef{"id", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey}},
+                   ValidTimeKind::kEvent, Granularity::Second())
+          .ValueOrDie();
+  options.clock = std::make_shared<LogicalClock>(T(0), Duration::Seconds(1));
+  options.specializations.AddOrdering(OrderingSpec(OrderingKind::kNonDecreasing));
+  ASSERT_OK_AND_ASSIGN(auto rel, TemporalRelation::Open(std::move(options)));
+  Random rng(7);
+  int64_t vt = 0;
+  for (int i = 0; i < 2000; ++i) {
+    vt += rng.Uniform(0, 3);
+    ASSERT_OK(rel->InsertEvent(i % 5 + 1, T(vt), Tuple{int64_t{i}}).status());
+  }
+  ExecutorTriple exec(*rel);
+  ASSERT_EQ(exec.serial.optimizer().PlanTimeslice(T(0)).strategy,
+            ExecutionStrategy::kMonotoneBinarySearch);
+  for (int trial = 0; trial < 16; ++trial) {
+    const TimePoint q = T(rng.Uniform(0, vt + 10));
+    CheckAllStrategiesAtPoint(exec, q, q + Duration::Seconds(rng.Uniform(1, 200)),
+                              T(rng.Uniform(0, 2000)));
+  }
+}
+
+TEST(ParallelParityTest, IntervalRelationStrategies) {
+  WorkloadConfig config;
+  config.num_objects = 8;
+  config.ops_per_object = 256;  // 2048 interval elements
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeAssignments(config));
+  ASSERT_OK(GenerateAssignments(config, &scenario));
+  ExecutorTriple exec(*scenario.relation);
+
+  Random rng(55);
+  const auto elements = scenario->elements();
+  for (int trial = 0; trial < 16; ++trial) {
+    const Element& probe =
+        elements[static_cast<size_t>(rng.Uniform(0, elements.size() - 1))];
+    const TimePoint vt = probe.valid.begin();
+    const TimePoint hi = probe.valid.end() + Duration::Days(rng.Uniform(0, 30));
+    CheckAllStrategiesAtPoint(exec, vt, hi,
+                              probe.tt_begin + Duration::Hours(1));
+  }
+}
+
+TEST(ParallelParityTest, MaterializeAdaptersMatchSets) {
+  WorkloadConfig config;
+  config.num_objects = 8;
+  config.ops_per_object = 128;
+  ASSERT_OK_AND_ASSIGN(auto scenario,
+                       MakeGeneral(config));
+  ASSERT_OK(GenerateGeneral(config, Duration::Hours(2), &scenario));
+  ThreadPool pool(3);
+  QueryExecutor exec(*scenario.relation,
+                     ExecutorOptions{.pool = &pool,
+                                     .morsel_size = 37,
+                                     .parallel_cutoff = 1});
+  const TimePoint vt = scenario->elements()[100].valid.begin();
+  const auto via_adapter = exec.Timeslice(vt);
+  const auto via_set = exec.TimesliceSet(vt).Materialize();
+  ASSERT_EQ(via_adapter.size(), via_set.size());
+  for (size_t i = 0; i < via_adapter.size(); ++i) {
+    ASSERT_TRUE(SameElement(via_adapter[i], via_set[i]));
+  }
+  // Zero-copy views index the same elements the adapter copied.
+  const ResultSet set = exec.TimesliceSet(vt);
+  for (size_t i = 0; i < set.size(); ++i) {
+    ASSERT_TRUE(SameElement(set[i], via_adapter[i]));
+  }
+}
+
+TEST(ParallelParityTest, SnapshotParallelReplayMatchesSerial) {
+  WorkloadConfig config;
+  config.num_objects = 16;
+  config.ops_per_object = 256;
+  config.snapshot_interval = 512;
+  ASSERT_OK_AND_ASSIGN(
+      auto scenario, MakeProcessMonitoring(config, Duration::Seconds(30),
+                                           Duration::Seconds(120),
+                                           Duration::Minutes(1)));
+  ASSERT_OK(GenerateProcessMonitoring(config, Duration::Seconds(30),
+                                      Duration::Seconds(120),
+                                      Duration::Minutes(1), &scenario));
+  ASSERT_NE(scenario->snapshots(), nullptr);
+  ASSERT_GT(scenario->snapshots()->snapshot_count(), 0u);
+  ThreadPool pool(4);
+  Random rng(23);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t i = static_cast<size_t>(rng.Uniform(0, scenario->size() - 1));
+    const TimePoint tt = scenario->elements()[i].tt_begin;
+    const auto serial = scenario->StateAt(tt);
+    const auto parallel = scenario->StateAt(tt, &pool);
+    ASSERT_EQ(serial.size(), parallel.size()) << "tt=" << tt.ToString();
+    for (size_t k = 0; k < serial.size(); ++k) {
+      ASSERT_TRUE(SameElement(serial[k], parallel[k])) << "tt=" << tt.ToString();
+    }
+    // Sorted-by-surrogate contract, and agreement with a manual scan.
+    ASSERT_TRUE(std::is_sorted(serial.begin(), serial.end(),
+                               [](const Element& a, const Element& b) {
+                                 return a.element_surrogate < b.element_surrogate;
+                               }));
+    size_t expected = 0;
+    for (const Element& e : scenario->elements()) {
+      if (e.ExistsAt(tt)) ++expected;
+    }
+    ASSERT_EQ(serial.size(), expected);
+  }
+}
+
+TEST(ParallelParityTest, StatsCountMorselsAndTime) {
+  WorkloadConfig config;
+  config.num_objects = 8;
+  config.ops_per_object = 128;
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeGeneral(config));
+  ASSERT_OK(GenerateGeneral(config, Duration::Hours(2), &scenario));
+  ThreadPool pool(4);
+  QueryExecutor parallel(*scenario.relation,
+                         ExecutorOptions{.pool = &pool,
+                                         .morsel_size = 64,
+                                         .parallel_cutoff = 1});
+  QueryExecutor serial(*scenario.relation, ExecutorOptions{.pool = nullptr});
+  QueryStats ps, ss;
+  const PlanChoice scan{ExecutionStrategy::kFullScan, TimeInterval::All(), ""};
+  const TimePoint vt = scenario->elements()[17].valid.begin();
+  parallel.TimesliceSetWith(scan, vt, &ps);
+  serial.TimesliceSetWith(scan, vt, &ss);
+  EXPECT_EQ(ss.morsels_executed, 1u);
+  EXPECT_EQ(ps.morsels_executed, (scenario->size() + 63) / 64);
+  EXPECT_EQ(ps.elements_examined, ss.elements_examined);
+  EXPECT_EQ(ps.results, ss.results);
+  // Merge is additive across queries.
+  QueryStats merged;
+  merged.Merge(ps);
+  merged.Merge(ss);
+  EXPECT_EQ(merged.results, ps.results + ss.results);
+  EXPECT_EQ(merged.morsels_executed,
+            ps.morsels_executed + ss.morsels_executed);
+}
+
+}  // namespace
+}  // namespace tempspec
