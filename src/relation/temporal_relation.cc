@@ -49,6 +49,10 @@ Status TemporalRelation::ApplyRecoveredEntries() {
       TS_RETURN_NOT_OK(e.attributes.Conforms(*schema_));
       TS_RETURN_NOT_OK(checker_.OnInsert(e));
       by_surrogate_[e.element_surrogate] = elements_.size();
+      if (partitions_.find(e.object_surrogate) == partitions_.end()) {
+        object_order_.push_back(e.object_surrogate);
+      }
+      partitions_[e.object_surrogate].push_back(elements_.size());
       IndexElement(e, elements_.size());
       elements_.push_back(e);
       surrogates_.EnsureAbove(e.element_surrogate);

@@ -9,6 +9,10 @@ namespace tempspec {
 
 namespace {
 constexpr uint32_t kBacklogMagic = 0x544C4B42;  // "BKLT"
+// v2: header carries no entry count (the count is derived by scanning the
+// CRC-guarded data pages), page records are [u32 crc][payload], and WAL
+// LSNs equal global operation indices.
+constexpr uint32_t kBacklogVersion = 2;
 }  // namespace
 
 std::string BacklogEntry::Encode() const {
@@ -55,69 +59,129 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
 
   TS_ASSIGN_OR_RETURN(store->wal_,
                       WriteAheadLog::Open(options.directory + "/backlog.wal",
-                                          options.sync_mode));
-  // WAL holds the operations appended since the last checkpoint.
+                                          options.sync_mode,
+                                          options.sync_every));
+  // The WAL holds operations appended since the last completed checkpoint —
+  // plus, after a crash between checkpoint and WAL reset, stale records the
+  // pages already cover. LSNs are global operation indices: skip what the
+  // pages hold, reject gaps (a gap means durable data was lost).
+  const uint64_t persisted = store->persisted_entries_;
+  uint64_t expected = persisted;
   auto replayed = store->wal_->Replay(
-      [&](uint64_t, std::string_view payload) -> Status {
+      [&](uint64_t lsn, std::string_view payload) -> Status {
+        if (lsn < persisted) return Status::OK();  // already checkpointed
+        if (lsn != expected) {
+          return Status::Corruption(
+              "WAL gap after a damaged page file: pages hold ", persisted,
+              " operations, expected WAL lsn ", expected, ", found ", lsn);
+        }
         TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(payload));
         store->entries_.push_back(std::move(entry));
+        ++expected;
         return Status::OK();
       });
   TS_RETURN_NOT_OK(replayed.status());
+  store->wal_->SetNextLsn(store->entries_.size());
   return store;
+}
+
+Status BacklogStore::CreateHeaderPage() {
+  {
+    TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
+    SlottedPage sp(header.mutable_page());
+    sp.Init();
+    std::string meta;
+    Encoder enc(&meta);
+    enc.PutU32(kBacklogMagic);
+    enc.PutU32(kBacklogVersion);
+    TS_RETURN_NOT_OK(sp.Insert(meta).status());
+  }
+  return pool_->FlushAll();
 }
 
 Status BacklogStore::RecoverFromPages() {
   if (disk_->page_count() == 0) {
     // Fresh file: create and flush the header page, so a process that exits
     // without ever checkpointing still leaves a well-formed file behind.
-    {
-      TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
-      SlottedPage sp(header.mutable_page());
-      sp.Init();
-      std::string meta;
-      Encoder enc(&meta);
-      enc.PutU32(kBacklogMagic);
-      enc.PutU64(0);
-      TS_RETURN_NOT_OK(sp.Insert(meta).status());
+    return CreateHeaderPage();
+  }
+
+  {
+    TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Fetch(0));
+    Page page_copy = header.page();
+    SlottedPage sp(&page_copy);
+    bool header_ok = false;
+    if (sp.slot_count() > 0) {
+      auto meta = sp.Get(0);
+      if (meta.ok()) {
+        Decoder dec(meta.ValueOrDie());
+        auto magic = dec.GetU32();
+        header_ok = magic.ok() && magic.ValueOrDie() == kBacklogMagic;
+      }
     }
-    return pool_->FlushAll();
+    if (!header_ok) {
+      // A single unreadable page is what a crash during store creation
+      // leaves behind (the header is written exactly once, before any WAL
+      // exists); anything larger is real damage.
+      if (disk_->page_count() > 1) {
+        return Status::Corruption("bad backlog page-file header");
+      }
+      header.Release();
+      pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
+      TS_RETURN_NOT_OK(disk_->Truncate());
+      return CreateHeaderPage();
+    }
   }
 
-  TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Fetch(0));
-  Page page_copy = header.page();
-  SlottedPage sp(&page_copy);
-  TS_ASSIGN_OR_RETURN(std::string_view meta, sp.Get(0));
-  Decoder dec(meta);
-  TS_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
-  if (magic != kBacklogMagic) {
-    return Status::Corruption("bad backlog page-file magic");
-  }
-  TS_ASSIGN_OR_RETURN(uint64_t persisted, dec.GetU64());
-
-  uint64_t read = 0;
-  for (PageId id = 1; id < disk_->page_count() && read < persisted; ++id) {
+  // The page file's entry count is derived, never trusted: scan data pages
+  // in order, reading CRC-guarded records until the first torn or corrupt
+  // one. Everything at or beyond that point is covered by the WAL (or was
+  // never acknowledged).
+  bool stop = false;
+  for (PageId id = 1; id < disk_->page_count() && !stop; ++id) {
     TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
     Page data_copy = guard.page();
     SlottedPage data(&data_copy);
-    for (uint16_t slot = 0; slot < data.slot_count() && read < persisted; ++slot) {
-      TS_ASSIGN_OR_RETURN(std::string_view record, data.Get(slot));
-      TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(record));
-      entries_.push_back(std::move(entry));
-      ++read;
+    if (data.slot_count() == 0) break;  // never-completed (or zeroed) page
+    for (uint16_t slot = 0; slot < data.slot_count(); ++slot) {
+      auto record = data.Get(slot);
+      if (!record.ok() || record.ValueOrDie().size() < 4) {
+        stop = true;
+        break;
+      }
+      const std::string_view raw = record.ValueOrDie();
+      Decoder dec(raw);
+      const uint32_t crc = dec.GetU32().ValueOrDie();
+      const std::string_view payload = raw.substr(4);
+      if (Crc32(payload) != crc) {
+        stop = true;
+        break;
+      }
+      auto entry = BacklogEntry::Decode(payload);
+      if (!entry.ok()) {
+        stop = true;
+        break;
+      }
+      entries_.push_back(std::move(entry).ValueOrDie());
     }
   }
-  if (read != persisted) {
-    return Status::Corruption("backlog page file claims ", persisted,
-                              " entries but only ", read, " are readable");
-  }
-  persisted_entries_ = persisted;
+  persisted_entries_ = entries_.size();
   return Status::OK();
 }
 
 Status BacklogStore::Append(const BacklogEntry& entry) {
+  if (io_failed_) {
+    return Status::IOError(
+        "backlog store is read-only after an IO failure; reopen to recover");
+  }
   if (wal_) {
-    TS_RETURN_NOT_OK(wal_->Append(entry.Encode()).status());
+    auto appended = wal_->Append(entry.Encode());
+    if (!appended.ok()) {
+      // The WAL tail may be torn: a later successful append would land
+      // beyond the tear and be unreachable at replay. Fail stop.
+      io_failed_ = true;
+      return appended.status();
+    }
   }
   entries_.push_back(entry);
   return Status::OK();
@@ -155,9 +219,17 @@ std::vector<Element> BacklogStore::ReconstructElements() const {
 }
 
 Status BacklogStore::PersistRange(size_t begin, size_t end) {
-  PageId current = disk_->page_count() > 1 ? disk_->page_count() - 1 : kInvalidPageId;
+  if (begin >= end) return Status::OK();
+  // Always start the batch on a fresh page: the tail page of the previous
+  // checkpoint holds records the WAL no longer covers, and a torn in-place
+  // rewrite of that page would destroy durable data.
+  PageId current = kInvalidPageId;
   for (size_t i = begin; i < end; ++i) {
-    const std::string record = entries_[i].Encode();
+    const std::string payload = entries_[i].Encode();
+    std::string record;
+    Encoder enc(&record);
+    enc.PutU32(Crc32(payload));
+    record += payload;
     bool stored = false;
     if (current != kInvalidPageId) {
       TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
@@ -178,30 +250,36 @@ Status BacklogStore::PersistRange(size_t begin, size_t end) {
   return Status::OK();
 }
 
-Status BacklogStore::WriteHeader() {
-  TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Fetch(0));
-  SlottedPage sp(header.mutable_page());
-  sp.Init();
-  std::string meta;
-  Encoder enc(&meta);
-  enc.PutU32(kBacklogMagic);
-  enc.PutU64(persisted_entries_);
-  return sp.Insert(meta).status();
+Status BacklogStore::CheckpointInternal() {
+  // Order matters: an operation must never exist only in a reset WAL.
+  // 1. Persist the new batch onto fresh pages and make them durable.
+  TS_RETURN_NOT_OK(PersistRange(persisted_entries_, entries_.size()));
+  TS_RETURN_NOT_OK(pool_->FlushAll());
+  // 2. Only now discard the WAL (truncate + fsync file and directory).
+  TS_RETURN_NOT_OK(wal_->Reset());
+  wal_->SetNextLsn(entries_.size());
+  persisted_entries_ = entries_.size();
+  return Status::OK();
 }
 
 Status BacklogStore::Checkpoint() {
   if (!wal_) return Status::OK();
-  TS_RETURN_NOT_OK(PersistRange(persisted_entries_, entries_.size()));
-  persisted_entries_ = entries_.size();
-
-  // Rewrite the header, flush pages, then reset the WAL: the order matters —
-  // an entry must never exist only in a reset WAL.
-  TS_RETURN_NOT_OK(WriteHeader());
-  TS_RETURN_NOT_OK(pool_->FlushAll());
-  return wal_->Reset();
+  if (io_failed_) {
+    return Status::IOError(
+        "backlog store is read-only after an IO failure; reopen to recover");
+  }
+  Status st = CheckpointInternal();
+  // A half-completed checkpoint left pages the scan-based recovery would
+  // double-count if we blindly re-ran it; fail stop until reopened.
+  if (!st.ok()) io_failed_ = true;
+  return st;
 }
 
 Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
+  if (io_failed_) {
+    return Status::IOError(
+        "backlog store is read-only after an IO failure; reopen to recover");
+  }
   entries_ = std::move(entries);
   persisted_entries_ = 0;
   if (!wal_) return Status::OK();
@@ -209,22 +287,18 @@ Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
   // Drop cached frames (they reference discarded pages), wipe the page
   // file, write the compacted history, and only then reset the WAL.
   pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
-  TS_RETURN_NOT_OK(disk_->Truncate());
-  {
-    TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
-    SlottedPage sp(header.mutable_page());
-    sp.Init();
-    std::string meta;
-    Encoder enc(&meta);
-    enc.PutU32(kBacklogMagic);
-    enc.PutU64(0);
-    TS_RETURN_NOT_OK(sp.Insert(meta).status());
-  }
-  TS_RETURN_NOT_OK(PersistRange(0, entries_.size()));
-  persisted_entries_ = entries_.size();
-  TS_RETURN_NOT_OK(WriteHeader());
-  TS_RETURN_NOT_OK(pool_->FlushAll());
-  return wal_->Reset();
+  Status st = [&]() -> Status {
+    TS_RETURN_NOT_OK(disk_->Truncate());
+    TS_RETURN_NOT_OK(CreateHeaderPage());
+    TS_RETURN_NOT_OK(PersistRange(0, entries_.size()));
+    TS_RETURN_NOT_OK(pool_->FlushAll());
+    TS_RETURN_NOT_OK(wal_->Reset());
+    wal_->SetNextLsn(entries_.size());
+    persisted_entries_ = entries_.size();
+    return Status::OK();
+  }();
+  if (!st.ok()) io_failed_ = true;
+  return st;
 }
 
 size_t BacklogStore::EncodedBytes() const {

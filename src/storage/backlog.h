@@ -13,6 +13,21 @@
 // Checkpoint() packs applied operations into the slotted page file and
 // resets the WAL. Open() recovers by reading the page file and replaying
 // the WAL tail.
+//
+// Crash-recovery protocol (exercised by tests/storage/crash_recovery_test.cc):
+//   - WAL record LSNs equal global operation indices. The page file holds a
+//     CRC-guarded prefix of the operation history; its length is *derived*
+//     by scanning (never trusted from a header), so a torn checkpoint can
+//     only shorten it.
+//   - Each checkpoint batch starts on a fresh page, so checkpointing never
+//     rewrites a page whose records the WAL no longer covers.
+//   - Checkpoint order: persist pages, fsync, then reset the WAL (truncate +
+//     fsync file and directory). A crash between the two leaves overlapping
+//     copies; recovery skips WAL records with lsn < the scanned page count
+//     and rejects any LSN gap as corruption.
+//   - After any unrecoverable IO failure the store turns read-only
+//     (fail-stop): later appends could otherwise land beyond a torn WAL
+//     tail and be silently unreachable at replay.
 #ifndef TEMPSPEC_STORAGE_BACKLOG_H_
 #define TEMPSPEC_STORAGE_BACKLOG_H_
 
@@ -53,6 +68,7 @@ class BacklogStore {
     /// Empty = in-memory only (no WAL, no page file).
     std::string directory;
     SyncMode sync_mode = SyncMode::kNone;
+    uint32_t sync_every = 64;
     size_t buffer_pool_pages = 64;
   };
 
@@ -87,6 +103,10 @@ class BacklogStore {
   bool durable() const { return wal_ != nullptr; }
   uint64_t persisted_entries() const { return persisted_entries_; }
   const BufferPool* buffer_pool() const { return pool_.get(); }
+  const WriteAheadLog* wal() const { return wal_.get(); }
+  /// \brief True once an unrecoverable IO failure turned the store
+  /// read-only; reopen from disk to recover.
+  bool io_failed() const { return io_failed_; }
 
   /// \brief Total encoded size of all operations (storage-cost metric for
   /// the benches).
@@ -96,13 +116,15 @@ class BacklogStore {
   BacklogStore() = default;
 
   Status RecoverFromPages();
+  Status CreateHeaderPage();
+  Status CheckpointInternal();
   Status PersistRange(size_t begin, size_t end);
-  Status WriteHeader();
 
   size_t buffer_pool_pages_ = 64;
 
   std::vector<BacklogEntry> entries_;
   uint64_t persisted_entries_ = 0;
+  bool io_failed_ = false;
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace tempspec {
 
 Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path) {
@@ -20,12 +22,18 @@ Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path) 
     ::close(fd);
     return Status::IOError("cannot stat '", path, "': ", std::strerror(err));
   }
-  if (st.st_size % kPageSize != 0) {
-    ::close(fd);
-    return Status::Corruption("file '", path, "' size ", st.st_size,
-                              " is not a multiple of the page size");
-  }
   const uint64_t pages = static_cast<uint64_t>(st.st_size) / kPageSize;
+  if (st.st_size % kPageSize != 0) {
+    // A trailing partial page is what a crash mid-extension leaves behind;
+    // discard the torn tail rather than refusing the whole file. (Records on
+    // complete pages are CRC-guarded by the layer above.)
+    if (::ftruncate(fd, static_cast<off_t>(pages * kPageSize)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot truncate torn page off '", path, "': ",
+                             std::strerror(err));
+    }
+  }
   return std::unique_ptr<DiskManager>(new DiskManager(path, fd, pages));
 }
 
@@ -42,17 +50,33 @@ Result<PageId> DiskManager::AllocatePage() {
   return id;
 }
 
-Status DiskManager::ReadPage(PageId id, Page* out) const {
-  if (id >= page_count_) {
-    return Status::OutOfRange("page ", id, " beyond end of file (", page_count_,
-                              " pages)");
+Status DiskManager::ReadPageOnce(PageId id, Page* out) const {
+#ifdef TEMPSPEC_FAILPOINTS
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    TS_RETURN_NOT_OK(registry.OnRead("disk.read_page"));
   }
+#endif
   const off_t offset = static_cast<off_t>(id) * kPageSize;
   ssize_t n = ::pread(fd_, out->data, kPageSize, offset);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("short read of page ", id, " from '", path_, "'");
   }
   return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) const {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page ", id, " beyond end of file (", page_count_,
+                              " pages)");
+  }
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) IoRetryBackoff(attempt);
+    st = ReadPageOnce(id, out);
+    if (st.ok() || !st.IsIOError()) break;
+  }
+  return st;
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
@@ -63,13 +87,76 @@ Status DiskManager::WritePage(PageId id, const Page& page) {
   return WritePageInternal(id, page);
 }
 
-Status DiskManager::WritePageInternal(PageId id, const Page& page) {
+Status DiskManager::WritePageOnce(PageId id, const Page& page) {
+  const char* src = page.data;
+  size_t want = kPageSize;
+  Status injected = Status::OK();
+#ifdef TEMPSPEC_FAILPOINTS
+  Page scratch;
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    // Corrupting faults mutate the buffer; work on a copy so only the disk
+    // image is damaged, never the caller's in-memory frame.
+    std::memcpy(scratch.data, page.data, kPageSize);
+    FailpointRegistry::WriteDecision decision =
+        registry.OnWrite("disk.write_page", scratch.data, kPageSize);
+    src = scratch.data;
+    want = decision.write_len;
+    injected = std::move(decision.after);
+  }
+#endif
   const off_t offset = static_cast<off_t>(id) * kPageSize;
-  ssize_t n = ::pwrite(fd_, page.data, kPageSize, offset);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("short write of page ", id, " to '", path_, "'");
+  size_t done = 0;
+  while (done < want) {
+    ssize_t n = ::pwrite(fd_, src + done, want - done,
+                         offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write of page ", id, " to '", path_, "' failed: ",
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (!injected.ok()) return injected;
+  return Status::OK();
+}
+
+Status DiskManager::WritePageInternal(PageId id, const Page& page) {
+  // pwrite at a fixed offset is idempotent, so transient failures (even
+  // partial ones) are safe to retry.
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) IoRetryBackoff(attempt);
+    st = WritePageOnce(id, page);
+    if (st.ok() || !st.IsIOError()) break;
+  }
+  return st;
+}
+
+Status DiskManager::SyncOnce() {
+#ifdef TEMPSPEC_FAILPOINTS
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    FailpointRegistry::SyncDecision decision = registry.OnSync("disk.sync");
+    if (!decision.after.ok()) return std::move(decision.after);
+    if (decision.skip) return Status::OK();
+  }
+#endif
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on '", path_, "': ",
+                           std::strerror(errno));
   }
   return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) IoRetryBackoff(attempt);
+    st = SyncOnce();
+    if (st.ok() || !st.IsIOError()) break;
+  }
+  return st;
 }
 
 Status DiskManager::Truncate() {
@@ -78,14 +165,6 @@ Status DiskManager::Truncate() {
                            std::strerror(errno));
   }
   page_count_ = 0;
-  return Status::OK();
-}
-
-Status DiskManager::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("fsync failed on '", path_, "': ",
-                           std::strerror(errno));
-  }
   return Status::OK();
 }
 

@@ -11,6 +11,13 @@
 namespace tempspec {
 
 /// \brief Owns one data file as an array of pages.
+///
+/// Crash tolerance: Open() truncates a trailing partial page (the signature
+/// of a crash mid-extension) instead of rejecting the file, and reads,
+/// writes, and syncs retry transient IO errors with bounded backoff. In
+/// failpoint builds (util/failpoint.h) every IO goes through the
+/// "disk.read_page" / "disk.write_page" / "disk.sync" sites so tests can
+/// inject torn writes, bit flips, and EIO deterministically.
 class DiskManager {
  public:
   /// \brief Opens (creating if absent) the file at `path`.
@@ -43,6 +50,9 @@ class DiskManager {
       : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
 
   Status WritePageInternal(PageId id, const Page& page);
+  Status WritePageOnce(PageId id, const Page& page);
+  Status ReadPageOnce(PageId id, Page* out) const;
+  Status SyncOnce();
 
   std::string path_;
   int fd_;

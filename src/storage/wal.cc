@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -8,11 +9,30 @@
 #include <vector>
 
 #include "storage/serde.h"
+#include "util/failpoint.h"
 
 namespace tempspec {
 
 namespace {
 constexpr size_t kRecordHeaderSize = 4 + 4 + 8;  // len, crc, lsn
+
+Status FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory '", dir, "' for fsync: ",
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("directory fsync failed on '", dir, "': ",
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path,
@@ -22,8 +42,17 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& pa
   if (fd < 0) {
     return Status::IOError("cannot open WAL '", path, "': ", std::strerror(errno));
   }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat WAL '", path, "': ", std::strerror(err));
+  }
   auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(path, fd, mode, sync_every == 0 ? 1 : sync_every));
+  // Bytes already on disk at open are presumed durable.
+  wal->file_size_ = static_cast<uint64_t>(st.st_size);
+  wal->synced_bytes_ = wal->file_size_;
   // Scan once to learn the next LSN (replay discards payloads).
   auto replayed = wal->Replay(
       [](uint64_t, std::string_view) { return Status::OK(); });
@@ -32,28 +61,83 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& pa
 }
 
 WriteAheadLog::~WriteAheadLog() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+#ifdef TEMPSPEC_FAILPOINTS
+    // Simulated machine crash: bytes appended since the last successful
+    // fsync are not guaranteed durable. Cut the file at a seeded point
+    // within the unsynced tail — anywhere from "nothing lost" to "torn
+    // mid-record" — before recovery reopens it.
+    FailpointRegistry& registry = FailpointRegistry::Instance();
+    if (registry.crashed()) {
+      struct stat st;
+      if (::fstat(fd_, &st) == 0) {
+        const uint64_t size = static_cast<uint64_t>(st.st_size);
+        const uint64_t lo = synced_bytes_ < size ? synced_bytes_ : size;
+        const uint64_t cut = registry.CrashCut(lo, size);
+        if (cut < size) ::ftruncate(fd_, static_cast<off_t>(cut));
+      }
+    }
+#endif
+    ::close(fd_);
+  }
+}
+
+Status WriteAheadLog::AppendOnce(std::string* record, bool* wrote_any) {
+  size_t want = record->size();
+  Status injected = Status::OK();
+#ifdef TEMPSPEC_FAILPOINTS
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    FailpointRegistry::WriteDecision decision =
+        registry.OnWrite("wal.append", record->data(), record->size());
+    want = decision.write_len;
+    injected = std::move(decision.after);
+  }
+#endif
+  size_t done = 0;
+  while (done < want) {
+    ssize_t n = ::write(fd_, record->data() + done, want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      file_size_ += done;
+      return Status::IOError("WAL append failed: ", std::strerror(errno));
+    }
+    if (n > 0) *wrote_any = true;
+    done += static_cast<size_t>(n);
+  }
+  file_size_ += done;
+  if (!injected.ok()) return injected;
+  return Status::OK();
 }
 
 Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   const uint64_t lsn = next_lsn_;
+  // The CRC covers the LSN as well as the payload: recovery routes records
+  // by LSN, so an unprotected LSN byte would turn silent corruption into a
+  // bogus replay.
+  std::string body;
+  body.reserve(8 + payload.size());
+  Encoder body_enc(&body);
+  body_enc.PutU64(lsn);
+  body.append(payload.data(), payload.size());
   std::string record;
   record.reserve(kRecordHeaderSize + payload.size());
   Encoder enc(&record);
   enc.PutU32(static_cast<uint32_t>(payload.size()));
-  enc.PutU32(Crc32(payload));
-  enc.PutU64(lsn);
-  record.append(payload.data(), payload.size());
+  enc.PutU32(Crc32(body));
+  record += body;
 
-  size_t done = 0;
-  while (done < record.size()) {
-    ssize_t n = ::write(fd_, record.data() + done, record.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError("WAL append failed: ", std::strerror(errno));
-    }
-    done += static_cast<size_t>(n);
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) IoRetryBackoff(attempt);
+    bool wrote_any = false;
+    st = AppendOnce(&record, &wrote_any);
+    if (st.ok()) break;
+    // A partial record may already be on disk: retrying would append a
+    // duplicate after the torn bytes, so only retry clean failures.
+    if (wrote_any || !st.IsIOError()) break;
   }
+  TS_RETURN_NOT_OK(st);
   bytes_written_ += record.size();
   ++next_lsn_;
 
@@ -64,12 +148,33 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   return lsn;
 }
 
-Status WriteAheadLog::Sync() {
-  appends_since_sync_ = 0;
+Status WriteAheadLog::SyncOnce() {
+#ifdef TEMPSPEC_FAILPOINTS
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    FailpointRegistry::SyncDecision decision = registry.OnSync("wal.sync");
+    if (!decision.after.ok()) return std::move(decision.after);
+    // Dropped sync: report success without syncing; the durable watermark
+    // stays put, so a later simulated crash can lose this tail.
+    if (decision.skip) return Status::OK();
+  }
+#endif
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("WAL fsync failed: ", std::strerror(errno));
   }
+  synced_bytes_ = file_size_;
   return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  appends_since_sync_ = 0;
+  Status st = Status::OK();
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (attempt > 0) IoRetryBackoff(attempt);
+    st = SyncOnce();
+    if (st.ok() || !st.IsIOError()) break;
+  }
+  return st;
 }
 
 Result<uint64_t> WriteAheadLog::Replay(
@@ -98,8 +203,9 @@ Result<uint64_t> WriteAheadLog::Replay(
     const uint32_t crc = dec.GetU32().ValueOrDie();
     const uint64_t lsn = dec.GetU64().ValueOrDie();
     if (pos + kRecordHeaderSize + len > content.size()) break;  // torn tail
-    const std::string_view payload(content.data() + pos + kRecordHeaderSize, len);
-    if (Crc32(payload) != crc) break;  // corrupt tail
+    const std::string_view body(content.data() + pos + 8, 8 + len);  // lsn+payload
+    if (Crc32(body) != crc) break;  // corrupt tail
+    const std::string_view payload = body.substr(8);
     TS_RETURN_NOT_OK(fn(lsn, payload));
     if (!any || lsn > max_lsn_seen) {
       max_lsn_seen = lsn;
@@ -113,10 +219,31 @@ Result<uint64_t> WriteAheadLog::Replay(
 }
 
 Status WriteAheadLog::Reset() {
+#ifdef TEMPSPEC_FAILPOINTS
+  if (FailpointRegistry& registry = FailpointRegistry::Instance();
+      registry.active()) {
+    FailpointRegistry::SyncDecision decision = registry.OnSync("wal.reset");
+    if (!decision.after.ok()) return std::move(decision.after);
+    // Dropped reset: the truncation never reaches the disk (modeling a
+    // crash that loses it). The stale records stay in the file; recovery
+    // must skip them by LSN rather than replaying them twice.
+    if (decision.skip) return Status::OK();
+  }
+#endif
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IOError("WAL truncate failed: ", std::strerror(errno));
   }
+  // Make the truncation itself durable: fsync the inode, then the parent
+  // directory entry, so a crash right after Reset cannot resurrect the old
+  // tail.
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("WAL fsync after truncate failed: ",
+                           std::strerror(errno));
+  }
+  TS_RETURN_NOT_OK(FsyncParentDirectory(path_));
   bytes_written_ = 0;
+  file_size_ = 0;
+  synced_bytes_ = 0;
   return Status::OK();
 }
 

@@ -3,6 +3,17 @@
 // The backlog store writes every operation here before applying it; recovery
 // replays the log. A torn tail (partial record, CRC mismatch) terminates
 // replay cleanly — standard crash semantics.
+//
+// Fault model (exercised by tests/storage/crash_recovery_test.cc through the
+// failpoint seam in util/failpoint.h):
+//   - Appends and syncs retry transient IO errors with bounded backoff.
+//   - The log tracks the byte offset covered by the last successful fsync;
+//     in failpoint builds, destroying the log while the registry is in the
+//     crashed state cuts the file at a seeded point within the unsynced
+//     tail, modeling page-cache loss and torn tails at machine crash.
+//   - Reset() truncates, fsyncs the file, and fsyncs the parent directory,
+//     so a crash immediately after a checkpoint cannot resurrect stale
+//     records (and recovery additionally skips stale LSNs — see backlog.cc).
 #ifndef TEMPSPEC_STORAGE_WAL_H_
 #define TEMPSPEC_STORAGE_WAL_H_
 
@@ -33,7 +44,8 @@ class WriteAheadLog {
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  /// \brief Appends a record; returns its LSN (sequential from 0).
+  /// \brief Appends a record; returns its LSN (sequential from 0, or from
+  /// the value set by SetNextLsn).
   Result<uint64_t> Append(std::string_view payload);
 
   Status Sync();
@@ -44,15 +56,30 @@ class WriteAheadLog {
       const std::function<Status(uint64_t lsn, std::string_view payload)>& fn);
 
   /// \brief Discards the log contents (after a checkpoint has persisted
-  /// everything elsewhere). LSNs continue from where they were.
+  /// everything elsewhere). The truncation is made durable: the file and
+  /// its parent directory are fsynced before returning. LSNs continue from
+  /// where they were.
   Status Reset();
+
+  /// \brief Pins the next LSN. The backlog store keeps WAL LSNs equal to
+  /// global operation indices so recovery can skip records that a completed
+  /// checkpoint already persisted.
+  void SetNextLsn(uint64_t lsn) { next_lsn_ = lsn; }
 
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  /// \brief File offset covered by the last successful fsync (bytes at or
+  /// beyond this offset may be lost at a machine crash).
+  uint64_t synced_bytes() const { return synced_bytes_; }
 
  private:
   WriteAheadLog(std::string path, int fd, SyncMode mode, uint32_t sync_every)
       : path_(std::move(path)), fd_(fd), mode_(mode), sync_every_(sync_every) {}
+
+  /// \brief One write attempt (may be retried when nothing reached the
+  /// file). Sets *wrote_any when any byte was written.
+  Status AppendOnce(std::string* record, bool* wrote_any);
+  Status SyncOnce();
 
   std::string path_;
   int fd_;
@@ -61,6 +88,8 @@ class WriteAheadLog {
   uint32_t appends_since_sync_ = 0;
   uint64_t next_lsn_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t file_size_ = 0;    // current file length in bytes
+  uint64_t synced_bytes_ = 0; // durable watermark (<= file_size_)
 };
 
 }  // namespace tempspec

@@ -1,0 +1,174 @@
+// Differential test: zero-copy ResultSet paths vs materializing adapters vs
+// a brute-force reference, on an *interval* relation under logical deletions
+// and modifications. The deletion-heavy history matters: every query path
+// must apply the IsCurrent() belief filter identically, and interval overlap
+// (begin <= vt < end) has edge cases an event relation never exercises.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "query/executor.h"
+#include "relation/temporal_relation.h"
+#include "testing.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+bool SameElement(const Element& a, const Element& b) {
+  return a.element_surrogate == b.element_surrogate &&
+         a.object_surrogate == b.object_surrogate && a.tt_begin == b.tt_begin &&
+         a.tt_end == b.tt_end && a.valid == b.valid &&
+         a.attributes == b.attributes;
+}
+
+// An interval relation whose history is ~55% inserts, ~30% deletes, ~15%
+// modifications, leaving plenty of logically-deleted elements interleaved
+// with current ones.
+std::unique_ptr<TemporalRelation> BuildDeletionHeavyIntervalRelation(
+    uint64_t seed, size_t num_ops) {
+  RelationOptions options;
+  options.schema =
+      Schema::Make("interval_del",
+                   {AttributeDef{"id", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey}},
+                   ValidTimeKind::kInterval, Granularity::Second())
+          .ValueOrDie();
+  options.clock = std::make_shared<LogicalClock>(T(0), Duration::Seconds(1));
+  auto rel = TemporalRelation::Open(std::move(options)).ValueOrDie();
+
+  Random rng(seed);
+  std::vector<ElementSurrogate> live;
+  for (size_t i = 0; i < num_ops; ++i) {
+    const double dice = rng.NextDouble();
+    if (!live.empty() && dice < 0.30) {
+      const size_t v = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+      EXPECT_TRUE(rel->LogicalDelete(live[v]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(v));
+      continue;
+    }
+    const TimePoint vb = T(rng.Uniform(0, 5000));
+    const TimePoint ve = vb + Duration::Seconds(rng.Uniform(1, 400));
+    if (!live.empty() && dice < 0.45) {
+      const size_t v = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+      auto modified = rel->Modify(live[v], ValidTime::IntervalUnchecked(vb, ve),
+                                  Tuple{static_cast<int64_t>(i)});
+      EXPECT_TRUE(modified.ok()) << modified.status().ToString();
+      live[v] = modified.ValueOrDie();
+    } else {
+      auto inserted = rel->InsertInterval(static_cast<ObjectSurrogate>(i % 9 + 1),
+                                          vb, ve, Tuple{static_cast<int64_t>(i)});
+      EXPECT_TRUE(inserted.ok()) << inserted.status().ToString();
+      live.push_back(inserted.ValueOrDie());
+    }
+  }
+  return rel;
+}
+
+std::vector<uint64_t> BruteTimeslice(const TemporalRelation& rel, TimePoint vt) {
+  std::vector<uint64_t> out;
+  const auto elements = rel.elements();
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    if (!e.IsCurrent()) continue;
+    if (e.valid.begin() <= vt && vt < e.valid.end()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint64_t> BruteValidRange(const TemporalRelation& rel, TimePoint lo,
+                                      TimePoint hi) {
+  std::vector<uint64_t> out;
+  const auto elements = rel.elements();
+  for (size_t i = 0; i < elements.size(); ++i) {
+    const Element& e = elements[i];
+    if (!e.IsCurrent()) continue;
+    if (e.valid.begin() < hi && lo < e.valid.end()) out.push_back(i);
+  }
+  return out;
+}
+
+void ExpectSetMatchesAdapter(const QueryExecutor& exec, const ResultSet& set,
+                             const std::vector<Element>& adapter,
+                             const char* what) {
+  (void)exec;
+  const std::vector<Element> materialized = set.Materialize();
+  ASSERT_EQ(materialized.size(), adapter.size()) << what;
+  for (size_t i = 0; i < adapter.size(); ++i) {
+    ASSERT_TRUE(SameElement(materialized[i], adapter[i])) << what << " #" << i;
+    ASSERT_TRUE(SameElement(set[i], adapter[i])) << what << " view #" << i;
+  }
+}
+
+TEST(IntervalDeletionParityTest, AllPathsAgreeUnderDeletions) {
+  auto rel = BuildDeletionHeavyIntervalRelation(4242, 1400);
+  size_t deleted = 0;
+  for (const Element& e : rel->elements()) deleted += e.IsCurrent() ? 0 : 1;
+  ASSERT_GT(deleted, 100u) << "workload produced too few deletions to test";
+
+  ThreadPool pool(4);
+  const QueryExecutor serial(*rel, ExecutorOptions{.pool = nullptr});
+  const QueryExecutor tiny(*rel, ExecutorOptions{.pool = &pool,
+                                                 .morsel_size = 53,
+                                                 .parallel_cutoff = 1});
+
+  Random rng(99);
+  const auto elements = rel->elements();
+  for (int trial = 0; trial < 32; ++trial) {
+    const Element& probe = elements[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(elements.size()) - 1))];
+    // Probe interval endpoints exactly: begin is inclusive, end exclusive.
+    const TimePoint points[] = {
+        probe.valid.begin(), probe.valid.end(),
+        probe.valid.begin() + Duration::Seconds(rng.Uniform(0, 300))};
+    for (const TimePoint vt : points) {
+      SCOPED_TRACE("vt=" + vt.ToString());
+      const std::vector<uint64_t> brute = BruteTimeslice(*rel, vt);
+      const std::vector<PlanChoice> plans = {
+          PlanChoice{ExecutionStrategy::kFullScan, TimeInterval::All(), ""},
+          PlanChoice{ExecutionStrategy::kValidIndex, TimeInterval::All(), ""},
+          serial.optimizer().PlanTimeslice(vt),
+      };
+      for (const PlanChoice& plan : plans) {
+        const char* what = ExecutionStrategyToString(plan.strategy);
+        const ResultSet s = serial.TimesliceSetWith(plan, vt);
+        const ResultSet p = tiny.TimesliceSetWith(plan, vt);
+        ASSERT_EQ(s.positions(), brute) << what;
+        ASSERT_EQ(p.positions(), brute) << what;
+        ExpectSetMatchesAdapter(serial, s, serial.TimesliceWith(plan, vt), what);
+        ExpectSetMatchesAdapter(tiny, p, tiny.TimesliceWith(plan, vt), what);
+      }
+      // Planner-chosen paths end to end.
+      ASSERT_EQ(serial.TimesliceSet(vt).positions(), brute);
+      ASSERT_EQ(tiny.TimesliceSet(vt).positions(), brute);
+      ExpectSetMatchesAdapter(serial, serial.TimesliceSet(vt),
+                              serial.Timeslice(vt), "planned");
+    }
+
+    const TimePoint lo = probe.valid.begin();
+    const TimePoint hi = probe.valid.end() + Duration::Seconds(rng.Uniform(0, 500));
+    SCOPED_TRACE("range=[" + lo.ToString() + "," + hi.ToString() + ")");
+    const std::vector<uint64_t> brute_range = BruteValidRange(*rel, lo, hi);
+    ASSERT_EQ(serial.ValidRangeSet(lo, hi).positions(), brute_range);
+    ASSERT_EQ(tiny.ValidRangeSet(lo, hi).positions(), brute_range);
+    ExpectSetMatchesAdapter(serial, serial.ValidRangeSet(lo, hi),
+                            serial.ValidRange(lo, hi), "valid-range");
+    ExpectSetMatchesAdapter(tiny, tiny.ValidRangeSet(lo, hi),
+                            tiny.ValidRange(lo, hi), "valid-range-parallel");
+  }
+
+  // Current state: the belief filter alone, against a manual count.
+  size_t current = 0;
+  for (const Element& e : rel->elements()) current += e.IsCurrent() ? 1 : 0;
+  ASSERT_EQ(serial.CurrentSet().size(), current);
+  ASSERT_EQ(tiny.CurrentSet().size(), current);
+}
+
+}  // namespace
+}  // namespace tempspec

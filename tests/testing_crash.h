@@ -1,0 +1,273 @@
+// Deterministic crash-recovery harness for the storage stack.
+//
+// A crash trial: arm a failpoint (util/failpoint.h) so that a chosen fault
+// fires at the trigger'th IO operation, run a seeded workload against a
+// durable store until an operation fails ("the crash"), tear the store down
+// while the registry is still in the crashed state (the WAL then cuts its
+// unsynced tail at a seeded point, modeling page-cache loss), disarm, and
+// reopen. Recovery must always succeed, and the recovered operation log must
+// be a *prefix* of the acknowledged shadow log, byte-identical entry by
+// entry, and at least as long as the durable floor (the last completed
+// checkpoint). Sweeping the trigger across every operation count turns this
+// into an exhaustive, reproducible crash-point exploration.
+//
+// Everything here is seeded: same strategy + trigger + seed => same faults,
+// same torn bytes, same recovery.
+#ifndef TEMPSPEC_TESTS_TESTING_CRASH_H_
+#define TEMPSPEC_TESTS_TESTING_CRASH_H_
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/backlog.h"
+#include "testing.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace testing {
+
+class CrashTempDir {
+ public:
+  CrashTempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("tempspec_crash_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~CrashTempDir() { std::filesystem::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// \brief Seeded backlog workload: ~75% inserts (with variable-length
+/// payloads, so byte-identity checks cover the encoder), ~25% deletes of a
+/// random live element.
+inline std::vector<BacklogEntry> MakeCrashWorkload(uint64_t seed, size_t num_ops,
+                                                   size_t payload_bytes = 24) {
+  Random rng(seed);
+  std::vector<BacklogEntry> ops;
+  ops.reserve(num_ops);
+  std::vector<ElementSurrogate> live;
+  ElementSurrogate next = 1;
+  for (size_t i = 0; i < num_ops; ++i) {
+    const int64_t tt = static_cast<int64_t>(10 * (i + 1));
+    BacklogEntry e;
+    e.tt = T(tt);
+    if (!live.empty() && rng.OneIn(0.25)) {
+      const size_t victim = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(live.size()) - 1));
+      e.op = BacklogOpType::kLogicalDelete;
+      e.target = live[victim];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    } else {
+      e.op = BacklogOpType::kInsert;
+      e.element = MakeEventElement(T(tt), T(tt - 3), next, next % 5 + 1);
+      e.element.attributes =
+          Tuple{static_cast<int64_t>(i),
+                rng.NextString(static_cast<size_t>(
+                    rng.Uniform(0, static_cast<int64_t>(payload_bytes))))};
+      live.push_back(next);
+      ++next;
+    }
+    ops.push_back(std::move(e));
+  }
+  return ops;
+}
+
+/// \brief Alive elements after applying the first `prefix` ops, sorted by
+/// surrogate (the shadow counterpart of BacklogStore::MaterializeState at
+/// TimePoint::Max()).
+inline std::vector<Element> MaterializeShadow(const std::vector<BacklogEntry>& ops,
+                                              size_t prefix) {
+  std::unordered_map<ElementSurrogate, Element> alive;
+  for (size_t i = 0; i < prefix && i < ops.size(); ++i) {
+    const BacklogEntry& e = ops[i];
+    if (e.op == BacklogOpType::kInsert) {
+      alive.emplace(e.element.element_surrogate, e.element);
+    } else {
+      alive.erase(e.target);
+    }
+  }
+  std::vector<Element> out;
+  out.reserve(alive.size());
+  for (auto& [id, element] : alive) out.push_back(std::move(element));
+  std::sort(out.begin(), out.end(), [](const Element& a, const Element& b) {
+    return a.element_surrogate < b.element_surrogate;
+  });
+  return out;
+}
+
+inline bool SameStoredElement(const Element& a, const Element& b) {
+  return a.element_surrogate == b.element_surrogate &&
+         a.object_surrogate == b.object_surrogate && a.tt_begin == b.tt_begin &&
+         a.tt_end == b.tt_end && a.valid == b.valid &&
+         a.attributes == b.attributes;
+}
+
+/// \brief One crash-injection strategy: which site is armed with which
+/// fault, under which durability mode, and what the recovery contract is.
+struct CrashStrategy {
+  const char* name;
+  const char* site;
+  FaultKind kind;
+  SyncMode sync_mode = SyncMode::kEveryN;
+  uint32_t sync_every = 8;
+  uint32_t transient_ops = 0;      // kTransientError only
+  bool drop_wal_sync = false;      // additionally arm wal.sync: drop from op 0
+  bool drop_wal_reset = false;     // additionally arm wal.reset: drop from op 0
+  /// Recovered must equal ALL acknowledged ops (fsync-per-append, no loss
+  /// model active). Otherwise only prefix-consistency + the checkpoint
+  /// floor are guaranteed.
+  bool lossless = false;
+  size_t pool_pages = 64;
+  size_t payload_bytes = 24;
+};
+
+struct TrialOutcome {
+  bool crashed = false;
+  size_t acked = 0;      // ops acknowledged before the crash
+  size_t floor = 0;      // ops covered by the last completed checkpoint
+  size_t recovered = 0;  // ops present after recovery
+};
+
+/// \brief Runs one seeded crash trial; gtest-fatal on any violated recovery
+/// invariant. Call under ASSERT_NO_FATAL_FAILURE with a SCOPED_TRACE naming
+/// the trigger.
+inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger,
+                                 uint64_t seed, size_t num_ops,
+                                 size_t checkpoint_every, TrialOutcome* out) {
+  ASSERT_TRUE(FailpointsCompiledIn())
+      << "TEMPSPEC_FAILPOINTS is compiled out: this build cannot inject "
+         "faults, so the crash suite would pass vacuously. Reconfigure with "
+         "-DTEMPSPEC_FAILPOINTS=ON.";
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.DisarmAll();
+
+  CrashTempDir dir;
+  const std::vector<BacklogEntry> ops =
+      MakeCrashWorkload(seed, num_ops, strategy.payload_bytes);
+
+  BacklogStore::Options options;
+  options.directory = dir.path();
+  options.sync_mode = strategy.sync_mode;
+  options.sync_every = strategy.sync_every;
+  options.buffer_pool_pages = strategy.pool_pages;
+
+  FaultSpec spec;
+  spec.kind = strategy.kind;
+  spec.trigger_at = trigger;
+  spec.transient_ops = strategy.transient_ops == 0 ? 1 : strategy.transient_ops;
+  spec.seed = seed ^ (trigger * 0x9e3779b97f4a7c15ull);
+  registry.Arm(strategy.site, spec);
+  if (strategy.drop_wal_sync) {
+    registry.Arm("wal.sync", FaultSpec{FaultKind::kDropSync, 0, 1, seed});
+  }
+  if (strategy.drop_wal_reset) {
+    registry.Arm("wal.reset", FaultSpec{FaultKind::kDropSync, 0, 1, seed});
+  }
+
+  *out = TrialOutcome{};
+  {
+    auto opened = BacklogStore::Open(options);
+    if (!opened.ok()) {
+      out->crashed = true;  // fault fired while creating the store
+    } else {
+      std::unique_ptr<BacklogStore> store = std::move(opened).ValueOrDie();
+      for (const BacklogEntry& op : ops) {
+        const Status st = store->Append(op);
+        if (!st.ok()) {
+          out->crashed = true;
+          break;
+        }
+        ++out->acked;
+        if (out->acked % checkpoint_every == 0) {
+          const Status cp = store->Checkpoint();
+          if (!cp.ok()) {
+            out->crashed = true;
+            break;
+          }
+          out->floor = out->acked;
+        }
+      }
+      // Teardown happens while the registry is still crashed: the WAL
+      // destructor applies the seeded machine-crash tail cut.
+    }
+  }
+  registry.DisarmAll();
+
+  // Recovery must succeed with no faults armed, whatever the crash left.
+  auto reopened = BacklogStore::Open(options);
+  ASSERT_TRUE(reopened.ok())
+      << "recovery failed after '" << strategy.name << "' crash at trigger "
+      << trigger << ": " << reopened.status().ToString();
+  std::unique_ptr<BacklogStore> store = std::move(reopened).ValueOrDie();
+  const std::vector<BacklogEntry>& recovered = store->entries();
+  out->recovered = recovered.size();
+
+  // Prefix-consistency: never more than acknowledged, never less than the
+  // durable floor, byte-identical entry by entry.
+  ASSERT_LE(recovered.size(), out->acked)
+      << strategy.name << ": phantom operations after recovery";
+  ASSERT_GE(recovered.size(), out->floor)
+      << strategy.name << ": checkpointed operations lost";
+  if (strategy.lossless && out->crashed) {
+    ASSERT_EQ(recovered.size(), out->acked)
+        << strategy.name << ": acknowledged fsync'd operations lost";
+  }
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    ASSERT_EQ(recovered[i].Encode(), ops[i].Encode())
+        << strategy.name << ": recovered op " << i << " differs";
+  }
+
+  // Recovered state must match the shadow model applied to the same prefix.
+  std::vector<Element> actual = store->MaterializeState(TimePoint::Max());
+  std::sort(actual.begin(), actual.end(), [](const Element& a, const Element& b) {
+    return a.element_surrogate < b.element_surrogate;
+  });
+  const std::vector<Element> expected = MaterializeShadow(ops, recovered.size());
+  ASSERT_EQ(actual.size(), expected.size()) << strategy.name;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    ASSERT_TRUE(SameStoredElement(actual[i], expected[i]))
+        << strategy.name << ": alive element " << i << " differs";
+  }
+
+  // Recovery is idempotent: reopening again yields the same history.
+  const size_t first_count = recovered.size();
+  store.reset();
+  auto again = BacklogStore::Open(options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again.ValueOrDie()->entries().size(), first_count)
+      << strategy.name << ": recovery is not idempotent";
+}
+
+/// \brief Prints the registry's fault counters. Crash tests call this and
+/// assert on the totals, so a build whose failpoints never fire fails
+/// loudly instead of passing vacuously.
+inline FaultCounters PrintFaultSummary(const char* label) {
+  const FaultCounters c = FailpointRegistry::Instance().counters();
+  std::cout << "[fault-injection] " << label << ": evaluated=" << c.evaluated
+            << " injected=" << c.injected << " short_writes=" << c.short_writes
+            << " corrupt=" << c.corrupt_writes
+            << " dropped_syncs=" << c.dropped_syncs
+            << " transient=" << c.transient_errors << " crashes=" << c.crashes
+            << std::endl;
+  return c;
+}
+
+}  // namespace testing
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TESTS_TESTING_CRASH_H_
