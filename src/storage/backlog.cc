@@ -9,10 +9,14 @@ namespace tempspec {
 
 namespace {
 constexpr uint32_t kBacklogMagic = 0x544C4B42;  // "BKLT"
-// v2: header carries no entry count (the count is derived by scanning the
-// CRC-guarded data pages), page records are [u32 crc][payload], and WAL
-// LSNs equal global operation indices.
-constexpr uint32_t kBacklogVersion = 2;
+// v3: the header meta is [magic][version][u64 epoch]; the entry count is
+// derived by scanning the CRC-guarded data pages ([u32 crc][payload]
+// records); WAL records carry the epoch and an LSN equal to the global
+// operation index. The epoch is bumped by compaction (ReplaceAll) so stale
+// WAL records of a superseded generation are recognizable at replay.
+// Earlier versions (v1: trusted count header, no record CRCs; v2: no
+// epoch) are rejected at open rather than mis-recovered as empty.
+constexpr uint32_t kBacklogVersion = 3;
 }  // namespace
 
 std::string BacklogEntry::Encode() const {
@@ -60,11 +64,14 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
   TS_ASSIGN_OR_RETURN(store->wal_,
                       WriteAheadLog::Open(options.directory + "/backlog.wal",
                                           options.sync_mode,
-                                          options.sync_every));
+                                          options.sync_every,
+                                          store->epoch_));
   // The WAL holds operations appended since the last completed checkpoint —
   // plus, after a crash between checkpoint and WAL reset, stale records the
-  // pages already cover. LSNs are global operation indices: skip what the
-  // pages hold, reject gaps (a gap means durable data was lost).
+  // pages already cover. Records of older epochs (a compaction whose WAL
+  // reset never became durable) are filtered inside Replay; within the
+  // current epoch, LSNs are global operation indices: skip what the pages
+  // hold, reject gaps (a gap means durable data was lost).
   const uint64_t persisted = store->persisted_entries_;
   uint64_t expected = persisted;
   auto replayed = store->wal_->Replay(
@@ -85,25 +92,26 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
   return store;
 }
 
-Status BacklogStore::CreateHeaderPage() {
+Status BacklogStore::WriteHeaderPage(BufferPool* pool, uint64_t epoch) {
   {
-    TS_ASSIGN_OR_RETURN(PageGuard header, pool_->Allocate());
+    TS_ASSIGN_OR_RETURN(PageGuard header, pool->Allocate());
     SlottedPage sp(header.mutable_page());
     sp.Init();
     std::string meta;
     Encoder enc(&meta);
     enc.PutU32(kBacklogMagic);
     enc.PutU32(kBacklogVersion);
+    enc.PutU64(epoch);
     TS_RETURN_NOT_OK(sp.Insert(meta).status());
   }
-  return pool_->FlushAll();
+  return pool->FlushAll();
 }
 
 Status BacklogStore::RecoverFromPages() {
   if (disk_->page_count() == 0) {
     // Fresh file: create and flush the header page, so a process that exits
     // without ever checkpointing still leaves a well-formed file behind.
-    return CreateHeaderPage();
+    return WriteHeaderPage(pool_.get(), epoch_);
   }
 
   {
@@ -116,54 +124,94 @@ Status BacklogStore::RecoverFromPages() {
       if (meta.ok()) {
         Decoder dec(meta.ValueOrDie());
         auto magic = dec.GetU32();
-        header_ok = magic.ok() && magic.ValueOrDie() == kBacklogMagic;
+        if (magic.ok() && magic.ValueOrDie() == kBacklogMagic) {
+          // The magic matches, so this *is* a backlog file: check the
+          // version before trusting anything else. A pre-v3 file would
+          // otherwise "recover" as empty — its records carry no CRC
+          // prefixes, so the data-page scan and the WAL replay would both
+          // stop at the first record and silently discard the data.
+          auto version = dec.GetU32();
+          auto epoch = dec.GetU64();
+          if (version.ok() && version.ValueOrDie() != kBacklogVersion) {
+            return Status::Corruption(
+                "unsupported backlog format version ", version.ValueOrDie(),
+                " (this build reads only v", kBacklogVersion,
+                "); refusing to recover");
+          }
+          if (version.ok() && epoch.ok()) {
+            header_ok = true;
+            epoch_ = epoch.ValueOrDie();
+          }
+        }
       }
     }
     if (!header_ok) {
       // A single unreadable page is what a crash during store creation
       // leaves behind (the header is written exactly once, before any WAL
-      // exists); anything larger is real damage.
+      // exists; compaction replaces it only via a completely-written,
+      // renamed side file); anything larger is real damage.
       if (disk_->page_count() > 1) {
         return Status::Corruption("bad backlog page-file header");
       }
       header.Release();
       pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
       TS_RETURN_NOT_OK(disk_->Truncate());
-      return CreateHeaderPage();
+      return WriteHeaderPage(pool_.get(), epoch_);
     }
   }
 
   // The page file's entry count is derived, never trusted: scan data pages
-  // in order, reading CRC-guarded records until the first torn or corrupt
-  // one. Everything at or beyond that point is covered by the WAL (or was
-  // never acknowledged).
-  bool stop = false;
-  for (PageId id = 1; id < disk_->page_count() && !stop; ++id) {
-    TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
-    Page data_copy = guard.page();
-    SlottedPage data(&data_copy);
-    if (data.slot_count() == 0) break;  // never-completed (or zeroed) page
-    for (uint16_t slot = 0; slot < data.slot_count(); ++slot) {
-      auto record = data.Get(slot);
-      if (!record.ok() || record.ValueOrDie().size() < 4) {
-        stop = true;
-        break;
+  // in order, reading CRC-guarded records until the first torn, corrupt, or
+  // never-completed one. Everything from the damaged page onward is
+  // quarantined — truncated off the file — not merely skipped: checkpoints
+  // append batches on fresh pages at the end, so a scan that only *stopped*
+  // at the damage would, after a post-recovery checkpoint, never reach the
+  // durable batches beyond it. The truncated records are still covered by
+  // the WAL (a page can only be damaged if the checkpoint writing it never
+  // completed its WAL reset).
+  uint64_t keep_pages = disk_->page_count();
+  for (PageId id = 1; id < disk_->page_count(); ++id) {
+    const size_t page_first_entry = entries_.size();
+    bool damaged = false;
+    {
+      TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(id));
+      Page data_copy = guard.page();
+      SlottedPage data(&data_copy);
+      if (data.slot_count() == 0) damaged = true;  // never-completed page
+      for (uint16_t slot = 0; !damaged && slot < data.slot_count(); ++slot) {
+        auto record = data.Get(slot);
+        if (!record.ok() || record.ValueOrDie().size() < 4) {
+          damaged = true;
+          break;
+        }
+        const std::string_view raw = record.ValueOrDie();
+        Decoder dec(raw);
+        const uint32_t crc = dec.GetU32().ValueOrDie();
+        const std::string_view payload = raw.substr(4);
+        if (Crc32(payload) != crc) {
+          damaged = true;
+          break;
+        }
+        auto entry = BacklogEntry::Decode(payload);
+        if (!entry.ok()) {
+          damaged = true;
+          break;
+        }
+        entries_.push_back(std::move(entry).ValueOrDie());
       }
-      const std::string_view raw = record.ValueOrDie();
-      Decoder dec(raw);
-      const uint32_t crc = dec.GetU32().ValueOrDie();
-      const std::string_view payload = raw.substr(4);
-      if (Crc32(payload) != crc) {
-        stop = true;
-        break;
-      }
-      auto entry = BacklogEntry::Decode(payload);
-      if (!entry.ok()) {
-        stop = true;
-        break;
-      }
-      entries_.push_back(std::move(entry).ValueOrDie());
     }
+    if (damaged) {
+      // The page's valid record prefix is dropped along with the page: a
+      // damaged page belongs to an unfinished checkpoint batch, so the WAL
+      // replay below the caller restores those operations.
+      entries_.resize(page_first_entry);
+      keep_pages = id;
+      break;
+    }
+  }
+  if (keep_pages < disk_->page_count()) {
+    pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
+    TS_RETURN_NOT_OK(disk_->TruncateToPages(keep_pages));
   }
   persisted_entries_ = entries_.size();
   return Status::OK();
@@ -218,7 +266,7 @@ std::vector<Element> BacklogStore::ReconstructElements() const {
   return out;
 }
 
-Status BacklogStore::PersistRange(size_t begin, size_t end) {
+Status BacklogStore::PersistRange(BufferPool* pool, size_t begin, size_t end) {
   if (begin >= end) return Status::OK();
   // Always start the batch on a fresh page: the tail page of the previous
   // checkpoint holds records the WAL no longer covers, and a torn in-place
@@ -232,7 +280,7 @@ Status BacklogStore::PersistRange(size_t begin, size_t end) {
     record += payload;
     bool stored = false;
     if (current != kInvalidPageId) {
-      TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+      TS_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(current));
       SlottedPage sp(guard.mutable_page());
       if (sp.Fits(record.size())) {
         TS_RETURN_NOT_OK(sp.Insert(record).status());
@@ -240,7 +288,7 @@ Status BacklogStore::PersistRange(size_t begin, size_t end) {
       }
     }
     if (!stored) {
-      TS_ASSIGN_OR_RETURN(PageGuard guard, pool_->Allocate());
+      TS_ASSIGN_OR_RETURN(PageGuard guard, pool->Allocate());
       SlottedPage sp(guard.mutable_page());
       sp.Init();
       TS_RETURN_NOT_OK(sp.Insert(record).status());
@@ -253,7 +301,7 @@ Status BacklogStore::PersistRange(size_t begin, size_t end) {
 Status BacklogStore::CheckpointInternal() {
   // Order matters: an operation must never exist only in a reset WAL.
   // 1. Persist the new batch onto fresh pages and make them durable.
-  TS_RETURN_NOT_OK(PersistRange(persisted_entries_, entries_.size()));
+  TS_RETURN_NOT_OK(PersistRange(pool_.get(), persisted_entries_, entries_.size()));
   TS_RETURN_NOT_OK(pool_->FlushAll());
   // 2. Only now discard the WAL (truncate + fsync file and directory).
   TS_RETURN_NOT_OK(wal_->Reset());
@@ -284,14 +332,33 @@ Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
   persisted_entries_ = 0;
   if (!wal_) return Status::OK();
 
-  // Drop cached frames (they reference discarded pages), wipe the page
-  // file, write the compacted history, and only then reset the WAL.
-  pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
+  // Build the compacted generation in a side file and adopt it with an
+  // atomic rename: a crash at any point leaves either the old complete
+  // state or the new one on disk, never a truncated hybrid. The new header
+  // carries a bumped epoch, and WAL records are epoch-stamped, so the stale
+  // records of the old generation are discarded at replay even when the
+  // Reset below never becomes durable — their old, higher LSNs could
+  // otherwise alias the compacted count (bogus replay) or trip the
+  // recovery gap check.
+  const uint64_t new_epoch = epoch_ + 1;
   Status st = [&]() -> Status {
-    TS_RETURN_NOT_OK(disk_->Truncate());
-    TS_RETURN_NOT_OK(CreateHeaderPage());
-    TS_RETURN_NOT_OK(PersistRange(0, entries_.size()));
-    TS_RETURN_NOT_OK(pool_->FlushAll());
+    TS_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> side,
+                        DiskManager::Open(disk_->path() + ".compact"));
+    if (side->page_count() > 0) {
+      // Leftover from a compaction that crashed before its rename.
+      TS_RETURN_NOT_OK(side->Truncate());
+    }
+    auto side_pool = std::make_unique<BufferPool>(side.get(), buffer_pool_pages_);
+    TS_RETURN_NOT_OK(WriteHeaderPage(side_pool.get(), new_epoch));
+    TS_RETURN_NOT_OK(PersistRange(side_pool.get(), 0, entries_.size()));
+    TS_RETURN_NOT_OK(side_pool->FlushAll());
+    TS_RETURN_NOT_OK(side->RenameTo(disk_->path()));
+    // The rename is the commit point: adopt the new generation (the old
+    // pool's frames reference the unlinked old file) and discard the WAL.
+    pool_ = std::move(side_pool);
+    disk_ = std::move(side);
+    epoch_ = new_epoch;
+    wal_->SetEpoch(new_epoch);
     TS_RETURN_NOT_OK(wal_->Reset());
     wal_->SetNextLsn(entries_.size());
     persisted_entries_ = entries_.size();

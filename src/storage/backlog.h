@@ -18,13 +18,23 @@
 //   - WAL record LSNs equal global operation indices. The page file holds a
 //     CRC-guarded prefix of the operation history; its length is *derived*
 //     by scanning (never trusted from a header), so a torn checkpoint can
-//     only shorten it.
+//     only shorten it. The scan quarantines everything from the first
+//     damaged page onward — truncating the file, not just stopping — so a
+//     post-recovery checkpoint can never strand durable batches behind a
+//     still-damaged page.
 //   - Each checkpoint batch starts on a fresh page, so checkpointing never
 //     rewrites a page whose records the WAL no longer covers.
 //   - Checkpoint order: persist pages, fsync, then reset the WAL (truncate +
 //     fsync file and directory). A crash between the two leaves overlapping
 //     copies; recovery skips WAL records with lsn < the scanned page count
 //     and rejects any LSN gap as corruption.
+//   - Compaction (ReplaceAll) rewrites the page file through a side file
+//     adopted by atomic rename, under a bumped generation epoch stamped
+//     into the header and every WAL record: a crash resolves to exactly the
+//     old or exactly the new generation, and stale WAL records (old epoch,
+//     old LSN numbering) are discarded at replay.
+//   - The header records a format version; unknown versions are rejected at
+//     open instead of being mis-recovered as an empty store.
 //   - After any unrecoverable IO failure the store turns read-only
 //     (fail-stop): later appends could otherwise land beyond a torn WAL
 //     tail and be silently unreachable at replay.
@@ -96,12 +106,15 @@ class BacklogStore {
   Status Checkpoint();
 
   /// \brief Replaces the whole operation history (backlog compaction, used
-  /// by vacuuming). Durable stores are rewritten: page file truncated, the
-  /// new history checkpointed. No page guards may be outstanding.
+  /// by vacuuming). Durable stores are rewritten crash-atomically: the new
+  /// generation is built in a side file and adopted by rename under a
+  /// bumped epoch. No page guards may be outstanding.
   Status ReplaceAll(std::vector<BacklogEntry> entries);
 
   bool durable() const { return wal_ != nullptr; }
   uint64_t persisted_entries() const { return persisted_entries_; }
+  /// \brief Generation number of the on-disk state; bumped by ReplaceAll.
+  uint64_t epoch() const { return epoch_; }
   const BufferPool* buffer_pool() const { return pool_.get(); }
   const WriteAheadLog* wal() const { return wal_.get(); }
   /// \brief True once an unrecoverable IO failure turned the store
@@ -116,14 +129,15 @@ class BacklogStore {
   BacklogStore() = default;
 
   Status RecoverFromPages();
-  Status CreateHeaderPage();
+  Status WriteHeaderPage(BufferPool* pool, uint64_t epoch);
   Status CheckpointInternal();
-  Status PersistRange(size_t begin, size_t end);
+  Status PersistRange(BufferPool* pool, size_t begin, size_t end);
 
   size_t buffer_pool_pages_ = 64;
 
   std::vector<BacklogEntry> entries_;
   uint64_t persisted_entries_ = 0;
+  uint64_t epoch_ = 0;
   bool io_failed_ = false;
 
   std::unique_ptr<DiskManager> disk_;

@@ -5,11 +5,30 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "util/failpoint.h"
 
 namespace tempspec {
+
+Status FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open directory '", dir, "' for fsync: ",
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("directory fsync failed on '", dir, "': ",
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
 
 Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -159,12 +178,29 @@ Status DiskManager::Sync() {
   return st;
 }
 
-Status DiskManager::Truncate() {
-  if (::ftruncate(fd_, 0) != 0) {
+Status DiskManager::TruncateToPages(uint64_t pages) {
+  if (pages > page_count_) {
+    return Status::OutOfRange("cannot truncate '", path_, "' to ", pages,
+                              " pages: file has only ", page_count_);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(pages * kPageSize)) != 0) {
     return Status::IOError("truncate failed on '", path_, "': ",
                            std::strerror(errno));
   }
-  page_count_ = 0;
+  page_count_ = pages;
+  // The new length must itself be durable: a quarantining truncation that a
+  // crash rolls back would resurrect the damaged pages *after* new data has
+  // been appended over the range.
+  return Sync();
+}
+
+Status DiskManager::RenameTo(const std::string& new_path) {
+  if (::rename(path_.c_str(), new_path.c_str()) != 0) {
+    return Status::IOError("cannot rename '", path_, "' to '", new_path,
+                           "': ", std::strerror(errno));
+  }
+  TS_RETURN_NOT_OK(FsyncParentDirectory(new_path));
+  path_ = new_path;
   return Status::OK();
 }
 

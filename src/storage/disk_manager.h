@@ -10,6 +10,10 @@
 
 namespace tempspec {
 
+/// \brief fsyncs the directory containing `path`, making renames and
+/// truncations of directory entries durable.
+Status FsyncParentDirectory(const std::string& path);
+
 /// \brief Owns one data file as an array of pages.
 ///
 /// Crash tolerance: Open() truncates a trailing partial page (the signature
@@ -39,9 +43,22 @@ class DiskManager {
   /// \brief fsync.
   Status Sync();
 
-  /// \brief Discards all pages (used by backlog compaction). Any cached
-  /// frames above this manager must be dropped by the caller first.
-  Status Truncate();
+  /// \brief Discards all pages. Any cached frames above this manager must
+  /// be dropped by the caller first.
+  Status Truncate() { return TruncateToPages(0); }
+
+  /// \brief Shrinks the file to its first `pages` pages and fsyncs, so the
+  /// cut cannot be forgotten by a later crash. Recovery uses this to
+  /// quarantine a damaged page suffix: once truncated, a later append can
+  /// never land beyond still-damaged pages. Cached frames for the dropped
+  /// range must be discarded by the caller.
+  Status TruncateToPages(uint64_t pages);
+
+  /// \brief Atomically renames the backing file to `new_path` (same
+  /// directory) and fsyncs the directory entry. The open descriptor keeps
+  /// following the inode. Backlog compaction builds the next generation in
+  /// a side file and adopts it with this.
+  Status RenameTo(const std::string& new_path);
 
   const std::string& path() const { return path_; }
 

@@ -5,39 +5,25 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "storage/disk_manager.h"
 #include "storage/serde.h"
 #include "util/failpoint.h"
 
 namespace tempspec {
 
 namespace {
-constexpr size_t kRecordHeaderSize = 4 + 4 + 8;  // len, crc, lsn
-
-Status FsyncParentDirectory(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IOError("cannot open directory '", dir, "' for fsync: ",
-                           std::strerror(errno));
-  }
-  const int rc = ::fsync(fd);
-  const int err = errno;
-  ::close(fd);
-  if (rc != 0) {
-    return Status::IOError("directory fsync failed on '", dir, "': ",
-                           std::strerror(err));
-  }
-  return Status::OK();
-}
+constexpr size_t kRecordHeaderSize = 4 + 4 + 8 + 8;  // len, crc, epoch, lsn
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path,
                                                            SyncMode mode,
-                                                           uint32_t sync_every) {
+                                                           uint32_t sync_every,
+                                                           uint64_t epoch) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError("cannot open WAL '", path, "': ", std::strerror(errno));
@@ -50,6 +36,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& pa
   }
   auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(path, fd, mode, sync_every == 0 ? 1 : sync_every));
+  wal->epoch_ = epoch;
   // Bytes already on disk at open are presumed durable.
   wal->file_size_ = static_cast<uint64_t>(st.st_size);
   wal->synced_bytes_ = wal->file_size_;
@@ -74,7 +61,17 @@ WriteAheadLog::~WriteAheadLog() {
         const uint64_t size = static_cast<uint64_t>(st.st_size);
         const uint64_t lo = synced_bytes_ < size ? synced_bytes_ : size;
         const uint64_t cut = registry.CrashCut(lo, size);
-        if (cut < size) ::ftruncate(fd_, static_cast<off_t>(cut));
+        if (cut < size && ::ftruncate(fd_, static_cast<off_t>(cut)) != 0) {
+          // If the cut silently failed, the "machine crash" model degrades:
+          // the unsynced tail survives and a crash test would assert
+          // against the wrong file contents. Fail hard instead.
+          std::fprintf(stderr,
+                       "tempspec: simulated-crash ftruncate of '%s' to %llu "
+                       "bytes failed: %s\n",
+                       path_.c_str(), static_cast<unsigned long long>(cut),
+                       std::strerror(errno));
+          std::abort();
+        }
       }
     }
 #endif
@@ -112,12 +109,13 @@ Status WriteAheadLog::AppendOnce(std::string* record, bool* wrote_any) {
 
 Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   const uint64_t lsn = next_lsn_;
-  // The CRC covers the LSN as well as the payload: recovery routes records
-  // by LSN, so an unprotected LSN byte would turn silent corruption into a
-  // bogus replay.
+  // The CRC covers the epoch and LSN as well as the payload: recovery
+  // routes records by epoch and LSN, so an unprotected header byte would
+  // turn silent corruption into a bogus replay.
   std::string body;
-  body.reserve(8 + payload.size());
+  body.reserve(16 + payload.size());
   Encoder body_enc(&body);
+  body_enc.PutU64(epoch_);
   body_enc.PutU64(lsn);
   body.append(payload.data(), payload.size());
   std::string record;
@@ -201,17 +199,24 @@ Result<uint64_t> WriteAheadLog::Replay(
     Decoder dec(std::string_view(content).substr(pos, kRecordHeaderSize));
     const uint32_t len = dec.GetU32().ValueOrDie();
     const uint32_t crc = dec.GetU32().ValueOrDie();
+    const uint64_t epoch = dec.GetU64().ValueOrDie();
     const uint64_t lsn = dec.GetU64().ValueOrDie();
     if (pos + kRecordHeaderSize + len > content.size()) break;  // torn tail
-    const std::string_view body(content.data() + pos + 8, 8 + len);  // lsn+payload
+    const std::string_view body(content.data() + pos + 8,
+                                16 + len);  // epoch+lsn+payload
     if (Crc32(body) != crc) break;  // corrupt tail
-    const std::string_view payload = body.substr(8);
-    TS_RETURN_NOT_OK(fn(lsn, payload));
-    if (!any || lsn > max_lsn_seen) {
-      max_lsn_seen = lsn;
-      any = true;
+    if (epoch == epoch_) {
+      const std::string_view payload = body.substr(16);
+      TS_RETURN_NOT_OK(fn(lsn, payload));
+      if (!any || lsn > max_lsn_seen) {
+        max_lsn_seen = lsn;
+        any = true;
+      }
+      ++count;
     }
-    ++count;
+    // Records of another epoch belong to a superseded generation (a
+    // compaction whose Reset never became durable): walk past them without
+    // delivering or letting their old LSNs advance the counter.
     pos += kRecordHeaderSize + len;
   }
   if (any) next_lsn_ = max_lsn_seen + 1;

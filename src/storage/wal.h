@@ -14,6 +14,13 @@
 //   - Reset() truncates, fsyncs the file, and fsyncs the parent directory,
 //     so a crash immediately after a checkpoint cannot resurrect stale
 //     records (and recovery additionally skips stale LSNs — see backlog.cc).
+//   - Every record is stamped with the log's current *epoch* (generation
+//     number), covered by the record CRC. Backlog compaction renumbers LSNs
+//     from zero under a bumped epoch; if the compaction's Reset() never
+//     becomes durable, the stale records it should have discarded still sit
+//     in the file with old, higher LSNs. Replay() delivers only records of
+//     the current epoch, so those stale records can neither alias a fresh
+//     LSN nor trip the recovery gap check.
 #ifndef TEMPSPEC_STORAGE_WAL_H_
 #define TEMPSPEC_STORAGE_WAL_H_
 
@@ -36,9 +43,13 @@ enum class SyncMode : uint8_t {
 /// \brief Append-only log file with CRC-checked records.
 class WriteAheadLog {
  public:
+  /// \brief Opens the log. `epoch` selects which generation of records
+  /// Replay() delivers (the backlog store passes the epoch recovered from
+  /// its page-file header).
   static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
                                                      SyncMode mode = SyncMode::kNone,
-                                                     uint32_t sync_every = 64);
+                                                     uint32_t sync_every = 64,
+                                                     uint64_t epoch = 0);
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
@@ -50,8 +61,10 @@ class WriteAheadLog {
 
   Status Sync();
 
-  /// \brief Replays all intact records from the beginning. Returns the
-  /// number of records delivered.
+  /// \brief Replays all intact records of the current epoch from the
+  /// beginning; records of other epochs (a superseded generation whose
+  /// Reset never became durable) are skipped. Returns the number of records
+  /// delivered.
   Result<uint64_t> Replay(
       const std::function<Status(uint64_t lsn, std::string_view payload)>& fn);
 
@@ -66,6 +79,12 @@ class WriteAheadLog {
   /// checkpoint already persisted.
   void SetNextLsn(uint64_t lsn) { next_lsn_ = lsn; }
 
+  /// \brief Switches to a new generation: subsequent appends are stamped
+  /// with `epoch` and replay delivers only that generation. Called by
+  /// backlog compaction after it adopts the rewritten page file.
+  void SetEpoch(uint64_t epoch) { epoch_ = epoch; }
+
+  uint64_t epoch() const { return epoch_; }
   uint64_t next_lsn() const { return next_lsn_; }
   uint64_t bytes_written() const { return bytes_written_; }
   /// \brief File offset covered by the last successful fsync (bytes at or
@@ -86,6 +105,7 @@ class WriteAheadLog {
   SyncMode mode_;
   uint32_t sync_every_;
   uint32_t appends_since_sync_ = 0;
+  uint64_t epoch_ = 0;
   uint64_t next_lsn_ = 0;
   uint64_t bytes_written_ = 0;
   uint64_t file_size_ = 0;    // current file length in bytes

@@ -165,6 +165,55 @@ TEST(CrashRecoveryTest, WalResetDropRegression) {
       << "no WAL reset was ever dropped; the regression was not exercised";
 }
 
+// Backlog compaction (ReplaceAll) rewrites the page file through a side
+// file adopted by atomic rename, renumbering LSNs from zero under a bumped
+// epoch. A crash anywhere in the rewrite must resolve to exactly the old or
+// exactly the new generation — never a hybrid, a WAL-gap error, or a stale
+// record replayed under the new numbering.
+TEST(CrashRecoveryTest, CompactionCrash) {
+  CrashStrategy s;
+  s.name = "compaction-crash";
+  s.site = "disk.write_page";
+  s.kind = FaultKind::kShortWrite;
+  s.compact_every = 41;
+  const size_t crashed = Sweep(s);
+  EXPECT_GT(crashed, 0u);
+}
+
+// Regression for stale WAL records surviving a compaction whose WAL reset
+// never becomes durable: every reset is dropped, so old-generation records
+// (higher LSNs, old epoch) sit in the file alongside new-generation
+// appends. Replay must discard them by epoch — routed by LSN alone, a stale
+// record could alias the compacted count and replay as a bogus fresh
+// operation, and any other stale LSN would trip the gap check and make Open
+// fail permanently.
+TEST(CrashRecoveryTest, CompactionStaleWalRegression) {
+  CrashStrategy s;
+  s.name = "compaction-stale-wal";
+  s.site = "wal.append";
+  s.kind = FaultKind::kCrash;
+  s.compact_every = 29;
+  s.drop_wal_reset = true;
+  const size_t crashed = Sweep(s);
+  EXPECT_GT(crashed, 0u);
+  const FaultCounters c = FailpointRegistry::Instance().counters();
+  EXPECT_GT(c.dropped_syncs, 0u)
+      << "no WAL reset was ever dropped; the regression was not exercised";
+}
+
+// A flipped bit in a checkpoint page write: the record CRC detects it and
+// recovery quarantines the page, restoring its operations from the WAL.
+TEST(CrashRecoveryTest, CorruptCheckpointPageWrite) {
+  CrashStrategy s;
+  s.name = "corrupt-checkpoint-page-write";
+  s.site = "disk.write_page";
+  s.kind = FaultKind::kCorruptBit;
+  const size_t crashed = Sweep(s);
+  EXPECT_GT(crashed, 0u);
+  const FaultCounters c = FailpointRegistry::Instance().counters();
+  EXPECT_GT(c.corrupt_writes, 0u);
+}
+
 // Transient EIO (a few consecutive failures, then the device recovers) must
 // be absorbed by the retry/backoff layer: no operation fails, nothing is
 // lost, and the store never turns read-only.
@@ -329,7 +378,9 @@ TEST(CrashRecoveryTest, RelationLevelRecovery) {
       partitioned += rel->PartitionOf(object).size();
     }
     ASSERT_EQ(partitioned, rel->size());
-    if (rel->size() > 0) ASSERT_FALSE(rel->Objects().empty());
+    if (rel->size() > 0) {
+      ASSERT_FALSE(rel->Objects().empty());
+    }
   }
   EXPECT_GT(crashed_trials, 0u);
   const FaultCounters c = PrintFaultSummary("relation-level");

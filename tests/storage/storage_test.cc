@@ -197,7 +197,7 @@ TEST(WalTest, CorruptPayloadDetectedByCrc) {
   {
     FILE* f = std::fopen(path.c_str(), "r+b");
     ASSERT_NE(f, nullptr);
-    std::fseek(f, 18, SEEK_SET);  // inside the payload (16-byte header)
+    std::fseek(f, 26, SEEK_SET);  // inside the payload (24-byte header)
     std::fputc('X', f);
     std::fclose(f);
   }
@@ -206,6 +206,35 @@ TEST(WalTest, CorruptPayloadDetectedByCrc) {
                          return Status::OK();
                        }));
   EXPECT_EQ(n, 0u);
+}
+
+TEST(WalTest, ReplayFiltersOtherEpochs) {
+  TempDir dir;
+  const std::string path = dir.file("wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         WriteAheadLog::Open(path, SyncMode::kNone, 64,
+                                             /*epoch=*/0));
+    ASSERT_OK(wal->Append("stale-1").status());
+    ASSERT_OK(wal->Append("stale-2").status());
+    ASSERT_OK(wal->Sync());
+  }
+  // Reopen under the next epoch — the state a crash leaves when a backlog
+  // compaction's WAL reset never became durable. The stale generation must
+  // be invisible: not delivered, and not advancing the LSN counter.
+  ASSERT_OK_AND_ASSIGN(auto wal, WriteAheadLog::Open(path, SyncMode::kNone, 64,
+                                                     /*epoch=*/1));
+  EXPECT_EQ(wal->next_lsn(), 0u);
+  ASSERT_OK(wal->Append("fresh").status());
+  std::vector<std::string> seen;
+  ASSERT_OK_AND_ASSIGN(uint64_t n,
+                       wal->Replay([&](uint64_t lsn, std::string_view p) {
+                         EXPECT_EQ(lsn, 0u);
+                         seen.emplace_back(p);
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(seen, std::vector<std::string>{"fresh"});
 }
 
 TEST(WalTest, ResetClearsContentsButKeepsLsns) {

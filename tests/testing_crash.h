@@ -8,8 +8,12 @@
 // reopen. Recovery must always succeed, and the recovered operation log must
 // be a *prefix* of the acknowledged shadow log, byte-identical entry by
 // entry, and at least as long as the durable floor (the last completed
-// checkpoint). Sweeping the trigger across every operation count turns this
-// into an exhaustive, reproducible crash-point exploration.
+// checkpoint); a crash inside backlog compaction (ReplaceAll) must resolve
+// to exactly the old or exactly the new generation. Every trial then keeps
+// going: more appends, another checkpoint, a final reopen — so recovery
+// states that only break on the *next* checkpoint (e.g. a torn page left in
+// the file) are caught too. Sweeping the trigger across every operation
+// count turns this into an exhaustive, reproducible crash-point exploration.
 //
 // Everything here is seeded: same strategy + trigger + seed => same faults,
 // same torn bytes, same recovery.
@@ -26,6 +30,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/backlog.h"
@@ -110,6 +115,26 @@ inline std::vector<Element> MaterializeShadow(const std::vector<BacklogEntry>& o
   return out;
 }
 
+/// \brief What vacuuming's backlog compaction boils a history down to: the
+/// insert operations of still-alive elements, in original order (deletes and
+/// dead elements dropped). Used as the shadow of ReplaceAll in compaction
+/// crash trials.
+inline std::vector<BacklogEntry> CompactHistory(
+    const std::vector<BacklogEntry>& history) {
+  std::unordered_set<ElementSurrogate> dead;
+  for (const BacklogEntry& e : history) {
+    if (e.op == BacklogOpType::kLogicalDelete) dead.insert(e.target);
+  }
+  std::vector<BacklogEntry> out;
+  for (const BacklogEntry& e : history) {
+    if (e.op == BacklogOpType::kInsert &&
+        dead.count(e.element.element_surrogate) == 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
 inline bool SameStoredElement(const Element& a, const Element& b) {
   return a.element_surrogate == b.element_surrogate &&
          a.object_surrogate == b.object_surrogate && a.tt_begin == b.tt_begin &&
@@ -128,6 +153,8 @@ struct CrashStrategy {
   uint32_t transient_ops = 0;      // kTransientError only
   bool drop_wal_sync = false;      // additionally arm wal.sync: drop from op 0
   bool drop_wal_reset = false;     // additionally arm wal.reset: drop from op 0
+  /// ReplaceAll (backlog compaction) after every N appends; 0 = never.
+  size_t compact_every = 0;
   /// Recovered must equal ALL acknowledged ops (fsync-per-append, no loss
   /// model active). Otherwise only prefix-consistency + the checkpoint
   /// floor are guaranteed.
@@ -180,26 +207,52 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
   }
 
   *out = TrialOutcome{};
+  // The shadow is the acknowledged history of the *current generation*; a
+  // successful compaction replaces it wholesale. prev_shadow keeps the
+  // pre-compaction generation for trials that crash inside ReplaceAll,
+  // where the atomic rename makes either generation a legal outcome.
+  std::vector<BacklogEntry> shadow;
+  std::vector<BacklogEntry> prev_shadow;
+  size_t prev_floor = 0;
+  bool compaction_crashed = false;
   {
     auto opened = BacklogStore::Open(options);
     if (!opened.ok()) {
       out->crashed = true;  // fault fired while creating the store
     } else {
       std::unique_ptr<BacklogStore> store = std::move(opened).ValueOrDie();
+      size_t appends = 0;
       for (const BacklogEntry& op : ops) {
         const Status st = store->Append(op);
         if (!st.ok()) {
           out->crashed = true;
           break;
         }
-        ++out->acked;
-        if (out->acked % checkpoint_every == 0) {
+        shadow.push_back(op);
+        ++appends;
+        out->acked = shadow.size();
+        if (appends % checkpoint_every == 0) {
           const Status cp = store->Checkpoint();
           if (!cp.ok()) {
             out->crashed = true;
             break;
           }
-          out->floor = out->acked;
+          out->floor = shadow.size();
+        }
+        if (strategy.compact_every != 0 &&
+            appends % strategy.compact_every == 0) {
+          std::vector<BacklogEntry> compacted = CompactHistory(shadow);
+          prev_shadow = std::move(shadow);
+          prev_floor = out->floor;
+          const Status rp = store->ReplaceAll(compacted);
+          shadow = std::move(compacted);
+          out->acked = shadow.size();
+          out->floor = shadow.size();
+          if (!rp.ok()) {
+            out->crashed = true;
+            compaction_crashed = true;
+            break;
+          }
         }
       }
       // Teardown happens while the registry is still crashed: the WAL
@@ -218,17 +271,34 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
   out->recovered = recovered.size();
 
   // Prefix-consistency: never more than acknowledged, never less than the
-  // durable floor, byte-identical entry by entry.
-  ASSERT_LE(recovered.size(), out->acked)
+  // durable floor, byte-identical entry by entry. A crash *inside*
+  // ReplaceAll resolves to whichever side of its atomic rename the crash
+  // landed on: exactly the compacted generation, or a prefix of the old one
+  // (whose unsynced WAL tail the crash may still have cut).
+  const std::vector<BacklogEntry>* against = &shadow;
+  size_t floor = out->floor;
+  if (compaction_crashed) {
+    bool adopted_new = recovered.size() == shadow.size();
+    for (size_t i = 0; adopted_new && i < recovered.size(); ++i) {
+      adopted_new = recovered[i].Encode() == shadow[i].Encode();
+    }
+    if (adopted_new) {
+      ASSERT_EQ(recovered.size(), shadow.size());
+    } else {
+      against = &prev_shadow;
+      floor = prev_floor;
+    }
+  }
+  ASSERT_LE(recovered.size(), against->size())
       << strategy.name << ": phantom operations after recovery";
-  ASSERT_GE(recovered.size(), out->floor)
+  ASSERT_GE(recovered.size(), floor)
       << strategy.name << ": checkpointed operations lost";
   if (strategy.lossless && out->crashed) {
     ASSERT_EQ(recovered.size(), out->acked)
         << strategy.name << ": acknowledged fsync'd operations lost";
   }
   for (size_t i = 0; i < recovered.size(); ++i) {
-    ASSERT_EQ(recovered[i].Encode(), ops[i].Encode())
+    ASSERT_EQ(recovered[i].Encode(), (*against)[i].Encode())
         << strategy.name << ": recovered op " << i << " differs";
   }
 
@@ -237,7 +307,8 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
   std::sort(actual.begin(), actual.end(), [](const Element& a, const Element& b) {
     return a.element_surrogate < b.element_surrogate;
   });
-  const std::vector<Element> expected = MaterializeShadow(ops, recovered.size());
+  const std::vector<Element> expected =
+      MaterializeShadow(*against, recovered.size());
   ASSERT_EQ(actual.size(), expected.size()) << strategy.name;
   for (size_t i = 0; i < actual.size(); ++i) {
     ASSERT_TRUE(SameStoredElement(actual[i], expected[i]))
@@ -249,8 +320,39 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
   store.reset();
   auto again = BacklogStore::Open(options);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
-  ASSERT_EQ(again.ValueOrDie()->entries().size(), first_count)
+  std::unique_ptr<BacklogStore> resumed = std::move(again).ValueOrDie();
+  ASSERT_EQ(resumed->entries().size(), first_count)
       << strategy.name << ": recovery is not idempotent";
+
+  // Life goes on after recovery: append a continuation workload, checkpoint
+  // it, and reopen once more. This is the regression for quarantined torn
+  // pages — the post-recovery checkpoint appends its batch on fresh pages
+  // *after* whatever the crash damaged, and a recovery scan that had merely
+  // stopped at the damage (instead of truncating it off the file) would
+  // never reach that durable batch here, silently dropping it.
+  constexpr size_t kContinuationOps = 12;
+  const std::vector<BacklogEntry> extra = MakeCrashWorkload(
+      seed ^ 0x5ca1ab1eull, kContinuationOps, strategy.payload_bytes);
+  for (const BacklogEntry& op : extra) {
+    ASSERT_OK(resumed->Append(op));
+  }
+  ASSERT_OK(resumed->Checkpoint());
+  resumed.reset();
+  auto final_open = BacklogStore::Open(options);
+  ASSERT_TRUE(final_open.ok())
+      << strategy.name << ": reopen after post-recovery checkpoint failed: "
+      << final_open.status().ToString();
+  const std::vector<BacklogEntry>& final_entries =
+      final_open.ValueOrDie()->entries();
+  ASSERT_EQ(final_entries.size(), first_count + extra.size())
+      << strategy.name << ": operations appended after recovery were lost";
+  for (size_t i = 0; i < final_entries.size(); ++i) {
+    const std::string want = i < first_count
+                                 ? (*against)[i].Encode()
+                                 : extra[i - first_count].Encode();
+    ASSERT_EQ(final_entries[i].Encode(), want)
+        << strategy.name << ": post-continuation op " << i << " differs";
+  }
 }
 
 /// \brief Prints the registry's fault counters. Crash tests call this and
