@@ -136,4 +136,4 @@ BENCHMARK(BM_MonotoneIndex_AppendOnly)->Arg(65536);
 BENCHMARK(BM_IntervalIndex_StabWithDelta)->Arg(65536);
 BENCHMARK(BM_IntervalIndex_StabCompacted)->Arg(65536);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("a1_ablation");

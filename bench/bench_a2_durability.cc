@@ -149,9 +149,5 @@ int main(int argc, char** argv) {
                  "separate tree with -DTEMPSPEC_FAILPOINTS=OFF for clean "
                  "durability numbers.\n");
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return tempspec::bench::BenchMain("a2_durability", argc, argv);
 }

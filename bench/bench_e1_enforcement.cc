@@ -122,4 +122,4 @@ BENCHMARK(BM_Insert_Regularity)->Arg(4096);
 BENCHMARK(BM_Insert_Determined)->Arg(4096);
 BENCHMARK(BM_Insert_FullStack)->Arg(4096);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e1_enforcement");

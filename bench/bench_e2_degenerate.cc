@@ -81,4 +81,4 @@ BENCHMARK(BM_Timeslice_Degenerate_FullScan)->Range(1024, 65536);
 BENCHMARK(BM_Timeslice_Degenerate_ValidIndex)->Range(1024, 65536);
 BENCHMARK(BM_Timeslice_Degenerate_RollbackEquivalence)->Range(1024, 65536);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e2_degenerate");

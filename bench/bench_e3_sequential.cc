@@ -77,4 +77,4 @@ void BM_Historical_Sequential_BinarySearch(benchmark::State& state) {
 BENCHMARK(BM_Historical_Sequential_FullScan)->Range(1024, 65536);
 BENCHMARK(BM_Historical_Sequential_BinarySearch)->Range(1024, 65536);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e3_sequential");

@@ -84,4 +84,4 @@ void BM_Timeslice_BoundSweep_ScanBaseline(benchmark::State& state) {
 BENCHMARK(BM_Timeslice_BoundSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(256)->Arg(1440);
 BENCHMARK(BM_Timeslice_BoundSweep_ScanBaseline)->Arg(1)->Arg(1440);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e4_bounded");

@@ -109,4 +109,4 @@ BENCHMARK(BM_Recompute_TruncateMapping)->Arg(8192);
 BENCHMARK(BM_Recompute_NextPhaseMapping)->Arg(8192);
 BENCHMARK(BM_Recompute_CalendricOffsetMapping)->Arg(8192);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e5_determined");

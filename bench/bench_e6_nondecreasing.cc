@@ -91,4 +91,4 @@ BENCHMARK(BM_ValidRange_NonDecreasing_BinarySearch)->Arg(1)->Arg(64)->Arg(1024)-
 BENCHMARK(BM_ValidRange_NonDecreasing_ValidIndex)->Arg(1)->Arg(64)->Arg(1024)->Arg(6554);
 BENCHMARK(BM_ValidRange_NonDecreasing_FullScan)->Arg(1)->Arg(64)->Arg(1024)->Arg(6554);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e6_nondecreasing");

@@ -129,4 +129,4 @@ BENCHMARK(BM_InferProfile_IntervalRelation)->Range(1024, 16384);
 BENCHMARK(BM_BatchRevalidation)->Range(1024, 32768);
 BENCHMARK(BM_RecoveryMatrix)->Iterations(1);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e7_inference");

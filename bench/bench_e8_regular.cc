@@ -137,4 +137,4 @@ BENCHMARK(BM_Encode_Irregular_Raw)->Arg(65536);
 BENCHMARK(BM_Encode_Irregular_Delta)->Arg(65536);
 BENCHMARK(BM_Decode_StrictRegular_Unit)->Arg(65536);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e8_regular");

@@ -113,4 +113,4 @@ BENCHMARK(BM_Rollback_SnapshotDifferential)->Range(1024, 65536);
 BENCHMARK(BM_Rollback_SnapshotDifferentialParallel)->Range(1024, 65536);
 BENCHMARK(BM_Rollback_IntervalSweep)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("e9_rollback");

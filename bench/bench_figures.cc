@@ -14,7 +14,10 @@
 #include <cstdio>
 #include <iostream>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "spec/enumeration.h"
 #include "spec/event_spec.h"
 #include "spec/lattice.h"
@@ -24,8 +27,10 @@ using namespace tempspec;
 namespace {
 
 int g_failures = 0;
+int g_checks = 0;
 
 void Check(bool ok, const std::string& what) {
+  ++g_checks;
   if (!ok) {
     ++g_failures;
     std::cout << "  CHECK FAILED: " << what << "\n";
@@ -74,7 +79,13 @@ void PrintLattice(const char* title, const SpecLattice& lattice,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Not a google-benchmark binary, but it honors the fleet-wide `--json
+  // [path]` contract: one "benchmark" whose counters are the check tallies.
+  std::string json_path;
+  const bool want_json =
+      bench::ExtractJsonFlag(&argc, argv, "figures", &json_path);
+
   Figure1();
   Theorem();
   PrintLattice("Figure 2: event taxonomy", SpecLattice::EventTaxonomy(), 14);
@@ -84,6 +95,17 @@ int main() {
                SpecLattice::InterEventRegularity(), 7);
   PrintLattice("Figure 5: inter-interval taxonomy",
                SpecLattice::InterIntervalTaxonomy(), 17);
+
+  if (want_json) {
+    bench::BenchResult r;
+    r.name = "figures/structural_checks";
+    r.runs = 1;
+    r.iterations = 1;
+    r.counters["checks"] = g_checks;
+    r.counters["failures"] = g_failures;
+    if (!bench::WriteBenchJson(json_path, "figures", {r})) return 1;
+  }
+
   if (g_failures == 0) {
     std::cout << "All figure reproductions verified.\n";
     return 0;

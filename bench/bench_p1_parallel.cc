@@ -190,4 +190,4 @@ BENCHMARK(BM_P1_Timeslice_Materialized);
 BENCHMARK(BM_P1_Rollback_Scan)->Arg(1)->Arg(4);
 BENCHMARK(BM_P1_MorselSweep)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
 
-BENCHMARK_MAIN();
+TEMPSPEC_BENCH_MAIN("p1_parallel");

@@ -99,6 +99,7 @@ int main() {
   for (const char* q : {
            "CURRENT reactor_samples",
            "EXPLAIN TIMESLICE reactor_samples AT '1992-02-05 00:00:30'",
+           "EXPLAIN ANALYZE TIMESLICE reactor_samples AT '1992-02-05 00:00:30'",
            "TIMESLICE reactor_samples AT '1992-02-05 00:00:30'",
            "ROLLBACK reactor_samples TO '1992-02-05 00:00:20'",
        }) {

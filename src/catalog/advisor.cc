@@ -1,5 +1,6 @@
 #include "catalog/advisor.h"
 
+#include "obs/metrics.h"
 #include "query/optimizer.h"
 #include "spec/lattice.h"
 
@@ -84,6 +85,14 @@ AdvisorReport Advise(const Schema& schema, const SpecializationSet& specs) {
 
   report.timeslice_strategy =
       optimizer.PlanTimeslice(TimePoint::FromMicros(0)).strategy;
+  TS_COUNTER_INC("advisor.reports");
+  // Advise() is not a hot path, so the runtime-composed name goes through
+  // the registry directly instead of a cached-handle macro.
+  TS_METRICS_ONLY(MetricsRegistry::Instance()
+                      .GetCounter(std::string("advisor.strategy.") +
+                                  ExecutionStrategyToToken(
+                                      report.timeslice_strategy))
+                      .Increment(););
 
   // Lattice closure: everything the declared event types imply (Figure 2).
   const SpecLattice& lattice = SpecLattice::EventTaxonomy();

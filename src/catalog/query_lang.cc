@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "timex/calendar.h"
 #include "util/string_util.h"
@@ -101,17 +103,27 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
                                  const std::string& statement) {
   QueryCursor cur(statement);
   QueryOutput out;
+  TS_COUNTER_INC("querylang.statements");
 
   TS_ASSIGN_OR_RETURN(std::string verb, cur.Word());
   if (verb == "EXPLAIN") {
-    out.explain_only = true;
+    if (cur.TryWord("ANALYZE")) {
+      out.analyze = true;  // execute, then report the trace span
+    } else {
+      out.explain_only = true;
+    }
     TS_ASSIGN_OR_RETURN(verb, cur.Word());
   }
+
+  // EXPLAIN ANALYZE attaches a per-query trace span to the executor.
+  TraceContext trace;
+  ExecutorOptions exec_options;
+  if (out.analyze) exec_options.trace = &trace;
 
   if (verb == "CURRENT") {
     TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
-    QueryExecutor exec(*rel);
+    QueryExecutor exec(*rel, exec_options);
     if (!out.explain_only) out.elements = exec.Current(&out.stats);
     out.plan_description = "current-state scan";
   } else if (verb == "ROLLBACK") {
@@ -119,7 +131,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     TS_RETURN_NOT_OK(cur.ExpectWord("TO"));
     TS_ASSIGN_OR_RETURN(TimePoint tt, cur.TimeLiteral());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
-    QueryExecutor exec(*rel);
+    QueryExecutor exec(*rel, exec_options);
     if (!out.explain_only) out.elements = exec.Rollback(tt, &out.stats);
     out.plan_description = rel->snapshots() != nullptr
                                ? "snapshot + differential replay"
@@ -129,7 +141,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     TS_RETURN_NOT_OK(cur.ExpectWord("AT"));
     TS_ASSIGN_OR_RETURN(TimePoint vt, cur.TimeLiteral());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
-    QueryExecutor exec(*rel);
+    QueryExecutor exec(*rel, exec_options);
     if (cur.TryWord("AS")) {
       TS_RETURN_NOT_OK(cur.ExpectWord("OF"));
       TS_ASSIGN_OR_RETURN(TimePoint tt, cur.TimeLiteral());
@@ -155,7 +167,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
       return Status::InvalidArgument("RANGE requires FROM < TO");
     }
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
-    QueryExecutor exec(*rel);
+    QueryExecutor exec(*rel, exec_options);
     const PlanChoice plan = exec.optimizer().PlanValidRange(lo, hi);
     if (!out.explain_only) {
       out.elements = exec.ValidRangeWith(plan, lo, hi, &out.stats);
@@ -171,6 +183,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   if (!cur.AtEnd()) {
     return Status::InvalidArgument("trailing tokens after statement");
   }
+  if (out.analyze) out.trace_json = trace.ToJson();
   return out;
 }
 
@@ -178,6 +191,12 @@ std::string QueryOutput::ToString() const {
   std::ostringstream ss;
   if (!plan_description.empty()) ss << "plan: " << plan_description << "\n";
   if (explain_only) return ss.str();
+  if (analyze) {
+    ss << "trace: " << trace_json << "\n";
+    ss << elements.size() << " element(s), " << stats.elements_examined
+       << " examined\n";
+    return ss.str();
+  }
   for (const Element& e : elements) {
     ss << "  " << e.ToString() << "\n";
   }

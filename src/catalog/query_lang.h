@@ -7,6 +7,11 @@
 //   ROLLBACK <relation> TO '1992-02-03 10:30:00'
 //   TIMESLICE <relation> AT '...' AS OF '...'      (bitemporal)
 //   EXPLAIN TIMESLICE <relation> AT '...'          (plan only)
+//   EXPLAIN ANALYZE <query>                        (execute + trace span)
+//
+// EXPLAIN ANALYZE runs the query with a trace span attached and returns the
+// span as single-line JSON in QueryOutput::trace_json (strategy, counters,
+// pages touched, per-stage timings) instead of the result rows.
 //
 // Time literals are single-quoted "YYYY-MM-DD[ HH:MM[:SS[.ffffff]]]".
 #ifndef TEMPSPEC_CATALOG_QUERY_LANG_H_
@@ -27,6 +32,9 @@ struct QueryOutput {
   /// Set for planned (timeslice/range) queries and EXPLAIN.
   std::string plan_description;
   bool explain_only = false;
+  /// EXPLAIN ANALYZE: the executed query's trace span as single-line JSON.
+  std::string trace_json;
+  bool analyze = false;
 
   /// \brief Tabular rendering (element per line).
   std::string ToString() const;

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace tempspec {
+
+bool MetricsCompiledIn() {
+#ifdef TEMPSPEC_METRICS
+  return true;
+#else
+  return false;
+#endif
+}
+
+size_t ThisThreadMetricShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+uint64_t MetricCounter::Value() const {
+  uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void MetricCounter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void MetricHistogram::Reset() {
+  for (Shard& s : shards_) {
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t HistogramBucketFor(uint64_t v) {
+  return static_cast<size_t>(std::bit_width(v));  // 0 -> 0, else 1..64
+}
+
+uint64_t HistogramBucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : buckets) {
+    cumulative += n;
+    if (static_cast<double>(cumulative) >= target) {
+      return HistogramBucketUpperBound(bucket);
+    }
+  }
+  return HistogramBucketUpperBound(buckets.empty() ? 0 : buckets.back().first);
+}
+
+HistogramSnapshot MetricHistogram::Snapshot() const {
+  uint64_t totals[kHistogramBuckets] = {};
+  HistogramSnapshot out;
+  for (const Shard& s : shards_) {
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      totals[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (totals[b] == 0) continue;
+    out.count += totals[b];
+    out.buckets.emplace_back(b, totals[b]);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked so instrumented destructors of other static objects can still
+  // record at exit.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<MetricCounter>(name);
+  return *slot;
+}
+
+MetricGauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MetricGauge>(name);
+  return *slot;
+}
+
+MetricHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<MetricHistogram>(name);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h->Snapshot();
+  return snap;
+}
+
+size_t MetricsRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::ResetValues() {
+  // Not atomic with respect to concurrent writers; benches call this in a
+  // quiescent moment between runs. Handles must stay valid, so every metric
+  // is zeroed in place.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"p50\":" + std::to_string(h.Percentile(0.5)) +
+           ",\"p99\":" + std::to_string(h.Percentile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,253 @@
+// Engine-wide metrics: monotonic counters, gauges, and log-scale histograms.
+//
+// The paper's systems claim — specialization semantics "may be used for
+// selecting appropriate storage structures, indexing techniques, and query
+// processing strategies" — is only testable if the engine can *show* that a
+// chosen strategy did less work. This registry is the evidence channel: the
+// storage stack counts buffer-pool hits and WAL syncs, the execution engine
+// counts per-strategy queries and elements examined, and the advisor counts
+// which strategy it recommends per specialization. Benches and EXPLAIN
+// ANALYZE scrape a consistent snapshot.
+//
+// Hot-path design: each counter/histogram is a fixed array of cache-line-
+// padded shards; a thread picks its shard once (thread-local index) and then
+// every update is a single relaxed atomic add — no locks, no false sharing.
+// Scrape() sums the shards. Gauges are single atomics (set semantics do not
+// shard).
+//
+// Compile-out: the registry API always exists, so tests and tools compile
+// regardless of build flags; the *call sites* use the TS_COUNTER_* /
+// TS_GAUGE_* / TS_HISTOGRAM_* macros below, which compile to nothing unless
+// TEMPSPEC_METRICS is defined (a CMake option, default ON — mirror of the
+// TEMPSPEC_FAILPOINTS pattern). With the option off the hot paths carry zero
+// metrics code and MetricsCompiledIn() returns false so conformance tests
+// can detect a vacuous build instead of passing silently.
+#ifndef TEMPSPEC_OBS_METRICS_H_
+#define TEMPSPEC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tempspec {
+
+/// \brief True when the engine was compiled with TEMPSPEC_METRICS, i.e. the
+/// instrumented call sites actually record anything.
+bool MetricsCompiledIn();
+
+/// \brief Shard count for striped counters/histograms. A power of two; 16
+/// shards keep contention negligible at any realistic thread count while
+/// bounding the per-metric footprint (16 cache lines per counter).
+constexpr size_t kMetricShards = 16;
+
+/// \brief This thread's shard index (assigned round-robin on first use).
+size_t ThisThreadMetricShard();
+
+/// \brief Monotonic counter. Add() is lock-free and wait-free.
+class MetricCounter {
+ public:
+  explicit MetricCounter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t n) {
+    shards_[ThisThreadMetricShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// \brief Sum over all shards (racy-but-monotone under concurrent writers).
+  uint64_t Value() const;
+
+  /// \brief Zeroes all shards in place (registry ResetValues()).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+  std::string name_;
+};
+
+/// \brief Point-in-time value (queue depths, open handles). Set/Add only;
+/// a gauge is one atomic because "last write wins" cannot be sharded.
+class MetricGauge {
+ public:
+  explicit MetricGauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::string name_;
+};
+
+/// \brief Number of histogram buckets: bucket b counts values whose bit
+/// width is b, i.e. v in [2^(b-1), 2^b), with bucket 0 counting v == 0.
+/// Fixed log2 scale — no configuration, so every histogram is mergeable.
+constexpr size_t kHistogramBuckets = 65;
+
+/// \brief Bucket index for a value (0 for 0, else bit_width(v)).
+size_t HistogramBucketFor(uint64_t v);
+/// \brief Inclusive upper bound of a bucket (used for percentile estimates).
+uint64_t HistogramBucketUpperBound(size_t bucket);
+
+/// \brief Aggregated view of one histogram at scrape time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  /// Non-empty buckets only: (bucket index, count).
+  std::vector<std::pair<size_t, uint64_t>> buckets;
+
+  /// \brief Upper-bound estimate of the p-quantile (p in [0, 1]): the upper
+  /// edge of the first bucket whose cumulative count reaches p * count.
+  uint64_t Percentile(double p) const;
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+};
+
+/// \brief Log-scale histogram with sharded buckets; Observe() is lock-free.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::string name) : name_(std::move(name)) {}
+
+  void Observe(uint64_t v) {
+    Shard& s = shards_[ThisThreadMetricShard()];
+    s.buckets[HistogramBucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// \brief Zeroes all shards in place (registry ResetValues()).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kHistogramBuckets]{};
+    std::atomic<uint64_t> sum{0};
+  };
+  Shard shards_[kMetricShards];
+  std::string name_;
+};
+
+/// \brief One consistent-enough scrape of every registered metric (each
+/// individual metric is summed atomically; cross-metric skew is possible
+/// under concurrent writers, as in any sampling scraper).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// \brief Counter value, 0 when absent.
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// \brief Single-line JSON: {"counters":{...},"gauges":{...},
+  /// "histograms":{"name":{"count":..,"sum":..,"p50":..,"p99":..},...}}.
+  std::string ToJson() const;
+};
+
+/// \brief Process-wide metric registry. Registration (GetCounter & friends)
+/// takes a mutex and is meant to be cached by call sites (the TS_* macros
+/// cache in a function-local static); updates through the returned handles
+/// never lock. Handles are valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  MetricCounter& GetCounter(const std::string& name);
+  MetricGauge& GetGauge(const std::string& name);
+  MetricHistogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Scrape() const;
+
+  /// \brief Number of registered metrics (conformance tests use this to
+  /// prove the OFF build registers nothing).
+  size_t MetricCount() const;
+
+  /// \brief Zeroes every counter/gauge/histogram (benches isolate runs with
+  /// this). Handles stay valid; names stay registered.
+  void ResetValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+/// \brief Escapes a string for embedding in a JSON string literal (shared by
+/// the snapshot, trace spans, and the bench JSON writer).
+std::string JsonEscape(const std::string& s);
+
+// -- Instrumentation macros (compiled out without TEMPSPEC_METRICS) ----------
+//
+// `name` must be a string literal (or at least loop-invariant): the handle
+// lookup runs once per call site via a function-local static, after which
+// each hit is one relaxed atomic add. For names computed at runtime (e.g.
+// per-strategy counters), wrap a cached-handle table in TS_METRICS_ONLY().
+
+#ifdef TEMPSPEC_METRICS
+#define TS_METRICS_ONLY(code) code
+#define TS_COUNTER_ADD(name, n)                                      \
+  do {                                                               \
+    static ::tempspec::MetricCounter& ts_metric_ =                   \
+        ::tempspec::MetricsRegistry::Instance().GetCounter(name);    \
+    ts_metric_.Add(n);                                               \
+  } while (0)
+#define TS_COUNTER_INC(name) TS_COUNTER_ADD(name, 1)
+#define TS_GAUGE_SET(name, v)                                        \
+  do {                                                               \
+    static ::tempspec::MetricGauge& ts_metric_ =                     \
+        ::tempspec::MetricsRegistry::Instance().GetGauge(name);      \
+    ts_metric_.Set(v);                                               \
+  } while (0)
+#define TS_GAUGE_ADD(name, v)                                        \
+  do {                                                               \
+    static ::tempspec::MetricGauge& ts_metric_ =                     \
+        ::tempspec::MetricsRegistry::Instance().GetGauge(name);      \
+    ts_metric_.Add(v);                                               \
+  } while (0)
+#define TS_HISTOGRAM_OBSERVE(name, v)                                \
+  do {                                                               \
+    static ::tempspec::MetricHistogram& ts_metric_ =                 \
+        ::tempspec::MetricsRegistry::Instance().GetHistogram(name);  \
+    ts_metric_.Observe(v);                                           \
+  } while (0)
+#else
+#define TS_METRICS_ONLY(code)
+#define TS_COUNTER_ADD(name, n) \
+  do {                          \
+  } while (0)
+#define TS_COUNTER_INC(name) \
+  do {                       \
+  } while (0)
+#define TS_GAUGE_SET(name, v) \
+  do {                        \
+  } while (0)
+#define TS_GAUGE_ADD(name, v) \
+  do {                        \
+  } while (0)
+#define TS_HISTOGRAM_OBSERVE(name, v) \
+  do {                                \
+  } while (0)
+#endif  // TEMPSPEC_METRICS
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_OBS_METRICS_H_

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tempspec {
+
+namespace {
+uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+             .count()));
+}
+}  // namespace
+
+void TraceContext::Begin(std::string name) {
+  name_ = std::move(name);
+  started_ = true;
+  ended_ = false;
+  wall_micros_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void TraceContext::End() {
+  if (!started_ || ended_) return;
+  ended_ = true;
+  wall_micros_ = MicrosSince(start_);
+}
+
+void TraceContext::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(key, std::move(value));
+}
+
+void TraceContext::AddCounter(const std::string& key, uint64_t n) {
+  for (auto& [k, v] : counters_) {
+    if (k == key) {
+      v += n;
+      return;
+    }
+  }
+  counters_.emplace_back(key, n);
+}
+
+uint64_t TraceContext::counter(const std::string& key) const {
+  for (const auto& [k, v] : counters_) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+const std::string& TraceContext::attr(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+void TraceContext::AddStage(std::string name, uint64_t micros) {
+  stages_.push_back(TraceStage{std::move(name), micros});
+}
+
+TraceContext::StageScope::StageScope(TraceContext* ctx, std::string name)
+    : ctx_(ctx), name_(std::move(name)) {
+  if (ctx_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+TraceContext::StageScope::~StageScope() {
+  if (ctx_ != nullptr) ctx_->AddStage(std::move(name_), MicrosSince(start_));
+}
+
+std::string TraceContext::ToJson() const {
+  // A span being serialized is done; finalize the clock without forcing
+  // every caller to remember End().
+  const_cast<TraceContext*>(this)->End();
+
+  std::string out = "{\"span\":\"" + JsonEscape(name_) + "\"";
+  out += ",\"wall_micros\":" + std::to_string(wall_micros_);
+  out += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [k, v] : attrs_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [k, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(k) + "\":" + std::to_string(v);
+  }
+  out += "},\"stages\":[";
+  first = true;
+  for (const TraceStage& s : stages_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(s.name) +
+           "\",\"micros\":" + std::to_string(s.micros) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tempspec

@@ -1,0 +1,94 @@
+// Per-query trace spans.
+//
+// A TraceContext is attached to one query execution (via ExecutorOptions) and
+// records what the metrics registry can only aggregate: which plan the
+// optimizer chose for *this* query, how many elements it examined vs
+// returned, how many buffer-pool pages it touched, and how long each stage
+// took. query_lang's EXPLAIN ANALYZE surfaces the span as single-line JSON.
+//
+// Unlike the TS_* metric macros, tracing is a runtime opt-in rather than a
+// compile-time one: a query with no attached context pays only a null-pointer
+// check, so the span machinery is always compiled in and works in
+// TEMPSPEC_METRICS=OFF trees too.
+#ifndef TEMPSPEC_OBS_TRACE_H_
+#define TEMPSPEC_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tempspec {
+
+/// \brief One recorded stage of a span: (name, wall micros).
+struct TraceStage {
+  std::string name;
+  uint64_t micros = 0;
+};
+
+/// \brief A single query's trace span. Not thread-safe: one context belongs
+/// to one query execution, and the executor records into it only from the
+/// calling thread (per-morsel work aggregates through QueryStats first).
+class TraceContext {
+ public:
+  TraceContext() = default;
+
+  /// \brief Starts the span clock and names it (e.g. "query.timeslice").
+  void Begin(std::string name);
+  /// \brief Stops the span clock. Idempotent; ToJson() calls it if needed.
+  void End();
+
+  bool started() const { return started_; }
+  const std::string& name() const { return name_; }
+  uint64_t wall_micros() const { return wall_micros_; }
+
+  /// \brief Sets a string attribute (last write wins), e.g. plan strategy.
+  void SetAttr(const std::string& key, std::string value);
+  /// \brief Adds to a numeric counter, e.g. elements_examined.
+  void AddCounter(const std::string& key, uint64_t n);
+  /// \brief Counter value, 0 when absent.
+  uint64_t counter(const std::string& key) const;
+  /// \brief Attribute value, "" when absent.
+  const std::string& attr(const std::string& key) const;
+
+  /// \brief Records a completed stage duration.
+  void AddStage(std::string name, uint64_t micros);
+  const std::vector<TraceStage>& stages() const { return stages_; }
+
+  /// \brief RAII stage timer: times from construction to destruction and
+  /// appends a TraceStage. Safe with a null context (no-op).
+  class StageScope {
+   public:
+    StageScope(TraceContext* ctx, std::string name);
+    ~StageScope();
+    StageScope(const StageScope&) = delete;
+    StageScope& operator=(const StageScope&) = delete;
+
+   private:
+    TraceContext* ctx_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// \brief Single-line JSON:
+  /// {"span":"query.timeslice","wall_micros":N,
+  ///  "attrs":{"strategy":"valid_index",...},
+  ///  "counters":{"elements_examined":N,...},
+  ///  "stages":[{"name":"plan","micros":N},...]}
+  std::string ToJson() const;
+
+ private:
+  std::string name_;
+  bool started_ = false;
+  bool ended_ = false;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t wall_micros_ = 0;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+  std::vector<TraceStage> stages_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_OBS_TRACE_H_

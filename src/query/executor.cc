@@ -1,7 +1,10 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+
+#include "obs/metrics.h"
 
 namespace tempspec {
 
@@ -13,7 +16,13 @@ void Count(QueryStats* stats, uint64_t examined, uint64_t probes = 0) {
   stats->index_probes += probes;
 }
 
-/// \brief Adds wall-clock time to stats->elapsed_micros on scope exit.
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// \brief Adds wall-clock time to stats->wall_micros on scope exit.
 class StatsTimer {
  public:
   explicit StatsTimer(QueryStats* stats) : stats_(stats) {
@@ -21,15 +30,106 @@ class StatsTimer {
   }
   ~StatsTimer() {
     if (stats_ == nullptr) return;
-    stats_->elapsed_micros += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
+    stats_->wall_micros +=
+        MicrosBetween(start_, std::chrono::steady_clock::now());
   }
 
  private:
   QueryStats* stats_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Per-query observation scope: routes stats, populates the trace
+/// span, and publishes registry metrics on exit.
+///
+/// Declared before the StatsTimer in every entry point, so the timer's
+/// destructor finalizes wall_micros before this scope reads the deltas. When
+/// the caller passed no QueryStats but a trace is attached (or metrics are
+/// compiled in), a scope-local QueryStats collects the counters instead.
+class QueryScope {
+ public:
+  QueryScope(const TemporalRelation& relation, TraceContext* trace,
+             const char* span_name, QueryStats* caller_stats)
+      : trace_(trace), span_name_(span_name) {
+    if (trace_ != nullptr) trace_->Begin(span_name);
+    if (caller_stats != nullptr) {
+      stats_ = caller_stats;
+      baseline_ = *caller_stats;
+    } else if (trace_ != nullptr || MetricsCompiledIn()) {
+      stats_ = &local_;
+    }
+    if (stats_ != nullptr) {
+      if (const BufferPool* pool = relation.backlog().buffer_pool()) {
+        pool_ = pool;
+        pages_before_ = pool->hits() + pool->misses();
+      }
+    }
+  }
+
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+  /// \brief Stats target for this query: the caller's, a scope-local one
+  /// when observation needs counters anyway, or nullptr.
+  QueryStats* stats() const { return stats_; }
+
+  /// \brief Records the optimizer's choice for the span and the registry.
+  void SetPlan(const PlanChoice& plan) {
+    strategy_token_ = ExecutionStrategyToToken(plan.strategy);
+    if (trace_ != nullptr) trace_->SetAttr("plan", plan.rationale);
+  }
+  void SetStrategyToken(const char* token) { strategy_token_ = token; }
+
+  ~QueryScope() {
+    if (stats_ == nullptr) return;
+    QueryStats d = *stats_;
+    d.elements_examined -= baseline_.elements_examined;
+    d.index_probes -= baseline_.index_probes;
+    d.results -= baseline_.results;
+    d.wall_micros -= baseline_.wall_micros;
+    d.cpu_micros -= baseline_.cpu_micros;
+    d.morsels_executed -= baseline_.morsels_executed;
+    const uint64_t pages_touched =
+        pool_ == nullptr ? 0 : pool_->hits() + pool_->misses() - pages_before_;
+
+    if (trace_ != nullptr) {
+      if (strategy_token_ != nullptr) {
+        trace_->SetAttr("strategy", strategy_token_);
+      }
+      trace_->AddCounter("elements_examined", d.elements_examined);
+      trace_->AddCounter("index_probes", d.index_probes);
+      trace_->AddCounter("results", d.results);
+      trace_->AddCounter("morsels_executed", d.morsels_executed);
+      trace_->AddCounter("cpu_micros", d.cpu_micros);
+      trace_->AddCounter("pages_touched", pages_touched);
+      trace_->End();
+    }
+
+    TS_METRICS_ONLY({
+      MetricsRegistry& reg = MetricsRegistry::Instance();
+      reg.GetCounter(std::string("executor.") + span_name_).Increment();
+      if (strategy_token_ != nullptr) {
+        reg.GetCounter(std::string("executor.strategy.") + strategy_token_)
+            .Increment();
+      }
+      TS_COUNTER_INC("executor.queries");
+      TS_COUNTER_ADD("executor.elements_examined", d.elements_examined);
+      TS_COUNTER_ADD("executor.elements_returned", d.results);
+      TS_COUNTER_ADD("executor.index_probes", d.index_probes);
+      TS_COUNTER_ADD("executor.morsels", d.morsels_executed);
+      TS_HISTOGRAM_OBSERVE("executor.query_wall_micros", d.wall_micros);
+    });
+  }
+
+ private:
+  TraceContext* trace_;
+  const char* span_name_;
+  const char* strategy_token_ = nullptr;
+  QueryStats* stats_ = nullptr;
+  QueryStats local_;
+  QueryStats baseline_;
+  const BufferPool* pool_ = nullptr;
+  uint64_t pages_before_ = 0;
 };
 
 }  // namespace
@@ -47,32 +147,52 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
       optimizer_.ShouldParallelize(count, options_.parallel_cutoff);
   std::vector<uint64_t> out;
   if (!parallel) {
+    std::chrono::steady_clock::time_point scan_start;
+    if (stats) scan_start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < count; ++i) {
       const uint64_t pos = pos_at(i);
       if (pred(elements[pos])) out.push_back(pos);
     }
-    if (stats && count > 0) stats->morsels_executed += 1;
+    if (stats && count > 0) {
+      stats->morsels_executed += 1;
+      stats->cpu_micros +=
+          MicrosBetween(scan_start, std::chrono::steady_clock::now());
+    }
     return out;
   }
 
   // Morsel-parallel: workers claim contiguous candidate chunks and fill
   // per-morsel buffers; concatenating the buffers in morsel order makes the
-  // output identical to the serial loop above.
+  // output identical to the serial loop above. Per-morsel scan durations
+  // accumulate into cpu_micros — the summed cross-worker time whose gap to
+  // wall_micros is the parallel speedup.
   const size_t morsels = (count + grain - 1) / grain;
   std::vector<std::vector<uint64_t>> parts(morsels);
+  std::atomic<uint64_t> cpu_micros{0};
   pool->ParallelFor(count, grain,
                     [&](size_t morsel, size_t begin, size_t end) {
+                      std::chrono::steady_clock::time_point morsel_start;
+                      if (stats) morsel_start = std::chrono::steady_clock::now();
                       std::vector<uint64_t>& part = parts[morsel];
                       for (size_t i = begin; i < end; ++i) {
                         const uint64_t pos = pos_at(i);
                         if (pred(elements[pos])) part.push_back(pos);
+                      }
+                      if (stats) {
+                        cpu_micros.fetch_add(
+                            MicrosBetween(morsel_start,
+                                          std::chrono::steady_clock::now()),
+                            std::memory_order_relaxed);
                       }
                     });
   size_t total = 0;
   for (const auto& part : parts) total += part.size();
   out.reserve(total);
   for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
-  if (stats) stats->morsels_executed += morsels;
+  if (stats) {
+    stats->morsels_executed += morsels;
+    stats->cpu_micros += cpu_micros.load(std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -80,6 +200,7 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
                                      TimePoint hi,
                                      std::optional<TimePoint> as_of,
                                      QueryStats* stats) const {
+  TraceContext::StageScope scan_stage(options_.trace, "scan");
   const std::span<const Element> elements = relation_.elements();
   // Belief filter: current queries require an open existence interval;
   // as-of queries require existence at the given transaction time.
@@ -179,7 +300,12 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
 // -- Zero-copy interface ------------------------------------------------------
 
 ResultSet QueryExecutor::CurrentSet(QueryStats* stats) const {
+  QueryScope scope(relation_, options_.trace, "query.current", stats);
+  scope.SetStrategyToken(
+      ExecutionStrategyToToken(ExecutionStrategy::kFullScan));
+  stats = scope.stats();
   StatsTimer timer(stats);
+  TraceContext::StageScope scan_stage(options_.trace, "scan");
   const std::span<const Element> elements = relation_.elements();
   Count(stats, elements.size());
   std::vector<uint64_t> positions = CollectMatches(
@@ -190,7 +316,12 @@ ResultSet QueryExecutor::CurrentSet(QueryStats* stats) const {
 }
 
 ResultSet QueryExecutor::RollbackSet(TimePoint tt, QueryStats* stats) const {
+  QueryScope scope(relation_, options_.trace, "query.rollback", stats);
+  scope.SetStrategyToken(
+      ExecutionStrategyToToken(ExecutionStrategy::kFullScan));
+  stats = scope.stats();
   StatsTimer timer(stats);
+  TraceContext::StageScope scan_stage(options_.trace, "scan");
   const std::span<const Element> elements = relation_.elements();
   Count(stats, elements.size());
   std::vector<uint64_t> positions = CollectMatches(
@@ -201,11 +332,19 @@ ResultSet QueryExecutor::RollbackSet(TimePoint tt, QueryStats* stats) const {
 }
 
 ResultSet QueryExecutor::TimesliceSet(TimePoint vt, QueryStats* stats) const {
-  return TimesliceSetWith(optimizer_.PlanTimeslice(vt), vt, stats);
+  PlanChoice plan;
+  {
+    TraceContext::StageScope plan_stage(options_.trace, "plan");
+    plan = optimizer_.PlanTimeslice(vt);
+  }
+  return TimesliceSetWith(plan, vt, stats);
 }
 
 ResultSet QueryExecutor::TimesliceSetWith(const PlanChoice& plan, TimePoint vt,
                                           QueryStats* stats) const {
+  QueryScope scope(relation_, options_.trace, "query.timeslice", stats);
+  scope.SetPlan(plan);
+  stats = scope.stats();
   StatsTimer timer(stats);
   return ExecutePlan(plan, vt, TimePoint::FromMicros(vt.micros() + 1),
                      std::nullopt, stats);
@@ -213,23 +352,38 @@ ResultSet QueryExecutor::TimesliceSetWith(const PlanChoice& plan, TimePoint vt,
 
 ResultSet QueryExecutor::ValidRangeSet(TimePoint lo, TimePoint hi,
                                        QueryStats* stats) const {
-  return ValidRangeSetWith(optimizer_.PlanValidRange(lo, hi), lo, hi, stats);
+  PlanChoice plan;
+  {
+    TraceContext::StageScope plan_stage(options_.trace, "plan");
+    plan = optimizer_.PlanValidRange(lo, hi);
+  }
+  return ValidRangeSetWith(plan, lo, hi, stats);
 }
 
 ResultSet QueryExecutor::ValidRangeSetWith(const PlanChoice& plan, TimePoint lo,
                                            TimePoint hi,
                                            QueryStats* stats) const {
+  QueryScope scope(relation_, options_.trace, "query.valid_range", stats);
+  scope.SetPlan(plan);
+  stats = scope.stats();
   StatsTimer timer(stats);
   return ExecutePlan(plan, lo, hi, std::nullopt, stats);
 }
 
 ResultSet QueryExecutor::TimesliceAsOfSet(TimePoint vt, TimePoint tt,
                                           QueryStats* stats) const {
-  StatsTimer timer(stats);
   // The optimizer's strategies bound where matches were *inserted*; logical
   // deletion never moves an insertion, so the same plan applies with the
   // existence filter swapped from IsCurrent() to ExistsAt(tt).
-  const PlanChoice plan = optimizer_.PlanTimeslice(vt);
+  PlanChoice plan;
+  {
+    TraceContext::StageScope plan_stage(options_.trace, "plan");
+    plan = optimizer_.PlanTimeslice(vt);
+  }
+  QueryScope scope(relation_, options_.trace, "query.timeslice_as_of", stats);
+  scope.SetPlan(plan);
+  stats = scope.stats();
+  StatsTimer timer(stats);
   return ExecutePlan(plan, vt, TimePoint::FromMicros(vt.micros() + 1), tt,
                      stats);
 }
@@ -246,7 +400,11 @@ std::vector<Element> QueryExecutor::Rollback(TimePoint tt,
     // The snapshot/differential cache replays the backlog in O(suffix); it
     // also reproduces the historical representation (deletion stamps still
     // open at tt), which a position view over the final store cannot.
+    QueryScope scope(relation_, options_.trace, "query.rollback", stats);
+    scope.SetStrategyToken("snapshot_replay");
+    stats = scope.stats();
     StatsTimer timer(stats);
+    TraceContext::StageScope scan_stage(options_.trace, "snapshot_replay");
     std::vector<Element> out = relation_.StateAt(tt, options_.pool);
     Count(stats, out.size());
     if (stats) stats->results += out.size();

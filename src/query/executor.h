@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "query/optimizer.h"
 #include "query/plan.h"
 #include "query/result_set.h"
@@ -40,6 +41,10 @@ struct ExecutorOptions {
   /// Candidate-count floor for going parallel (the optimizer's cost cutoff;
   /// lowered by tests to force parallel execution at small sizes).
   size_t parallel_cutoff = Optimizer::kParallelCutoff;
+  /// Per-query trace span (EXPLAIN ANALYZE). When set, each query records
+  /// its plan choice, counters, pages touched, and stage timings into this
+  /// context. One context per query: reuse across queries accumulates.
+  TraceContext* trace = nullptr;
 };
 
 /// \brief Executes temporal queries against one relation.

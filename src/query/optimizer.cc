@@ -1,6 +1,40 @@
 #include "query/optimizer.h"
 
+#include "obs/metrics.h"
+
 namespace tempspec {
+
+namespace {
+
+/// \brief Counts the chosen strategy under optimizer.plan.<token>. Cached
+/// handles per strategy so the per-plan cost is one relaxed atomic add.
+void CountPlan(const PlanChoice& plan) {
+#ifdef TEMPSPEC_METRICS
+  static MetricCounter* const counters[] = {
+      &MetricsRegistry::Instance().GetCounter(
+          std::string("optimizer.plan.") +
+          ExecutionStrategyToToken(ExecutionStrategy::kFullScan)),
+      &MetricsRegistry::Instance().GetCounter(
+          std::string("optimizer.plan.") +
+          ExecutionStrategyToToken(ExecutionStrategy::kValidIndex)),
+      &MetricsRegistry::Instance().GetCounter(
+          std::string("optimizer.plan.") +
+          ExecutionStrategyToToken(ExecutionStrategy::kTransactionWindow)),
+      &MetricsRegistry::Instance().GetCounter(
+          std::string("optimizer.plan.") +
+          ExecutionStrategyToToken(ExecutionStrategy::kRollbackEquivalence)),
+      &MetricsRegistry::Instance().GetCounter(
+          std::string("optimizer.plan.") +
+          ExecutionStrategyToToken(ExecutionStrategy::kMonotoneBinarySearch)),
+  };
+  const size_t i = static_cast<size_t>(plan.strategy);
+  if (i < sizeof(counters) / sizeof(counters[0])) counters[i]->Increment();
+#else
+  (void)plan;
+#endif
+}
+
+}  // namespace
 
 Optimizer::Optimizer(const SpecializationSet& specs, const Schema& schema)
     : specs_(specs), schema_(schema) {}
@@ -105,6 +139,7 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
     plan.rationale =
         "degenerate relation: valid time equals transaction time within "
         "granularity " + g.ToString() + "; timeslice answered as rollback";
+    CountPlan(plan);
     return plan;
   }
 
@@ -114,6 +149,7 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
     plan.rationale = "declared band " + band->ToString() +
                      " bounds the storage delay; scanning tt window " +
                      plan.tt_window.ToString();
+    CountPlan(plan);
     return plan;
   }
 
@@ -122,11 +158,13 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
     plan.rationale =
         "non-decreasing/sequential relation: valid times are sorted in "
         "insertion order; binary search";
+    CountPlan(plan);
     return plan;
   }
 
   plan.strategy = ExecutionStrategy::kValidIndex;
   plan.rationale = "general relation: valid-time interval index probe";
+  CountPlan(plan);
   return plan;
 }
 

@@ -18,4 +18,20 @@ const char* ExecutionStrategyToString(ExecutionStrategy s) {
   return "unknown";
 }
 
+const char* ExecutionStrategyToToken(ExecutionStrategy s) {
+  switch (s) {
+    case ExecutionStrategy::kFullScan:
+      return "full_scan";
+    case ExecutionStrategy::kValidIndex:
+      return "valid_index";
+    case ExecutionStrategy::kTransactionWindow:
+      return "transaction_window";
+    case ExecutionStrategy::kRollbackEquivalence:
+      return "rollback_equivalence";
+    case ExecutionStrategy::kMonotoneBinarySearch:
+      return "monotone_binary_search";
+  }
+  return "unknown";
+}
+
 }  // namespace tempspec

@@ -35,6 +35,10 @@ enum class ExecutionStrategy : uint8_t {
 
 const char* ExecutionStrategyToString(ExecutionStrategy s);
 
+/// \brief Stable snake_case token for metric names and trace attributes
+/// (e.g. "valid_index"), as opposed to the prose ToString form.
+const char* ExecutionStrategyToToken(ExecutionStrategy s);
+
 /// \brief The optimizer's decision for one query.
 struct PlanChoice {
   ExecutionStrategy strategy = ExecutionStrategy::kFullScan;
@@ -46,12 +50,25 @@ struct PlanChoice {
 };
 
 /// \brief Execution counters for measuring strategy effectiveness.
+///
+/// Time is reported on two distinct axes that a parallel scan pulls apart:
+/// `wall_micros` is elapsed time observed by the caller, while `cpu_micros`
+/// sums the time each morsel spent scanning across all workers. Serially
+/// cpu <= wall (the scan is one slice of the elapsed time); under
+/// parallelism cpu typically exceeds wall — that gap IS the speedup. The
+/// former `elapsed_micros` field conflated the two under Merge(), adding
+/// per-worker durations into a field documented as wall-clock.
 struct QueryStats {
   uint64_t elements_examined = 0;
   uint64_t index_probes = 0;
   uint64_t results = 0;
-  /// Wall-clock time spent inside the executor, in microseconds.
-  uint64_t elapsed_micros = 0;
+  /// Wall-clock time spent inside the executor, in microseconds. Merge()
+  /// adds wall times, so a merged value only stays wall-clock when the
+  /// merged queries ran back-to-back (per-morsel partials merge into
+  /// cpu_micros instead, never into this field).
+  uint64_t wall_micros = 0;
+  /// Summed per-morsel scan time across all workers, in microseconds.
+  uint64_t cpu_micros = 0;
   /// Morsels dispatched; 1 per query when the scan ran serially.
   uint64_t morsels_executed = 0;
 
@@ -61,7 +78,8 @@ struct QueryStats {
     elements_examined += other.elements_examined;
     index_probes += other.index_probes;
     results += other.results;
-    elapsed_micros += other.elapsed_micros;
+    wall_micros += other.wall_micros;
+    cpu_micros += other.cpu_micros;
     morsels_executed += other.morsels_executed;
   }
 };

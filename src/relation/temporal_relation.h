@@ -81,6 +81,7 @@ class TemporalRelation {
   const SpecializationSet& specializations() const { return specs_; }
   TransactionClock& clock() { return *clock_; }
   BacklogStore& backlog() { return *backlog_; }
+  const BacklogStore& backlog() const { return *backlog_; }
   SnapshotManager* snapshots() { return snapshots_.get(); }
   const SnapshotManager* snapshots() const { return snapshots_.get(); }
 

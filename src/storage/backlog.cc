@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/serde.h"
 
@@ -89,6 +90,8 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
       });
   TS_RETURN_NOT_OK(replayed.status());
   store->wal_->SetNextLsn(store->entries_.size());
+  TS_COUNTER_INC("storage.backlog.recoveries");
+  TS_COUNTER_ADD("storage.backlog.recovered_entries", store->entries_.size());
   return store;
 }
 
@@ -232,6 +235,7 @@ Status BacklogStore::Append(const BacklogEntry& entry) {
     }
   }
   entries_.push_back(entry);
+  TS_COUNTER_INC("storage.backlog.appends");
   return Status::OK();
 }
 
@@ -320,6 +324,7 @@ Status BacklogStore::Checkpoint() {
   // A half-completed checkpoint left pages the scan-based recovery would
   // double-count if we blindly re-ran it; fail stop until reopened.
   if (!st.ok()) io_failed_ = true;
+  if (st.ok()) TS_COUNTER_INC("storage.backlog.checkpoints");
   return st;
 }
 
@@ -365,6 +370,7 @@ Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
     return Status::OK();
   }();
   if (!st.ok()) io_failed_ = true;
+  if (st.ok()) TS_COUNTER_INC("storage.backlog.compactions");
   return st;
 }
 

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace tempspec {
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity)
@@ -19,6 +21,7 @@ Result<size_t> BufferPool::GetFrame(PageId id) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     ++hits_;
+    TS_COUNTER_INC("storage.buffer_pool.hits");
     Frame& f = *frames_[it->second];
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -28,6 +31,7 @@ Result<size_t> BufferPool::GetFrame(PageId id) {
     return it->second;
   }
   ++misses_;
+  TS_COUNTER_INC("storage.buffer_pool.misses");
 
   size_t index;
   if (frames_.size() < capacity_) {
@@ -41,6 +45,7 @@ Result<size_t> BufferPool::GetFrame(PageId id) {
     }
     table_.erase(victim.id);
     ++evictions_;
+    TS_COUNTER_INC("storage.buffer_pool.evictions");
   }
 
   Frame& f = *frames_[index];

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/serde.h"
 #include "util/failpoint.h"
@@ -138,6 +139,8 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   TS_RETURN_NOT_OK(st);
   bytes_written_ += record.size();
   ++next_lsn_;
+  TS_COUNTER_INC("storage.wal.appends");
+  TS_COUNTER_ADD("storage.wal.bytes_appended", record.size());
 
   if (mode_ == SyncMode::kAlways ||
       (mode_ == SyncMode::kEveryN && ++appends_since_sync_ >= sync_every_)) {
@@ -161,6 +164,7 @@ Status WriteAheadLog::SyncOnce() {
     return Status::IOError("WAL fsync failed: ", std::strerror(errno));
   }
   synced_bytes_ = file_size_;
+  TS_COUNTER_INC("storage.wal.syncs");
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace tempspec {
 
 const char* FaultKindToString(FaultKind kind) {
@@ -200,6 +202,7 @@ uint64_t FailpointRegistry::CrashCut(uint64_t lo, uint64_t hi) {
 }
 
 void IoRetryBackoff(int attempt) {
+  TS_COUNTER_INC("storage.io.retries");
   std::this_thread::sleep_for(std::chrono::microseconds(50) * (1 << attempt));
 }
 

@@ -1,0 +1,85 @@
+// Unit tests for TraceContext: span lifecycle, counters/attrs, stage scopes
+// (including null-context safety), and the single-line JSON rendering that
+// EXPLAIN ANALYZE returns verbatim.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tempspec {
+namespace {
+
+TEST(TraceTest, SpanLifecycle) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.started());
+  ctx.Begin("query.timeslice");
+  EXPECT_TRUE(ctx.started());
+  EXPECT_EQ(ctx.name(), "query.timeslice");
+  ctx.End();
+  const uint64_t wall = ctx.wall_micros();
+  ctx.End();  // idempotent: a second End must not extend the span
+  EXPECT_EQ(ctx.wall_micros(), wall);
+}
+
+TEST(TraceTest, CountersAccumulateAndAttrsLastWriteWins) {
+  TraceContext ctx;
+  ctx.Begin("span");
+  ctx.AddCounter("elements_examined", 10);
+  ctx.AddCounter("elements_examined", 5);
+  ctx.AddCounter("results", 3);
+  EXPECT_EQ(ctx.counter("elements_examined"), 15u);
+  EXPECT_EQ(ctx.counter("results"), 3u);
+  EXPECT_EQ(ctx.counter("absent"), 0u);
+  ctx.SetAttr("strategy", "full_scan");
+  ctx.SetAttr("strategy", "valid_index");
+  EXPECT_EQ(ctx.attr("strategy"), "valid_index");
+  EXPECT_EQ(ctx.attr("absent"), "");
+}
+
+TEST(TraceTest, StageScopesRecordInOrder) {
+  TraceContext ctx;
+  ctx.Begin("span");
+  {
+    TraceContext::StageScope plan(&ctx, "plan");
+  }
+  {
+    TraceContext::StageScope scan(&ctx, "scan");
+  }
+  ctx.AddStage("manual", 123);
+  ASSERT_EQ(ctx.stages().size(), 3u);
+  EXPECT_EQ(ctx.stages()[0].name, "plan");
+  EXPECT_EQ(ctx.stages()[1].name, "scan");
+  EXPECT_EQ(ctx.stages()[2].name, "manual");
+  EXPECT_EQ(ctx.stages()[2].micros, 123u);
+}
+
+TEST(TraceTest, NullContextStageScopeIsNoop) {
+  // The executor passes nullptr when no trace is attached; the scope must be
+  // inert, not crash.
+  TraceContext::StageScope scope(nullptr, "scan");
+}
+
+TEST(TraceTest, ToJsonShape) {
+  TraceContext ctx;
+  ctx.Begin("query.rollback");
+  ctx.SetAttr("strategy", "full_scan");
+  ctx.AddCounter("results", 7);
+  ctx.AddStage("scan", 42);
+  const std::string json = ctx.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "single line";
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"span\":\"query.rollback\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_micros\":"), std::string::npos);
+  EXPECT_NE(json.find("\"attrs\":{\"strategy\":\"full_scan\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"results\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":[{\"name\":\"scan\",\"micros\":42}]"),
+            std::string::npos);
+  // ToJson finalizes a still-open span so the wall time is meaningful.
+  EXPECT_GE(ctx.wall_micros(), 0u);
+}
+
+}  // namespace
+}  // namespace tempspec

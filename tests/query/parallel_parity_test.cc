@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "query/executor.h"
 #include "storage/snapshot.h"
@@ -246,13 +247,63 @@ TEST(ParallelParityTest, StatsCountMorselsAndTime) {
   EXPECT_EQ(ps.morsels_executed, (scenario->size() + 63) / 64);
   EXPECT_EQ(ps.elements_examined, ss.elements_examined);
   EXPECT_EQ(ps.results, ss.results);
-  // Merge is additive across queries.
+  // Wall-clock and summed per-morsel CPU time are tracked separately. A
+  // serial query times its (single) scan loop inside the wall interval, so
+  // cpu can never exceed wall. (At this size both may round to 0us — the
+  // positive-clock assertions live in the large-workload test below.)
+  EXPECT_LE(ss.cpu_micros, ss.wall_micros);
+  // Merge must keep the two clocks apart — summing them into one figure was
+  // the historical bug this guards against.
   QueryStats merged;
   merged.Merge(ps);
   merged.Merge(ss);
   EXPECT_EQ(merged.results, ps.results + ss.results);
   EXPECT_EQ(merged.morsels_executed,
             ps.morsels_executed + ss.morsels_executed);
+  EXPECT_EQ(merged.wall_micros, ps.wall_micros + ss.wall_micros);
+  EXPECT_EQ(merged.cpu_micros, ps.cpu_micros + ss.cpu_micros);
+}
+
+TEST(ParallelParityTest, WallClockBoundedBySummedMorselTimeUnderParallelism) {
+  // The point of splitting QueryStats::wall_micros from cpu_micros: when
+  // morsels genuinely overlap, the per-morsel durations sum to more than the
+  // elapsed wall time — that surplus IS the parallel speedup. Overlap needs
+  // real cores; on a single-CPU host the scheduler serializes morsels and
+  // the inequality can legitimately fail, so there the test only checks that
+  // both clocks tick and stay separate.
+  WorkloadConfig config;
+  config.num_objects = 16;
+  config.ops_per_object = 4096;  // 65536 elements: several ms of scan
+  ASSERT_OK_AND_ASSIGN(auto scenario, MakeGeneral(config));
+  ASSERT_OK(GenerateGeneral(config, Duration::Hours(2), &scenario));
+  ThreadPool pool(4);
+  QueryExecutor parallel(*scenario.relation,
+                         ExecutorOptions{.pool = &pool,
+                                         .morsel_size = 2048,
+                                         .parallel_cutoff = 1});
+  const PlanChoice scan{ExecutionStrategy::kFullScan, TimeInterval::All(), ""};
+  const TimePoint vt = scenario->elements()[999].valid.begin();
+  // Warm up the pool so thread spin-up does not land in the measured wall.
+  { QueryStats warm; parallel.TimesliceSetWith(scan, vt, &warm); }
+
+  if (std::thread::hardware_concurrency() >= 2) {
+    bool overlapped = false;
+    for (int trial = 0; trial < 10 && !overlapped; ++trial) {
+      QueryStats ps;
+      parallel.TimesliceSetWith(scan, vt, &ps);
+      ASSERT_GT(ps.morsels_executed, 1u);
+      overlapped = ps.wall_micros <= ps.cpu_micros;
+    }
+    EXPECT_TRUE(overlapped)
+        << "no trial showed wall <= summed per-morsel time on a "
+        << std::thread::hardware_concurrency() << "-core host";
+  } else {
+    QueryStats ps;
+    parallel.TimesliceSetWith(scan, vt, &ps);
+    EXPECT_GT(ps.morsels_executed, 1u);
+    EXPECT_GT(ps.wall_micros, 0u);
+    EXPECT_GT(ps.cpu_micros, 0u);
+  }
 }
 
 }  // namespace

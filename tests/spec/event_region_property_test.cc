@@ -1,0 +1,199 @@
+// Property test for the Figure 1 region semantics (Section 3.1).
+//
+// The twelve panes of Figure 1 are bands of the offset vt - tt. This test
+// drives randomized (tt, vt) event streams against a brute-force oracle that
+// re-implements region membership from first principles — plain integer
+// arithmetic on the offset against each boundary line — and asserts that
+// every event_spec checker (the EventSpecialization factories, Band::Contains
+// and ClassifyBand) agrees with the oracle on every stamp pair, across at
+// least a thousand seeded streams. Streams deliberately mix uniform offsets
+// with exact boundary hits (0, ±Δ_small, ±Δ_large) and off-by-one-chronon
+// neighbours so the closed-bound (<=) reading of assumption 4 is pinned.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "spec/band.h"
+#include "spec/enumeration.h"
+#include "spec/event_spec.h"
+#include "testing.h"
+#include "testing_spec.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::SpecForKind;
+using testing::T;
+
+constexpr int kStreams = 1000;
+constexpr int kPairsPerStream = 16;
+
+const Duration kDeltaSmall = Duration::Seconds(30);
+const Duration kDeltaLarge = Duration::Seconds(90);
+
+/// \brief Brute-force Figure 1 membership: checks the offset vt - tt against
+/// each boundary line of the band with raw int64 arithmetic. Independent of
+/// Band::Contains (which routes fixed offsets through TimePoint addition).
+bool OracleContains(const Band& band, TimePoint tt, TimePoint vt) {
+  const int64_t offset = vt.micros() - tt.micros();
+  if (band.lower().has_value()) {
+    const int64_t lo = band.lower()->offset.micros();
+    if (band.lower()->open ? offset <= lo : offset < lo) return false;
+  }
+  if (band.upper().has_value()) {
+    const int64_t hi = band.upper()->offset.micros();
+    if (band.upper()->open ? offset >= hi : offset > hi) return false;
+  }
+  return true;
+}
+
+/// \brief One random offset, biased toward the interesting boundaries.
+int64_t NextOffsetMicros(Random& rng) {
+  // The boundary offsets of the enumeration, in chronons.
+  static const int64_t kEdges[] = {
+      0,
+      kDeltaSmall.micros(),  -kDeltaSmall.micros(),
+      kDeltaLarge.micros(),  -kDeltaLarge.micros(),
+  };
+  switch (rng.Uniform(0, 3)) {
+    case 0:  // exact boundary hit
+      return kEdges[rng.Uniform(0, 4)];
+    case 1:  // one chronon off a boundary
+      return kEdges[rng.Uniform(0, 4)] + (rng.OneIn(0.5) ? 1 : -1);
+    default:  // uniform across and beyond the banded range
+      return rng.Uniform(-3 * kDeltaLarge.micros(), 3 * kDeltaLarge.micros());
+  }
+}
+
+struct RegionSpec {
+  EnumeratedRegion region;
+  EventSpecialization spec;
+};
+
+std::vector<RegionSpec> BuildRegionSpecs() {
+  std::vector<RegionSpec> out;
+  for (const EnumeratedRegion& region :
+       EnumerateEventRegions(kDeltaSmall, kDeltaLarge)) {
+    auto spec = SpecForKind(region.kind, kDeltaSmall, kDeltaLarge);
+    spec.status().Check();
+    out.push_back(RegionSpec{region, std::move(spec).ValueOrDie()});
+  }
+  return out;
+}
+
+TEST(EventRegionPropertyTest, FactoriesReproduceEnumeratedBands) {
+  // The factory instance for each pane's kind must produce exactly the
+  // enumerated representative band — this is what lets the stream test below
+  // speak about "the" checker for a region.
+  const auto specs = BuildRegionSpecs();
+  ASSERT_EQ(specs.size(), 12u);
+  for (const RegionSpec& rs : specs) {
+    EXPECT_EQ(rs.spec.band(), rs.region.band)
+        << EventSpecKindToString(rs.region.kind) << ": factory band "
+        << rs.spec.band().ToString() << " vs enumerated "
+        << rs.region.band.ToString();
+    EXPECT_EQ(rs.spec.kind(), rs.region.kind);
+    EXPECT_EQ(EventSpecialization::ClassifyBand(rs.region.band), rs.region.kind)
+        << rs.region.band.ToString();
+  }
+}
+
+TEST(EventRegionPropertyTest, RandomStreamsAgreeWithOracle) {
+  const auto specs = BuildRegionSpecs();
+  ASSERT_EQ(specs.size(), 12u);
+  uint64_t pairs_checked = 0;
+  for (int stream = 0; stream < kStreams; ++stream) {
+    Random rng(0x5eed0000 + static_cast<uint64_t>(stream));
+    // Each stream is an event history: transaction times march forward,
+    // valid times scatter around them by the random offset.
+    int64_t tt_micros = rng.Uniform(0, 1'000'000) * 1'000'000;
+    for (int i = 0; i < kPairsPerStream; ++i) {
+      tt_micros += rng.Uniform(1, 120) * 1'000'000;
+      const TimePoint tt = TimePoint::FromMicros(tt_micros);
+      const TimePoint vt = TimePoint::FromMicros(tt_micros + NextOffsetMicros(rng));
+      ++pairs_checked;
+      int member_count = 0;
+      for (const RegionSpec& rs : specs) {
+        const bool oracle = OracleContains(rs.region.band, tt, vt);
+        member_count += oracle ? 1 : 0;
+        ASSERT_EQ(rs.spec.Satisfies(tt, vt), oracle)
+            << "stream " << stream << " pair " << i << " offset "
+            << (vt.micros() - tt.micros()) << "us vs "
+            << EventSpecKindToString(rs.region.kind) << " "
+            << rs.region.band.ToString();
+        ASSERT_EQ(rs.region.band.Contains(tt, vt), oracle)
+            << "Band::Contains disagrees with the oracle on "
+            << rs.region.band.ToString();
+      }
+      // Figure 1 covers the plane: the general pane contains every pair, so
+      // membership is never empty.
+      ASSERT_GE(member_count, 1);
+    }
+  }
+  ASSERT_GE(pairs_checked, uint64_t{kStreams} * kPairsPerStream);
+}
+
+TEST(EventRegionPropertyTest, SatisfiesRespectsDecidableImplications) {
+  // If region A's band is (decidably) a subset of region B's band, then every
+  // stamp pair satisfying A's checker must satisfy B's. Sampled over the same
+  // randomized streams: a cheap consistency proof of Implies/SubsetOf against
+  // the pointwise semantics.
+  const auto specs = BuildRegionSpecs();
+  struct Implication {
+    size_t narrow, wide;
+  };
+  std::vector<Implication> implications;
+  for (size_t a = 0; a < specs.size(); ++a) {
+    for (size_t b = 0; b < specs.size(); ++b) {
+      if (a == b) continue;
+      const auto subset = specs[a].region.band.SubsetOf(specs[b].region.band);
+      if (subset.has_value() && *subset) implications.push_back({a, b});
+    }
+  }
+  // The taxonomy is a lattice, not an antichain: plenty of decidable edges.
+  ASSERT_GE(implications.size(), 11u);
+  Random rng(777);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int64_t tt_micros = rng.Uniform(0, 1'000'000) * 1'000'000;
+    const TimePoint tt = TimePoint::FromMicros(tt_micros);
+    const TimePoint vt = TimePoint::FromMicros(tt_micros + NextOffsetMicros(rng));
+    for (const Implication& imp : implications) {
+      if (specs[imp.narrow].spec.Satisfies(tt, vt)) {
+        ASSERT_TRUE(specs[imp.wide].spec.Satisfies(tt, vt))
+            << EventSpecKindToString(specs[imp.narrow].region.kind)
+            << " ⊆ " << EventSpecKindToString(specs[imp.wide].region.kind)
+            << " violated at offset " << (vt.micros() - tt.micros()) << "us";
+      }
+    }
+  }
+}
+
+TEST(EventRegionPropertyTest, EnumerationIsTheCompletenessTheorem) {
+  // 1 zero-line + 6 one-line + 5 two-line regions, all classifying to
+  // distinct kinds: the Section 3.1 theorem, restated over the test deltas.
+  const auto regions = EnumerateEventRegions(kDeltaSmall, kDeltaLarge);
+  ASSERT_EQ(regions.size(), 12u);
+  int zero = 0, one = 0, two = 0;
+  std::set<EventSpecKind> kinds;
+  for (const auto& r : regions) {
+    kinds.insert(r.kind);
+    if (r.construction.rfind("zero", 0) == 0) ++zero;
+    if (r.construction.rfind("one", 0) == 0) ++one;
+    if (r.construction.rfind("two", 0) == 0) ++two;
+  }
+  EXPECT_EQ(zero, 1);
+  EXPECT_EQ(one, 6);
+  EXPECT_EQ(two, 5);
+  EXPECT_EQ(kinds.size(), 12u);
+  EXPECT_TRUE(kinds.count(EventSpecKind::kGeneral));
+  // Degenerate (vt = tt exactly) is the one taxonomy kind with no pane of its
+  // own: (2)+(2) collapses to a single line, so the diagonal is the
+  // intersection of the two kind-(2) half-planes rather than a region.
+  EXPECT_FALSE(kinds.count(EventSpecKind::kDegenerate));
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,324 @@
+// Golden tests locking the published shape of Figures 2-5.
+//
+// lattice_test.cc proves the machine-checkable implications behind the
+// edges; this file locks the figures themselves: the exact node sets, the
+// exact edge sets (including which edges are derivable vs asserted), golden
+// LUB/GLB tables computed over the order, and the completeness accounting
+// (eleven specialized event types + the general type). Any drift in the
+// lattice constructors — a dropped edge, a renamed node, a changed edge
+// kind — fails here with the offending edge named.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spec/enumeration.h"
+#include "spec/event_spec.h"
+#include "spec/lattice.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using EdgeSet = std::set<std::pair<std::string, std::string>>;
+
+EdgeSet Edges(const SpecLattice& lattice) {
+  EdgeSet out;
+  for (const auto& e : lattice.edges()) out.insert({e.parent, e.child});
+  return out;
+}
+
+void ExpectSameEdges(const SpecLattice& lattice, const EdgeSet& expected,
+                     const char* figure) {
+  const EdgeSet actual = Edges(lattice);
+  for (const auto& e : expected) {
+    EXPECT_TRUE(actual.count(e))
+        << figure << " lost edge " << e.first << " -> " << e.second;
+  }
+  for (const auto& e : actual) {
+    EXPECT_TRUE(expected.count(e))
+        << figure << " grew edge " << e.first << " -> " << e.second;
+  }
+  EXPECT_EQ(actual.size(), expected.size()) << figure;
+}
+
+/// \brief Least upper bounds of {a, b}: the minimal elements (most
+/// specialized) of the set of common ancestors, a node counting as its own
+/// ancestor. A unique LUB is how the catalog picks "the" coarsest common
+/// specialization two declarations share.
+std::vector<std::string> LeastUpperBounds(const SpecLattice& l,
+                                          const std::string& a,
+                                          const std::string& b) {
+  std::vector<std::string> common;
+  for (const auto& n : l.nodes()) {
+    if (l.IsDescendant(n, a) && l.IsDescendant(n, b)) common.push_back(n);
+  }
+  std::vector<std::string> minimal;
+  for (const auto& n : common) {
+    bool has_lower = false;
+    for (const auto& m : common) {
+      if (m != n && l.IsDescendant(n, m)) has_lower = true;
+    }
+    if (!has_lower) minimal.push_back(n);
+  }
+  std::sort(minimal.begin(), minimal.end());
+  return minimal;
+}
+
+/// \brief Greatest lower bounds: maximal elements of the common descendants.
+std::vector<std::string> GreatestLowerBounds(const SpecLattice& l,
+                                             const std::string& a,
+                                             const std::string& b) {
+  std::vector<std::string> common;
+  for (const auto& n : l.nodes()) {
+    if (l.IsDescendant(a, n) && l.IsDescendant(b, n)) common.push_back(n);
+  }
+  std::vector<std::string> maximal;
+  for (const auto& n : common) {
+    bool has_higher = false;
+    for (const auto& m : common) {
+      if (m != n && l.IsDescendant(m, n)) has_higher = true;
+    }
+    if (!has_higher) maximal.push_back(n);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
+}
+
+std::vector<std::string> V(std::initializer_list<std::string> names) {
+  std::vector<std::string> out(names);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(LatticeGoldenTest, Figure2EventTaxonomyEdges) {
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  const EdgeSet expected = {
+      {"general", "undetermined"},
+      {"undetermined", "retroactively bounded"},
+      {"undetermined", "predictively bounded"},
+      {"retroactively bounded", "predictive"},
+      {"retroactively bounded", "strongly bounded"},
+      {"predictively bounded", "strongly bounded"},
+      {"predictively bounded", "retroactive"},
+      {"predictive", "early predictive"},
+      {"predictive", "strongly predictively bounded"},
+      {"strongly bounded", "strongly predictively bounded"},
+      {"strongly bounded", "strongly retroactively bounded"},
+      {"retroactive", "strongly retroactively bounded"},
+      {"retroactive", "delayed retroactive"},
+      {"early predictive", "early strongly predictively bounded"},
+      {"strongly predictively bounded", "early strongly predictively bounded"},
+      {"strongly predictively bounded", "degenerate"},
+      {"strongly retroactively bounded", "degenerate"},
+      {"strongly retroactively bounded",
+       "delayed strongly retroactively bounded"},
+      {"delayed retroactive", "delayed strongly retroactively bounded"},
+  };
+  ExpectSameEdges(l, expected, "Figure 2");
+  EXPECT_EQ(l.nodes().size(), 14u);
+  EXPECT_EQ(l.Roots(), (std::vector<std::string>{"general"}));
+  // The sinks of the event taxonomy: nothing specializes past these.
+  EXPECT_EQ(V({"degenerate", "delayed strongly retroactively bounded",
+               "early strongly predictively bounded"}),
+            V({l.Leaves()[0], l.Leaves()[1], l.Leaves()[2]}));
+  ASSERT_EQ(l.Leaves().size(), 3u);
+  // Every edge of Figure 2 is band containment, hence derivable.
+  for (const auto& e : l.edges()) {
+    EXPECT_EQ(e.kind, SpecLattice::EdgeKind::kDerivable)
+        << e.parent << " -> " << e.child;
+  }
+}
+
+TEST(LatticeGoldenTest, Figure2LubGlbTable) {
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  // Golden meet/join table for the pairs the paper discusses. The event
+  // taxonomy is a genuine lattice on these pairs: every LUB/GLB is unique.
+  EXPECT_EQ(LeastUpperBounds(l, "retroactive", "predictive"),
+            V({"undetermined"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "retroactive", "predictive"),
+            V({"degenerate"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "retroactively bounded",
+                                "predictively bounded"),
+            V({"strongly bounded"}));
+  EXPECT_EQ(LeastUpperBounds(l, "strongly retroactively bounded",
+                             "strongly predictively bounded"),
+            V({"strongly bounded"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "strongly retroactively bounded",
+                                "strongly predictively bounded"),
+            V({"degenerate"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "delayed retroactive",
+                                "strongly retroactively bounded"),
+            V({"delayed strongly retroactively bounded"}));
+  EXPECT_EQ(LeastUpperBounds(l, "early predictive",
+                             "strongly predictively bounded"),
+            V({"predictive"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "early predictive",
+                                "strongly predictively bounded"),
+            V({"early strongly predictively bounded"}));
+  EXPECT_EQ(LeastUpperBounds(l, "delayed retroactive", "early predictive"),
+            V({"undetermined"}));
+  // Top and bottom behave as identity elements.
+  EXPECT_EQ(LeastUpperBounds(l, "general", "degenerate"), V({"general"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "general", "degenerate"),
+            V({"degenerate"}));
+}
+
+TEST(LatticeGoldenTest, Figure2CoversTheEnumeratedTaxonomy) {
+  // Completeness: the lattice carries a node for the general type and for
+  // each of the eleven specialized types of the Section 3.1 theorem (the
+  // twelve Figure 1 panes), plus degenerate and the undetermined junction.
+  const SpecLattice& l = SpecLattice::EventTaxonomy();
+  std::set<std::string> pane_names;
+  for (const auto& region : EnumerateEventRegions()) {
+    pane_names.insert(EventSpecKindToString(region.kind));
+  }
+  EXPECT_EQ(pane_names.size(), 12u);
+  for (const auto& name : pane_names) {
+    EXPECT_TRUE(l.HasNode(name)) << "no lattice node for pane type " << name;
+  }
+  EXPECT_TRUE(l.HasNode("degenerate"));
+  // 12 pane types + degenerate + the undetermined junction = 14 nodes.
+  EXPECT_EQ(l.nodes().size(), pane_names.size() + 2);
+}
+
+TEST(LatticeGoldenTest, Figure3InterEventOrderings) {
+  const SpecLattice& l = SpecLattice::InterEventOrderings();
+  const EdgeSet expected = {
+      {"general", "globally non-decreasing"},
+      {"general", "globally non-increasing"},
+      {"globally non-decreasing", "globally sequential"},
+  };
+  ExpectSameEdges(l, expected, "Figure 3");
+  EXPECT_EQ(l.nodes().size(), 4u);
+  EXPECT_EQ(LeastUpperBounds(l, "globally non-decreasing",
+                             "globally non-increasing"),
+            V({"general"}));
+  // The orderings have no common specialization: their meet is empty.
+  EXPECT_TRUE(GreatestLowerBounds(l, "globally non-decreasing",
+                                  "globally non-increasing")
+                  .empty());
+}
+
+TEST(LatticeGoldenTest, Figure4InterEventRegularity) {
+  const SpecLattice& l = SpecLattice::InterEventRegularity();
+  const EdgeSet expected = {
+      {"general", "transaction time event regular"},
+      {"general", "valid time event regular"},
+      {"transaction time event regular",
+       "strict transaction time event regular"},
+      {"valid time event regular", "strict valid time event regular"},
+      {"transaction time event regular", "temporal event regular"},
+      {"valid time event regular", "temporal event regular"},
+      {"temporal event regular", "strict temporal event regular"},
+      {"strict transaction time event regular",
+       "strict temporal event regular"},
+      {"strict valid time event regular", "strict temporal event regular"},
+  };
+  ExpectSameEdges(l, expected, "Figure 4");
+  EXPECT_EQ(l.nodes().size(), 7u);
+  EXPECT_EQ(GreatestLowerBounds(l, "transaction time event regular",
+                                "valid time event regular"),
+            V({"temporal event regular"}));
+  EXPECT_EQ(GreatestLowerBounds(l, "strict transaction time event regular",
+                                "strict valid time event regular"),
+            V({"strict temporal event regular"}));
+  EXPECT_EQ(LeastUpperBounds(l, "strict transaction time event regular",
+                             "strict valid time event regular"),
+            V({"general"}));
+  EXPECT_EQ(l.Leaves(), (std::vector<std::string>{
+                            "strict temporal event regular"}));
+}
+
+TEST(LatticeGoldenTest, Figure5InterIntervalTaxonomy) {
+  const SpecLattice& l = SpecLattice::InterIntervalTaxonomy();
+  // The Allen relations whose endpoint constraints force begins
+  // non-decreasing / ends non-increasing (re-derived in
+  // interinterval_test.cc); st-during is constrained by neither and hangs
+  // from the root.
+  const EdgeSet expected = {
+      {"general", "globally non-decreasing"},
+      {"general", "globally non-increasing"},
+      {"globally non-decreasing", "st-before"},
+      {"globally non-decreasing", "globally contiguous (st-meets)"},
+      {"globally non-decreasing", "st-overlaps"},
+      {"globally non-decreasing", "st-starts"},
+      {"globally non-decreasing", "st-equals"},
+      {"globally non-decreasing", "st-started-by"},
+      {"globally non-decreasing", "st-contains"},
+      {"globally non-decreasing", "st-finished-by"},
+      {"globally non-increasing", "st-equals"},
+      {"globally non-increasing", "st-after"},
+      {"globally non-increasing", "st-met-by"},
+      {"globally non-increasing", "st-overlapped-by"},
+      {"globally non-increasing", "st-started-by"},
+      {"globally non-increasing", "st-contains"},
+      {"globally non-increasing", "st-finished-by"},
+      {"globally non-increasing", "st-finishes"},
+      {"general", "st-during"},
+      {"st-before", "globally sequential"},
+      {"globally non-decreasing", "globally sequential"},
+  };
+  ExpectSameEdges(l, expected, "Figure 5");
+  EXPECT_EQ(l.nodes().size(), 17u);
+  EXPECT_EQ(l.Roots(), (std::vector<std::string>{"general"}));
+  // Exactly one edge depends on the paper's strict reading of `before`:
+  // sequential-under-st-before. Everything else is derivable.
+  std::vector<std::pair<std::string, std::string>> asserted;
+  for (const auto& e : l.edges()) {
+    if (e.kind == SpecLattice::EdgeKind::kAsserted) {
+      asserted.push_back({e.parent, e.child});
+    }
+  }
+  ASSERT_EQ(asserted.size(), 1u);
+  EXPECT_EQ(asserted[0],
+            (std::pair<std::string, std::string>{"st-before",
+                                                 "globally sequential"}));
+  // The doubly-constrained st-relations sit under both orderings.
+  for (const char* both : {"st-equals", "st-started-by", "st-contains",
+                           "st-finished-by"}) {
+    EXPECT_EQ(LeastUpperBounds(l, both, both), V({both}));
+    EXPECT_TRUE(l.IsDescendant("globally non-decreasing", both)) << both;
+    EXPECT_TRUE(l.IsDescendant("globally non-increasing", both)) << both;
+  }
+  EXPECT_EQ(GreatestLowerBounds(l, "globally non-decreasing",
+                                "globally non-increasing"),
+            V({"st-contains", "st-equals", "st-finished-by",
+               "st-started-by"}));
+}
+
+TEST(LatticeGoldenTest, AncestorClosureMatchesEdgeReachability) {
+  // AncestorsOf is how the catalog expands a declared property into every
+  // inherited one; pin it against an independent reachability computation
+  // over the golden edges.
+  for (const SpecLattice* l :
+       {&SpecLattice::EventTaxonomy(), &SpecLattice::InterEventOrderings(),
+        &SpecLattice::InterEventRegularity(),
+        &SpecLattice::InterIntervalTaxonomy()}) {
+    for (const auto& node : l->nodes()) {
+      std::set<std::string> expected;
+      // Fixed-point closure over the raw edge list.
+      bool changed = true;
+      std::set<std::string> frontier{node};
+      while (changed) {
+        changed = false;
+        for (const auto& e : l->edges()) {
+          if ((frontier.count(e.child) || expected.count(e.child)) &&
+              expected.insert(e.parent).second) {
+            changed = true;
+          }
+        }
+      }
+      expected.erase(node);
+      const auto got = l->AncestorsOf(node);
+      EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), expected)
+          << node;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

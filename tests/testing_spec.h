@@ -1,0 +1,56 @@
+// Shared helpers for the specialization conformance tests: the canonical
+// mapping from an EventSpecKind to a concrete EventSpecialization instance
+// whose band matches the representative band that EnumerateEventRegions()
+// produces for the same deltas.
+#ifndef TEMPSPEC_TESTS_TESTING_SPEC_H_
+#define TEMPSPEC_TESTS_TESTING_SPEC_H_
+
+#include "spec/event_spec.h"
+#include "timex/duration.h"
+#include "util/result.h"
+
+namespace tempspec {
+namespace testing {
+
+/// \brief Builds the specialization instance for `kind` with the enumeration's
+/// representative deltas (`ds` for single bounds, [`ds`, `dl`] for the
+/// two-delta types). The returned spec's band must equal the band of the
+/// EnumerateEventRegions(ds, dl) region of the same kind — the property tests
+/// assert exactly that before relying on it.
+inline Result<EventSpecialization> SpecForKind(EventSpecKind kind, Duration ds,
+                                               Duration dl) {
+  switch (kind) {
+    case EventSpecKind::kGeneral:
+      return EventSpecialization::General();
+    case EventSpecKind::kRetroactive:
+      return EventSpecialization::Retroactive();
+    case EventSpecKind::kDelayedRetroactive:
+      return EventSpecialization::DelayedRetroactive(ds);
+    case EventSpecKind::kPredictive:
+      return EventSpecialization::Predictive();
+    case EventSpecKind::kEarlyPredictive:
+      return EventSpecialization::EarlyPredictive(ds);
+    case EventSpecKind::kRetroactivelyBounded:
+      return EventSpecialization::RetroactivelyBounded(ds);
+    case EventSpecKind::kPredictivelyBounded:
+      return EventSpecialization::PredictivelyBounded(ds);
+    case EventSpecKind::kStronglyRetroactivelyBounded:
+      return EventSpecialization::StronglyRetroactivelyBounded(ds);
+    case EventSpecKind::kDelayedStronglyRetroactivelyBounded:
+      return EventSpecialization::DelayedStronglyRetroactivelyBounded(ds, dl);
+    case EventSpecKind::kStronglyPredictivelyBounded:
+      return EventSpecialization::StronglyPredictivelyBounded(ds);
+    case EventSpecKind::kEarlyStronglyPredictivelyBounded:
+      return EventSpecialization::EarlyStronglyPredictivelyBounded(ds, dl);
+    case EventSpecKind::kStronglyBounded:
+      return EventSpecialization::StronglyBounded(ds, dl);
+    case EventSpecKind::kDegenerate:
+      return EventSpecialization::Degenerate();
+  }
+  return Status::InvalidArgument("unknown EventSpecKind");
+}
+
+}  // namespace testing
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TESTS_TESTING_SPEC_H_

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Smoke check: every bench binary honors `--json` and emits a schema-valid
+# BENCH_<id>.json. Runs each bench with a tiny filter/min-time so the whole
+# sweep finishes in seconds — this validates the reporting contract, not the
+# performance numbers.
+#
+# Usage: tools/bench_json_smoke.sh [build_dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+CHECKER="$(dirname "$0")/check_bench_json.py"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "no bench dir at $BENCH_DIR (build with the default CMake config first)" >&2
+  exit 2
+fi
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+failures=0
+emitted=()
+for bench in "$BENCH_DIR"/bench_*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  json="$OUT_DIR/$name.json"
+  if [ "$name" = "bench_figures" ]; then
+    # Structural checker: no google-benchmark flags, runs everything fast.
+    "$bench" --json "$json" > /dev/null 2>&1
+  else
+    # One repetition of the benchmarks' smallest cases; 0.01s floor keeps
+    # even the fsync-bound durability cases to a handful of iterations.
+    "$bench" --json "$json" --benchmark_min_time=0.01 \
+        --benchmark_repetitions=1 > /dev/null 2>&1
+  fi
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "$name: FAIL: exit status $status"
+    failures=$((failures + 1))
+    continue
+  fi
+  if [ ! -s "$json" ]; then
+    echo "$name: FAIL: wrote no JSON"
+    failures=$((failures + 1))
+    continue
+  fi
+  emitted+=("$json")
+done
+
+if [ ${#emitted[@]} -eq 0 ]; then
+  echo "no bench binaries found in $BENCH_DIR" >&2
+  exit 2
+fi
+
+python3 "$CHECKER" "${emitted[@]}" || failures=$((failures + 1))
+
+if [ $failures -ne 0 ]; then
+  echo "bench json smoke: $failures failure(s)"
+  exit 1
+fi
+echo "bench json smoke: all ${#emitted[@]} bench binaries emitted valid JSON"
