@@ -2,12 +2,14 @@
 // and writes a BENCH_<id>.json result file (schema below) so the perf
 // trajectory can be tracked across commits by tools/check_bench_json.py.
 //
-// Schema (schema_version 1, single JSON object per file):
+// Schema (schema_version 2, single JSON object per file):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench_id": "e2_degenerate",
-//     "params": {"threads": N, "metrics_compiled": 0|1,
-//                "failpoints_compiled": 0|1},
+//     "params": {"threads": N, "metrics_enabled": 0|1,
+//                "failpoints_enabled": 0|1,
+//                "sanitizers": ""|"thread"|"address",
+//                "compiler": "<__VERSION__ of the building compiler>"},
 //     "benchmarks": [
 //       {"name": "...", "runs": N, "iterations": N,
 //        "real_time_ns_median": X, "real_time_ns_p99": X,
@@ -65,13 +67,21 @@ inline std::string FormatDouble(double v) {
 /// \brief Serializes the result file (single line; schema above).
 inline std::string BenchResultsToJson(const std::string& bench_id,
                                       const std::vector<BenchResult>& results) {
-  std::string out = "{\"schema_version\":1";
+  std::string out = "{\"schema_version\":2";
   out += ",\"bench_id\":\"" + JsonEscape(bench_id) + "\"";
+  // The full build configuration rides along with every result file: perf
+  // numbers are only comparable between identically-configured trees, and
+  // a sanitized or metrics-OFF run must be distinguishable after the fact.
   out += ",\"params\":{\"threads\":" +
          std::to_string(ThreadPool::DefaultThreadCount()) +
-         ",\"metrics_compiled\":" + (MetricsCompiledIn() ? "1" : "0") +
-         ",\"failpoints_compiled\":" + (FailpointsCompiledIn() ? "1" : "0") +
-         "}";
+         ",\"metrics_enabled\":" + (MetricsCompiledIn() ? "1" : "0") +
+         ",\"failpoints_enabled\":" + (FailpointsCompiledIn() ? "1" : "0") +
+#ifdef TEMPSPEC_SANITIZE_NAME
+         ",\"sanitizers\":\"" + JsonEscape(TEMPSPEC_SANITIZE_NAME) + "\"" +
+#else
+         ",\"sanitizers\":\"\"" +
+#endif
+         ",\"compiler\":\"" + JsonEscape(__VERSION__) + "\"}";
   out += ",\"benchmarks\":[";
   bool first = true;
   for (const BenchResult& r : results) {

@@ -74,7 +74,29 @@ Result<TemporalRelation*> Catalog::Get(const std::string& name) const {
 
 Result<AdvisorReport> Catalog::AdviseFor(const std::string& name) const {
   TS_ASSIGN_OR_RETURN(TemporalRelation * rel, Get(name));
-  return Advise(rel->schema(), rel->specializations());
+  AdvisorReport report = Advise(rel->schema(), rel->specializations());
+  // Fold in drift: advice derived from the declaration is only sound while
+  // the data stays inside its declared region.
+  const DriftReport drift = rel->DriftState();
+  if (drift.has_declaration && drift.observed_count > 0) {
+    if (!drift.conforming || drift.violations > 0) {
+      report.notes.push_back(
+          std::string("DRIFT: declared ") +
+          EventSpecKindToString(drift.declared) + " but observed " +
+          EventSpecKindToString(drift.observed) + " (lattice distance " +
+          std::to_string(drift.lattice_distance) + ", " +
+          std::to_string(drift.violations) +
+          " attempted violations) — the advice above may no longer fit the "
+          "workload");
+    } else if (drift.lattice_distance > 0) {
+      report.notes.push_back(
+          std::string("drift: data is strictly tighter than declared (") +
+          EventSpecKindToString(drift.observed) + ", lattice distance " +
+          std::to_string(drift.lattice_distance) +
+          ") — a tighter declaration would unlock more advice");
+    }
+  }
+  return report;
 }
 
 std::vector<std::string> Catalog::RelationNames() const {

@@ -1,9 +1,11 @@
 #include "catalog/query_lang.h"
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "query/executor.h"
 #include "timex/calendar.h"
@@ -78,6 +80,20 @@ class QueryCursor {
     return Status::InvalidArgument("expected ", expected);
   }
 
+  Result<uint64_t> Number() {
+    SkipSpace().Check();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a number");
+    }
+    return static_cast<uint64_t>(
+        std::stoull(std::string(input_.substr(start, pos_ - start))));
+  }
+
   Result<TimePoint> TimeLiteral() {
     SkipSpace().Check();
     if (pos_ >= input_.size() || input_[pos_] != '\'') {
@@ -97,6 +113,41 @@ class QueryCursor {
   size_t pos_ = 0;
 };
 
+// SHOW SLOW QUERIES [LIMIT n]: the retained ring, oldest first (LIMIT keeps
+// the n most recent), one JSON line per entry plus a summary line.
+Result<QueryOutput> ShowSlowQueries(QueryCursor& cur) {
+  QueryOutput out;
+  size_t limit = std::numeric_limits<size_t>::max();
+  if (cur.TryWord("LIMIT")) {
+    TS_ASSIGN_OR_RETURN(uint64_t n, cur.Number());
+    limit = static_cast<size_t>(n);
+  }
+  SlowQueryLog& log = SlowQueryLog::Instance();
+  std::vector<SlowQueryEntry> entries = log.Entries();
+  const size_t begin = entries.size() > limit ? entries.size() - limit : 0;
+  std::ostringstream ss;
+  for (size_t i = begin; i < entries.size(); ++i) {
+    ss << entries[i].ToJson() << "\n";
+  }
+  ss << (entries.size() - begin) << " slow quer"
+     << (entries.size() - begin == 1 ? "y" : "ies") << " shown ("
+     << log.TotalRecorded() << " recorded, threshold "
+     << log.threshold_micros() << "us)\n";
+  out.report = ss.str();
+  return out;
+}
+
+// SHOW SPECIALIZATION <relation>: declared vs observed kind, drift state,
+// and the Figure-1 pane occupancy histogram.
+Result<QueryOutput> ShowSpecialization(const Catalog& catalog,
+                                       QueryCursor& cur) {
+  TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+  TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+  QueryOutput out;
+  out.report = rel->DriftState().ToString();
+  return out;
+}
+
 }  // namespace
 
 Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
@@ -115,10 +166,32 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     TS_ASSIGN_OR_RETURN(verb, cur.Word());
   }
 
-  // EXPLAIN ANALYZE attaches a per-query trace span to the executor.
+  if (verb == "SHOW") {
+    TS_ASSIGN_OR_RETURN(std::string what, cur.Word());
+    Result<QueryOutput> shown = [&]() -> Result<QueryOutput> {
+      if (what == "SLOW") {
+        TS_RETURN_NOT_OK(cur.ExpectWord("QUERIES"));
+        return ShowSlowQueries(cur);
+      }
+      if (what == "SPECIALIZATION") return ShowSpecialization(catalog, cur);
+      return Status::InvalidArgument(
+          "unknown SHOW target '", what,
+          "' (expected SLOW QUERIES or SPECIALIZATION)");
+    }();
+    TS_RETURN_NOT_OK(shown.status());
+    if (!cur.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return shown;
+  }
+
+  // EXPLAIN ANALYZE attaches a per-query trace span to the executor; in a
+  // metrics tree every executed statement carries one so the slow-query log
+  // sees it (runtime cost: one span, only on the statement path).
   TraceContext trace;
   ExecutorOptions exec_options;
   if (out.analyze) exec_options.trace = &trace;
+  TS_METRICS_ONLY(if (!out.explain_only) exec_options.trace = &trace;)
 
   if (verb == "CURRENT") {
     TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
@@ -177,17 +250,23 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   } else {
     return Status::InvalidArgument(
         "unknown query verb '", verb,
-        "' (expected CURRENT, TIMESLICE, RANGE, ROLLBACK, or EXPLAIN)");
+        "' (expected CURRENT, TIMESLICE, RANGE, ROLLBACK, SHOW, or EXPLAIN)");
   }
 
   if (!cur.AtEnd()) {
     return Status::InvalidArgument("trailing tokens after statement");
   }
   if (out.analyze) out.trace_json = trace.ToJson();
+  // Feed the slow-query log: any executed statement whose span crossed the
+  // threshold is retained with its statement text.
+  TS_METRICS_ONLY(if (exec_options.trace != nullptr && trace.started()) {
+    SlowQueryLog::Instance().Record(trace, statement);
+  })
   return out;
 }
 
 std::string QueryOutput::ToString() const {
+  if (!report.empty()) return report;
   std::ostringstream ss;
   if (!plan_description.empty()) ss << "plan: " << plan_description << "\n";
   if (explain_only) return ss.str();

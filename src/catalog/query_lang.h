@@ -9,9 +9,19 @@
 //   EXPLAIN TIMESLICE <relation> AT '...'          (plan only)
 //   EXPLAIN ANALYZE <query>                        (execute + trace span)
 //
+// plus two introspection statements over the telemetry plane:
+//
+//   SHOW SLOW QUERIES [LIMIT n]       (the retained slow-query ring, newest
+//                                      last, one JSON line per entry)
+//   SHOW SPECIALIZATION <relation>    (declared vs observed kind, Figure-1
+//                                      pane occupancy, drift state)
+//
 // EXPLAIN ANALYZE runs the query with a trace span attached and returns the
 // span as single-line JSON in QueryOutput::trace_json (strategy, counters,
-// pages touched, per-stage timings) instead of the result rows.
+// pages touched, per-stage timings) instead of the result rows. In a
+// TEMPSPEC_METRICS tree every executed statement additionally carries a
+// span that feeds the process-wide SlowQueryLog when its wall time crosses
+// the slowlog threshold.
 //
 // Time literals are single-quoted "YYYY-MM-DD[ HH:MM[:SS[.ffffff]]]".
 #ifndef TEMPSPEC_CATALOG_QUERY_LANG_H_
@@ -35,6 +45,8 @@ struct QueryOutput {
   /// EXPLAIN ANALYZE: the executed query's trace span as single-line JSON.
   std::string trace_json;
   bool analyze = false;
+  /// SHOW statements: the rendered report (ToString() returns it verbatim).
+  std::string report;
 
   /// \brief Tabular rendering (element per line).
   std::string ToString() const;

@@ -1,0 +1,301 @@
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/slowlog.h"
+
+namespace tempspec {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) { return IsNameStartChar(c) || (c >= '0' && c <= '9'); }
+
+// HELP text escaping per the exposition format: backslash and newline only.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendHeader(std::string& out, const std::string& name,
+                  const std::string& original, const char* type) {
+  out += "# HELP " + name + " tempspec metric " + EscapeHelp(original) + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* GetEnv(const char* name) { return std::getenv(name); }
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = GetEnv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (!IsNameStartChar(name[0])) out += '_';
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = SanitizeMetricName(name);
+    AppendHeader(out, prom, name, "counter");
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = SanitizeMetricName(name);
+    AppendHeader(out, prom, name, "gauge");
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = SanitizeMetricName(name);
+    AppendHeader(out, prom, name, "histogram");
+    uint64_t cumulative = 0;
+    for (const auto& [bucket, count] : hist.buckets) {
+      cumulative += count;
+      out += prom + "_bucket{le=\"" +
+             std::to_string(HistogramBucketUpperBound(bucket)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count) + "\n";
+    out += prom + "_sum " + std::to_string(hist.sum) + "\n";
+    out += prom + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+TelemetryExporter::TelemetryExporter(ExporterOptions options)
+    : options_(std::move(options)) {}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+Status TelemetryExporter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("exporter already running on port ",
+                                 bound_port_.load());
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("exporter socket(): ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("exporter bind address '",
+                                   options_.bind_address, "' is not an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("exporter bind(", options_.bind_address, ":",
+                               options_.port, "): ", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = Status::IOError("exporter listen(): ", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status s = Status::IOError("exporter getsockname(): ", std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  listen_fd_ = fd;
+  bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  server_thread_ = std::thread([this] { Serve(); });
+  if (!options_.snapshot_path.empty() && options_.snapshot_period_ms > 0) {
+    snapshot_thread_ = std::thread([this] { WriteSnapshots(); });
+  }
+  return Status::OK();
+}
+
+void TelemetryExporter::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (server_thread_.joinable()) server_thread_.join();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryExporter::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryExporter::HandleConnection(int fd) {
+  // Read until the end of the request headers (or the buffer fills). Scrapers
+  // send small GET requests; anything else still gets a well-formed response.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16384 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  std::string method, target;
+  {
+    std::istringstream line(request.substr(0, request.find('\n')));
+    line >> method >> target;
+  }
+  // Strip any query string: /metrics?x=y scrapes the same endpoint.
+  if (size_t q = target.find('?'); q != std::string::npos) target.resize(q);
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (target == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = RenderPrometheusText(MetricsRegistry::Instance().Scrape());
+  } else if (target == "/varz") {
+    content_type = "application/json";
+    body = MetricsRegistry::Instance().Scrape().ToJson() + "\n";
+  } else if (target == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found; try /metrics, /varz, /healthz\n";
+  }
+
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < response.size()) {
+    ssize_t n = ::write(fd, response.data() + off, response.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+}
+
+void TelemetryExporter::WriteSnapshots() {
+  // Sleep in short slices so Stop() never waits a full period.
+  uint64_t elapsed_ms = options_.snapshot_period_ms;  // write once at startup
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (elapsed_ms >= options_.snapshot_period_ms) {
+      elapsed_ms = 0;
+      std::ofstream out(options_.snapshot_path, std::ios::app);
+      if (out) {
+        out << "{\"unix_micros\":" << NowUnixMicros() << ",\"metrics\":"
+            << MetricsRegistry::Instance().Scrape().ToJson() << "}\n";
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    elapsed_ms += 20;
+  }
+}
+
+std::unique_ptr<TelemetryExporter> TelemetryExporter::MaybeStartFromEnv() {
+  SlowQueryLog::Instance().ConfigureFromEnv();
+  const char* port_env = GetEnv("TEMPSPEC_EXPORTER_PORT");
+  if (port_env == nullptr || *port_env == '\0') return nullptr;
+
+  ExporterOptions options;
+  options.port = static_cast<uint16_t>(EnvU64("TEMPSPEC_EXPORTER_PORT", 9464));
+  if (const char* addr = GetEnv("TEMPSPEC_EXPORTER_ADDR")) {
+    if (*addr != '\0') options.bind_address = addr;
+  }
+  if (const char* snap = GetEnv("TEMPSPEC_EXPORTER_SNAPSHOT")) {
+    options.snapshot_path = snap;
+  }
+  options.snapshot_period_ms =
+      EnvU64("TEMPSPEC_EXPORTER_SNAPSHOT_MS", options.snapshot_period_ms);
+
+  auto exporter = std::make_unique<TelemetryExporter>(std::move(options));
+  Status s = exporter->Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "tempspec exporter disabled: %s\n",
+                 s.ToString().c_str());
+    return nullptr;
+  }
+  if (const char* portfile = GetEnv("TEMPSPEC_EXPORTER_PORTFILE")) {
+    if (*portfile != '\0') {
+      std::ofstream out(portfile, std::ios::trunc);
+      out << exporter->port() << "\n";
+    }
+  }
+  return exporter;
+}
+
+void TelemetryExporter::LingerFromEnv() {
+  uint64_t linger_ms = EnvU64("TEMPSPEC_EXPORTER_LINGER_MS", 0);
+  if (linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+}
+
+}  // namespace tempspec

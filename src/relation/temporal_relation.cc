@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tempspec {
 
 TemporalRelation::TemporalRelation(RelationOptions options)
@@ -12,6 +14,7 @@ TemporalRelation::TemporalRelation(RelationOptions options)
                  : std::make_shared<LogicalClock>(TimePoint::FromMicros(0),
                                                   Duration::Seconds(1))),
       checker_(specs_, schema_->valid_granularity()),
+      drift_(schema_->relation_name(), specs_, schema_->valid_granularity()),
       snapshot_interval_(options.snapshot_interval),
       granularity_policy_(options.granularity_policy) {}
 
@@ -47,6 +50,9 @@ Status TemporalRelation::ApplyRecoveredEntries() {
     if (entry.op == BacklogOpType::kInsert) {
       const Element& e = entry.element;
       TS_RETURN_NOT_OK(e.attributes.Conforms(*schema_));
+      // Recovered elements feed the drift monitor too: the observed profile
+      // describes the data in the relation, not just this process's inserts.
+      TS_METRICS_ONLY(drift_.Observe(e.tt_begin, e.valid.begin()));
       TS_RETURN_NOT_OK(checker_.OnInsert(e));
       by_surrogate_[e.element_surrogate] = elements_.size();
       if (partitions_.find(e.object_surrogate) == partitions_.end()) {
@@ -143,6 +149,11 @@ Result<ElementSurrogate> TemporalRelation::InsertAt(TimePoint tt,
   e.tt_end = TimePoint::Max();
   e.valid = std::move(valid);
   e.attributes = std::move(attributes);
+
+  // Drift observation runs before enforcement on purpose: the monitor
+  // counts *attempted* stamps, including the escaping inserts the checker
+  // is about to reject — exactly the drift signal enforcement masks.
+  TS_METRICS_ONLY(drift_.Observe(tt, e.valid.begin()));
 
   // Intensional enforcement: reject any element that would take the
   // extension outside the declared types.

@@ -35,6 +35,7 @@
 #include "index/interval_index.h"
 #include "model/element.h"
 #include "model/schema.h"
+#include "spec/drift.h"
 #include "spec/specialization.h"
 #include "storage/backlog.h"
 #include "storage/snapshot.h"
@@ -164,6 +165,12 @@ class TemporalRelation {
   /// still be consistent with the full (pre-vacuum) history.
   Result<size_t> VacuumBefore(TimePoint horizon);
 
+  /// \brief Point-in-time specialization-drift state: declared vs observed
+  /// kind, Figure-1 pane occupancy, violation count (see spec/drift.h). In
+  /// a TEMPSPEC_METRICS=OFF tree the monitor never observes anything, so
+  /// the report shows zero stamps.
+  DriftReport DriftState() const { return drift_.Report(); }
+
   /// \brief Storage and population statistics.
   struct Stats {
     size_t elements = 0;          // every element ever stored
@@ -191,6 +198,7 @@ class TemporalRelation {
   std::unique_ptr<BacklogStore> backlog_;
   std::unique_ptr<SnapshotManager> snapshots_;
   ConstraintChecker checker_;
+  RelationDriftMonitor drift_;
   size_t snapshot_interval_ = 0;
   GranularityPolicy granularity_policy_ = GranularityPolicy::kIgnore;
   SurrogateGenerator surrogates_;

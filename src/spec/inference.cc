@@ -395,4 +395,36 @@ std::string RelationProfile::Report() const {
   return ss.str();
 }
 
+void IncrementalEventProfile::Observe(TimePoint tt, TimePoint vt) {
+  const int64_t off = vt.MicrosSince(tt);
+  if (count_ == 0) {
+    min_offset_us_ = off;
+    max_offset_us_ = off;
+  } else {
+    min_offset_us_ = std::min(min_offset_us_, off);
+    max_offset_us_ = std::max(max_offset_us_, off);
+  }
+  if (!granularity_.Same(tt, vt)) degenerate_ = false;
+  ++count_;
+}
+
+EventProfile IncrementalEventProfile::Profile() const {
+  EventProfile p;
+  if (count_ == 0) return p;
+  p.applicable = true;
+  p.min_offset_us = min_offset_us_;
+  p.max_offset_us = max_offset_us_;
+  p.degenerate = degenerate_;
+  p.tightest_band = Band::Between(Duration::Micros(min_offset_us_),
+                                  Duration::Micros(max_offset_us_));
+  p.classified = p.degenerate
+                     ? EventSpecKind::kDegenerate
+                     : EventSpecialization::ClassifyBand(p.tightest_band);
+  return p;
+}
+
+EventSpecKind IncrementalEventProfile::ObservedKind() const {
+  return count_ == 0 ? EventSpecKind::kGeneral : Profile().classified;
+}
+
 }  // namespace tempspec

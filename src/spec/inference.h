@@ -103,6 +103,41 @@ struct RelationProfile {
 RelationProfile InferProfile(std::span<const Element> elements,
                              ValidTimeKind valid_kind, Granularity granularity);
 
+/// \brief Streaming counterpart of the batch event-profile inference: feed
+/// (tt, vt) stamps one at a time and read back, at any point, the tightest
+/// EventSpecKind consistent with everything observed so far. State is three
+/// scalars (min/max offset, degenerate flag), so the drift monitor can keep
+/// one per relation on the ingest path. Matches InferEventProfile on the
+/// same stamp sequence except for `determined_by` (mapping-function fitting
+/// needs the full extension and is left to the batch engine).
+///
+/// Not thread-safe: relations are single-writer; the drift monitor adds its
+/// own lock around Observe/Profile.
+class IncrementalEventProfile {
+ public:
+  explicit IncrementalEventProfile(Granularity granularity = Granularity())
+      : granularity_(granularity) {}
+
+  /// \brief Folds one stamp into the profile.
+  void Observe(TimePoint tt, TimePoint vt);
+
+  /// \brief The profile of everything observed so far (applicable == false
+  /// before the first Observe).
+  EventProfile Profile() const;
+
+  /// \brief The classified kind alone (kGeneral before the first Observe).
+  EventSpecKind ObservedKind() const;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  Granularity granularity_;
+  uint64_t count_ = 0;
+  int64_t min_offset_us_ = 0;
+  int64_t max_offset_us_ = 0;
+  bool degenerate_ = true;
+};
+
 /// \brief Greatest common divisor of the distances of all stamps from the
 /// first, in microseconds; 0 when all stamps coincide.
 int64_t InferUnit(std::span<const TimePoint> stamps);

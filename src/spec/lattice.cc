@@ -96,6 +96,26 @@ std::vector<std::string> SpecLattice::TopologicalOrder() const {
   return out;
 }
 
+Result<size_t> SpecLattice::Distance(const std::string& from,
+                                     const std::string& to) const {
+  if (!HasNode(from)) return Status::NotFound("no lattice node '", from, "'");
+  if (!HasNode(to)) return Status::NotFound("no lattice node '", to, "'");
+  if (from == to) return size_t{0};
+  std::deque<std::pair<std::string, size_t>> frontier{{from, 0}};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    const auto [cur, depth] = frontier.front();
+    frontier.pop_front();
+    for (const auto& neighbors : {ParentsOf(cur), ChildrenOf(cur)}) {
+      for (const auto& next : neighbors) {
+        if (next == to) return depth + 1;
+        if (seen.insert(next).second) frontier.emplace_back(next, depth + 1);
+      }
+    }
+  }
+  return Status::OutOfRange("no path between '", from, "' and '", to, "'");
+}
+
 std::vector<std::string> SpecLattice::Roots() const {
   std::vector<std::string> out;
   for (const auto& n : node_order_) {

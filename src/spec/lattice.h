@@ -63,6 +63,14 @@ class SpecLattice {
   /// \brief Nodes in a topological order (general types first).
   std::vector<std::string> TopologicalOrder() const;
 
+  /// \brief Length of the shortest undirected path between two nodes — how
+  /// many generalization/specialization steps separate the types. 0 when the
+  /// nodes are equal; the drift monitor uses this as its "how far has the
+  /// data wandered from the declaration" gauge. Fails on unknown nodes;
+  /// nodes in disjoint components (impossible in the paper's figures, which
+  /// all hang off one root) return OutOfRange.
+  Result<size_t> Distance(const std::string& from, const std::string& to) const;
+
   /// \brief Nodes with no parents / no children.
   std::vector<std::string> Roots() const;
   std::vector<std::string> Leaves() const;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
 #include "testing.h"
 #include "timex/calendar.h"
 
@@ -98,6 +100,59 @@ TEST_F(QueryLangTest, ExplainOnly) {
   EXPECT_TRUE(out.explain_only);
   EXPECT_TRUE(out.elements.empty());
   EXPECT_NE(out.plan_description.find("degenerate"), std::string::npos);
+}
+
+TEST_F(QueryLangTest, ShowSlowQueries) {
+  SlowQueryLog& log = SlowQueryLog::Instance();
+  log.Clear();
+  log.SetThresholdMicros(0);  // record every executed statement
+  ASSERT_OK(ExecuteQuery(catalog_, "CURRENT samples").status());
+  ASSERT_OK(ExecuteQuery(catalog_, "CURRENT samples").status());
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "SHOW SLOW QUERIES"));
+  EXPECT_NE(out.report.find("threshold 0us"), std::string::npos);
+  EXPECT_EQ(out.ToString(), out.report);  // SHOW renders the report verbatim
+  if (MetricsCompiledIn()) {
+    // Executed statements carry trace spans, so both CURRENTs were retained
+    // (the SHOW itself executes no query and is never logged).
+    EXPECT_NE(out.report.find("2 slow queries shown"), std::string::npos);
+    EXPECT_NE(out.report.find("\"statement\":\"CURRENT samples\""),
+              std::string::npos);
+    ASSERT_OK_AND_ASSIGN(QueryOutput limited,
+                         ExecuteQuery(catalog_, "SHOW SLOW QUERIES LIMIT 1"));
+    EXPECT_NE(limited.report.find("1 slow query shown (2 recorded"),
+              std::string::npos);
+  } else {
+    // OFF tree: no spans are attached, so nothing reaches the log.
+    EXPECT_NE(out.report.find("0 slow queries shown"), std::string::npos);
+  }
+  log.Clear();
+  log.SetThresholdMicros(10000);
+}
+
+TEST_F(QueryLangTest, ShowSpecialization) {
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "SHOW SPECIALIZATION samples"));
+  EXPECT_NE(out.report.find("relation samples"), std::string::npos);
+  EXPECT_NE(out.report.find("declared: degenerate"), std::string::npos);
+  EXPECT_NE(out.report.find("figure-1 occupancy"), std::string::npos);
+  if (MetricsCompiledIn()) {
+    // Every fixture insert was degenerate (vt = clock now), so the monitor
+    // saw them all and the relation conforms.
+    EXPECT_NE(out.report.find("conforming"), std::string::npos);
+  } else {
+    EXPECT_NE(out.report.find("observed: (no data)"), std::string::npos);
+  }
+}
+
+TEST_F(QueryLangTest, ShowErrors) {
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW NOTHING").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW SLOW").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW SLOW QUERIES LIMIT x").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW SPECIALIZATION nope").ok());
+  EXPECT_FALSE(
+      ExecuteQuery(catalog_, "SHOW SPECIALIZATION samples extra").ok());
 }
 
 TEST_F(QueryLangTest, Errors) {

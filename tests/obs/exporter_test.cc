@@ -1,0 +1,217 @@
+// Telemetry exporter: Prometheus text rendering and the embedded HTTP
+// server. The rendering tests work on hand-built snapshots; the server
+// tests bind an ephemeral loopback port and speak minimal HTTP/1.0 over a
+// raw socket (no client library, mirroring how the server itself is built).
+#include "obs/exporter.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "testing.h"
+#include "testing_json.h"
+
+namespace tempspec {
+namespace {
+
+using testing::JsonParser;
+using testing::ValidJson;
+
+TEST(SanitizeMetricNameTest, MapsToPrometheusCharset) {
+  EXPECT_EQ(SanitizeMetricName("tempspec.storage.wal_syncs"),
+            "tempspec_storage_wal_syncs");
+  EXPECT_EQ(SanitizeMetricName("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(SanitizeMetricName("9starts.with-digit"), "_9starts_with_digit");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("sp ace/slash"), "sp_ace_slash");
+}
+
+TEST(RenderPrometheusTextTest, CountersAndGauges) {
+  MetricsSnapshot snap;
+  snap.counters["tempspec.a.hits"] = 42;
+  snap.gauges["tempspec.b.depth"] = -7;
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("# HELP tempspec_a_hits "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tempspec_a_hits counter\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_a_hits 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tempspec_b_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_b_depth -7\n"), std::string::npos);
+}
+
+TEST(RenderPrometheusTextTest, HistogramBucketsAreCumulativeAndClosed) {
+  MetricsSnapshot snap;
+  HistogramSnapshot h;
+  h.count = 6;
+  h.sum = 100;
+  // Buckets as the registry snapshot produces them: (index, per-bucket count).
+  h.buckets = {{1, 2}, {3, 3}, {5, 1}};
+  snap.histograms["tempspec.lat"] = h;
+  const std::string text = RenderPrometheusText(snap);
+  // Cumulative counts at the log2 upper bounds: 2^1-1=1, 2^3-1=7, 2^5-1=31.
+  EXPECT_NE(text.find("tempspec_lat_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_lat_bucket{le=\"7\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_lat_bucket{le=\"31\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_lat_bucket{le=\"+Inf\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_lat_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("tempspec_lat_count 6\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tempspec_lat histogram\n"), std::string::npos);
+}
+
+TEST(RenderPrometheusTextTest, EveryRegisteredMetricAppears) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  reg.GetCounter("exporter_test.counter").Add(3);
+  reg.GetGauge("exporter_test.gauge").Set(11);
+  reg.GetHistogram("exporter_test.histogram").Observe(9);
+  const MetricsSnapshot snap = reg.Scrape();
+  const std::string text = RenderPrometheusText(snap);
+  for (const auto& [name, value] : snap.counters) {
+    (void)value;
+    EXPECT_NE(text.find("# TYPE " + SanitizeMetricName(name) + " counter"),
+              std::string::npos)
+        << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    (void)value;
+    EXPECT_NE(text.find("# TYPE " + SanitizeMetricName(name) + " gauge"),
+              std::string::npos)
+        << name;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    (void)h;
+    EXPECT_NE(text.find("# TYPE " + SanitizeMetricName(name) + " histogram"),
+              std::string::npos)
+        << name;
+  }
+}
+
+// -- HTTP server -------------------------------------------------------------
+
+/// Minimal HTTP GET against 127.0.0.1:port; returns the full response.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class ExporterServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ExporterOptions options;
+    options.port = 0;  // ephemeral
+    exporter_ = std::make_unique<TelemetryExporter>(options);
+    ASSERT_OK(exporter_->Start());
+    ASSERT_TRUE(exporter_->running());
+    ASSERT_NE(exporter_->port(), 0);
+  }
+
+  std::unique_ptr<TelemetryExporter> exporter_;
+};
+
+TEST_F(ExporterServerTest, HealthzServes) {
+  const std::string response = HttpGet(exporter_->port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(response), "ok\n");
+}
+
+TEST_F(ExporterServerTest, MetricsServesRegisteredMetricsInPrometheusFormat) {
+  MetricsRegistry::Instance().GetCounter("exporter_test.http.hits").Add(5);
+  const std::string response = HttpGet(exporter_->port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Body(response).find("exporter_test_http_hits 5"), std::string::npos);
+}
+
+TEST_F(ExporterServerTest, VarzServesValidJson) {
+  const std::string response = HttpGet(exporter_->port(), "/varz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  std::string body = Body(response);
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  EXPECT_OK(ValidJson(body));
+}
+
+TEST_F(ExporterServerTest, UnknownPathIs404AndQueryStringsAreStripped) {
+  EXPECT_NE(HttpGet(exporter_->port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(HttpGet(exporter_->port(), "/healthz?x=1").find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(ExporterServerTest, StopIsIdempotentAndDoublePortBindFails) {
+  ExporterOptions clash;
+  clash.port = exporter_->port();
+  TelemetryExporter second(clash);
+  EXPECT_NOT_OK(second.Start());
+  exporter_->Stop();
+  exporter_->Stop();
+  EXPECT_FALSE(exporter_->running());
+}
+
+TEST(ExporterSnapshotTest, PeriodicWriterAppendsValidJsonLines) {
+  const std::string path =
+      ::testing::TempDir() + "/tempspec_exporter_snapshot.jsonl";
+  std::remove(path.c_str());
+  ExporterOptions options;
+  options.port = 0;
+  options.snapshot_path = path;
+  options.snapshot_period_ms = 30;
+  {
+    TelemetryExporter exporter(options);
+    ASSERT_OK(exporter.Start());
+    // First snapshot is written on startup; wait for at least one more.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    ASSERT_OK_AND_ASSIGN(testing::JsonValue v, JsonParser::Parse(line));
+    EXPECT_TRUE(v.is_object());
+    EXPECT_TRUE(v.has("unix_micros"));
+    EXPECT_TRUE(v.has("metrics"));
+  }
+  EXPECT_GE(lines, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tempspec

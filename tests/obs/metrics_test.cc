@@ -11,6 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "testing.h"
+#include "testing_json.h"
+#include "util/random.h"
+
 namespace tempspec {
 namespace {
 
@@ -99,6 +103,93 @@ TEST(MetricsTest, EmptyHistogramPercentile) {
   EXPECT_EQ(snap.count, 0u);
   EXPECT_EQ(snap.Percentile(0.99), 0u);
   EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(MetricsTest, PercentileEdgeCases) {
+  // Empty: every p answers 0 (already covered above for p99; pin the edges).
+  EXPECT_EQ(HistogramSnapshot{}.Percentile(0.0), 0u);
+  EXPECT_EQ(HistogramSnapshot{}.Percentile(1.0), 0u);
+
+  MetricHistogram h("test.percentile_edges");
+  for (int i = 0; i < 5; ++i) h.Observe(100);  // single bucket
+  const HistogramSnapshot single = h.Snapshot();
+  ASSERT_EQ(single.buckets.size(), 1u);
+  const uint64_t bound = HistogramBucketUpperBound(single.buckets[0].first);
+  // With one occupied bucket every quantile collapses to its upper bound,
+  // and out-of-range p clamps rather than misbehaving.
+  EXPECT_EQ(single.Percentile(0.0), bound);
+  EXPECT_EQ(single.Percentile(0.5), bound);
+  EXPECT_EQ(single.Percentile(1.0), bound);
+  EXPECT_EQ(single.Percentile(-0.5), bound);
+  EXPECT_EQ(single.Percentile(2.0), bound);
+
+  // p=0 answers the first occupied bucket, p=1 the last.
+  MetricHistogram two("test.percentile_two");
+  two.Observe(1);
+  two.Observe(1000);
+  const HistogramSnapshot snap = two.Snapshot();
+  EXPECT_EQ(snap.Percentile(0.0), HistogramBucketUpperBound(1));
+  EXPECT_EQ(snap.Percentile(1.0), HistogramBucketUpperBound(10));
+}
+
+TEST(MetricsTest, PercentilesAreMonotoneOverRandomFills) {
+  Random rng(20260805);
+  for (int round = 0; round < 50; ++round) {
+    MetricHistogram h("test.percentile_mono");
+    const int n = static_cast<int>(rng.Uniform(1, 200));
+    for (int i = 0; i < n; ++i) {
+      h.Observe(static_cast<uint64_t>(rng.Uniform(0, 1 << 20)));
+    }
+    const HistogramSnapshot snap = h.Snapshot();
+    uint64_t prev = 0;
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      const uint64_t q = snap.Percentile(p);
+      EXPECT_GE(q, prev) << "p=" << p << " round=" << round;
+      prev = q;
+    }
+  }
+}
+
+/// Random string from character classes JsonEscape must handle: quotes,
+/// backslashes, named and unnamed control characters, and multi-byte UTF-8.
+std::string NastyString(Random& rng) {
+  static const std::string kPieces[] = {
+      "plain", "x", "\"", "\\", "\n", "\t", "\r", "\b", "\f",
+      std::string(1, '\x01'), std::string(1, '\x1f'),
+      "caf\xC3\xA9",          // é (2-byte UTF-8)
+      "\xE2\x86\x92",         // → (3-byte UTF-8)
+      "\xF0\x9F\x92\xBE",     // 💾 (4-byte UTF-8)
+      "\\u0041", "{}", "[]", ":"};
+  constexpr int64_t kNumPieces = sizeof(kPieces) / sizeof(kPieces[0]);
+  std::string out;
+  const int pieces = static_cast<int>(rng.Uniform(0, 20));
+  for (int i = 0; i < pieces; ++i) {
+    out += kPieces[rng.Uniform(0, kNumPieces - 1)];
+  }
+  return out;
+}
+
+TEST(MetricsTest, JsonEscapeFuzzRoundTrip) {
+  Random rng(424242);
+  for (int i = 0; i < 500; ++i) {
+    const std::string original = NastyString(rng);
+    const std::string doc = "\"" + JsonEscape(original) + "\"";
+    ASSERT_OK_AND_ASSIGN(testing::JsonValue v, testing::JsonParser::Parse(doc));
+    EXPECT_EQ(v.string, original) << "doc: " << doc;
+  }
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTripsNastyMetricNames) {
+  MetricsRegistry& reg = MetricsRegistry::Instance();
+  const std::string nasty = "metrics_test.nasty \"quoted\\name\"\twith caf\xC3\xA9";
+  reg.GetCounter(nasty).Add(3);
+  reg.GetHistogram("metrics_test.roundtrip_hist").Observe(17);
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue doc,
+                       testing::JsonParser::Parse(reg.Scrape().ToJson()));
+  ASSERT_TRUE(doc.at("counters").has(nasty));
+  EXPECT_EQ(doc.at("counters").at(nasty).number, "3");
+  ASSERT_TRUE(doc.at("histograms").has("metrics_test.roundtrip_hist"));
+  EXPECT_TRUE(doc.at("histograms").at("metrics_test.roundtrip_hist").has("p50"));
 }
 
 TEST(MetricsTest, RegistryHandlesAreStableAndScrapable) {

@@ -1,0 +1,125 @@
+// Slow-query log: threshold gating, ring eviction, JSONL sink validity.
+#include "obs/slowlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "obs/trace.h"
+#include "testing.h"
+#include "testing_json.h"
+
+namespace tempspec {
+namespace {
+
+using testing::JsonParser;
+
+TraceContext MakeSpan(const std::string& name) {
+  TraceContext trace;
+  trace.Begin(name);
+  trace.SetAttr("strategy", "full_scan");
+  trace.AddCounter("elements_examined", 7);
+  trace.End();
+  return trace;
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog log(/*capacity=*/8);
+  log.SetThresholdMicros(std::numeric_limits<uint64_t>::max());
+  TraceContext fast = MakeSpan("query.current");
+  log.Record(fast, "CURRENT samples");
+  EXPECT_EQ(log.TotalRecorded(), 0u);
+  EXPECT_TRUE(log.Entries().empty());
+
+  log.SetThresholdMicros(0);  // record everything
+  TraceContext slow = MakeSpan("query.current");
+  log.Record(slow, "CURRENT samples");
+  EXPECT_EQ(log.TotalRecorded(), 1u);
+  ASSERT_EQ(log.Entries().size(), 1u);
+  EXPECT_EQ(log.Entries()[0].statement, "CURRENT samples");
+  EXPECT_EQ(log.Entries()[0].sequence, 1u);
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestAndKeepsSequence) {
+  SlowQueryLog log(/*capacity=*/3);
+  log.SetThresholdMicros(0);
+  for (int i = 0; i < 5; ++i) {
+    TraceContext t = MakeSpan("query.current");
+    log.Record(t, "stmt " + std::to_string(i));
+  }
+  EXPECT_EQ(log.TotalRecorded(), 5u);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].statement, "stmt 2");
+  EXPECT_EQ(entries[2].statement, "stmt 4");
+  EXPECT_EQ(entries[0].sequence, 3u);
+  EXPECT_EQ(entries[2].sequence, 5u);
+}
+
+TEST(SlowQueryLogTest, ShrinkingCapacityDropsOldest) {
+  SlowQueryLog log(/*capacity=*/4);
+  log.SetThresholdMicros(0);
+  for (int i = 0; i < 4; ++i) {
+    TraceContext t = MakeSpan("query.current");
+    log.Record(t, "stmt " + std::to_string(i));
+  }
+  log.SetCapacity(2);
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].statement, "stmt 2");
+}
+
+TEST(SlowQueryLogTest, EntryAndSinkLinesAreValidJson) {
+  const std::string path = ::testing::TempDir() + "/tempspec_slowlog.jsonl";
+  std::remove(path.c_str());
+  SlowQueryLog log(/*capacity=*/8);
+  log.SetThresholdMicros(0);
+  log.SetSinkPath(path);
+  // Statement with every character class JsonEscape must handle.
+  const std::string nasty =
+      "CURRENT \"weird\"\\name\twith\nnewline and caf\xC3\xA9 \x01control";
+  TraceContext t = MakeSpan("query.current");
+  log.Record(t, nasty);
+
+  // The in-memory entry round-trips through the JSON parser.
+  ASSERT_EQ(log.Entries().size(), 1u);
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       JsonParser::Parse(log.Entries()[0].ToJson()));
+  EXPECT_TRUE(v.has("trace"));
+  EXPECT_EQ(v.at("statement").string, nasty);
+  EXPECT_EQ(v.at("trace").at("attrs").at("strategy").string, "full_scan");
+
+  // And the sink file holds the identical line.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, log.Entries()[0].ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(SlowQueryLogTest, ClearResetsRingAndSequence) {
+  SlowQueryLog log(/*capacity=*/2);
+  log.SetThresholdMicros(0);
+  TraceContext t = MakeSpan("query.current");
+  log.Record(t, "stmt");
+  log.Clear();
+  EXPECT_EQ(log.TotalRecorded(), 0u);
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+TEST(SlowQueryLogTest, RecordEndsAnOpenSpan) {
+  SlowQueryLog log(/*capacity=*/2);
+  log.SetThresholdMicros(0);
+  TraceContext t;
+  t.Begin("query.current");  // deliberately not ended
+  log.Record(t, "stmt");
+  ASSERT_EQ(log.Entries().size(), 1u);
+  ASSERT_OK(testing::ValidJson(log.Entries()[0].trace_json));
+}
+
+}  // namespace
+}  // namespace tempspec

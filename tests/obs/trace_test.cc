@@ -7,6 +7,9 @@
 
 #include <string>
 
+#include "testing.h"
+#include "testing_json.h"
+
 namespace tempspec {
 namespace {
 
@@ -79,6 +82,25 @@ TEST(TraceTest, ToJsonShape) {
             std::string::npos);
   // ToJson finalizes a still-open span so the wall time is meaningful.
   EXPECT_GE(ctx.wall_micros(), 0u);
+}
+
+TEST(TraceTest, ToJsonRoundTripsHostileNamesAndValues) {
+  // Span names, attr keys/values, and stage names all pass through
+  // JsonEscape; anything the engine can put in them must survive a parse.
+  const std::string nasty =
+      "we\"ird\\span\twith\nnewline caf\xC3\xA9 \x01\x1f end";
+  TraceContext ctx;
+  ctx.Begin(nasty);
+  ctx.SetAttr(nasty, nasty);
+  ctx.AddCounter("results", 7);
+  ctx.AddStage(nasty, 42);
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       testing::JsonParser::Parse(ctx.ToJson()));
+  EXPECT_EQ(v.at("span").string, nasty);
+  EXPECT_EQ(v.at("attrs").at(nasty).string, nasty);
+  EXPECT_EQ(v.at("counters").at("results").number, "7");
+  ASSERT_EQ(v.at("stages").array.size(), 1u);
+  EXPECT_EQ(v.at("stages").array[0].at("name").string, nasty);
 }
 
 }  // namespace

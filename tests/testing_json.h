@@ -1,0 +1,276 @@
+// A minimal recursive-descent JSON parser for the test suite.
+//
+// The engine emits JSON in several places — MetricsSnapshot::ToJson,
+// TraceContext::ToJson, the slowlog sink, the bench result files — and the
+// tests must prove those lines are *valid JSON*, not merely
+// string-compare them. Third-party JSON libraries are out of scope for this
+// repo, so this header implements just enough of RFC 8259 to parse what the
+// engine emits (objects, arrays, strings with escapes, integer/float
+// numbers, booleans, null) and to read values back out. Strict on what it
+// accepts: trailing garbage, unescaped control characters, and malformed
+// escapes are errors — that strictness is the point.
+#ifndef TEMPSPEC_TESTS_TESTING_JSON_H_
+#define TEMPSPEC_TESTS_TESTING_JSON_H_
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tempspec {
+namespace testing {
+
+/// \brief A parsed JSON value (numbers are kept as their source text to
+/// sidestep double-rounding in comparisons).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string number;  // source text, e.g. "12" or "-3.5e2"
+  std::string string;  // decoded (unescaped) contents
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+  const JsonValue& at(const std::string& key) const { return object.at(key); }
+};
+
+class JsonParser {
+ public:
+  /// \brief Parses exactly one JSON document; trailing non-space is an error.
+  static Result<JsonValue> Parse(const std::string& text) {
+    JsonParser p(text);
+    JsonValue v;
+    TS_RETURN_NOT_OK(p.ParseValue(&v));
+    p.SkipSpace();
+    if (p.pos_ != text.size()) {
+      return Status::InvalidArgument("trailing characters at offset ", p.pos_);
+    }
+    return v;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::InvalidArgument("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out, c == 't');
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return Expect("null");
+    }
+    return ParseNumber(out);
+  }
+
+  Status Expect(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      return Status::InvalidArgument("expected '", word, "' at offset ", pos_);
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status ParseLiteral(JsonValue* out, bool value) {
+    out->type = JsonValue::Type::kBool;
+    out->boolean = value;
+    return Expect(value ? "true" : "false");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Status::InvalidArgument("malformed number at offset ", start);
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Status::InvalidArgument("malformed fraction at offset ", start);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Status::InvalidArgument("malformed exponent at offset ", start);
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = text_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  static int HexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  Status ParseString(std::string* out) {
+    if (text_[pos_] != '"') return Status::InvalidArgument("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) {
+        return Status::InvalidArgument("raw control character 0x",
+                                       static_cast<int>(c), " in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::InvalidArgument("truncated \\u escape");
+            }
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const int d = HexDigit(text_[pos_ + i]);
+              if (d < 0) return Status::InvalidArgument("bad \\u escape digit");
+              code = code * 16 + d;
+            }
+            pos_ += 4;
+            // The engine only emits \u00XX (control characters); decode the
+            // BMP range as UTF-8 so round-trip comparisons work.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument("unknown escape \\", esc);
+        }
+        continue;
+      }
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      TS_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::InvalidArgument("expected ':' at offset ", pos_);
+      }
+      ++pos_;
+      JsonValue value;
+      TS_RETURN_NOT_OK(ParseValue(&value));
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::InvalidArgument("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected ',' or '}' at offset ", pos_);
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      TS_RETURN_NOT_OK(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Status::InvalidArgument("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Status::InvalidArgument("expected ',' or ']' at offset ", pos_);
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// \brief Convenience: parse-or-fail used as `ASSERT_OK(ValidJson(line))`.
+inline Status ValidJson(const std::string& text) {
+  return JsonParser::Parse(text).status();
+}
+
+}  // namespace testing
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TESTS_TESTING_JSON_H_

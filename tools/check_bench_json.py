@@ -4,11 +4,13 @@
 Usage:
     tools/check_bench_json.py BENCH_e1_enforcement.json [more.json ...]
 
-Validates schema_version 1 (see bench/bench_json.h): required top-level keys
-and types, per-benchmark entries with numeric median/p99 and counters, and a
-metrics snapshot object with counters/gauges/histograms maps. Exits nonzero
-with a per-file report on the first structural violation so CI can gate on
-it. Stdlib only — no third-party dependencies.
+Validates schema_version 2 (see bench/bench_json.h): required top-level keys
+and types, the build-configuration params block (threads, metrics_enabled,
+failpoints_enabled, sanitizers, compiler), per-benchmark entries with numeric
+median/p99 and counters, and a metrics snapshot object with
+counters/gauges/histograms maps. Exits nonzero with a per-file report on the
+first structural violation so CI can gate on it. Stdlib only — no third-party
+dependencies.
 """
 import json
 import sys
@@ -35,22 +37,28 @@ def check_file(path):
 
     if not isinstance(doc, dict):
         return fail(path, "top level is not an object")
-    if doc.get("schema_version") != 1:
+    if doc.get("schema_version") != 2:
         return fail(path, f"schema_version is {doc.get('schema_version')!r}, "
-                          "expected 1")
+                          "expected 2")
     if not isinstance(doc.get("bench_id"), str) or not doc["bench_id"]:
         return fail(path, "bench_id missing or empty")
 
     params = doc.get("params")
     if not isinstance(params, dict):
         return fail(path, "params missing or not an object")
-    for key in ("threads", "metrics_compiled", "failpoints_compiled"):
+    for key in ("threads", "metrics_enabled", "failpoints_enabled"):
         if not check_number(path, params, key):
             return False
-    if params["metrics_compiled"] not in (0, 1):
-        return fail(path, "metrics_compiled must be 0 or 1")
-    if params["failpoints_compiled"] not in (0, 1):
-        return fail(path, "failpoints_compiled must be 0 or 1")
+    if params["metrics_enabled"] not in (0, 1):
+        return fail(path, "metrics_enabled must be 0 or 1")
+    if params["failpoints_enabled"] not in (0, 1):
+        return fail(path, "failpoints_enabled must be 0 or 1")
+    # Build configuration: perf results are only comparable when these match.
+    if params.get("sanitizers") not in ("", "thread", "address"):
+        return fail(path, f"sanitizers is {params.get('sanitizers')!r}, "
+                          "expected '', 'thread', or 'address'")
+    if not isinstance(params.get("compiler"), str) or not params["compiler"]:
+        return fail(path, "compiler missing or empty")
 
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
@@ -83,8 +91,8 @@ def check_file(path):
             return fail(path, f"metrics.{section} missing or not an object")
     # A metrics-OFF tree legitimately scrapes empty maps; an ON tree must
     # have recorded *something* by the time a bench exits.
-    if params["metrics_compiled"] == 1 and not metrics["counters"]:
-        return fail(path, "metrics_compiled=1 but the counters map is empty")
+    if params["metrics_enabled"] == 1 and not metrics["counters"]:
+        return fail(path, "metrics_enabled=1 but the counters map is empty")
 
     total = sum(len(metrics[s]) for s in ("counters", "gauges", "histograms"))
     print(f"{path}: OK ({doc['bench_id']}: {len(benchmarks)} benchmark(s), "

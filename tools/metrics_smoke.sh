@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Smoke check for the live telemetry plane: start the ddl_tour example with
+# the exporter enabled, scrape /healthz, /metrics, and /varz over HTTP, and
+# validate the Prometheus text with tools/check_metrics_text.py. This proves
+# the whole chain — engine instrumentation -> registry -> exporter -> valid
+# exposition — on a real process, not a unit-test snapshot.
+#
+# Usage: tools/metrics_smoke.sh [build_dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+TOUR="$BUILD_DIR/examples/ddl_tour"
+CHECKER="$(dirname "$0")/check_metrics_text.py"
+
+if [ ! -x "$TOUR" ]; then
+  echo "no ddl_tour binary at $TOUR (build with the default CMake config first)" >&2
+  exit 2
+fi
+
+OUT_DIR="$(mktemp -d)"
+PORT_FILE="$OUT_DIR/port"
+cleanup() {
+  [ -n "${TOUR_PID:-}" ] && kill "$TOUR_PID" 2>/dev/null
+  rm -rf "$OUT_DIR"
+}
+trap cleanup EXIT
+
+# Port 0 = ephemeral; the exporter writes the resolved port to PORTFILE.
+# The linger keeps the finished tour alive long enough to scrape.
+TEMPSPEC_EXPORTER_PORT=0 \
+TEMPSPEC_EXPORTER_PORTFILE="$PORT_FILE" \
+TEMPSPEC_EXPORTER_LINGER_MS=30000 \
+TEMPSPEC_SLOWLOG_MICROS=0 \
+    "$TOUR" > "$OUT_DIR/tour.out" 2>&1 &
+TOUR_PID=$!
+
+port=""
+for _ in $(seq 1 100); do
+  if [ -s "$PORT_FILE" ]; then
+    port="$(cat "$PORT_FILE")"
+    break
+  fi
+  if ! kill -0 "$TOUR_PID" 2>/dev/null; then
+    echo "ddl_tour exited before binding the exporter:" >&2
+    cat "$OUT_DIR/tour.out" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "exporter never wrote its port file" >&2
+  exit 1
+fi
+
+failures=0
+
+health="$(curl -sf "http://127.0.0.1:$port/healthz")"
+if [ "$health" != "ok" ]; then
+  echo "/healthz: FAIL: got '$health'"
+  failures=$((failures + 1))
+else
+  echo "/healthz: OK"
+fi
+
+if ! curl -sf "http://127.0.0.1:$port/metrics" -o "$OUT_DIR/metrics.txt"; then
+  echo "/metrics: FAIL: curl error"
+  failures=$((failures + 1))
+else
+  python3 "$CHECKER" "$OUT_DIR/metrics.txt" || failures=$((failures + 1))
+  # The tour executed statements, so the engine's own counters must be there
+  # (guards against an exporter that serves an empty-but-valid page).
+  if ! grep -q "^querylang_statements " "$OUT_DIR/metrics.txt"; then
+    echo "/metrics: FAIL: no querylang_statements sample in the scrape"
+    failures=$((failures + 1))
+  fi
+fi
+
+if ! curl -sf "http://127.0.0.1:$port/varz" -o "$OUT_DIR/varz.json"; then
+  echo "/varz: FAIL: curl error"
+  failures=$((failures + 1))
+elif ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "$OUT_DIR/varz.json"; then
+  echo "/varz: FAIL: invalid JSON"
+  failures=$((failures + 1))
+else
+  echo "/varz: OK"
+fi
+
+kill "$TOUR_PID" 2>/dev/null
+wait "$TOUR_PID" 2>/dev/null
+
+if [ $failures -ne 0 ]; then
+  echo "metrics smoke: $failures failure(s)"
+  exit 1
+fi
+echo "metrics smoke: exporter served valid /metrics, /varz, and /healthz"
