@@ -228,7 +228,8 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
         out.elements = exec.TimesliceWith(plan, vt, &out.stats);
       }
       out.plan_description = std::string(ExecutionStrategyToString(plan.strategy)) +
-                             " — " + plan.rationale;
+                             " [kernel " + ScanKernelToToken(plan.kernel) +
+                             "] — " + plan.rationale;
     }
   } else if (verb == "RANGE") {
     TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
@@ -246,7 +247,8 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
       out.elements = exec.ValidRangeWith(plan, lo, hi, &out.stats);
     }
     out.plan_description = std::string(ExecutionStrategyToString(plan.strategy)) +
-                           " — " + plan.rationale;
+                           " [kernel " + ScanKernelToToken(plan.kernel) +
+                           "] — " + plan.rationale;
   } else {
     return Status::InvalidArgument(
         "unknown query verb '", verb,

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "obs/metrics.h"
+#include "query/kernels.h"
 
 namespace tempspec {
 
@@ -14,6 +15,19 @@ void Count(QueryStats* stats, uint64_t examined, uint64_t probes = 0) {
   if (stats == nullptr) return;
   stats->elements_examined += examined;
   stats->index_probes += probes;
+}
+
+/// \brief Records the scan kernel a query actually ran (which can differ
+/// from the planned one when a columnar precondition fails): trace attribute
+/// for EXPLAIN ANALYZE, per-kernel registry counter for /metrics.
+void RecordKernel(TraceContext* trace, ScanKernel kernel) {
+  const char* token = ScanKernelToToken(kernel);
+  if (trace != nullptr) trace->SetAttr("kernel", token);
+  TS_METRICS_ONLY({
+    MetricsRegistry::Instance()
+        .GetCounter(std::string("executor.kernel.") + token)
+        .Increment();
+  });
 }
 
 uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
@@ -89,6 +103,8 @@ class QueryScope {
     d.wall_micros -= baseline_.wall_micros;
     d.cpu_micros -= baseline_.cpu_micros;
     d.morsels_executed -= baseline_.morsels_executed;
+    d.rows_scanned -= baseline_.rows_scanned;
+    d.rows_matched -= baseline_.rows_matched;
     const uint64_t pages_touched =
         pool_ == nullptr ? 0 : pool_->hits() + pool_->misses() - pages_before_;
 
@@ -101,6 +117,8 @@ class QueryScope {
       trace_->AddCounter("results", d.results);
       trace_->AddCounter("morsels_executed", d.morsels_executed);
       trace_->AddCounter("cpu_micros", d.cpu_micros);
+      trace_->AddCounter("rows_scanned", d.rows_scanned);
+      trace_->AddCounter("rows_matched", d.rows_matched);
       trace_->AddCounter("pages_touched", pages_touched);
       trace_->End();
     }
@@ -117,6 +135,8 @@ class QueryScope {
       TS_COUNTER_ADD("executor.elements_returned", d.results);
       TS_COUNTER_ADD("executor.index_probes", d.index_probes);
       TS_COUNTER_ADD("executor.morsels", d.morsels_executed);
+      TS_COUNTER_ADD("executor.rows_scanned", d.rows_scanned);
+      TS_COUNTER_ADD("executor.rows_matched", d.rows_matched);
       TS_HISTOGRAM_OBSERVE("executor.query_wall_micros", d.wall_micros);
     });
   }
@@ -157,6 +177,8 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
       stats->morsels_executed += 1;
       stats->cpu_micros +=
           MicrosBetween(scan_start, std::chrono::steady_clock::now());
+      stats->rows_scanned += count;
+      stats->rows_matched += out.size();
     }
     return out;
   }
@@ -192,6 +214,68 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
   if (stats) {
     stats->morsels_executed += morsels;
     stats->cpu_micros += cpu_micros.load(std::memory_order_relaxed);
+    stats->rows_scanned += count;
+    stats->rows_matched += total;
+  }
+  return out;
+}
+
+std::vector<uint64_t> QueryExecutor::CollectColumnar(
+    ScanKernel kernel, size_t first, size_t last, int64_t lo_micros,
+    int64_t hi_micros, int64_t as_of_micros, QueryStats* stats) const {
+  const StampColumns cols = relation_.stamps().columns();
+  const size_t count = last - first;
+  ThreadPool* pool = options_.pool;
+  const size_t grain = options_.morsel_size == 0 ? 1 : options_.morsel_size;
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && count > grain &&
+      optimizer_.ShouldParallelize(count, options_.parallel_cutoff);
+  std::vector<uint64_t> out;
+  if (!parallel) {
+    std::chrono::steady_clock::time_point scan_start;
+    if (stats) scan_start = std::chrono::steady_clock::now();
+    KernelScan(kernel, cols, first, last, lo_micros, hi_micros, as_of_micros,
+               &out);
+    if (stats && count > 0) {
+      stats->morsels_executed += 1;
+      stats->cpu_micros +=
+          MicrosBetween(scan_start, std::chrono::steady_clock::now());
+      stats->rows_scanned += count;
+      stats->rows_matched += out.size();
+    }
+    return out;
+  }
+
+  // Same morsel decomposition as CollectMatches: each morsel runs the kernel
+  // over its contiguous block into a private buffer (the drained selection
+  // bitmap), and buffers concatenate in morsel order — byte-identical to the
+  // serial kernel at any thread count.
+  const size_t morsels = (count + grain - 1) / grain;
+  std::vector<std::vector<uint64_t>> parts(morsels);
+  std::atomic<uint64_t> cpu_micros{0};
+  pool->ParallelFor(count, grain,
+                    [&](size_t morsel, size_t begin, size_t end) {
+                      std::chrono::steady_clock::time_point morsel_start;
+                      if (stats) morsel_start = std::chrono::steady_clock::now();
+                      KernelScan(kernel, cols, first + begin, first + end,
+                                 lo_micros, hi_micros, as_of_micros,
+                                 &parts[morsel]);
+                      if (stats) {
+                        cpu_micros.fetch_add(
+                            MicrosBetween(morsel_start,
+                                          std::chrono::steady_clock::now()),
+                            std::memory_order_relaxed);
+                      }
+                    });
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.reserve(total);
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  if (stats) {
+    stats->morsels_executed += morsels;
+    stats->cpu_micros += cpu_micros.load(std::memory_order_relaxed);
+    stats->rows_scanned += count;
+    stats->rows_matched += total;
   }
   return out;
 }
@@ -213,19 +297,43 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
     return e.valid.begin() < hi && lo < e.valid.end();
   };
 
+  // Columnar dispatch: a plan that names a kernel runs it over the
+  // StampStore, provided the candidate range is contiguous in position
+  // space. The columns are position-aligned with elements() by construction;
+  // the cheap size check guards that invariant rather than trusting it.
+  const int64_t klo = lo.micros();
+  const int64_t khi = hi.micros();
+  const int64_t kasof = as_of.has_value() ? as_of->micros() : kCurrentAsOf;
+  const bool columnar_ready =
+      plan.kernel != ScanKernel::kRowAtATime &&
+      relation_.stamps().size() == elements.size();
+  ScanKernel kernel_used = ScanKernel::kRowAtATime;
+
   std::vector<uint64_t> positions;
   switch (plan.strategy) {
     case ExecutionStrategy::kFullScan: {
       Count(stats, elements.size());
-      positions = CollectMatches(
-          elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
-          matches, stats);
+      if (columnar_ready) {
+        // kMonotone assumes its valid-range tests were pre-applied by
+        // MonotoneBounds; on an unbounded scan only the generic predicate
+        // is complete.
+        kernel_used = plan.kernel == ScanKernel::kMonotone
+                          ? ScanKernel::kGeneric
+                          : plan.kernel;
+        positions = CollectColumnar(kernel_used, 0, elements.size(), klo, khi,
+                                    kasof, stats);
+      } else {
+        positions = CollectMatches(
+            elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
+            matches, stats);
+      }
       break;
     }
 
     case ExecutionStrategy::kValidIndex: {
       // Overlapping() returns positions already ascending (contract of
-      // IntervalIndex), so the probe result needs no per-query sort.
+      // IntervalIndex), so the probe result needs no per-query sort. Probe
+      // results are non-contiguous, so this path stays row-at-a-time.
       std::vector<uint64_t> candidates =
           relation_.valid_index().Overlapping(lo, hi);
       Count(stats, candidates.size(), 1);
@@ -248,18 +356,38 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
                              : idx.LowerBound(plan.tt_window.end());
       const size_t count = end > begin ? end - begin : 0;
       Count(stats, count, 1);
-      positions = CollectMatches(
-          count, [&](size_t i) { return idx.ValueAt(begin + i); }, matches,
-          stats);
+      // The engine appends position j as the j-th index value, so the
+      // candidate window is the identity range [begin, end) — which is what
+      // makes the columnar kernel applicable. The endpoint check guards that
+      // invariant in O(1); any mismatch falls back to the positional walk.
+      const bool identity_range =
+          count > 0 && idx.ValueAt(begin) == begin &&
+          idx.ValueAt(end - 1) == end - 1;
+      if (columnar_ready && identity_range) {
+        kernel_used = plan.kernel;
+        positions =
+            CollectColumnar(plan.kernel, begin, end, klo, khi, kasof, stats);
+      } else {
+        positions = CollectMatches(
+            count, [&](size_t i) { return idx.ValueAt(begin + i); }, matches,
+            stats);
+      }
       break;
     }
 
     case ExecutionStrategy::kMonotoneBinarySearch: {
-      // Valid times are non-decreasing in insertion order: binary search the
-      // element array directly, then scan only the matching sub-range.
-      auto vt_of = [&](size_t i) { return elements[i].valid.at(); };
+      // Valid times are non-decreasing in insertion order: binary search for
+      // the matching sub-range, then scan only existence. The search runs on
+      // the flat vt_start column when the columnar path is up (identical
+      // bounds: for events the column stores valid.at()).
       size_t lo_pos = 0;
-      {
+      size_t hi_pos = 0;
+      if (columnar_ready) {
+        const auto bounds = MonotoneBounds(relation_.stamps().columns(), klo, khi);
+        lo_pos = bounds.first;
+        hi_pos = bounds.second;
+      } else {
+        auto vt_of = [&](size_t i) { return elements[i].valid.at(); };
         size_t a = 0, b = elements.size();
         while (a < b) {
           const size_t mid = a + (b - a) / 2;
@@ -270,10 +398,8 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
           }
         }
         lo_pos = a;
-      }
-      size_t hi_pos = lo_pos;
-      {
-        size_t a = lo_pos, b = elements.size();
+        a = lo_pos;
+        b = elements.size();
         while (a < b) {
           const size_t mid = a + (b - a) / 2;
           if (vt_of(mid) < hi) {
@@ -285,14 +411,21 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
         hi_pos = a;
       }
       Count(stats, hi_pos - lo_pos, 1);
-      positions = CollectMatches(
-          hi_pos - lo_pos,
-          [lo_pos](size_t i) { return static_cast<uint64_t>(lo_pos + i); },
-          matches, stats);
+      if (columnar_ready) {
+        kernel_used = ScanKernel::kMonotone;
+        positions = CollectColumnar(ScanKernel::kMonotone, lo_pos, hi_pos, klo,
+                                    khi, kasof, stats);
+      } else {
+        positions = CollectMatches(
+            hi_pos - lo_pos,
+            [lo_pos](size_t i) { return static_cast<uint64_t>(lo_pos + i); },
+            matches, stats);
+      }
       break;
     }
   }
 
+  RecordKernel(options_.trace, kernel_used);
   if (stats) stats->results += positions.size();
   return ResultSet(elements, std::move(positions));
 }
@@ -300,23 +433,21 @@ ResultSet QueryExecutor::ExecutePlan(const PlanChoice& plan, TimePoint lo,
 // -- Zero-copy interface ------------------------------------------------------
 
 ResultSet QueryExecutor::CurrentSet(QueryStats* stats) const {
-  QueryScope scope(relation_, options_.trace, "query.current", stats);
-  scope.SetStrategyToken(
-      ExecutionStrategyToToken(ExecutionStrategy::kFullScan));
-  stats = scope.stats();
-  StatsTimer timer(stats);
-  TraceContext::StageScope scan_stage(options_.trace, "scan");
-  const std::span<const Element> elements = relation_.elements();
-  Count(stats, elements.size());
-  std::vector<uint64_t> positions = CollectMatches(
-      elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
-      [](const Element& e) { return e.IsCurrent(); }, stats);
-  if (stats) stats->results += positions.size();
-  return ResultSet(elements, std::move(positions));
+  return ExistenceScan("query.current", kCurrentAsOf, stats);
 }
 
 ResultSet QueryExecutor::RollbackSet(TimePoint tt, QueryStats* stats) const {
-  QueryScope scope(relation_, options_.trace, "query.rollback", stats);
+  return ExistenceScan("query.rollback", tt.micros(), stats);
+}
+
+ResultSet QueryExecutor::ExistenceScan(const char* span_name,
+                                       int64_t as_of_micros,
+                                       QueryStats* stats) const {
+  // Current and rollback queries share one shape: a full scan whose
+  // predicate reads only the existence columns (no valid-time test at all) —
+  // the existence_columnar kernel, with kCurrentAsOf selecting open
+  // intervals. The Element walk remains as the guard fallback.
+  QueryScope scope(relation_, options_.trace, span_name, stats);
   scope.SetStrategyToken(
       ExecutionStrategyToToken(ExecutionStrategy::kFullScan));
   stats = scope.stats();
@@ -324,9 +455,21 @@ ResultSet QueryExecutor::RollbackSet(TimePoint tt, QueryStats* stats) const {
   TraceContext::StageScope scan_stage(options_.trace, "scan");
   const std::span<const Element> elements = relation_.elements();
   Count(stats, elements.size());
-  std::vector<uint64_t> positions = CollectMatches(
-      elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
-      [tt](const Element& e) { return e.ExistsAt(tt); }, stats);
+  std::vector<uint64_t> positions;
+  if (relation_.stamps().size() == elements.size()) {
+    RecordKernel(options_.trace, ScanKernel::kExistence);
+    positions = CollectColumnar(ScanKernel::kExistence, 0, elements.size(), 0,
+                                0, as_of_micros, stats);
+  } else {
+    RecordKernel(options_.trace, ScanKernel::kRowAtATime);
+    const TimePoint tt = TimePoint::FromMicros(as_of_micros);
+    positions = CollectMatches(
+        elements.size(), [](size_t i) { return static_cast<uint64_t>(i); },
+        [tt, as_of_micros](const Element& e) {
+          return as_of_micros == kCurrentAsOf ? e.IsCurrent() : e.ExistsAt(tt);
+        },
+        stats);
+  }
   if (stats) stats->results += positions.size();
   return ResultSet(elements, std::move(positions));
 }

@@ -8,7 +8,10 @@
 //
 // Execution engine: every strategy reduces to a scan over a candidate range
 // (the whole element array, a transaction-time window, a monotone sub-range,
-// or an index probe's position list). The scan runs morsel-parallel on a
+// or an index probe's position list). Contiguous candidate ranges run a
+// branch-free columnar kernel over the relation's StampStore when the plan
+// selects one (query/kernels.h); index probes and hand-built baseline plans
+// keep the row-at-a-time Element walk. The scan runs morsel-parallel on a
 // ThreadPool when the optimizer judges the candidate count worth the
 // dispatch cost; matches are collected per-morsel and concatenated in morsel
 // order, so parallel and serial execution return byte-identical,
@@ -58,7 +61,8 @@ class QueryExecutor {
   explicit QueryExecutor(const TemporalRelation& relation,
                          ExecutorOptions options = {})
       : relation_(relation),
-        optimizer_(relation.specializations(), relation.schema()),
+        optimizer_(relation.specializations(), relation.schema(),
+                   [&relation] { return relation.IsDrifted(); }),
         options_(options) {}
 
   const Optimizer& optimizer() const { return optimizer_; }
@@ -125,6 +129,12 @@ class QueryExecutor {
                         std::optional<TimePoint> as_of,
                         QueryStats* stats) const;
 
+  /// \brief Shared core of CurrentSet/RollbackSet: full scan with an
+  /// existence-only predicate (the existence_columnar kernel;
+  /// kCurrentAsOf selects current belief).
+  ResultSet ExistenceScan(const char* span_name, int64_t as_of_micros,
+                          QueryStats* stats) const;
+
   /// \brief Collects matching positions from `count` candidates, where
   /// candidate `i` is element position `pos_at(i)` and matches when
   /// `pred(element)`. Morsel-parallel above the optimizer's cutoff;
@@ -133,6 +143,18 @@ class QueryExecutor {
   std::vector<uint64_t> CollectMatches(size_t count, const PosAt& pos_at,
                                        const Pred& pred,
                                        QueryStats* stats) const;
+
+  /// \brief Columnar counterpart of CollectMatches for *contiguous*
+  /// candidate ranges: runs `kernel` (query/kernels.h) over positions
+  /// [first, last) of the relation's StampStore, serially or per-morsel
+  /// under the same parallel policy. Each morsel's selection bitmap drains
+  /// into a private buffer concatenated in morsel order, so results are
+  /// byte-identical to the serial kernel and to the row-at-a-time walk.
+  /// `as_of_micros` is kCurrentAsOf for current belief.
+  std::vector<uint64_t> CollectColumnar(ScanKernel kernel, size_t first,
+                                        size_t last, int64_t lo_micros,
+                                        int64_t hi_micros, int64_t as_of_micros,
+                                        QueryStats* stats) const;
 
   const TemporalRelation& relation_;
   Optimizer optimizer_;

@@ -36,8 +36,9 @@ void CountPlan(const PlanChoice& plan) {
 
 }  // namespace
 
-Optimizer::Optimizer(const SpecializationSet& specs, const Schema& schema)
-    : specs_(specs), schema_(schema) {}
+Optimizer::Optimizer(const SpecializationSet& specs, const Schema& schema,
+                     std::function<bool()> drifted)
+    : specs_(specs), schema_(schema), drifted_(std::move(drifted)) {}
 
 namespace {
 
@@ -130,11 +131,27 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
   PlanChoice plan;
   const TimePoint hi_incl = TimePoint::FromMicros(hi.micros() - 1);
 
+  // A DRIFTED relation declared a band its workload has escaped; the
+  // declaration is no longer a sound basis for a specialized strategy or
+  // kernel, so plan as if nothing were declared. (Enforcement keeps the
+  // extension itself clean, so this is conservative, not required for
+  // correctness — but a plan justified by a violated declaration is a lie.)
+  if (drifted_ && drifted_()) {
+    plan.strategy = ExecutionStrategy::kValidIndex;
+    plan.kernel = ScanKernel::kRowAtATime;
+    plan.rationale =
+        "drift monitor reports DRIFTED: declared specialization ignored; "
+        "valid-time interval index probe";
+    CountPlan(plan);
+    return plan;
+  }
+
   if (IsDegenerate()) {
     // vt = tt within the granularity: matches can only have been stored in
     // the granules covering the queried valid range.
     const Granularity g = schema_.valid_granularity();
     plan.strategy = ExecutionStrategy::kRollbackEquivalence;
+    plan.kernel = ScanKernel::kDegenerate;
     plan.tt_window = TimeInterval(g.Truncate(lo), g.NextGranule(hi_incl));
     plan.rationale =
         "degenerate relation: valid time equals transaction time within "
@@ -145,6 +162,10 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
 
   if (auto band = CombinedFixedBand()) {
     plan.strategy = ExecutionStrategy::kTransactionWindow;
+    // Event relations derive vt_end, so the banded kernel reads one vt
+    // column; interval stamps need both — the generic columnar predicate.
+    plan.kernel = schema_.IsEventRelation() ? ScanKernel::kBanded
+                                            : ScanKernel::kGeneric;
     plan.tt_window = WindowFromBand(*band, lo, hi_incl);
     plan.rationale = "declared band " + band->ToString() +
                      " bounds the storage delay; scanning tt window " +
@@ -155,6 +176,7 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
 
   if (schema_.IsEventRelation() && ValidTimesMonotone()) {
     plan.strategy = ExecutionStrategy::kMonotoneBinarySearch;
+    plan.kernel = ScanKernel::kMonotone;
     plan.rationale =
         "non-decreasing/sequential relation: valid times are sorted in "
         "insertion order; binary search";
@@ -163,6 +185,7 @@ PlanChoice Optimizer::PlanValidRange(TimePoint lo, TimePoint hi) const {
   }
 
   plan.strategy = ExecutionStrategy::kValidIndex;
+  plan.kernel = ScanKernel::kRowAtATime;  // probe results are non-contiguous
   plan.rationale = "general relation: valid-time interval index probe";
   CountPlan(plan);
   return plan;

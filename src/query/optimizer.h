@@ -2,7 +2,9 @@
 #ifndef TEMPSPEC_QUERY_OPTIMIZER_H_
 #define TEMPSPEC_QUERY_OPTIMIZER_H_
 
+#include <functional>
 #include <optional>
+#include <utility>
 
 #include "model/schema.h"
 #include "query/plan.h"
@@ -13,7 +15,14 @@ namespace tempspec {
 /// \brief Chooses execution strategies from the declared specializations.
 class Optimizer {
  public:
-  Optimizer(const SpecializationSet& specs, const Schema& schema);
+  /// \brief `drifted`, when supplied, is consulted once per plan: a true
+  /// return means the drift monitor reports DRIFTED (declared specialization
+  /// with observed violations), and the planner ignores the declaration —
+  /// general strategy, generic kernel — rather than trust a band the
+  /// workload has escaped. The executor wires this to
+  /// TemporalRelation::IsDrifted().
+  Optimizer(const SpecializationSet& specs, const Schema& schema,
+            std::function<bool()> drifted = nullptr);
 
   /// \brief Plans a timeslice (historical) query at valid time `vt`.
   ///
@@ -54,6 +63,7 @@ class Optimizer {
  private:
   const SpecializationSet& specs_;
   const Schema& schema_;
+  std::function<bool()> drifted_;
 };
 
 }  // namespace tempspec

@@ -18,6 +18,24 @@ const char* ExecutionStrategyToString(ExecutionStrategy s) {
   return "unknown";
 }
 
+const char* ScanKernelToToken(ScanKernel k) {
+  switch (k) {
+    case ScanKernel::kRowAtATime:
+      return "row_at_a_time";
+    case ScanKernel::kGeneric:
+      return "generic_columnar";
+    case ScanKernel::kDegenerate:
+      return "degenerate_columnar";
+    case ScanKernel::kBanded:
+      return "banded_columnar";
+    case ScanKernel::kMonotone:
+      return "monotone_columnar";
+    case ScanKernel::kExistence:
+      return "existence_columnar";
+  }
+  return "unknown";
+}
+
 const char* ExecutionStrategyToToken(ExecutionStrategy s) {
   switch (s) {
     case ExecutionStrategy::kFullScan:

@@ -39,6 +39,34 @@ const char* ExecutionStrategyToString(ExecutionStrategy s);
 /// (e.g. "valid_index"), as opposed to the prose ToString form.
 const char* ExecutionStrategyToToken(ExecutionStrategy s);
 
+/// \brief How the candidate range of a strategy is scanned: row-at-a-time
+/// over Element objects, or one of the branch-free columnar kernels over the
+/// relation's StampStore (query/kernels.h). Each specialized kernel is the
+/// vectorized form of one Figure-1 pane family — it reads only the stamp
+/// columns that pane leaves underived.
+enum class ScanKernel : uint8_t {
+  /// Walk std::vector<Element> with a per-row predicate (the baseline, and
+  /// the only option for non-contiguous candidates such as index probes).
+  kRowAtATime,
+  /// Generic two-half-plane columnar predicate: both vt columns plus the
+  /// existence column. Correct for every relation; the fallback under drift.
+  kGeneric,
+  /// Degenerate pane (vt = tt): inside the granule-aligned tt window a
+  /// single vt column decides membership.
+  kDegenerate,
+  /// Bounded/determined panes (fixed vt - tt band): events only, so vt_end
+  /// is derivable (at + 1) and its column is skipped entirely.
+  kBanded,
+  /// Non-decreasing/sequential panes: the vt_start column is sorted, so the
+  /// vt tests collapse into a binary-searched subrange and the scan tests
+  /// existence only.
+  kMonotone,
+  /// Current/rollback queries: existence columns only, no valid-time test.
+  kExistence,
+};
+
+const char* ScanKernelToToken(ScanKernel k);
+
 /// \brief The optimizer's decision for one query.
 struct PlanChoice {
   ExecutionStrategy strategy = ExecutionStrategy::kFullScan;
@@ -47,6 +75,10 @@ struct PlanChoice {
   TimeInterval tt_window = TimeInterval::All();
   /// Human-readable justification naming the specialization used.
   std::string rationale;
+  /// Scan kernel for the strategy's candidate range. Defaults to the
+  /// row-at-a-time walk so hand-built plans (tests, naive baselines) keep
+  /// the pre-columnar behavior.
+  ScanKernel kernel = ScanKernel::kRowAtATime;
 };
 
 /// \brief Execution counters for measuring strategy effectiveness.
@@ -71,6 +103,13 @@ struct QueryStats {
   uint64_t cpu_micros = 0;
   /// Morsels dispatched; 1 per query when the scan ran serially.
   uint64_t morsels_executed = 0;
+  /// Selectivity pair for the scan itself: candidate rows run through the
+  /// scan predicate, and rows that passed it. Unlike elements_examined
+  /// (which counts plan-level candidates), these are incremented by the
+  /// collect loop, so rows_matched / rows_scanned is the measured kernel
+  /// selectivity EXPLAIN ANALYZE reports.
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
 
   /// \brief Accumulates another query's counters (per-worker or per-query
   /// aggregation; all counters are additive).
@@ -81,6 +120,8 @@ struct QueryStats {
     wall_micros += other.wall_micros;
     cpu_micros += other.cpu_micros;
     morsels_executed += other.morsels_executed;
+    rows_scanned += other.rows_scanned;
+    rows_matched += other.rows_matched;
   }
 };
 

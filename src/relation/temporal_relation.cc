@@ -71,6 +71,7 @@ Status TemporalRelation::ApplyRecoveredEntries() {
       }
       Element& e = elements_[it->second];
       e.tt_end = entry.tt;
+      stamps_.SetTtEnd(it->second, entry.tt);
       TS_RETURN_NOT_OK(checker_.OnLogicalDelete(e));
       clock_->EnsureAfter(entry.tt);
     }
@@ -82,6 +83,11 @@ void TemporalRelation::IndexElement(const Element& e, size_t position) {
   // Transaction time is monotone by construction, so the tt index is always
   // append-only regardless of specialization.
   tt_index_.Append(e.tt_begin, position).Check();
+  // The columnar stamp store is position-aligned with elements_: every
+  // caller indexes exactly the element it is about to append (or, on vacuum
+  // rebuild, position i of the compacted array), so appending here keeps the
+  // columns in lockstep across insert, recovery, and vacuum.
+  stamps_.Append(e);
   if (e.valid.is_event()) {
     valid_index_.Insert(e.valid.at(),
                         TimePoint::FromMicros(e.valid.at().micros() + 1),
@@ -206,6 +212,7 @@ Status TemporalRelation::LogicalDeleteAt(TimePoint tt,
   TS_RETURN_NOT_OK(backlog_->Append(entry));
 
   e.tt_end = tt;
+  stamps_.SetTtEnd(it->second, tt);
   if (snapshots_) snapshots_->Refresh();
   return Status::OK();
 }
@@ -319,6 +326,7 @@ Result<size_t> TemporalRelation::VacuumBefore(TimePoint horizon) {
   object_order_.clear();
   tt_index_ = AppendOnlyIndex();
   valid_index_ = IntervalIndex();
+  stamps_.Clear();
   for (size_t i = 0; i < elements_.size(); ++i) {
     const Element& e = elements_[i];
     by_surrogate_[e.element_surrogate] = i;

@@ -35,6 +35,7 @@
 #include "index/interval_index.h"
 #include "model/element.h"
 #include "model/schema.h"
+#include "relation/stamp_store.h"
 #include "spec/drift.h"
 #include "spec/specialization.h"
 #include "storage/backlog.h"
@@ -145,6 +146,12 @@ class TemporalRelation {
   /// intervals).
   const IntervalIndex& valid_index() const { return valid_index_; }
 
+  /// \brief Columnar copy of every element's stamps, position-aligned with
+  /// elements(): the input of the vectorized scan kernels (query/kernels.h).
+  /// Maintained through every mutation and rebuilt on recovery and vacuum
+  /// like the other derived structures.
+  const StampStore& stamps() const { return stamps_; }
+
   // -- Integrity ------------------------------------------------------------
 
   /// \brief Re-validates the full extension against the declared
@@ -170,6 +177,11 @@ class TemporalRelation {
   /// a TEMPSPEC_METRICS=OFF tree the monitor never observes anything, so
   /// the report shows zero stamps.
   DriftReport DriftState() const { return drift_.Report(); }
+
+  /// \brief Cheap DRIFTED check (declared specialization with observed
+  /// violations): the optimizer consults this per plan to fall back to the
+  /// general strategy when the declaration is no longer trustworthy.
+  bool IsDrifted() const { return drift_.Drifted(); }
 
   /// \brief Storage and population statistics.
   struct Stats {
@@ -209,6 +221,7 @@ class TemporalRelation {
   std::vector<ObjectSurrogate> object_order_;
   AppendOnlyIndex tt_index_;
   IntervalIndex valid_index_;
+  StampStore stamps_;
 };
 
 }  // namespace tempspec

@@ -142,6 +142,12 @@ void RelationDriftMonitor::Observe(TimePoint tt, TimePoint vt) {
 #endif
 }
 
+bool RelationDriftMonitor::Drifted() const {
+  if (!has_declaration_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_ > 0;
+}
+
 DriftReport RelationDriftMonitor::Report() const {
   std::lock_guard<std::mutex> lock(mu_);
   DriftReport report;

@@ -1,0 +1,117 @@
+// Randomized contract test for IntervalIndex::Overlapping / Stab.
+//
+// The executor's row-at-a-time probe path (ExecutionStrategy::kValidIndex)
+// leans on one documented property: probe results come back in ascending
+// VALUE order, where values are element positions — that ordering is what
+// lets query execution emit position-ordered results with no per-query sort,
+// and what the serial/parallel byte-identity contract inherits. This test
+// hammers that contract with randomized interval sets (a mix of proper
+// intervals and unit-chronon events, duplicates included), values assigned
+// 0..n-1 in insertion order, across every internal state the index passes
+// through: pure delta buffer, mixed core + delta after automatic merges, and
+// fully Compact()ed core.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "index/interval_index.h"
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+using testing::T;
+
+struct NaiveEntry {
+  int64_t begin;
+  int64_t end;
+  uint64_t value;
+};
+
+/// \brief Reference implementation: linear scan in insertion (= value)
+/// order, so its output is ascending-by-value by construction.
+std::vector<uint64_t> NaiveOverlapping(const std::vector<NaiveEntry>& entries,
+                                       int64_t lo, int64_t hi) {
+  std::vector<uint64_t> out;
+  for (const NaiveEntry& e : entries) {
+    if (e.begin < hi && lo < e.end) out.push_back(e.value);
+  }
+  return out;
+}
+
+std::vector<uint64_t> NaiveStab(const std::vector<NaiveEntry>& entries,
+                                int64_t tp) {
+  return NaiveOverlapping(entries, tp, tp + 1);
+}
+
+TEST(IntervalIndexContractTest, OverlappingMatchesNaiveInAscendingOrder) {
+  Random rng(20260807);
+  for (int round = 0; round < 20; ++round) {
+    IntervalIndex index;
+    std::vector<NaiveEntry> naive;
+    const int64_t domain = 1 + rng.Uniform(50, 2000);
+    const int inserts = static_cast<int>(rng.Uniform(1, 400));
+
+    auto check_queries = [&](const char* state) {
+      SCOPED_TRACE(std::string(state) + " round " + std::to_string(round) +
+                   " size " + std::to_string(naive.size()));
+      for (int q = 0; q < 16; ++q) {
+        const int64_t a = rng.Uniform(-10, domain + 10);
+        const int64_t b = rng.Uniform(-10, domain + 10);
+        const int64_t lo = std::min(a, b);
+        const int64_t hi = std::max(a, b) + 1;
+        const std::vector<uint64_t> got =
+            index.Overlapping(T(lo), T(hi));
+        ASSERT_TRUE(std::is_sorted(got.begin(), got.end()))
+            << "Overlapping must return ascending positions";
+        ASSERT_EQ(got, NaiveOverlapping(naive, T(lo).micros(), T(hi).micros()));
+
+        const int64_t stab = rng.Uniform(-10, domain + 10);
+        const std::vector<uint64_t> stabbed = index.Stab(T(stab));
+        ASSERT_TRUE(std::is_sorted(stabbed.begin(), stabbed.end()));
+        ASSERT_EQ(stabbed, NaiveStab(naive, T(stab).micros()));
+      }
+    };
+
+    for (int i = 0; i < inserts; ++i) {
+      const int64_t begin = rng.Uniform(0, domain);
+      // ~1/3 unit-chronon events (how event relations index instants),
+      // ~2/3 proper intervals; duplicates arise naturally from the small
+      // domain.
+      const int64_t len =
+          rng.Uniform(0, 2) == 0 ? 0 : rng.Uniform(0, domain / 4);
+      const int64_t end = begin + 1 + len;
+      index.Insert(TimeInterval(T(begin), T(end)),
+                   static_cast<uint64_t>(naive.size()));
+      naive.push_back(NaiveEntry{T(begin).micros(), T(end).micros(),
+                                 static_cast<uint64_t>(naive.size())});
+      // Query mid-stream every so often: exercises the pure-delta state
+      // early and the post-auto-merge mixed state later.
+      if (i % 37 == 36) check_queries("interleaved");
+    }
+    check_queries("loaded");
+    EXPECT_EQ(index.size(), naive.size());
+
+    index.Compact();
+    EXPECT_EQ(index.delta_size(), 0u);
+    check_queries("compacted");
+  }
+}
+
+TEST(IntervalIndexContractTest, EmptyAndDegenerateQueries) {
+  IntervalIndex index;
+  EXPECT_TRUE(index.Overlapping(T(0), T(100)).empty());
+  EXPECT_TRUE(index.Stab(T(5)).empty());
+
+  index.Insert(TimeInterval(T(10), T(11)), 0);  // unit-chronon event
+  index.Compact();
+  EXPECT_EQ(index.Stab(T(10)), (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(index.Stab(T(11)).empty()) << "end is exclusive";
+  EXPECT_TRUE(index.Overlapping(T(11), T(20)).empty());
+  EXPECT_EQ(index.Overlapping(T(0), T(11)), (std::vector<uint64_t>{0}));
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -162,6 +162,55 @@ TEST(ParallelParityTest, IntervalRelationStrategies) {
   }
 }
 
+TEST(ParallelParityTest, ColumnarBitmapMorselPathMatchesSerial) {
+  // The columnar kernels emit per-morsel selection bitmaps that drain into
+  // private buffers concatenated in morsel order; under TSan this is the
+  // race-check for that path (each worker writes only its morsel's buffer
+  // and StampStore columns are read-only during queries). Forces the
+  // generic kernel onto full scans with tiny morsels, and runs the planned
+  // degenerate path (degenerate_columnar inside a granule-aligned window)
+  // the same way.
+  RelationOptions options;
+  options.schema =
+      Schema::Make("bitmap",
+                   {AttributeDef{"id", ValueType::kInt64,
+                                 AttributeRole::kTimeInvariantKey}},
+                   ValidTimeKind::kEvent, Granularity::Second())
+          .ValueOrDie();
+  auto clock = std::make_shared<LogicalClock>(T(0), Duration::Seconds(1));
+  options.clock = clock;
+  options.specializations.AddEvent(EventSpecialization::Degenerate());
+  ASSERT_OK_AND_ASSIGN(auto rel, TemporalRelation::Open(std::move(options)));
+  Random rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    auto s = rel->InsertEvent(i % 7, clock->Peek(), Tuple{int64_t{i}});
+    ASSERT_OK(s.status());
+    // Close some stamps so the bitmaps exercise the existence half too.
+    if (rng.Uniform(0, 9) == 0) ASSERT_OK(rel->LogicalDelete(s.ValueOrDie()));
+  }
+  ExecutorTriple exec(*rel);
+  ASSERT_EQ(exec.serial.optimizer().PlanTimeslice(T(5)).kernel,
+            ScanKernel::kDegenerate);
+
+  PlanChoice generic{ExecutionStrategy::kFullScan, TimeInterval::All(), ""};
+  generic.kernel = ScanKernel::kGeneric;
+  for (int trial = 0; trial < 16; ++trial) {
+    const TimePoint lo = T(rng.Uniform(0, 3000));
+    const TimePoint hi = lo + Duration::Seconds(rng.Uniform(1, 400));
+    ExpectIdentical(exec.serial.ValidRangeSetWith(generic, lo, hi),
+                    exec.tiny_morsels.ValidRangeSetWith(generic, lo, hi),
+                    "generic_columnar bitmap morsels");
+    ExpectIdentical(exec.serial.ValidRangeSetWith(generic, lo, hi),
+                    exec.defaults.ValidRangeSetWith(generic, lo, hi),
+                    "generic_columnar default morsels");
+    ExpectIdentical(exec.serial.ValidRangeSet(lo, hi),
+                    exec.tiny_morsels.ValidRangeSet(lo, hi),
+                    "degenerate_columnar bitmap morsels");
+    ExpectIdentical(exec.serial.CurrentSet(), exec.tiny_morsels.CurrentSet(),
+                    "existence_columnar bitmap morsels");
+  }
+}
+
 TEST(ParallelParityTest, MaterializeAdaptersMatchSets) {
   WorkloadConfig config;
   config.num_objects = 8;

@@ -187,6 +187,18 @@ TEST_F(ExplainAnalyzeTest, ReturnsTraceJsonAndExecutes) {
   EXPECT_NE(out.trace_json.find("\"elements_examined\":"), std::string::npos);
   EXPECT_NE(out.trace_json.find("\"stages\":"), std::string::npos);
   EXPECT_EQ(out.trace_json.find('\n'), std::string::npos) << "single line";
+  // EXPLAIN ANALYZE names the scan kernel the executor actually ran (this
+  // relation is DEGENERATE, so the degenerate columnar kernel) and the
+  // measured scan selectivity pair.
+  EXPECT_NE(out.trace_json.find("\"kernel\":\"degenerate_columnar\""),
+            std::string::npos)
+      << out.trace_json;
+  EXPECT_NE(out.trace_json.find("\"rows_scanned\":"), std::string::npos);
+  EXPECT_NE(out.trace_json.find("\"rows_matched\":"), std::string::npos);
+  // The plan description names the kernel too (also on plain EXPLAIN).
+  EXPECT_NE(out.plan_description.find("[kernel degenerate_columnar]"),
+            std::string::npos)
+      << out.plan_description;
   // The rendered output leads with the span.
   EXPECT_NE(out.ToString().find("trace: {"), std::string::npos);
 }

@@ -72,9 +72,15 @@ RegionRelation BuildRelationFor(const EnumeratedRegion& region, uint64_t seed) {
   for (int64_t i = 0; i < kEvents; ++i) {
     const TimePoint tt = out.clock->Peek();
     const TimePoint vt = tt + Duration::Seconds(rng.Uniform(lo, hi));
-    out.relation->InsertEvent(i % 32, vt, Tuple{int64_t{i % 32}, 0.5})
-        .status()
-        .Check();
+    auto surrogate =
+        out.relation->InsertEvent(i % 32, vt, Tuple{int64_t{i % 32}, 0.5});
+    surrogate.status().Check();
+    // Close ~1/8 of existence intervals so every differential below also
+    // exercises the kernels' existence predicate (tt_end < MAX rows must
+    // drop out of current-belief scans identically on both paths).
+    if (rng.Uniform(0, 7) == 0) {
+      out.relation->LogicalDelete(surrogate.ValueOrDie()).Check();
+    }
   }
   return out;
 }
@@ -164,6 +170,105 @@ TEST(StrategyDifferentialTest, PlannerPicksTheBandStrategyWhenDeclared) {
     if (region.kind == EventSpecKind::kGeneral) {
       EXPECT_EQ(plan.strategy, ExecutionStrategy::kValidIndex);
     }
+  }
+}
+
+TEST(StrategyDifferentialTest, PlannerMapsEachPaneToItsKernel) {
+  // The kernel is part of the plan contract: degenerate panes get the
+  // single-column degenerate kernel, doubly-bounded panes the banded kernel
+  // (event relations derive vt_end), unbounded-band panes fall through to
+  // monotone/index like before, and the general pane keeps the row walk
+  // (index probes are non-contiguous).
+  for (const EnumeratedRegion& region :
+       EnumerateEventRegions(kDeltaSmall, kDeltaLarge)) {
+    RegionRelation rr = BuildRelationFor(region, 11);
+    QueryExecutor exec(*rr.relation, ExecutorOptions{.pool = nullptr});
+    const PlanChoice plan = exec.optimizer().PlanTimeslice(T(600));
+    SCOPED_TRACE(std::string(EventSpecKindToString(region.kind)) + " -> " +
+                 ScanKernelToToken(plan.kernel));
+    switch (plan.strategy) {
+      case ExecutionStrategy::kRollbackEquivalence:
+        EXPECT_EQ(plan.kernel, ScanKernel::kDegenerate);
+        break;
+      case ExecutionStrategy::kTransactionWindow:
+        EXPECT_EQ(plan.kernel, ScanKernel::kBanded);  // event relation
+        break;
+      case ExecutionStrategy::kMonotoneBinarySearch:
+        EXPECT_EQ(plan.kernel, ScanKernel::kMonotone);
+        break;
+      case ExecutionStrategy::kValidIndex:
+        EXPECT_EQ(plan.kernel, ScanKernel::kRowAtATime);
+        break;
+      case ExecutionStrategy::kFullScan:
+        ADD_FAILURE() << "planner never plans a bare full scan";
+        break;
+    }
+  }
+}
+
+TEST(StrategyDifferentialTest, EveryKernelMatchesTheRowWalkDifferentially) {
+  // Forced-kernel differential: for every enumerated pane, run the same
+  // randomized valid-range queries through (a) the row-at-a-time full scan,
+  // (b) the generic columnar kernel on a full scan, and (c) the optimizer's
+  // plan (pane kernel + narrowed candidates). All three must return
+  // byte-identical position sets — including the ~1/8 logically deleted
+  // rows, which exercise the existence half of each predicate. Current and
+  // rollback views check the existence kernel the same way.
+  const PlanChoice row_plan{ExecutionStrategy::kFullScan, TimeInterval::All(),
+                            ""};
+  PlanChoice generic_plan = row_plan;
+  generic_plan.kernel = ScanKernel::kGeneric;
+
+  uint64_t seed = 1789;
+  for (const EnumeratedRegion& region :
+       EnumerateEventRegions(kDeltaSmall, kDeltaLarge)) {
+    SCOPED_TRACE(std::string(EventSpecKindToString(region.kind)) + " " +
+                 region.band.ToString());
+    RegionRelation rr = BuildRelationFor(region, seed++);
+    QueryExecutor exec(*rr.relation, ExecutorOptions{.pool = nullptr});
+
+    Random rng(seed * 131);
+    const auto& elements = rr.relation->elements();
+    for (int trial = 0; trial < kTrialsPerRegion; ++trial) {
+      const Element& probe =
+          elements[static_cast<size_t>(rng.Uniform(0, kEvents - 1))];
+      const TimePoint lo =
+          probe.valid.at() + Duration::Seconds(rng.Uniform(-30, 0));
+      const TimePoint hi = lo + Duration::Seconds(rng.Uniform(1, 120));
+
+      QueryStats ignored;
+      const ResultSet row =
+          exec.ValidRangeSetWith(row_plan, lo, hi, &ignored);
+      const ResultSet generic =
+          exec.ValidRangeSetWith(generic_plan, lo, hi, &ignored);
+      const PlanChoice planned = exec.optimizer().PlanValidRange(lo, hi);
+      const ResultSet specialized =
+          exec.ValidRangeSetWith(planned, lo, hi, &ignored);
+      ExpectSameResults(generic, row, "generic_columnar vs row walk");
+      ExpectSameResults(
+          specialized, row,
+          std::string("kernel ") + ScanKernelToToken(planned.kernel) +
+              " under " + ExecutionStrategyToString(planned.strategy));
+    }
+
+    // Existence kernel: CurrentSet/RollbackSet run existence_columnar; the
+    // naive comparison re-derives both from the Element walk.
+    const ResultSet current = exec.CurrentSet();
+    std::vector<uint64_t> naive_current;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (elements[i].IsCurrent()) naive_current.push_back(i);
+    }
+    EXPECT_EQ(current.positions(), naive_current) << "existence_columnar";
+
+    const TimePoint mid =
+        TimePoint::FromMicros(rr.relation->LastTransactionTime().micros() / 2);
+    const ResultSet rollback = exec.RollbackSet(mid);
+    std::vector<uint64_t> naive_rollback;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (elements[i].ExistsAt(mid)) naive_rollback.push_back(i);
+    }
+    EXPECT_EQ(rollback.positions(), naive_rollback)
+        << "existence_columnar as-of";
   }
 }
 

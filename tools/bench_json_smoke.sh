@@ -19,6 +19,11 @@ fi
 OUT_DIR="$(mktemp -d)"
 trap 'rm -rf "$OUT_DIR"' EXIT
 
+# Size knobs honored by individual benches: keep their fixtures tiny here —
+# this sweep validates the JSON contract, not the performance numbers (the
+# perf-smoke CI job runs bench_p2_kernels at a meaningful size).
+export TEMPSPEC_P2_EVENTS="${TEMPSPEC_P2_EVENTS:-4096}"
+
 failures=0
 emitted=()
 for bench in "$BENCH_DIR"/bench_*; do
