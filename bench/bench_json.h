@@ -7,7 +7,7 @@
 //     "schema_version": 2,
 //     "bench_id": "e2_degenerate",
 //     "params": {"threads": N, "metrics_enabled": 0|1,
-//                "failpoints_enabled": 0|1,
+//                "failpoints_enabled": 0|1, "flightrecorder_enabled": 0|1,
 //                "sanitizers": ""|"thread"|"address",
 //                "compiler": "<__VERSION__ of the building compiler>"},
 //     "benchmarks": [
@@ -32,8 +32,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/build_info.h"
 #include "obs/metrics.h"
-#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace tempspec {
@@ -71,17 +71,13 @@ inline std::string BenchResultsToJson(const std::string& bench_id,
   out += ",\"bench_id\":\"" + JsonEscape(bench_id) + "\"";
   // The full build configuration rides along with every result file: perf
   // numbers are only comparable between identically-configured trees, and
-  // a sanitized or metrics-OFF run must be distinguishable after the fact.
+  // a sanitized, metrics-OFF, or flight-recorder-OFF run must be
+  // distinguishable after the fact. The stamp is spliced from
+  // BuildConfigJson() so /varz and the bench files share one source of
+  // truth (params stays a flat object for check_bench_json.py).
   out += ",\"params\":{\"threads\":" +
-         std::to_string(ThreadPool::DefaultThreadCount()) +
-         ",\"metrics_enabled\":" + (MetricsCompiledIn() ? "1" : "0") +
-         ",\"failpoints_enabled\":" + (FailpointsCompiledIn() ? "1" : "0") +
-#ifdef TEMPSPEC_SANITIZE_NAME
-         ",\"sanitizers\":\"" + JsonEscape(TEMPSPEC_SANITIZE_NAME) + "\"" +
-#else
-         ",\"sanitizers\":\"\"" +
-#endif
-         ",\"compiler\":\"" + JsonEscape(__VERSION__) + "\"}";
+         std::to_string(ThreadPool::DefaultThreadCount()) + "," +
+         BuildConfigJson().substr(1);
   out += ",\"benchmarks\":[";
   bool first = true;
   for (const BenchResult& r : results) {

@@ -1,5 +1,6 @@
 #include "catalog/advisor.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "query/optimizer.h"
 #include "spec/lattice.h"
@@ -123,6 +124,9 @@ AdvisorReport Advise(const Schema& schema, const SpecializationSet& specs) {
     }
   }
 
+  TS_FLIGHT(FlightCategory::kAdvisor, FlightCode::kAdvisorNote,
+            report.notes.size(), report.redundant_declarations.size(),
+            ExecutionStrategyToToken(report.timeslice_strategy));
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
@@ -137,6 +138,58 @@ Result<QueryOutput> ShowSlowQueries(QueryCursor& cur) {
   return out;
 }
 
+// SHOW FLIGHT RECORDER [LIMIT n]: the flight-recorder ring, oldest first
+// (LIMIT keeps the n most recent), one JSON line per event plus a summary.
+Result<QueryOutput> ShowFlightRecorder(QueryCursor& cur) {
+  QueryOutput out;
+  size_t limit = std::numeric_limits<size_t>::max();
+  if (cur.TryWord("LIMIT")) {
+    TS_ASSIGN_OR_RETURN(uint64_t n, cur.Number());
+    limit = static_cast<size_t>(n);
+  }
+  std::ostringstream ss;
+  if (!FlightRecorderCompiledIn()) {
+    ss << "0 event(s) shown (flight recorder compiled out; rebuild with "
+          "-DTEMPSPEC_FLIGHTRECORDER=ON)\n";
+    out.report = ss.str();
+    return out;
+  }
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  const size_t begin = events.size() > limit ? events.size() - limit : 0;
+  for (size_t i = begin; i < events.size(); ++i) {
+    ss << events[i].ToJson() << "\n";
+  }
+  ss << (events.size() - begin) << " event(s) shown (" << recorder.head()
+     << " recorded, ring capacity " << recorder.capacity() << ")\n";
+  out.report = ss.str();
+  return out;
+}
+
+// SHOW TRACES [LIMIT n]: the retained span ring, oldest first (LIMIT keeps
+// the n most recent), one JSON line per span plus a summary.
+Result<QueryOutput> ShowTraces(QueryCursor& cur) {
+  QueryOutput out;
+  size_t limit = std::numeric_limits<size_t>::max();
+  if (cur.TryWord("LIMIT")) {
+    TS_ASSIGN_OR_RETURN(uint64_t n, cur.Number());
+    limit = static_cast<size_t>(n);
+  }
+  RetainedTraces& traces = RetainedTraces::Instance();
+  std::vector<RetainedTrace> entries = traces.Entries();
+  const size_t begin = entries.size() > limit ? entries.size() - limit : 0;
+  std::ostringstream ss;
+  for (size_t i = begin; i < entries.size(); ++i) {
+    ss << entries[i].json << "\n";
+  }
+  ss << (entries.size() - begin) << " trace(s) shown ("
+     << traces.TotalRetained() << " retained of " << traces.TotalSeen()
+     << " seen, ring capacity " << traces.capacity() << ", sampling 1/"
+     << traces.sample_every() << ")\n";
+  out.report = ss.str();
+  return out;
+}
+
 // SHOW SPECIALIZATION <relation>: declared vs observed kind, drift state,
 // and the Figure-1 pane occupancy histogram.
 Result<QueryOutput> ShowSpecialization(const Catalog& catalog,
@@ -173,10 +226,16 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
         TS_RETURN_NOT_OK(cur.ExpectWord("QUERIES"));
         return ShowSlowQueries(cur);
       }
+      if (what == "FLIGHT") {
+        TS_RETURN_NOT_OK(cur.ExpectWord("RECORDER"));
+        return ShowFlightRecorder(cur);
+      }
+      if (what == "TRACES") return ShowTraces(cur);
       if (what == "SPECIALIZATION") return ShowSpecialization(catalog, cur);
       return Status::InvalidArgument(
           "unknown SHOW target '", what,
-          "' (expected SLOW QUERIES or SPECIALIZATION)");
+          "' (expected SLOW QUERIES, SPECIALIZATION, FLIGHT RECORDER, or "
+          "TRACES)");
     }();
     TS_RETURN_NOT_OK(shown.status());
     if (!cur.AtEnd()) {
@@ -264,6 +323,11 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   TS_METRICS_ONLY(if (exec_options.trace != nullptr && trace.started()) {
     SlowQueryLog::Instance().Record(trace, statement);
   })
+  // Offer the completed span to the retained-trace ring (sampled), so it is
+  // joinable from a slowlog entry by trace id after the query returns.
+  if (exec_options.trace != nullptr && trace.started()) {
+    RetainedTraces::Instance().Record(trace);
+  }
   return out;
 }
 

@@ -9,12 +9,17 @@
 //   EXPLAIN TIMESLICE <relation> AT '...'          (plan only)
 //   EXPLAIN ANALYZE <query>                        (execute + trace span)
 //
-// plus two introspection statements over the telemetry plane:
+// plus introspection statements over the telemetry plane:
 //
 //   SHOW SLOW QUERIES [LIMIT n]       (the retained slow-query ring, newest
 //                                      last, one JSON line per entry)
 //   SHOW SPECIALIZATION <relation>    (declared vs observed kind, Figure-1
 //                                      pane occupancy, drift state)
+//   SHOW FLIGHT RECORDER [LIMIT n]    (the flight-recorder event ring,
+//                                      newest last, one JSON line per event)
+//   SHOW TRACES [LIMIT n]             (the retained trace-span ring, newest
+//                                      last; spans join slowlog entries by
+//                                      trace_id)
 //
 // EXPLAIN ANALYZE runs the query with a trace span attached and returns the
 // span as single-line JSON in QueryOutput::trace_json (strategy, counters,

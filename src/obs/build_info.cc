@@ -1,0 +1,25 @@
+#include "obs/build_info.h"
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+
+namespace tempspec {
+
+std::string BuildConfigJson() {
+  std::string out = "{\"metrics_enabled\":";
+  out += MetricsCompiledIn() ? "1" : "0";
+  out += ",\"failpoints_enabled\":";
+  out += FailpointsCompiledIn() ? "1" : "0";
+  out += ",\"flightrecorder_enabled\":";
+  out += FlightRecorderCompiledIn() ? "1" : "0";
+#ifdef TEMPSPEC_SANITIZE_NAME
+  out += ",\"sanitizers\":\"" + JsonEscape(TEMPSPEC_SANITIZE_NAME) + "\"";
+#else
+  out += ",\"sanitizers\":\"\"";
+#endif
+  out += ",\"compiler\":\"" + JsonEscape(__VERSION__) + "\"}";
+  return out;
+}
+
+}  // namespace tempspec

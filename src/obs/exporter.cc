@@ -15,7 +15,10 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/build_info.h"
+#include "obs/flight_recorder.h"
 #include "obs/slowlog.h"
+#include "obs/trace.h"
 
 namespace tempspec {
 
@@ -222,12 +225,25 @@ void TelemetryExporter::HandleConnection(int fd) {
     body = RenderPrometheusText(MetricsRegistry::Instance().Scrape());
   } else if (target == "/varz") {
     content_type = "application/json";
-    body = MetricsRegistry::Instance().Scrape().ToJson() + "\n";
+    body = "{\"build\":" + BuildConfigJson() +
+           ",\"metrics\":" + MetricsRegistry::Instance().Scrape().ToJson() +
+           "}\n";
   } else if (target == "/healthz") {
     body = "ok\n";
+  } else if (target == "/debug/events") {
+    // The flight-recorder ring, one JSON event per line (oldest first).
+    body = FlightRecorder::Instance().ToJsonl();
+  } else if (target == "/debug/traces") {
+    // The retained span ring, one JSON object per line (oldest first).
+    for (const RetainedTrace& t : RetainedTraces::Instance().Entries()) {
+      body += "{\"trace_id\":" + std::to_string(t.trace_id) +
+              ",\"unix_micros\":" + std::to_string(t.unix_micros) +
+              ",\"trace\":" + t.json + "}\n";
+    }
   } else {
     status = "404 Not Found";
-    body = "not found; try /metrics, /varz, /healthz\n";
+    body = "not found; try /metrics, /varz, /healthz, /debug/events, "
+           "/debug/traces\n";
   }
 
   std::string response = "HTTP/1.0 " + status +
@@ -261,6 +277,8 @@ void TelemetryExporter::WriteSnapshots() {
 
 std::unique_ptr<TelemetryExporter> TelemetryExporter::MaybeStartFromEnv() {
   SlowQueryLog::Instance().ConfigureFromEnv();
+  RetainedTraces::Instance().ConfigureFromEnv();
+  FlightRecorder::MaybeInstallFromEnv();
   const char* port_env = GetEnv("TEMPSPEC_EXPORTER_PORT");
   if (port_env == nullptr || *port_env == '\0') return nullptr;
 

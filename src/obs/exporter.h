@@ -5,11 +5,15 @@
 // tiny single-threaded HTTP/1.0 server (POSIX sockets, poll-driven accept
 // loop) bound to a loopback/interface address, serving:
 //
-//   /metrics  — the registry rendered in Prometheus text exposition format
-//               (counters, gauges, and the log2 histograms as cumulative
-//               `_bucket{le="..."}` series with `_sum`/`_count`)
-//   /varz     — the registry's JSON snapshot (MetricsSnapshot::ToJson)
-//   /healthz  — "ok" (liveness; serves even when the registry is empty)
+//   /metrics       — the registry rendered in Prometheus text exposition
+//                    format (counters, gauges, and the log2 histograms as
+//                    cumulative `_bucket{le="..."}` series, `_sum`/`_count`)
+//   /varz          — {"build": BuildConfigJson(), "metrics": registry JSON
+//                    snapshot}: the build-config stamp plus the metrics, so
+//                    live processes are never compared across unlike trees
+//   /healthz       — "ok" (liveness; serves even when the registry is empty)
+//   /debug/events  — the flight-recorder ring as JSONL (obs/flight_recorder.h)
+//   /debug/traces  — the retained trace spans as JSONL (obs/trace.h)
 //
 // For headless runs (benches, batch jobs) the exporter can also append a
 // periodic JSONL snapshot line to a file, so a run leaves a scrape history

@@ -11,6 +11,7 @@ namespace tempspec {
 
 std::string SlowQueryEntry::ToJson() const {
   std::string out = "{\"sequence\":" + std::to_string(sequence) +
+                    ",\"trace_id\":" + std::to_string(trace_id) +
                     ",\"unix_micros\":" + std::to_string(unix_micros) +
                     ",\"wall_micros\":" + std::to_string(wall_micros) +
                     ",\"statement\":\"" + JsonEscape(statement) + "\",\"trace\":";
@@ -76,6 +77,7 @@ void SlowQueryLog::Record(TraceContext& trace, const std::string& statement) {
           std::chrono::system_clock::now().time_since_epoch())
           .count());
   entry.wall_micros = trace.wall_micros();
+  entry.trace_id = trace.trace_id();
   entry.statement = statement;
 
   std::string sink_path;

@@ -33,6 +33,9 @@ class TraceContext;
 struct SlowQueryEntry {
   /// Monotone per-process sequence number (1-based; total recorded count).
   uint64_t sequence = 0;
+  /// The span's process-unique trace id (TraceContext::trace_id()); joins
+  /// the entry to its retained span in /debug/traces.
+  uint64_t trace_id = 0;
   /// Capture time, unix epoch microseconds.
   uint64_t unix_micros = 0;
   /// Span wall time — the value that crossed the threshold.
@@ -43,7 +46,7 @@ struct SlowQueryEntry {
   std::string trace_json;
 
   /// \brief The entry as one JSON line (the sink format):
-  /// {"sequence":..,"unix_micros":..,"wall_micros":..,
+  /// {"sequence":..,"trace_id":..,"unix_micros":..,"wall_micros":..,
   ///  "statement":"...","trace":{...}}.
   std::string ToJson() const;
 };

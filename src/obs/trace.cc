@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "obs/metrics.h"
 
@@ -13,10 +15,16 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
       0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
              .count()));
 }
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 }  // namespace
 
 void TraceContext::Begin(std::string name) {
   name_ = std::move(name);
+  trace_id_ = NextTraceId();
   started_ = true;
   ended_ = false;
   wall_micros_ = 0;
@@ -83,6 +91,7 @@ std::string TraceContext::ToJson() const {
   const_cast<TraceContext*>(this)->End();
 
   std::string out = "{\"span\":\"" + JsonEscape(name_) + "\"";
+  out += ",\"trace_id\":" + std::to_string(trace_id_);
   out += ",\"wall_micros\":" + std::to_string(wall_micros_);
   out += ",\"attrs\":{";
   bool first = true;
@@ -108,6 +117,98 @@ std::string TraceContext::ToJson() const {
   }
   out += "]}";
   return out;
+}
+
+RetainedTraces& RetainedTraces::Instance() {
+  static RetainedTraces* traces = new RetainedTraces();  // process lifetime
+  return *traces;
+}
+
+void RetainedTraces::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  if (ring_.size() > capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() + static_cast<ptrdiff_t>(ring_.size() - capacity_));
+  }
+}
+
+size_t RetainedTraces::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void RetainedTraces::SetSampleEvery(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_every_ = n;
+}
+
+uint64_t RetainedTraces::sample_every() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_every_;
+}
+
+void RetainedTraces::ConfigureFromEnv() {
+  if (const char* v = std::getenv("TEMPSPEC_TRACE_CAPACITY")) {
+    if (*v != '\0') {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end != v && parsed > 0) SetCapacity(static_cast<size_t>(parsed));
+    }
+  }
+  if (const char* v = std::getenv("TEMPSPEC_TRACE_SAMPLE")) {
+    if (*v != '\0') {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (end != v) SetSampleEvery(static_cast<uint64_t>(parsed));
+    }
+  }
+}
+
+void RetainedTraces::Record(TraceContext& trace) {
+  if (!trace.started()) return;
+  trace.End();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seen_;
+  if (sample_every_ == 0 || (seen_ - 1) % sample_every_ != 0) return;
+  if (capacity_ == 0) return;
+  RetainedTrace entry;
+  entry.trace_id = trace.trace_id();
+  entry.unix_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  entry.span = trace.name();
+  entry.json = trace.ToJson();
+  if (ring_.size() >= capacity_) {
+    ring_.erase(ring_.begin(),
+                ring_.begin() +
+                    static_cast<ptrdiff_t>(ring_.size() - capacity_ + 1));
+  }
+  ring_.push_back(std::move(entry));
+  ++retained_;
+}
+
+std::vector<RetainedTrace> RetainedTraces::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+uint64_t RetainedTraces::TotalSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+uint64_t RetainedTraces::TotalRetained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+void RetainedTraces::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  seen_ = 0;
+  retained_ = 0;
 }
 
 }  // namespace tempspec

@@ -1,10 +1,14 @@
-// Per-query trace spans.
+// Trace spans for queries and background work.
 //
-// A TraceContext is attached to one query execution (via ExecutorOptions) and
-// records what the metrics registry can only aggregate: which plan the
-// optimizer chose for *this* query, how many elements it examined vs
-// returned, how many buffer-pool pages it touched, and how long each stage
-// took. query_lang's EXPLAIN ANALYZE surfaces the span as single-line JSON.
+// A TraceContext is attached to one query execution (via ExecutorOptions) —
+// or, since the flight-recorder PR, created locally by background work
+// (recovery, checkpoint, compaction, vacuum) — and records what the metrics
+// registry can only aggregate: which plan the optimizer chose for *this*
+// query, how many elements it examined vs returned, how many buffer-pool
+// pages it touched, and how long each stage took. query_lang's EXPLAIN
+// ANALYZE surfaces the span as single-line JSON; completed spans are also
+// sampled into the RetainedTraces ring below, so recent spans survive after
+// the query returns and are joinable from slowlog entries by trace id.
 //
 // Unlike the TS_* metric macros, tracing is a runtime opt-in rather than a
 // compile-time one: a query with no attached context pays only a null-pointer
@@ -15,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -42,6 +47,10 @@ class TraceContext {
   bool started() const { return started_; }
   const std::string& name() const { return name_; }
   uint64_t wall_micros() const { return wall_micros_; }
+  /// \brief Process-unique id, assigned by Begin() (0 before). Stamped into
+  /// ToJson() and slow-query entries so a slow query joins to its retained
+  /// span in /debug/traces.
+  uint64_t trace_id() const { return trace_id_; }
 
   /// \brief Sets a string attribute (last write wins), e.g. plan strategy.
   void SetAttr(const std::string& key, std::string value);
@@ -72,7 +81,7 @@ class TraceContext {
   };
 
   /// \brief Single-line JSON:
-  /// {"span":"query.timeslice","wall_micros":N,
+  /// {"span":"query.timeslice","trace_id":N,"wall_micros":N,
   ///  "attrs":{"strategy":"valid_index",...},
   ///  "counters":{"elements_examined":N,...},
   ///  "stages":[{"name":"plan","micros":N},...]}
@@ -80,6 +89,7 @@ class TraceContext {
 
  private:
   std::string name_;
+  uint64_t trace_id_ = 0;
   bool started_ = false;
   bool ended_ = false;
   std::chrono::steady_clock::time_point start_;
@@ -87,6 +97,63 @@ class TraceContext {
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<std::pair<std::string, uint64_t>> counters_;
   std::vector<TraceStage> stages_;
+};
+
+/// \brief One retained completed span.
+struct RetainedTrace {
+  uint64_t trace_id = 0;
+  uint64_t unix_micros = 0;  // retention time
+  std::string span;          // span name (e.g. "background.vacuum")
+  std::string json;          // TraceContext::ToJson() of the completed span
+};
+
+/// \brief Sampled retention ring for completed spans, so recent query and
+/// background spans outlive the work that produced them. Mutex-guarded like
+/// the slowlog — retention happens at most once per span, never on a
+/// per-element path.
+class RetainedTraces {
+ public:
+  /// \brief Process-wide instance (fed by query_lang and background work,
+  /// read by /debug/traces and SHOW TRACES). Tests use free instances.
+  static RetainedTraces& Instance();
+
+  explicit RetainedTraces(size_t capacity = 128, uint64_t sample_every = 1)
+      : capacity_(capacity), sample_every_(sample_every) {}
+
+  /// \brief Ring capacity; shrinking drops the oldest spans.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  /// \brief Keeps 1 of every n completed spans (1 = keep all, 0 = disable
+  /// retention entirely).
+  void SetSampleEvery(uint64_t n);
+  uint64_t sample_every() const;
+
+  /// \brief Applies TEMPSPEC_TRACE_CAPACITY / TEMPSPEC_TRACE_SAMPLE when
+  /// set (called by TelemetryExporter::MaybeStartFromEnv).
+  void ConfigureFromEnv();
+
+  /// \brief Considers one completed span (ends it if the caller has not)
+  /// and retains it when the sampler selects it.
+  void Record(TraceContext& trace);
+
+  /// \brief The retained spans, oldest first.
+  std::vector<RetainedTrace> Entries() const;
+
+  /// \brief Completed spans offered / actually retained.
+  uint64_t TotalSeen() const;
+  uint64_t TotalRetained() const;
+
+  /// \brief Empties the ring and resets the sampler (tests).
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t sample_every_;
+  uint64_t seen_ = 0;
+  uint64_t retained_ = 0;
+  std::vector<RetainedTrace> ring_;  // oldest first
 };
 
 }  // namespace tempspec

@@ -1,5 +1,6 @@
 #include "query/optimizer.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace tempspec {
@@ -9,6 +10,8 @@ namespace {
 /// \brief Counts the chosen strategy under optimizer.plan.<token>. Cached
 /// handles per strategy so the per-plan cost is one relaxed atomic add.
 void CountPlan(const PlanChoice& plan) {
+  TS_FLIGHT(FlightCategory::kPlan, FlightCode::kPlanChoice, plan.strategy,
+            plan.kernel, ExecutionStrategyToToken(plan.strategy));
 #ifdef TEMPSPEC_METRICS
   static MetricCounter* const counters[] = {
       &MetricsRegistry::Instance().GetCounter(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tempspec {
 
@@ -282,15 +283,25 @@ Status TemporalRelation::CheckExtension() const {
 }
 
 Result<size_t> TemporalRelation::VacuumBefore(TimePoint horizon) {
+  // Vacuum is a background span: the collect / compact / reindex stages (and
+  // ReplaceAll's own side_build / rename / wal_reset stages) are timed into
+  // one retained trace, so a slow vacuum is attributable after the fact.
+  TraceContext span;
+  span.Begin("background.vacuum");
   std::vector<Element> kept;
   kept.reserve(elements_.size());
-  for (Element& e : elements_) {
-    // Only elements whose existence interval has closed can be dead; current
-    // elements (open tt_d) always survive.
-    if (!e.tt_end.IsMax() && e.tt_end <= horizon) continue;
-    kept.push_back(std::move(e));
+  {
+    TraceContext::StageScope stage(&span, "collect");
+    for (Element& e : elements_) {
+      // Only elements whose existence interval has closed can be dead;
+      // current elements (open tt_d) always survive.
+      if (!e.tt_end.IsMax() && e.tt_end <= horizon) continue;
+      kept.push_back(std::move(e));
+    }
   }
   const size_t removed = elements_.size() - kept.size();
+  span.AddCounter("elements_kept", kept.size());
+  span.AddCounter("elements_dropped", removed);
   if (removed == 0) {
     elements_ = std::move(kept);
     return size_t{0};
@@ -298,49 +309,58 @@ Result<size_t> TemporalRelation::VacuumBefore(TimePoint horizon) {
 
   // Compact the backlog: re-derive the operation history of the survivors.
   std::vector<BacklogEntry> compacted;
-  compacted.reserve(kept.size() * 2);
-  for (const Element& e : kept) {
-    BacklogEntry ins;
-    ins.op = BacklogOpType::kInsert;
-    ins.tt = e.tt_begin;
-    ins.element = e;
-    ins.element.tt_end = TimePoint::Max();  // the delete is its own entry
-    compacted.push_back(std::move(ins));
+  {
+    TraceContext::StageScope stage(&span, "compact");
+    compacted.reserve(kept.size() * 2);
+    for (const Element& e : kept) {
+      BacklogEntry ins;
+      ins.op = BacklogOpType::kInsert;
+      ins.tt = e.tt_begin;
+      ins.element = e;
+      ins.element.tt_end = TimePoint::Max();  // the delete is its own entry
+      compacted.push_back(std::move(ins));
+    }
+    for (const Element& e : kept) {
+      if (e.tt_end.IsMax()) continue;
+      BacklogEntry del;
+      del.op = BacklogOpType::kLogicalDelete;
+      del.tt = e.tt_end;
+      del.target = e.element_surrogate;
+      compacted.push_back(std::move(del));
+    }
+    std::sort(compacted.begin(), compacted.end(),
+              [](const BacklogEntry& a, const BacklogEntry& b) {
+                return a.tt < b.tt;
+              });
   }
-  for (const Element& e : kept) {
-    if (e.tt_end.IsMax()) continue;
-    BacklogEntry del;
-    del.op = BacklogOpType::kLogicalDelete;
-    del.tt = e.tt_end;
-    del.target = e.element_surrogate;
-    compacted.push_back(std::move(del));
-  }
-  std::sort(compacted.begin(), compacted.end(),
-            [](const BacklogEntry& a, const BacklogEntry& b) { return a.tt < b.tt; });
-  TS_RETURN_NOT_OK(backlog_->ReplaceAll(std::move(compacted)));
+  TS_RETURN_NOT_OK(backlog_->ReplaceAll(std::move(compacted), &span));
 
   // Rebuild the in-memory store and indexes.
-  elements_ = std::move(kept);
-  by_surrogate_.clear();
-  partitions_.clear();
-  object_order_.clear();
-  tt_index_ = AppendOnlyIndex();
-  valid_index_ = IntervalIndex();
-  stamps_.Clear();
-  for (size_t i = 0; i < elements_.size(); ++i) {
-    const Element& e = elements_[i];
-    by_surrogate_[e.element_surrogate] = i;
-    if (partitions_.find(e.object_surrogate) == partitions_.end()) {
-      object_order_.push_back(e.object_surrogate);
+  {
+    TraceContext::StageScope reindex_stage(&span, "reindex");
+    elements_ = std::move(kept);
+    by_surrogate_.clear();
+    partitions_.clear();
+    object_order_.clear();
+    tt_index_ = AppendOnlyIndex();
+    valid_index_ = IntervalIndex();
+    stamps_.Clear();
+    for (size_t i = 0; i < elements_.size(); ++i) {
+      const Element& e = elements_[i];
+      by_surrogate_[e.element_surrogate] = i;
+      if (partitions_.find(e.object_surrogate) == partitions_.end()) {
+        object_order_.push_back(e.object_surrogate);
+      }
+      partitions_[e.object_surrogate].push_back(i);
+      IndexElement(e, i);
     }
-    partitions_[e.object_surrogate].push_back(i);
-    IndexElement(e, i);
+    if (snapshot_interval_ > 0) {
+      snapshots_ =
+          std::make_unique<SnapshotManager>(backlog_.get(), snapshot_interval_);
+      snapshots_->Refresh();
+    }
   }
-  if (snapshot_interval_ > 0) {
-    snapshots_ =
-        std::make_unique<SnapshotManager>(backlog_.get(), snapshot_interval_);
-    snapshots_->Refresh();
-  }
+  RetainedTraces::Instance().Record(span);
   return removed;
 }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "spec/lattice.h"
 
@@ -123,6 +124,13 @@ void RelationDriftMonitor::Observe(TimePoint tt, TimePoint vt) {
     distance = has_declaration_
                    ? EventKindLatticeDistance(declared_kind_, observed)
                    : 0;
+    if (violated && violations_ == 1) {
+      // The conforming→drifted transition is a decision-plane milestone: it
+      // flips Drifted() and thus the optimizer's specialization gate, so the
+      // flight recorder keeps the exact moment and relation.
+      TS_FLIGHT(FlightCategory::kDrift, FlightCode::kDriftVerdict, observed,
+                distance, relation_name_);
+    }
   }
 #ifdef TEMPSPEC_METRICS
   MetricsRegistry& reg = MetricsRegistry::Instance();

@@ -2,7 +2,9 @@
 
 #include <unordered_map>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 #include "storage/serde.h"
 
@@ -55,12 +57,24 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
   auto store = std::unique_ptr<BacklogStore>(new BacklogStore());
   if (options.directory.empty()) return store;
 
+  // Recovery is a background span: its stage timings (page scan vs WAL
+  // replay) and recovered counts land in the retained-trace ring, and the
+  // recovery milestones land in the flight recorder.
+  TraceContext span;
+  span.Begin("background.recovery");
+  span.SetAttr("directory", options.directory);
+  TS_FLIGHT(FlightCategory::kRecovery, FlightCode::kRecoveryBegin, 0, 0,
+            options.directory);
+
   TS_ASSIGN_OR_RETURN(store->disk_,
                       DiskManager::Open(options.directory + "/backlog.pages"));
   store->buffer_pool_pages_ = options.buffer_pool_pages;
   store->pool_ = std::make_unique<BufferPool>(store->disk_.get(),
                                               options.buffer_pool_pages);
-  TS_RETURN_NOT_OK(store->RecoverFromPages());
+  {
+    TraceContext::StageScope stage(&span, "page_scan");
+    TS_RETURN_NOT_OK(store->RecoverFromPages());
+  }
 
   TS_ASSIGN_OR_RETURN(store->wal_,
                       WriteAheadLog::Open(options.directory + "/backlog.wal",
@@ -75,23 +89,36 @@ Result<std::unique_ptr<BacklogStore>> BacklogStore::Open(Options options) {
   // hold, reject gaps (a gap means durable data was lost).
   const uint64_t persisted = store->persisted_entries_;
   uint64_t expected = persisted;
-  auto replayed = store->wal_->Replay(
-      [&](uint64_t lsn, std::string_view payload) -> Status {
-        if (lsn < persisted) return Status::OK();  // already checkpointed
-        if (lsn != expected) {
-          return Status::Corruption(
-              "WAL gap after a damaged page file: pages hold ", persisted,
-              " operations, expected WAL lsn ", expected, ", found ", lsn);
-        }
-        TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(payload));
-        store->entries_.push_back(std::move(entry));
-        ++expected;
-        return Status::OK();
-      });
-  TS_RETURN_NOT_OK(replayed.status());
+  uint64_t replayed_count = 0;
+  {
+    TraceContext::StageScope stage(&span, "wal_replay");
+    auto replayed = store->wal_->Replay(
+        [&](uint64_t lsn, std::string_view payload) -> Status {
+          if (lsn < persisted) return Status::OK();  // already checkpointed
+          if (lsn != expected) {
+            return Status::Corruption(
+                "WAL gap after a damaged page file: pages hold ", persisted,
+                " operations, expected WAL lsn ", expected, ", found ", lsn);
+          }
+          TS_ASSIGN_OR_RETURN(BacklogEntry entry, BacklogEntry::Decode(payload));
+          store->entries_.push_back(std::move(entry));
+          ++expected;
+          return Status::OK();
+        });
+    TS_RETURN_NOT_OK(replayed.status());
+    replayed_count = replayed.ValueOrDie();
+  }
+  TS_FLIGHT(FlightCategory::kRecovery, FlightCode::kRecoveryWalReplay,
+            replayed_count, store->entries_.size(), "");
   store->wal_->SetNextLsn(store->entries_.size());
   TS_COUNTER_INC("storage.backlog.recoveries");
   TS_COUNTER_ADD("storage.backlog.recovered_entries", store->entries_.size());
+  TS_FLIGHT(FlightCategory::kRecovery, FlightCode::kRecoveryEnd,
+            store->entries_.size(), store->persisted_entries_, "");
+  span.AddCounter("recovered_entries", store->entries_.size());
+  span.AddCounter("persisted_entries", store->persisted_entries_);
+  span.AddCounter("wal_replayed", replayed_count);
+  RetainedTraces::Instance().Record(span);
   return store;
 }
 
@@ -213,10 +240,14 @@ Status BacklogStore::RecoverFromPages() {
     }
   }
   if (keep_pages < disk_->page_count()) {
+    TS_FLIGHT(FlightCategory::kRecovery, FlightCode::kRecoveryQuarantine,
+              keep_pages, disk_->page_count() - keep_pages, "");
     pool_ = std::make_unique<BufferPool>(disk_.get(), buffer_pool_pages_);
     TS_RETURN_NOT_OK(disk_->TruncateToPages(keep_pages));
   }
   persisted_entries_ = entries_.size();
+  TS_FLIGHT(FlightCategory::kRecovery, FlightCode::kRecoveryPages,
+            entries_.size(), keep_pages, "");
   return Status::OK();
 }
 
@@ -302,13 +333,20 @@ Status BacklogStore::PersistRange(BufferPool* pool, size_t begin, size_t end) {
   return Status::OK();
 }
 
-Status BacklogStore::CheckpointInternal() {
+Status BacklogStore::CheckpointInternal(TraceContext* trace) {
   // Order matters: an operation must never exist only in a reset WAL.
   // 1. Persist the new batch onto fresh pages and make them durable.
-  TS_RETURN_NOT_OK(PersistRange(pool_.get(), persisted_entries_, entries_.size()));
-  TS_RETURN_NOT_OK(pool_->FlushAll());
+  {
+    TraceContext::StageScope stage(trace, "persist");
+    TS_RETURN_NOT_OK(
+        PersistRange(pool_.get(), persisted_entries_, entries_.size()));
+    TS_RETURN_NOT_OK(pool_->FlushAll());
+  }
   // 2. Only now discard the WAL (truncate + fsync file and directory).
-  TS_RETURN_NOT_OK(wal_->Reset());
+  {
+    TraceContext::StageScope stage(trace, "wal_reset");
+    TS_RETURN_NOT_OK(wal_->Reset());
+  }
   wal_->SetNextLsn(entries_.size());
   persisted_entries_ = entries_.size();
   return Status::OK();
@@ -320,22 +358,39 @@ Status BacklogStore::Checkpoint() {
     return Status::IOError(
         "backlog store is read-only after an IO failure; reopen to recover");
   }
-  Status st = CheckpointInternal();
+  TraceContext span;
+  span.Begin("background.checkpoint");
+  const uint64_t pending = entries_.size() - persisted_entries_;
+  TS_FLIGHT(FlightCategory::kCheckpoint, FlightCode::kCheckpointBegin, pending,
+            entries_.size(), "");
+  Status st = CheckpointInternal(&span);
   // A half-completed checkpoint left pages the scan-based recovery would
   // double-count if we blindly re-ran it; fail stop until reopened.
   if (!st.ok()) io_failed_ = true;
-  if (st.ok()) TS_COUNTER_INC("storage.backlog.checkpoints");
+  if (st.ok()) {
+    TS_COUNTER_INC("storage.backlog.checkpoints");
+    TS_FLIGHT(FlightCategory::kCheckpoint, FlightCode::kCheckpointEnd,
+              persisted_entries_, 0, "");
+  }
+  span.AddCounter("pending_entries", pending);
+  span.AddCounter("persisted_entries", persisted_entries_);
+  span.SetAttr("status", st.ok() ? "ok" : "error");
+  RetainedTraces::Instance().Record(span);
   return st;
 }
 
-Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
+Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries,
+                                TraceContext* trace) {
   if (io_failed_) {
     return Status::IOError(
         "backlog store is read-only after an IO failure; reopen to recover");
   }
+  const uint64_t old_count = entries_.size();
   entries_ = std::move(entries);
   persisted_entries_ = 0;
   if (!wal_) return Status::OK();
+  TS_FLIGHT(FlightCategory::kCompaction, FlightCode::kCompactionBegin,
+            old_count, entries_.size(), "");
 
   // Build the compacted generation in a side file and adopt it with an
   // atomic rename: a crash at any point leaves either the old complete
@@ -347,30 +402,46 @@ Status BacklogStore::ReplaceAll(std::vector<BacklogEntry> entries) {
   // recovery gap check.
   const uint64_t new_epoch = epoch_ + 1;
   Status st = [&]() -> Status {
-    TS_ASSIGN_OR_RETURN(std::unique_ptr<DiskManager> side,
-                        DiskManager::Open(disk_->path() + ".compact"));
-    if (side->page_count() > 0) {
-      // Leftover from a compaction that crashed before its rename.
-      TS_RETURN_NOT_OK(side->Truncate());
+    std::unique_ptr<DiskManager> side;
+    std::unique_ptr<BufferPool> side_pool;
+    {
+      TraceContext::StageScope stage(trace, "side_build");
+      TS_ASSIGN_OR_RETURN(side, DiskManager::Open(disk_->path() + ".compact"));
+      if (side->page_count() > 0) {
+        // Leftover from a compaction that crashed before its rename.
+        TS_RETURN_NOT_OK(side->Truncate());
+      }
+      side_pool = std::make_unique<BufferPool>(side.get(), buffer_pool_pages_);
+      TS_RETURN_NOT_OK(WriteHeaderPage(side_pool.get(), new_epoch));
+      TS_RETURN_NOT_OK(PersistRange(side_pool.get(), 0, entries_.size()));
+      TS_RETURN_NOT_OK(side_pool->FlushAll());
     }
-    auto side_pool = std::make_unique<BufferPool>(side.get(), buffer_pool_pages_);
-    TS_RETURN_NOT_OK(WriteHeaderPage(side_pool.get(), new_epoch));
-    TS_RETURN_NOT_OK(PersistRange(side_pool.get(), 0, entries_.size()));
-    TS_RETURN_NOT_OK(side_pool->FlushAll());
-    TS_RETURN_NOT_OK(side->RenameTo(disk_->path()));
+    {
+      TraceContext::StageScope stage(trace, "rename");
+      TS_RETURN_NOT_OK(side->RenameTo(disk_->path()));
+    }
+    TS_FLIGHT(FlightCategory::kCompaction, FlightCode::kCompactionRename,
+              new_epoch, 0, "");
     // The rename is the commit point: adopt the new generation (the old
     // pool's frames reference the unlinked old file) and discard the WAL.
     pool_ = std::move(side_pool);
     disk_ = std::move(side);
     epoch_ = new_epoch;
     wal_->SetEpoch(new_epoch);
-    TS_RETURN_NOT_OK(wal_->Reset());
+    {
+      TraceContext::StageScope stage(trace, "wal_reset");
+      TS_RETURN_NOT_OK(wal_->Reset());
+    }
     wal_->SetNextLsn(entries_.size());
     persisted_entries_ = entries_.size();
     return Status::OK();
   }();
   if (!st.ok()) io_failed_ = true;
-  if (st.ok()) TS_COUNTER_INC("storage.backlog.compactions");
+  if (st.ok()) {
+    TS_COUNTER_INC("storage.backlog.compactions");
+    TS_FLIGHT(FlightCategory::kCompaction, FlightCode::kCompactionEnd,
+              entries_.size(), epoch_, "");
+  }
   return st;
 }
 

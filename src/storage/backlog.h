@@ -53,6 +53,8 @@
 
 namespace tempspec {
 
+class TraceContext;
+
 enum class BacklogOpType : uint8_t {
   kInsert = 1,
   kLogicalDelete = 2,
@@ -108,8 +110,10 @@ class BacklogStore {
   /// \brief Replaces the whole operation history (backlog compaction, used
   /// by vacuuming). Durable stores are rewritten crash-atomically: the new
   /// generation is built in a side file and adopted by rename under a
-  /// bumped epoch. No page guards may be outstanding.
-  Status ReplaceAll(std::vector<BacklogEntry> entries);
+  /// bumped epoch. No page guards may be outstanding. An optional trace
+  /// span receives the side_build / rename / wal_reset stage timings.
+  Status ReplaceAll(std::vector<BacklogEntry> entries,
+                    TraceContext* trace = nullptr);
 
   bool durable() const { return wal_ != nullptr; }
   uint64_t persisted_entries() const { return persisted_entries_; }
@@ -130,7 +134,7 @@ class BacklogStore {
 
   Status RecoverFromPages();
   Status WriteHeaderPage(BufferPool* pool, uint64_t epoch);
-  Status CheckpointInternal();
+  Status CheckpointInternal(TraceContext* trace);
   Status PersistRange(BufferPool* pool, size_t begin, size_t end);
 
   size_t buffer_pool_pages_ = 64;

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace tempspec {
@@ -46,6 +47,8 @@ Result<size_t> BufferPool::GetFrame(PageId id) {
     table_.erase(victim.id);
     ++evictions_;
     TS_COUNTER_INC("storage.buffer_pool.evictions");
+    TS_FLIGHT(FlightCategory::kBufferPool, FlightCode::kEviction, victim.id,
+              victim.dirty ? 1 : 0, "");
   }
 
   Frame& f = *frames_[index];

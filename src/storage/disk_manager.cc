@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
 #include "util/failpoint.h"
 
 namespace tempspec {
@@ -81,6 +82,7 @@ Status DiskManager::ReadPageOnce(PageId id, Page* out) const {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError("short read of page ", id, " from '", path_, "'");
   }
+  TS_FLIGHT(FlightCategory::kPage, FlightCode::kPageRead, id, 0, "");
   return Status::OK();
 }
 
@@ -137,6 +139,7 @@ Status DiskManager::WritePageOnce(PageId id, const Page& page) {
     done += static_cast<size_t>(n);
   }
   if (!injected.ok()) return injected;
+  TS_FLIGHT(FlightCategory::kPage, FlightCode::kPageWrite, id, done, "");
   return Status::OK();
 }
 
@@ -165,6 +168,7 @@ Status DiskManager::SyncOnce() {
     return Status::IOError("fsync failed on '", path_, "': ",
                            std::strerror(errno));
   }
+  TS_FLIGHT(FlightCategory::kPage, FlightCode::kDiskSync, page_count_, 0, "");
   return Status::OK();
 }
 

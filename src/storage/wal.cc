@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/serde.h"
@@ -141,6 +142,8 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   ++next_lsn_;
   TS_COUNTER_INC("storage.wal.appends");
   TS_COUNTER_ADD("storage.wal.bytes_appended", record.size());
+  TS_FLIGHT(FlightCategory::kWal, FlightCode::kWalAppend, lsn, record.size(),
+            "");
 
   if (mode_ == SyncMode::kAlways ||
       (mode_ == SyncMode::kEveryN && ++appends_since_sync_ >= sync_every_)) {
@@ -165,6 +168,7 @@ Status WriteAheadLog::SyncOnce() {
   }
   synced_bytes_ = file_size_;
   TS_COUNTER_INC("storage.wal.syncs");
+  TS_FLIGHT(FlightCategory::kWal, FlightCode::kWalSync, synced_bytes_, 0, "");
   return Status::OK();
 }
 
@@ -253,6 +257,7 @@ Status WriteAheadLog::Reset() {
   bytes_written_ = 0;
   file_size_ = 0;
   synced_bytes_ = 0;
+  TS_FLIGHT(FlightCategory::kWal, FlightCode::kWalReset, epoch_, 0, "");
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace tempspec {
@@ -70,6 +71,7 @@ Status FailpointRegistry::EnterCrashedLocked() {
   if (!crashed_.load(std::memory_order_relaxed)) {
     crashed_.store(true, std::memory_order_relaxed);
     ++counters_.crashes;
+    TS_FLIGHT(FlightCategory::kFault, FlightCode::kCrashLatch, 0, 0, "");
   }
   return Status::IOError("simulated crash (failpoint)");
 }
@@ -93,6 +95,8 @@ FailpointRegistry::WriteDecision FailpointRegistry::OnWrite(
         --armed.transients_left;
         ++counters_.injected;
         ++counters_.transient_errors;
+        TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                  armed.spec.kind, hit, site);
         return {0, Status::IOError("injected transient EIO at '", site, "'")};
       }
       return {len, Status::OK()};
@@ -102,6 +106,8 @@ FailpointRegistry::WriteDecision FailpointRegistry::OnWrite(
       const size_t cut = len == 0 ? 0 : armed.rng() % len;
       ++counters_.injected;
       ++counters_.short_writes;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       EnterCrashedLocked();
       return {cut, Status::IOError("simulated crash after short write of ",
                                    cut, "/", len, " bytes at '", site, "'")};
@@ -115,6 +121,8 @@ FailpointRegistry::WriteDecision FailpointRegistry::OnWrite(
       }
       ++counters_.injected;
       ++counters_.corrupt_writes;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       EnterCrashedLocked();
       return {len, Status::IOError("simulated crash after corrupt write at '",
                                    site, "'")};
@@ -124,6 +132,8 @@ FailpointRegistry::WriteDecision FailpointRegistry::OnWrite(
       return {len, Status::OK()};
     case FaultKind::kCrash:
       ++counters_.injected;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       return {0, EnterCrashedLocked()};
   }
   return {len, Status::OK()};
@@ -145,12 +155,16 @@ FailpointRegistry::SyncDecision FailpointRegistry::OnSync(std::string_view site)
     case FaultKind::kDropSync:
       ++counters_.injected;
       ++counters_.dropped_syncs;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       return {true, Status::OK()};
     case FaultKind::kTransientError:
       if (armed.transients_left > 0) {
         --armed.transients_left;
         ++counters_.injected;
         ++counters_.transient_errors;
+        TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                  armed.spec.kind, hit, site);
         return {false, Status::IOError("injected transient EIO at '", site, "'")};
       }
       return {false, Status::OK()};
@@ -158,6 +172,8 @@ FailpointRegistry::SyncDecision FailpointRegistry::OnSync(std::string_view site)
     case FaultKind::kCorruptBit:
     case FaultKind::kCrash:
       ++counters_.injected;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       return {false, EnterCrashedLocked()};
   }
   return {false, Status::OK()};
@@ -181,6 +197,8 @@ Status FailpointRegistry::OnRead(std::string_view site) {
         --armed.transients_left;
         ++counters_.injected;
         ++counters_.transient_errors;
+        TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                  armed.spec.kind, hit, site);
         return Status::IOError("injected transient EIO at '", site, "'");
       }
       return Status::OK();
@@ -190,6 +208,8 @@ Status FailpointRegistry::OnRead(std::string_view site) {
       return Status::OK();
     case FaultKind::kCrash:
       ++counters_.injected;
+      TS_FLIGHT(FlightCategory::kFault, FlightCode::kFaultInject,
+                armed.spec.kind, hit, site);
       return EnterCrashedLocked();
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
 #include "testing.h"
@@ -145,6 +146,44 @@ TEST_F(QueryLangTest, ShowSpecialization) {
   }
 }
 
+TEST_F(QueryLangTest, ShowFlightRecorder) {
+  // A planned query records a plan-choice flight event in an ON tree.
+  ASSERT_OK(
+      ExecuteQuery(catalog_, "TIMESLICE samples AT '1992-02-03 10:20:00'")
+          .status());
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "SHOW FLIGHT RECORDER"));
+  EXPECT_EQ(out.ToString(), out.report);
+  if (FlightRecorderCompiledIn()) {
+    EXPECT_NE(out.report.find("event(s) shown ("), std::string::npos);
+    EXPECT_NE(out.report.find("ring capacity"), std::string::npos);
+    EXPECT_NE(out.report.find("\"code\":\"plan.choice\""), std::string::npos);
+    ASSERT_OK_AND_ASSIGN(
+        QueryOutput limited,
+        ExecuteQuery(catalog_, "SHOW FLIGHT RECORDER LIMIT 1"));
+    EXPECT_NE(limited.report.find("1 event(s) shown ("), std::string::npos);
+  } else {
+    EXPECT_NE(out.report.find("flight recorder compiled out"),
+              std::string::npos);
+  }
+}
+
+TEST_F(QueryLangTest, ShowTraces) {
+  ASSERT_OK(ExecuteQuery(catalog_, "CURRENT samples").status());
+  ASSERT_OK_AND_ASSIGN(QueryOutput out, ExecuteQuery(catalog_, "SHOW TRACES"));
+  EXPECT_EQ(out.ToString(), out.report);
+  EXPECT_NE(out.report.find("trace(s) shown ("), std::string::npos);
+  EXPECT_NE(out.report.find("sampling 1/"), std::string::npos);
+  if (MetricsCompiledIn()) {
+    // Metrics trees attach a span to every executed statement, so the
+    // CURRENT above was offered to the retained ring (default sampling 1).
+    EXPECT_NE(out.report.find("\"span\":\"query."), std::string::npos);
+    ASSERT_OK_AND_ASSIGN(QueryOutput limited,
+                         ExecuteQuery(catalog_, "SHOW TRACES LIMIT 1"));
+    EXPECT_NE(limited.report.find("1 trace(s) shown ("), std::string::npos);
+  }
+}
+
 TEST_F(QueryLangTest, ShowErrors) {
   EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW").ok());
   EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW NOTHING").ok());
@@ -153,6 +192,11 @@ TEST_F(QueryLangTest, ShowErrors) {
   EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW SPECIALIZATION nope").ok());
   EXPECT_FALSE(
       ExecuteQuery(catalog_, "SHOW SPECIALIZATION samples extra").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW FLIGHT").ok());
+  const Status unknown = ExecuteQuery(catalog_, "SHOW NOTHING").status();
+  EXPECT_NE(unknown.message().find("FLIGHT RECORDER, or TRACES"),
+            std::string::npos)
+      << unknown.message();
 }
 
 TEST_F(QueryLangTest, Errors) {

@@ -17,7 +17,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing.h"
 #include "testing_json.h"
 
@@ -168,8 +170,82 @@ TEST_F(ExporterServerTest, VarzServesValidJson) {
   EXPECT_OK(ValidJson(body));
 }
 
+TEST_F(ExporterServerTest, VarzCarriesTheBuildConfigStamp) {
+  const std::string body = Body(HttpGet(exporter_->port(), "/varz"));
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       JsonParser::Parse(body.substr(0, body.find('\n'))));
+  ASSERT_TRUE(v.has("build"));
+  const testing::JsonValue& build = v.at("build");
+  // The stamp must answer "what tree produced these numbers": every
+  // compile-time toggle plus sanitizer and compiler identification.
+  for (const char* key :
+       {"metrics_enabled", "failpoints_enabled", "flightrecorder_enabled",
+        "sanitizers", "compiler"}) {
+    EXPECT_TRUE(build.has(key)) << key;
+  }
+}
+
+TEST_F(ExporterServerTest, DebugEventsServesTheFlightRing) {
+  TS_FLIGHT(FlightCategory::kWal, FlightCode::kWalAppend, 1, 2, "exporter");
+  const std::string response = HttpGet(exporter_->port(), "/debug/events");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string body = Body(response);
+  if (!FlightRecorderCompiledIn() &&
+      FlightRecorder::Instance().head() == 0) {
+    EXPECT_TRUE(body.empty()) << "compiled-out ring serves an empty page";
+    return;
+  }
+  // Every line is one parseable flight event.
+  size_t start = 0;
+  size_t lines = 0;
+  while (start < body.size()) {
+    const size_t nl = body.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                         JsonParser::Parse(body.substr(start, nl - start)));
+    EXPECT_TRUE(v.has("seq"));
+    EXPECT_TRUE(v.has("code"));
+    start = nl + 1;
+    ++lines;
+  }
+  EXPECT_GE(lines, 1u);
+}
+
+TEST_F(ExporterServerTest, DebugTracesServesRetainedSpans) {
+  TraceContext span;
+  span.Begin("exporter.test.span");
+  RetainedTraces::Instance().Record(span);
+  const std::string response = HttpGet(exporter_->port(), "/debug/traces");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const std::string body = Body(response);
+  bool found = false;
+  size_t start = 0;
+  while (start < body.size()) {
+    const size_t nl = body.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                         JsonParser::Parse(body.substr(start, nl - start)));
+    EXPECT_TRUE(v.has("trace_id"));
+    EXPECT_TRUE(v.has("unix_micros"));
+    ASSERT_TRUE(v.has("trace"));
+    if (v.at("trace_id").number == std::to_string(span.trace_id())) {
+      EXPECT_EQ(v.at("trace").at("span").string, "exporter.test.span");
+      found = true;
+    }
+    start = nl + 1;
+  }
+  EXPECT_TRUE(found) << "the span recorded above must be served";
+}
+
 TEST_F(ExporterServerTest, UnknownPathIs404AndQueryStringsAreStripped) {
-  EXPECT_NE(HttpGet(exporter_->port(), "/nope").find("404"), std::string::npos);
+  const std::string response = HttpGet(exporter_->port(), "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  // The 404 body doubles as endpoint discovery: all five must be listed.
+  const std::string body = Body(response);
+  for (const char* endpoint :
+       {"/metrics", "/varz", "/healthz", "/debug/events", "/debug/traces"}) {
+    EXPECT_NE(body.find(endpoint), std::string::npos) << endpoint;
+  }
   EXPECT_NE(HttpGet(exporter_->port(), "/healthz?x=1").find("200 OK"),
             std::string::npos);
 }

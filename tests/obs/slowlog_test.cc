@@ -101,6 +101,23 @@ TEST(SlowQueryLogTest, EntryAndSinkLinesAreValidJson) {
   std::remove(path.c_str());
 }
 
+TEST(SlowQueryLogTest, EntriesCarryTheTraceIdForJoiningRetainedSpans) {
+  SlowQueryLog log(/*capacity=*/8);
+  log.SetThresholdMicros(0);
+  TraceContext t = MakeSpan("query.current");
+  ASSERT_NE(t.trace_id(), 0u);
+  log.Record(t, "CURRENT samples");
+  ASSERT_EQ(log.Entries().size(), 1u);
+  // The entry's trace_id is the join key against /debug/traces and
+  // SHOW TRACES: the same process-unique id the span itself carries.
+  EXPECT_EQ(log.Entries()[0].trace_id, t.trace_id());
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       JsonParser::Parse(log.Entries()[0].ToJson()));
+  EXPECT_EQ(v.at("trace_id").number, std::to_string(t.trace_id()));
+  EXPECT_EQ(v.at("trace").at("trace_id").number,
+            std::to_string(t.trace_id()));
+}
+
 TEST(SlowQueryLogTest, ClearResetsRingAndSequence) {
   SlowQueryLog log(/*capacity=*/2);
   log.SetThresholdMicros(0);

@@ -103,5 +103,102 @@ TEST(TraceTest, ToJsonRoundTripsHostileNamesAndValues) {
   EXPECT_EQ(v.at("stages").array[0].at("name").string, nasty);
 }
 
+TEST(TraceTest, TraceIdsAreProcessUniqueAndNonzero) {
+  TraceContext a;
+  TraceContext b;
+  EXPECT_EQ(a.trace_id(), 0u) << "unassigned before Begin";
+  a.Begin("one");
+  b.Begin("two");
+  EXPECT_NE(a.trace_id(), 0u);
+  EXPECT_NE(b.trace_id(), 0u);
+  EXPECT_NE(a.trace_id(), b.trace_id());
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       testing::JsonParser::Parse(a.ToJson()));
+  EXPECT_EQ(v.at("trace_id").number, std::to_string(a.trace_id()))
+      << "the id rides in the span JSON so slowlog entries can join to it";
+}
+
+TEST(RetainedTracesTest, RetainsCompletedSpans) {
+  RetainedTraces ring(4, 1);
+  TraceContext span;
+  span.Begin("background.vacuum");
+  span.AddCounter("elements_dropped", 3);
+  ring.Record(span);  // Record ends a still-open span
+
+  TraceContext never_started;
+  ring.Record(never_started);  // no Begin: must be ignored, not retained
+
+  const std::vector<RetainedTrace> entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].span, "background.vacuum");
+  EXPECT_EQ(entries[0].trace_id, span.trace_id());
+  EXPECT_GT(entries[0].unix_micros, 0u);
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       testing::JsonParser::Parse(entries[0].json));
+  EXPECT_EQ(v.at("span").string, "background.vacuum");
+  EXPECT_EQ(v.at("counters").at("elements_dropped").number, "3");
+  EXPECT_EQ(ring.TotalSeen(), 1u);
+  EXPECT_EQ(ring.TotalRetained(), 1u);
+}
+
+TEST(RetainedTracesTest, CapacityEvictsOldest) {
+  RetainedTraces ring(2, 1);
+  for (const char* name : {"a", "b", "c"}) {
+    TraceContext span;
+    span.Begin(name);
+    ring.Record(span);
+  }
+  std::vector<RetainedTrace> entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].span, "b");
+  EXPECT_EQ(entries[1].span, "c");
+
+  ring.SetCapacity(1);  // shrinking drops the oldest resident span
+  entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].span, "c");
+}
+
+TEST(RetainedTracesTest, SamplerKeepsOneOfEveryN) {
+  RetainedTraces ring(8, 2);
+  for (int i = 0; i < 4; ++i) {
+    TraceContext span;
+    span.Begin("s" + std::to_string(i));
+    ring.Record(span);
+  }
+  const std::vector<RetainedTrace> entries = ring.Entries();
+  ASSERT_EQ(entries.size(), 2u) << "1 of every 2 spans retained";
+  EXPECT_EQ(entries[0].span, "s0");
+  EXPECT_EQ(entries[1].span, "s2");
+  EXPECT_EQ(ring.TotalSeen(), 4u);
+  EXPECT_EQ(ring.TotalRetained(), 2u);
+
+  ring.SetSampleEvery(0);  // 0 disables retention entirely
+  TraceContext span;
+  span.Begin("dropped");
+  ring.Record(span);
+  EXPECT_EQ(ring.TotalSeen(), 5u);
+  EXPECT_EQ(ring.Entries().size(), 2u);
+}
+
+TEST(RetainedTracesTest, ClearResetsRingAndSampler) {
+  RetainedTraces ring(8, 2);
+  for (int i = 0; i < 3; ++i) {
+    TraceContext span;
+    span.Begin("x");
+    ring.Record(span);
+  }
+  ring.Clear();
+  EXPECT_EQ(ring.Entries().size(), 0u);
+  EXPECT_EQ(ring.TotalSeen(), 0u);
+  EXPECT_EQ(ring.TotalRetained(), 0u);
+  // The sampler phase restarts: the next span is the "first" again.
+  TraceContext span;
+  span.Begin("fresh");
+  ring.Record(span);
+  ASSERT_EQ(ring.Entries().size(), 1u);
+  EXPECT_EQ(ring.Entries()[0].span, "fresh");
+}
+
 }  // namespace
 }  // namespace tempspec

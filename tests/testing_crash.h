@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -33,8 +34,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "storage/backlog.h"
 #include "testing.h"
+#include "testing_json.h"
 #include "util/failpoint.h"
 #include "util/random.h"
 
@@ -142,6 +145,87 @@ inline bool SameStoredElement(const Element& a, const Element& b) {
          a.attributes == b.attributes;
 }
 
+/// \brief Parses a flight-recorder JSONL dump and asserts the black-box
+/// contract: every line is a schema-valid event, seqs strictly increase,
+/// this trial's injected fault is on the record, and nothing but fault-plane
+/// events follows the crash latch (post-latch, every storage IO fails before
+/// its success event is recorded). `flight_start` is the recorder head at
+/// trial start, so events of earlier trials still in the ring are ignored
+/// where identity matters.
+inline void ValidateFlightDump(const std::string& path, const char* site,
+                               FaultKind kind, uint64_t flight_start) {
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "cannot open flight dump '" << path << "'";
+  std::vector<JsonValue> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = JsonParser::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << "flight dump line is not valid JSON ("
+                             << parsed.status().ToString() << "): " << line;
+    events.push_back(std::move(parsed).ValueOrDie());
+  }
+  ASSERT_FALSE(events.empty()) << "flight dump is empty after a crash";
+
+  long long prev_seq = -1;
+  for (const JsonValue& e : events) {
+    ASSERT_TRUE(e.is_object()) << "flight dump line is not an object";
+    for (const char* key : {"seq", "nanos", "tid", "arg0", "arg1"}) {
+      ASSERT_TRUE(e.has(key) && e.at(key).type == JsonValue::Type::kNumber)
+          << "flight event lacks numeric '" << key << "'";
+    }
+    for (const char* key : {"category", "code", "detail"}) {
+      ASSERT_TRUE(e.has(key) && e.at(key).type == JsonValue::Type::kString)
+          << "flight event lacks string '" << key << "'";
+    }
+    const long long seq = std::stoll(e.at("seq").number);
+    ASSERT_GT(seq, prev_seq) << "flight dump seqs are not strictly increasing";
+    prev_seq = seq;
+  }
+
+  // This trial's injected fault must be on the record: site in the detail,
+  // fault kind in arg0, and a sequence number from this trial.
+  bool saw_inject = false;
+  for (const JsonValue& e : events) {
+    if (e.at("code").string == "fault.inject" &&
+        e.at("detail").string == site &&
+        std::stoll(e.at("arg0").number) == static_cast<long long>(kind) &&
+        std::stoull(e.at("seq").number) >= flight_start) {
+      saw_inject = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(saw_inject) << "no fault.inject event for site '" << site
+                          << "' kind " << FaultKindToString(kind)
+                          << " in the flight dump";
+
+  // Latching faults leave a fault.crash_latch milestone; everything after
+  // this trial's latch must be fault-plane (the crashed registry fails
+  // every storage IO before its success event records). Latches of earlier
+  // trials — legitimately followed by their recovery's storage events —
+  // are excluded by the flight_start scope.
+  size_t last_latch = events.size();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].at("code").string == "fault.crash_latch" &&
+        std::stoull(events[i].at("seq").number) >= flight_start) {
+      last_latch = i;
+    }
+  }
+  const bool latching = kind == FaultKind::kShortWrite ||
+                        kind == FaultKind::kCorruptBit ||
+                        kind == FaultKind::kCrash;
+  if (latching) {
+    ASSERT_LT(last_latch, events.size())
+        << "latching fault left no fault.crash_latch event in this trial";
+  }
+  for (size_t i = last_latch == events.size() ? events.size() : last_latch + 1;
+       i < events.size(); ++i) {
+    ASSERT_EQ(events[i].at("category").string, "fault")
+        << "storage event recorded after the crash latch (dump index " << i
+        << ", code " << events[i].at("code").string << ")";
+  }
+}
+
 /// \brief One crash-injection strategy: which site is armed with which
 /// fault, under which durability mode, and what the recovery contract is.
 struct CrashStrategy {
@@ -182,6 +266,9 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
          "-DTEMPSPEC_FAILPOINTS=ON.";
   FailpointRegistry& registry = FailpointRegistry::Instance();
   registry.DisarmAll();
+  // Recorder head at trial start: events below this seq belong to earlier
+  // trials still sitting in the ring.
+  const uint64_t flight_start = FlightRecorder::Instance().head();
 
   CrashTempDir dir;
   const std::vector<BacklogEntry> ops =
@@ -260,6 +347,18 @@ inline void RunBacklogCrashTrial(const CrashStrategy& strategy, uint64_t trigger
     }
   }
   registry.DisarmAll();
+
+  // Black-box check: serialize the flight recorder exactly as the fatal-
+  // signal handler would, and validate the dump *before* recovery runs (its
+  // recovery events would otherwise append beyond the crash tail). Every
+  // seeded crash point must yield a schema-valid dump whose last events are
+  // consistent with the injected fault.
+  if (out->crashed && FlightRecorderCompiledIn()) {
+    const std::string dump_path = dir.path() + "/flight.jsonl";
+    ASSERT_OK(FlightRecorder::Instance().DumpToFile(dump_path));
+    ASSERT_NO_FATAL_FAILURE(
+        ValidateFlightDump(dump_path, strategy.site, strategy.kind, flight_start));
+  }
 
   // Recovery must succeed with no faults armed, whatever the crash left.
   auto reopened = BacklogStore::Open(options);

@@ -6,7 +6,8 @@ Usage:
 
 Validates schema_version 2 (see bench/bench_json.h): required top-level keys
 and types, the build-configuration params block (threads, metrics_enabled,
-failpoints_enabled, sanitizers, compiler), per-benchmark entries with numeric
+failpoints_enabled, flightrecorder_enabled, sanitizers, compiler),
+per-benchmark entries with numeric
 median/p99 and counters, and a metrics snapshot object with
 counters/gauges/histograms maps. Exits nonzero with a per-file report on the
 first structural violation so CI can gate on it. Stdlib only — no third-party
@@ -46,13 +47,14 @@ def check_file(path):
     params = doc.get("params")
     if not isinstance(params, dict):
         return fail(path, "params missing or not an object")
-    for key in ("threads", "metrics_enabled", "failpoints_enabled"):
+    for key in ("threads", "metrics_enabled", "failpoints_enabled",
+                "flightrecorder_enabled"):
         if not check_number(path, params, key):
             return False
-    if params["metrics_enabled"] not in (0, 1):
-        return fail(path, "metrics_enabled must be 0 or 1")
-    if params["failpoints_enabled"] not in (0, 1):
-        return fail(path, "failpoints_enabled must be 0 or 1")
+    for key in ("metrics_enabled", "failpoints_enabled",
+                "flightrecorder_enabled"):
+        if params[key] not in (0, 1):
+            return fail(path, f"{key} must be 0 or 1")
     # Build configuration: perf results are only comparable when these match.
     if params.get("sanitizers") not in ("", "thread", "address"):
         return fail(path, f"sanitizers is {params.get('sanitizers')!r}, "

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Schema validator for flight-recorder JSONL dumps.
+
+Usage:
+    tools/check_flight_json.py [--min-events N] flight.jsonl [more.jsonl ...]
+
+Validates the event schema shared by FlightRecorder::ToJsonl, DumpToFd (the
+fatal-signal writer), /debug/events, and SHOW FLIGHT RECORDER: one JSON
+object per line with numeric seq/nanos/tid/arg0/arg1 and string
+category/code/detail, seq strictly increasing down the file (ring drain
+order), and nonempty category/code. --min-events guards against an "empty
+but valid" dump where a populated one was expected. Exits nonzero with a
+per-file report on the first violation so CI can gate on it. Stdlib only.
+"""
+import json
+import sys
+
+NUMERIC_KEYS = ("seq", "nanos", "tid", "arg0", "arg1")
+STRING_KEYS = ("category", "code", "detail")
+
+
+def fail(path, lineno, msg):
+    where = f"{path}:{lineno}" if lineno else path
+    print(f"{where}: FAIL: {msg}")
+    return False
+
+
+def check_file(path, min_events):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(path, 0, f"unreadable: {e}")
+
+    prev_seq = None
+    events = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            return fail(path, lineno, "blank line inside the dump")
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            return fail(path, lineno, f"invalid JSON: {e}")
+        if not isinstance(event, dict):
+            return fail(path, lineno, "event line is not an object")
+        for key in NUMERIC_KEYS:
+            if key not in event or isinstance(event[key], bool) or \
+                    not isinstance(event[key], int):
+                return fail(path, lineno, f"missing or non-integer '{key}'")
+        for key in STRING_KEYS:
+            if not isinstance(event.get(key), str):
+                return fail(path, lineno, f"missing or non-string '{key}'")
+        if not event["category"] or not event["code"]:
+            return fail(path, lineno, "empty category or code")
+        if prev_seq is not None and event["seq"] <= prev_seq:
+            return fail(path, lineno,
+                        f"seq {event['seq']} not above previous {prev_seq}")
+        prev_seq = event["seq"]
+        events += 1
+
+    if events < min_events:
+        return fail(path, 0, f"{events} event(s), expected >= {min_events}")
+    print(f"{path}: OK ({events} event(s))")
+    return True
+
+
+def main(argv):
+    args = argv[1:]
+    min_events = 0
+    if args and args[0] == "--min-events":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        min_events = int(args[1])
+        args = args[2:]
+    if not args:
+        print(__doc__)
+        return 2
+    ok = all([check_file(p, min_events) for p in args])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke check for the live telemetry plane: start the ddl_tour example with
-# the exporter enabled, scrape /healthz, /metrics, and /varz over HTTP, and
-# validate the Prometheus text with tools/check_metrics_text.py. This proves
-# the whole chain — engine instrumentation -> registry -> exporter -> valid
-# exposition — on a real process, not a unit-test snapshot.
+# the exporter enabled, scrape /healthz, /metrics, /varz, /debug/events, and
+# /debug/traces over HTTP, and validate the Prometheus text with
+# tools/check_metrics_text.py and the flight events with
+# tools/check_flight_json.py. This proves the whole chain — engine
+# instrumentation -> registry -> exporter -> valid exposition — on a real
+# process, not a unit-test snapshot.
 #
 # Usage: tools/metrics_smoke.sh [build_dir]   (default: build)
 set -u
@@ -86,6 +88,28 @@ else
   echo "/varz: OK"
 fi
 
+# The debug plane: the flight-recorder ring (schema-checked; an OFF tree
+# legitimately serves an empty page) and the retained-trace ring.
+if ! curl -sf "http://127.0.0.1:$port/debug/events" -o "$OUT_DIR/events.jsonl"; then
+  echo "/debug/events: FAIL: curl error"
+  failures=$((failures + 1))
+else
+  python3 "$(dirname "$0")/check_flight_json.py" "$OUT_DIR/events.jsonl" \
+    || failures=$((failures + 1))
+fi
+
+if ! curl -sf "http://127.0.0.1:$port/debug/traces" -o "$OUT_DIR/traces.jsonl"; then
+  echo "/debug/traces: FAIL: curl error"
+  failures=$((failures + 1))
+elif ! python3 -c "
+import json, sys
+for line in open(sys.argv[1], encoding='utf-8'):
+    json.loads(line)
+print('/debug/traces: OK')" "$OUT_DIR/traces.jsonl"; then
+  echo "/debug/traces: FAIL: invalid JSONL"
+  failures=$((failures + 1))
+fi
+
 kill "$TOUR_PID" 2>/dev/null
 wait "$TOUR_PID" 2>/dev/null
 
@@ -93,4 +117,4 @@ if [ $failures -ne 0 ]; then
   echo "metrics smoke: $failures failure(s)"
   exit 1
 fi
-echo "metrics smoke: exporter served valid /metrics, /varz, and /healthz"
+echo "metrics smoke: exporter served valid /metrics, /varz, /healthz, and /debug pages"
