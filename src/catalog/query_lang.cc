@@ -95,18 +95,67 @@ class QueryCursor {
         std::stoull(std::string(input_.substr(start, pos_ - start))));
   }
 
-  Result<TimePoint> TimeLiteral() {
+  /// Reads a single-quoted literal, returning the text between the quotes.
+  Result<std::string> QuotedText() {
     SkipSpace().Check();
     if (pos_ >= input_.size() || input_[pos_] != '\'') {
-      return Status::InvalidArgument("expected a quoted time literal");
+      return Status::InvalidArgument("expected a quoted literal");
     }
     const size_t close = input_.find('\'', pos_ + 1);
     if (close == std::string_view::npos) {
-      return Status::InvalidArgument("unterminated time literal");
+      return Status::InvalidArgument("unterminated quoted literal");
     }
-    const std::string text(input_.substr(pos_ + 1, close - pos_ - 1));
+    std::string text(input_.substr(pos_ + 1, close - pos_ - 1));
     pos_ = close + 1;
+    return text;
+  }
+
+  Result<TimePoint> TimeLiteral() {
+    TS_ASSIGN_OR_RETURN(std::string text, QuotedText());
     return ParseTimePoint(text);
+  }
+
+  bool TryChar(char c) {
+    SkipSpace().Check();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectChar(char c) {
+    if (TryChar(c)) return Status::OK();
+    return Status::InvalidArgument("expected '", std::string(1, c), "'");
+  }
+
+  /// Reads a signed numeric token (digits, sign, '.', exponent characters);
+  /// the caller parses it with the type it expects.
+  Result<std::string> NumericToken() {
+    SkipSpace().Check();
+    const size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else if ((c == '-' || c == '+') && pos_ > start &&
+                 (input_[pos_ - 1] == 'e' || input_[pos_ - 1] == 'E')) {
+        ++pos_;  // exponent sign
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start ||
+        (pos_ == start + 1 && !std::isdigit(static_cast<unsigned char>(
+                                  input_[start])))) {
+      pos_ = start;
+      return Status::InvalidArgument("expected a numeric literal");
+    }
+    return std::string(input_.substr(start, pos_ - start));
   }
 
  private:
@@ -201,10 +250,131 @@ Result<QueryOutput> ShowSpecialization(const Catalog& catalog,
   return out;
 }
 
+// One positional value of an INSERT, parsed with the attribute's declared
+// type: NULL, TRUE/FALSE, bare numbers, quoted strings, quoted times.
+Result<Value> ParseValueLiteral(QueryCursor& cur, const AttributeDef& attr) {
+  if (cur.TryWord("NULL")) return Value::Null();
+  switch (attr.type) {
+    case ValueType::kBool:
+      if (cur.TryWord("TRUE")) return Value(true);
+      if (cur.TryWord("FALSE")) return Value(false);
+      return Status::InvalidArgument("expected TRUE, FALSE, or NULL for '",
+                                     attr.name, "'");
+    case ValueType::kInt64: {
+      TS_ASSIGN_OR_RETURN(std::string tok, cur.NumericToken());
+      try {
+        return Value(static_cast<int64_t>(std::stoll(tok)));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad INT64 literal '", tok, "' for '",
+                                       attr.name, "'");
+      }
+    }
+    case ValueType::kDouble: {
+      TS_ASSIGN_OR_RETURN(std::string tok, cur.NumericToken());
+      try {
+        return Value(std::stod(tok));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad DOUBLE literal '", tok, "' for '",
+                                       attr.name, "'");
+      }
+    }
+    case ValueType::kString: {
+      TS_ASSIGN_OR_RETURN(std::string text, cur.QuotedText());
+      return Value(std::move(text));
+    }
+    case ValueType::kTime: {
+      TS_ASSIGN_OR_RETURN(std::string text, cur.QuotedText());
+      TS_ASSIGN_OR_RETURN(TimePoint tp, ParseTimePoint(text));
+      return Value(tp);
+    }
+    case ValueType::kNull:
+      break;
+  }
+  return Status::InvalidArgument("attribute '", attr.name,
+                                 "' has no parsable type");
+}
+
+// INSERT INTO <rel> OBJECT <n> VALUES (...) VALID AT '<t>' | FROM..TO.
+Result<QueryOutput> ExecuteInsert(const Catalog& catalog, QueryCursor& cur) {
+  TS_RETURN_NOT_OK(cur.ExpectWord("INTO"));
+  TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+  TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+  const Schema& schema = rel->schema();
+
+  TS_RETURN_NOT_OK(cur.ExpectWord("OBJECT"));
+  TS_ASSIGN_OR_RETURN(uint64_t object, cur.Number());
+  TS_RETURN_NOT_OK(cur.ExpectWord("VALUES"));
+  TS_RETURN_NOT_OK(cur.ExpectChar('('));
+  std::vector<Value> values;
+  values.reserve(schema.num_attributes());
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) TS_RETURN_NOT_OK(cur.ExpectChar(','));
+    TS_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(cur, schema.attribute(i)));
+    values.push_back(std::move(v));
+  }
+  TS_RETURN_NOT_OK(cur.ExpectChar(')'));
+
+  TS_RETURN_NOT_OK(cur.ExpectWord("VALID"));
+  Result<ElementSurrogate> inserted = [&]() -> Result<ElementSurrogate> {
+    if (schema.IsEventRelation()) {
+      TS_RETURN_NOT_OK(cur.ExpectWord("AT"));
+      TS_ASSIGN_OR_RETURN(TimePoint vt, cur.TimeLiteral());
+      return rel->InsertEvent(object, vt, Tuple(std::move(values)));
+    }
+    TS_RETURN_NOT_OK(cur.ExpectWord("FROM"));
+    TS_ASSIGN_OR_RETURN(TimePoint vt_begin, cur.TimeLiteral());
+    TS_RETURN_NOT_OK(cur.ExpectWord("TO"));
+    TS_ASSIGN_OR_RETURN(TimePoint vt_end, cur.TimeLiteral());
+    return rel->InsertInterval(object, vt_begin, vt_end,
+                               Tuple(std::move(values)));
+  }();
+  TS_ASSIGN_OR_RETURN(ElementSurrogate surrogate, std::move(inserted));
+  TS_COUNTER_INC("querylang.inserts");
+
+  QueryOutput out;
+  std::ostringstream ss;
+  ss << "inserted element " << surrogate << " (object " << object << ") into "
+     << name << "\n";
+  out.report = ss.str();
+  return out;
+}
+
+// DELETE FROM <rel> WHERE ID <n>: logical deletion, closing [tt_b, tt_d).
+Result<QueryOutput> ExecuteDelete(const Catalog& catalog, QueryCursor& cur) {
+  TS_RETURN_NOT_OK(cur.ExpectWord("FROM"));
+  TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
+  TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+  TS_RETURN_NOT_OK(cur.ExpectWord("WHERE"));
+  TS_RETURN_NOT_OK(cur.ExpectWord("ID"));
+  TS_ASSIGN_OR_RETURN(uint64_t surrogate, cur.Number());
+  TS_RETURN_NOT_OK(rel->LogicalDelete(surrogate));
+  TS_COUNTER_INC("querylang.deletes");
+
+  QueryOutput out;
+  std::ostringstream ss;
+  ss << "deleted element " << surrogate << " from " << name << "\n";
+  out.report = ss.str();
+  return out;
+}
+
 }  // namespace
 
 Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
                                  const std::string& statement) {
+  return ExecuteQuery(catalog, statement, /*trace=*/nullptr);
+}
+
+bool IsWriteStatement(const std::string& statement) {
+  QueryCursor cur(statement);
+  auto verb = cur.Word();
+  if (!verb.ok()) return false;
+  const std::string& v = verb.ValueOrDie();
+  return v == "INSERT" || v == "DELETE" || v == "CREATE" || v == "DROP";
+}
+
+Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
+                                 const std::string& statement,
+                                 TraceContext* external_trace) {
   QueryCursor cur(statement);
   QueryOutput out;
   TS_COUNTER_INC("querylang.statements");
@@ -217,6 +387,20 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
       out.explain_only = true;
     }
     TS_ASSIGN_OR_RETURN(verb, cur.Word());
+  }
+
+  if (verb == "INSERT" || verb == "DELETE") {
+    if (out.explain_only || out.analyze) {
+      return Status::InvalidArgument("EXPLAIN does not apply to ", verb);
+    }
+    Result<QueryOutput> written = verb == "INSERT"
+                                      ? ExecuteInsert(catalog, cur)
+                                      : ExecuteDelete(catalog, cur);
+    TS_RETURN_NOT_OK(written.status());
+    if (!cur.AtEnd()) {
+      return Status::InvalidArgument("trailing tokens after statement");
+    }
+    return written;
   }
 
   if (verb == "SHOW") {
@@ -246,9 +430,16 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
 
   // EXPLAIN ANALYZE attaches a per-query trace span to the executor; in a
   // metrics tree every executed statement carries one so the slow-query log
-  // sees it (runtime cost: one span, only on the statement path).
-  TraceContext trace;
+  // sees it (runtime cost: one span, only on the statement path). A
+  // caller-owned trace (the server path) is attached unconditionally so its
+  // deadline/cancellation reaches the morsel-boundary polls.
+  TraceContext local_trace;
+  TraceContext& trace = external_trace != nullptr ? *external_trace
+                                                  : local_trace;
   ExecutorOptions exec_options;
+  if (external_trace != nullptr && !out.explain_only) {
+    exec_options.trace = &trace;
+  }
   if (out.analyze) exec_options.trace = &trace;
   TS_METRICS_ONLY(if (!out.explain_only) exec_options.trace = &trace;)
 
@@ -327,6 +518,15 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   // joinable from a slowlog entry by trace id after the query returns.
   if (exec_options.trace != nullptr && trace.started()) {
     RetainedTraces::Instance().Record(trace);
+  }
+  // A cancelled scan abandons morsels, so the collected elements are an
+  // arbitrary subset: surface Deadline exceeded rather than a quietly
+  // truncated result.
+  if (external_trace != nullptr &&
+      (out.stats.scan_aborts > 0 || external_trace->CancellationRequested())) {
+    return Status::DeadlineExceeded("query cancelled after examining ",
+                                    out.stats.elements_examined,
+                                    " element(s)");
   }
   return out;
 }

@@ -9,6 +9,19 @@
 //   EXPLAIN TIMESLICE <relation> AT '...'          (plan only)
 //   EXPLAIN ANALYZE <query>                        (execute + trace span)
 //
+// write statements (single-writer: callers serialize per relation, see
+// relation/temporal_relation.h):
+//
+//   INSERT INTO <relation> OBJECT <n> VALUES (v1, ...) VALID AT '<t>'
+//   INSERT INTO <relation> OBJECT <n> VALUES (v1, ...)
+//       VALID FROM '<t>' TO '<t>'
+//   DELETE FROM <relation> WHERE ID <n>
+//
+// Values are positional against the schema: quoted strings/times, bare
+// numbers, TRUE/FALSE, NULL. The VALID clause kind must match the
+// relation's stamp kind (event vs interval). INSERT reports the new
+// element surrogate; DELETE closes the element's existence interval.
+//
 // plus introspection statements over the telemetry plane:
 //
 //   SHOW SLOW QUERIES [LIMIT n]       (the retained slow-query ring, newest
@@ -57,9 +70,25 @@ struct QueryOutput {
   std::string ToString() const;
 };
 
+class TraceContext;
+
 /// \brief Parses and executes one statement against the catalog.
 Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
                                  const std::string& statement);
+
+/// \brief As above, with a caller-owned trace carrying deadline and
+/// cancellation state (obs/trace.h). The trace is attached to the executor
+/// for every executed statement, the executor polls it at morsel
+/// boundaries, and a statement whose scan was cut short by cancellation
+/// returns Deadline exceeded instead of a silently truncated result.
+Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
+                                 const std::string& statement,
+                                 TraceContext* trace);
+
+/// \brief True when the statement's leading verb mutates state (INSERT,
+/// DELETE, CREATE, DROP) — callers use this to pick shared vs exclusive
+/// access to the catalog before execution.
+bool IsWriteStatement(const std::string& statement);
 
 }  // namespace tempspec
 

@@ -1,0 +1,239 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace tempspec {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseSize(std::string_view s, size_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+size_t HttpParser::Feed(const char* data, size_t len) {
+  size_t consumed = 0;
+  while (consumed < len && state_ != State::kComplete &&
+         state_ != State::kError) {
+    if (state_ == State::kBody) {
+      const size_t want = body_expected_ - request_.body.size();
+      const size_t take = std::min(want, len - consumed);
+      request_.body.append(data + consumed, take);
+      consumed += take;
+      if (request_.body.size() == body_expected_) state_ = State::kComplete;
+      continue;
+    }
+
+    // Line-oriented states: accumulate until '\n'.
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + consumed, '\n', len - consumed));
+    const size_t take = nl == nullptr
+                            ? len - consumed
+                            : static_cast<size_t>(nl - (data + consumed)) + 1;
+    line_buf_.append(data + consumed, take);
+    consumed += take;
+
+    const size_t cap = state_ == State::kRequestLine
+                           ? limits_.max_request_line_bytes
+                           : limits_.max_header_bytes - header_bytes_;
+    if (line_buf_.size() > cap) {
+      Fail(431, state_ == State::kRequestLine ? "request line too long"
+                                              : "headers too large");
+      break;
+    }
+    if (nl == nullptr) break;  // partial line: wait for more bytes
+
+    std::string_view line(line_buf_);
+    line.remove_suffix(1);  // '\n'
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    if (state_ == State::kRequestLine) {
+      // Tolerate leading blank lines between pipelined requests (RFC 9112).
+      if (line.empty()) {
+        line_buf_.clear();
+        continue;
+      }
+      if (!ParseRequestLine(line)) break;
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += line_buf_.size();
+      if (line.empty()) {
+        FinishHeaders();
+        line_buf_.clear();
+        continue;
+      }
+      if (!ParseHeaderLine(line)) break;
+    }
+    line_buf_.clear();
+  }
+  return consumed;
+}
+
+void HttpParser::Fail(int code, std::string reason) {
+  state_ = State::kError;
+  error_code_ = code;
+  error_reason_ = std::move(reason);
+}
+
+bool HttpParser::ParseRequestLine(std::string_view line) {
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = std::string(line.substr(sp2 + 1));
+  if (request_.method.empty() || target.empty()) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  if (request_.version != "HTTP/1.0" && request_.version != "HTTP/1.1") {
+    Fail(505, "unsupported HTTP version");
+    return false;
+  }
+  if (target[0] != '/') {
+    Fail(400, "target must be origin-form");
+    return false;
+  }
+  const size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    request_.target = std::string(target);
+  } else {
+    request_.target = std::string(target.substr(0, q));
+    request_.query = std::string(target.substr(q + 1));
+  }
+  return true;
+}
+
+bool HttpParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    Fail(431, "too many headers");
+    return false;
+  }
+  const size_t colon = line.find(':');
+  // Leading whitespace would be obs-fold continuation; reject rather than
+  // splice (request smuggling vector).
+  if (colon == 0 || colon == std::string_view::npos || line[0] == ' ' ||
+      line[0] == '\t') {
+    Fail(400, "malformed header");
+    return false;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (name.back() == ' ' || name.back() == '\t') {
+    Fail(400, "whitespace before header colon");
+    return false;
+  }
+  request_.headers.emplace_back(std::string(name),
+                                std::string(TrimSpace(line.substr(colon + 1))));
+  return true;
+}
+
+void HttpParser::FinishHeaders() {
+  // Transfer-Encoding is never accepted: with no chunked decoder, honoring
+  // Content-Length alongside it is exactly the smuggling ambiguity.
+  if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+    Fail(400, "Transfer-Encoding not supported");
+    return;
+  }
+  const std::string* cl = request_.FindHeader("Content-Length");
+  if (cl == nullptr) {
+    state_ = State::kComplete;
+    return;
+  }
+  size_t expected = 0;
+  if (!ParseSize(TrimSpace(*cl), &expected)) {
+    Fail(400, "malformed Content-Length");
+    return;
+  }
+  if (expected > limits_.max_body_bytes) {
+    Fail(413, "body too large");
+    return;
+  }
+  body_expected_ = expected;
+  state_ = expected == 0 ? State::kComplete : State::kBody;
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  line_buf_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  error_code_ = 0;
+  error_reason_.clear();
+  request_ = HttpRequest{};
+}
+
+const char* HttpReasonPhrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int code, std::string_view content_type,
+                              std::string_view body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                    HttpReasonPhrase(code) + "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace tempspec

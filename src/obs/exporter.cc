@@ -1,21 +1,13 @@
 #include "obs/exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <thread>
 
-#include "obs/build_info.h"
+#include "net/server.h"
+#include "net/telemetry_endpoints.h"
 #include "obs/flight_recorder.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
@@ -122,45 +114,20 @@ Status TelemetryExporter::Start() {
     return Status::AlreadyExists("exporter already running on port ",
                                  bound_port_.load());
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError("exporter socket(): ", std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ServerOptions server_options;
+  server_options.bind_address = options_.bind_address;
+  server_options.port = options_.port;
+  // Telemetry handlers run on the loop thread; the workers only exist for
+  // statement execution, which a bare exporter never sees.
+  server_options.worker_threads = 1;
+  auto server = std::make_unique<NetServer>(std::move(server_options));
+  RegisterTelemetryEndpoints(server.get());
+  TS_RETURN_NOT_OK(server->Start());
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("exporter bind address '",
-                                   options_.bind_address, "' is not an IPv4 address");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Status::IOError("exporter bind(", options_.bind_address, ":",
-                               options_.port, "): ", std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  if (::listen(fd, 16) != 0) {
-    Status s = Status::IOError("exporter listen(): ", std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    Status s = Status::IOError("exporter getsockname(): ", std::strerror(errno));
-    ::close(fd);
-    return s;
-  }
-
-  listen_fd_ = fd;
-  bound_port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  server_ = std::move(server);
+  bound_port_.store(server_->port(), std::memory_order_release);
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  server_thread_ = std::thread([this] { Serve(); });
   if (!options_.snapshot_path.empty() && options_.snapshot_period_ms > 0) {
     snapshot_thread_ = std::thread([this] { WriteSnapshots(); });
   }
@@ -170,92 +137,10 @@ Status TelemetryExporter::Start() {
 void TelemetryExporter::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
-  if (server_thread_.joinable()) server_thread_.join();
   if (snapshot_thread_.joinable()) snapshot_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  server_->Stop();
+  server_.reset();
   running_.store(false, std::memory_order_release);
-}
-
-void TelemetryExporter::Serve() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
-    int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    HandleConnection(conn);
-    ::close(conn);
-  }
-}
-
-void TelemetryExporter::HandleConnection(int fd) {
-  // Read until the end of the request headers (or the buffer fills). Scrapers
-  // send small GET requests; anything else still gets a well-formed response.
-  std::string request;
-  char buf[2048];
-  while (request.size() < 16384 &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    request.append(buf, static_cast<size_t>(n));
-  }
-
-  std::string method, target;
-  {
-    std::istringstream line(request.substr(0, request.find('\n')));
-    line >> method >> target;
-  }
-  // Strip any query string: /metrics?x=y scrapes the same endpoint.
-  if (size_t q = target.find('?'); q != std::string::npos) target.resize(q);
-
-  std::string status = "200 OK";
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-  if (method != "GET") {
-    status = "405 Method Not Allowed";
-    body = "only GET is supported\n";
-  } else if (target == "/metrics") {
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = RenderPrometheusText(MetricsRegistry::Instance().Scrape());
-  } else if (target == "/varz") {
-    content_type = "application/json";
-    body = "{\"build\":" + BuildConfigJson() +
-           ",\"metrics\":" + MetricsRegistry::Instance().Scrape().ToJson() +
-           "}\n";
-  } else if (target == "/healthz") {
-    body = "ok\n";
-  } else if (target == "/debug/events") {
-    // The flight-recorder ring, one JSON event per line (oldest first).
-    body = FlightRecorder::Instance().ToJsonl();
-  } else if (target == "/debug/traces") {
-    // The retained span ring, one JSON object per line (oldest first).
-    for (const RetainedTrace& t : RetainedTraces::Instance().Entries()) {
-      body += "{\"trace_id\":" + std::to_string(t.trace_id) +
-              ",\"unix_micros\":" + std::to_string(t.unix_micros) +
-              ",\"trace\":" + t.json + "}\n";
-    }
-  } else {
-    status = "404 Not Found";
-    body = "not found; try /metrics, /varz, /healthz, /debug/events, "
-           "/debug/traces\n";
-  }
-
-  std::string response = "HTTP/1.0 " + status +
-                         "\r\nContent-Type: " + content_type +
-                         "\r\nContent-Length: " + std::to_string(body.size()) +
-                         "\r\nConnection: close\r\n\r\n" + body;
-  size_t off = 0;
-  while (off < response.size()) {
-    ssize_t n = ::write(fd, response.data() + off, response.size() - off);
-    if (n <= 0) break;
-    off += static_cast<size_t>(n);
-  }
 }
 
 void TelemetryExporter::WriteSnapshots() {

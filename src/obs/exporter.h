@@ -1,9 +1,10 @@
 // Embedded telemetry exporter: the operable face of the metrics registry.
 //
 // PR 4 gave the engine an in-process registry; this module makes it
-// scrapeable without linking any HTTP library. A TelemetryExporter owns a
-// tiny single-threaded HTTP/1.0 server (POSIX sockets, poll-driven accept
-// loop) bound to a loopback/interface address, serving:
+// scrapeable without linking any HTTP library. A TelemetryExporter wraps a
+// NetServer (net/server.h) — the same event-loop HTTP stack the query
+// daemon uses, with its request-line/header/body limits and concurrent
+// connection handling — bound to a loopback/interface address, serving:
 //
 //   /metrics       — the registry rendered in Prometheus text exposition
 //                    format (counters, gauges, and the log2 histograms as
@@ -105,16 +106,13 @@ class TelemetryExporter {
   static void LingerFromEnv();
 
  private:
-  void Serve();
   void WriteSnapshots();
-  void HandleConnection(int fd);
 
   ExporterOptions options_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<uint16_t> bound_port_{0};
-  int listen_fd_ = -1;
-  std::thread server_thread_;
+  std::unique_ptr<class NetServer> server_;
   std::thread snapshot_thread_;
 };
 

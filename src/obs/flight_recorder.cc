@@ -34,6 +34,7 @@ const char* FlightCategoryToString(FlightCategory category) {
     case FlightCategory::kPlan: return "plan";
     case FlightCategory::kDrift: return "drift";
     case FlightCategory::kAdvisor: return "advisor";
+    case FlightCategory::kServer: return "server";
   }
   return "unknown";
 }
@@ -62,6 +63,12 @@ const char* FlightCodeToString(FlightCode code) {
     case FlightCode::kPlanChoice: return "plan.choice";
     case FlightCode::kDriftVerdict: return "drift.verdict";
     case FlightCode::kAdvisorNote: return "advisor.note";
+    case FlightCode::kServerStart: return "server.start";
+    case FlightCode::kServerStop: return "server.stop";
+    case FlightCode::kServerAccept: return "server.accept";
+    case FlightCode::kServerReject: return "server.reject";
+    case FlightCode::kServerRequest: return "server.request";
+    case FlightCode::kServerDeadline: return "server.deadline";
   }
   return "unknown";
 }

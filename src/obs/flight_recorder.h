@@ -56,6 +56,7 @@ enum class FlightCategory : uint8_t {
   kPlan,
   kDrift,
   kAdvisor,
+  kServer,
 };
 const char* FlightCategoryToString(FlightCategory category);
 
@@ -84,6 +85,12 @@ enum class FlightCode : uint8_t {
   kPlanChoice,         // arg0 = ExecutionStrategy, arg1 = ScanKernel
   kDriftVerdict,       // arg0 = observed kind, arg1 = lattice distance
   kAdvisorNote,        // arg0 = note count; detail = relation
+  kServerStart,        // arg0 = bound port
+  kServerStop,         // arg0 = connections served over the lifetime
+  kServerAccept,       // arg0 = connection id, arg1 = open connections
+  kServerReject,       // arg0 = connection id, arg1 = inflight; detail = why
+  kServerRequest,      // arg0 = connection id, arg1 = request bytes
+  kServerDeadline,     // arg0 = connection id, arg1 = deadline millis
 };
 const char* FlightCodeToString(FlightCode code);
 

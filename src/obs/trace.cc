@@ -76,6 +76,40 @@ void TraceContext::AddStage(std::string name, uint64_t micros) {
   stages_.push_back(TraceStage{std::move(name), micros});
 }
 
+void TraceContext::ArmDeadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_nanos_.store(
+      deadline.time_since_epoch() == std::chrono::steady_clock::duration::zero()
+          ? 0
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                deadline.time_since_epoch())
+                .count(),
+      std::memory_order_release);
+}
+
+void TraceContext::ArmDeadlineAfterMicros(uint64_t micros) {
+  if (micros == 0) {
+    deadline_nanos_.store(0, std::memory_order_release);
+    return;
+  }
+  ArmDeadline(std::chrono::steady_clock::now() +
+              std::chrono::microseconds(micros));
+}
+
+bool TraceContext::CancellationRequested() const {
+  if (cancel_.load(std::memory_order_acquire)) return true;
+  const int64_t deadline = deadline_nanos_.load(std::memory_order_acquire);
+  if (deadline == 0) return false;
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  if (now < deadline) return false;
+  // Latch: once a deadline has passed the query stays cancelled even if the
+  // clock is read again (and later polls skip the clock read entirely).
+  const_cast<TraceContext*>(this)->cancel_.store(true,
+                                                 std::memory_order_release);
+  return true;
+}
+
 TraceContext::StageScope::StageScope(TraceContext* ctx, std::string name)
     : ctx_(ctx), name_(std::move(name)) {
   if (ctx_ != nullptr) start_ = std::chrono::steady_clock::now();

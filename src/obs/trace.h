@@ -17,6 +17,7 @@
 #ifndef TEMPSPEC_OBS_TRACE_H_
 #define TEMPSPEC_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -35,6 +36,12 @@ struct TraceStage {
 /// \brief A single query's trace span. Not thread-safe: one context belongs
 /// to one query execution, and the executor records into it only from the
 /// calling thread (per-morsel work aggregates through QueryStats first).
+///
+/// Exception: the cancellation plumbing below IS thread-safe. A deadline or
+/// cancel request may arrive from another thread (the server's event loop,
+/// a disconnecting client) while the query runs; the executor polls
+/// CancellationRequested() at morsel boundaries, so an in-flight long scan
+/// stops within one morsel of the deadline instead of running to completion.
 class TraceContext {
  public:
   TraceContext() = default;
@@ -65,6 +72,23 @@ class TraceContext {
   void AddStage(std::string name, uint64_t micros);
   const std::vector<TraceStage>& stages() const { return stages_; }
 
+  // -- Deadline & cancellation (thread-safe, unlike the rest of the span) ----
+
+  /// \brief Arms an absolute steady-clock deadline. After it passes,
+  /// CancellationRequested() returns true. Zero/default disarms.
+  void ArmDeadline(std::chrono::steady_clock::time_point deadline);
+  /// \brief Convenience: deadline = now + micros (0 disarms).
+  void ArmDeadlineAfterMicros(uint64_t micros);
+  /// \brief Requests cooperative cancellation (idempotent; any thread).
+  void RequestCancel() { cancel_.store(true, std::memory_order_release); }
+  /// \brief True when cancelled explicitly or the armed deadline has passed.
+  /// Cheap enough for morsel-boundary polling: one relaxed load, plus a
+  /// clock read only while a deadline is armed.
+  bool CancellationRequested() const;
+  bool has_deadline() const {
+    return deadline_nanos_.load(std::memory_order_relaxed) != 0;
+  }
+
   /// \brief RAII stage timer: times from construction to destruction and
   /// appends a TraceStage. Safe with a null context (no-op).
   class StageScope {
@@ -94,6 +118,11 @@ class TraceContext {
   bool ended_ = false;
   std::chrono::steady_clock::time_point start_;
   uint64_t wall_micros_ = 0;
+  /// Cancellation state: a sticky flag plus an armed deadline as
+  /// steady-clock nanoseconds since epoch (0 = no deadline). Atomics so the
+  /// server's event loop can cancel a query the worker is executing.
+  std::atomic<bool> cancel_{false};
+  std::atomic<int64_t> deadline_nanos_{0};
   std::vector<std::pair<std::string, std::string>> attrs_;
   std::vector<std::pair<std::string, uint64_t>> counters_;
   std::vector<TraceStage> stages_;

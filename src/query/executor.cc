@@ -105,6 +105,7 @@ class QueryScope {
     d.morsels_executed -= baseline_.morsels_executed;
     d.rows_scanned -= baseline_.rows_scanned;
     d.rows_matched -= baseline_.rows_matched;
+    d.scan_aborts -= baseline_.scan_aborts;
     const uint64_t pages_touched =
         pool_ == nullptr ? 0 : pool_->hits() + pool_->misses() - pages_before_;
 
@@ -120,6 +121,10 @@ class QueryScope {
       trace_->AddCounter("rows_scanned", d.rows_scanned);
       trace_->AddCounter("rows_matched", d.rows_matched);
       trace_->AddCounter("pages_touched", pages_touched);
+      if (d.scan_aborts > 0) {
+        trace_->AddCounter("scan_aborts", d.scan_aborts);
+        trace_->SetAttr("cancelled", "true");
+      }
       trace_->End();
     }
 
@@ -137,6 +142,7 @@ class QueryScope {
       TS_COUNTER_ADD("executor.morsels", d.morsels_executed);
       TS_COUNTER_ADD("executor.rows_scanned", d.rows_scanned);
       TS_COUNTER_ADD("executor.rows_matched", d.rows_matched);
+      TS_COUNTER_ADD("executor.scan_aborts", d.scan_aborts);
       TS_HISTOGRAM_OBSERVE("executor.query_wall_micros", d.wall_micros);
     });
   }
@@ -165,19 +171,40 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
   const bool parallel =
       pool != nullptr && pool->size() > 1 && count > grain &&
       optimizer_.ShouldParallelize(count, options_.parallel_cutoff);
+  TraceContext* const trace = options_.trace;
   std::vector<uint64_t> out;
   if (!parallel) {
     std::chrono::steady_clock::time_point scan_start;
     if (stats) scan_start = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < count; ++i) {
-      const uint64_t pos = pos_at(i);
-      if (pred(elements[pos])) out.push_back(pos);
+    size_t scanned = count;
+    if (trace == nullptr) {
+      for (size_t i = 0; i < count; ++i) {
+        const uint64_t pos = pos_at(i);
+        if (pred(elements[pos])) out.push_back(pos);
+      }
+    } else {
+      // With a trace attached, cancellation is polled once per grain-sized
+      // chunk — the serial mirror of the per-morsel checks below, so a
+      // deadline stops a long serial scan within one morsel too.
+      size_t base = 0;
+      for (; base < count; base += grain) {
+        if (trace->CancellationRequested()) break;
+        const size_t stop = std::min(count, base + grain);
+        for (size_t i = base; i < stop; ++i) {
+          const uint64_t pos = pos_at(i);
+          if (pred(elements[pos])) out.push_back(pos);
+        }
+      }
+      scanned = std::min(base, count);
+      if (stats && base < count) {
+        stats->scan_aborts += (count - base + grain - 1) / grain;
+      }
     }
     if (stats && count > 0) {
       stats->morsels_executed += 1;
       stats->cpu_micros +=
           MicrosBetween(scan_start, std::chrono::steady_clock::now());
-      stats->rows_scanned += count;
+      stats->rows_scanned += scanned;
       stats->rows_matched += out.size();
     }
     return out;
@@ -191,8 +218,16 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
   const size_t morsels = (count + grain - 1) / grain;
   std::vector<std::vector<uint64_t>> parts(morsels);
   std::atomic<uint64_t> cpu_micros{0};
+  std::atomic<uint64_t> skipped_rows{0};
+  std::atomic<uint64_t> aborts{0};
   pool->ParallelFor(count, grain,
                     [&](size_t morsel, size_t begin, size_t end) {
+                      if (trace != nullptr && trace->CancellationRequested()) {
+                        aborts.fetch_add(1, std::memory_order_relaxed);
+                        skipped_rows.fetch_add(end - begin,
+                                               std::memory_order_relaxed);
+                        return;
+                      }
                       std::chrono::steady_clock::time_point morsel_start;
                       if (stats) morsel_start = std::chrono::steady_clock::now();
                       std::vector<uint64_t>& part = parts[morsel];
@@ -214,8 +249,9 @@ std::vector<uint64_t> QueryExecutor::CollectMatches(size_t count,
   if (stats) {
     stats->morsels_executed += morsels;
     stats->cpu_micros += cpu_micros.load(std::memory_order_relaxed);
-    stats->rows_scanned += count;
+    stats->rows_scanned += count - skipped_rows.load(std::memory_order_relaxed);
     stats->rows_matched += total;
+    stats->scan_aborts += aborts.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -230,17 +266,35 @@ std::vector<uint64_t> QueryExecutor::CollectColumnar(
   const bool parallel =
       pool != nullptr && pool->size() > 1 && count > grain &&
       optimizer_.ShouldParallelize(count, options_.parallel_cutoff);
+  TraceContext* const trace = options_.trace;
   std::vector<uint64_t> out;
   if (!parallel) {
     std::chrono::steady_clock::time_point scan_start;
     if (stats) scan_start = std::chrono::steady_clock::now();
-    KernelScan(kernel, cols, first, last, lo_micros, hi_micros, as_of_micros,
-               &out);
+    size_t scanned = count;
+    if (trace == nullptr) {
+      KernelScan(kernel, cols, first, last, lo_micros, hi_micros, as_of_micros,
+                 &out);
+    } else {
+      // Chunked kernel invocations concatenate exactly like the per-morsel
+      // calls below, buying a cancellation poll per grain rows.
+      size_t base = 0;
+      for (; base < count; base += grain) {
+        if (trace->CancellationRequested()) break;
+        const size_t stop = std::min(count, base + grain);
+        KernelScan(kernel, cols, first + base, first + stop, lo_micros,
+                   hi_micros, as_of_micros, &out);
+      }
+      scanned = std::min(base, count);
+      if (stats && base < count) {
+        stats->scan_aborts += (count - base + grain - 1) / grain;
+      }
+    }
     if (stats && count > 0) {
       stats->morsels_executed += 1;
       stats->cpu_micros +=
           MicrosBetween(scan_start, std::chrono::steady_clock::now());
-      stats->rows_scanned += count;
+      stats->rows_scanned += scanned;
       stats->rows_matched += out.size();
     }
     return out;
@@ -253,8 +307,16 @@ std::vector<uint64_t> QueryExecutor::CollectColumnar(
   const size_t morsels = (count + grain - 1) / grain;
   std::vector<std::vector<uint64_t>> parts(morsels);
   std::atomic<uint64_t> cpu_micros{0};
+  std::atomic<uint64_t> skipped_rows{0};
+  std::atomic<uint64_t> aborts{0};
   pool->ParallelFor(count, grain,
                     [&](size_t morsel, size_t begin, size_t end) {
+                      if (trace != nullptr && trace->CancellationRequested()) {
+                        aborts.fetch_add(1, std::memory_order_relaxed);
+                        skipped_rows.fetch_add(end - begin,
+                                               std::memory_order_relaxed);
+                        return;
+                      }
                       std::chrono::steady_clock::time_point morsel_start;
                       if (stats) morsel_start = std::chrono::steady_clock::now();
                       KernelScan(kernel, cols, first + begin, first + end,
@@ -274,8 +336,9 @@ std::vector<uint64_t> QueryExecutor::CollectColumnar(
   if (stats) {
     stats->morsels_executed += morsels;
     stats->cpu_micros += cpu_micros.load(std::memory_order_relaxed);
-    stats->rows_scanned += count;
+    stats->rows_scanned += count - skipped_rows.load(std::memory_order_relaxed);
     stats->rows_matched += total;
+    stats->scan_aborts += aborts.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -110,6 +110,11 @@ struct QueryStats {
   /// selectivity EXPLAIN ANALYZE reports.
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
+  /// Morsels abandoned because cancellation (explicit, or via an armed
+  /// deadline on the attached TraceContext) was observed at a morsel
+  /// boundary. Non-zero iff the scan was cut short; the result set is then a
+  /// subset of the candidates, not the full answer.
+  uint64_t scan_aborts = 0;
 
   /// \brief Accumulates another query's counters (per-worker or per-query
   /// aggregation; all counters are additive).
@@ -122,6 +127,7 @@ struct QueryStats {
     morsels_executed += other.morsels_executed;
     rows_scanned += other.rows_scanned;
     rows_matched += other.rows_matched;
+    scan_aborts += other.scan_aborts;
   }
 };
 

@@ -22,6 +22,8 @@ enum class StatusCode : char {
   kCorruption = 7,
   kNotImplemented = 8,
   kInternal = 9,
+  kDeadlineExceeded = 10,  // a per-query deadline cancelled the work
+  kUnavailable = 11,       // transient overload (admission control, shutdown)
 };
 
 /// \brief Returns the canonical name of a status code, e.g. "Invalid argument".
@@ -82,6 +84,14 @@ class Status {
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
   }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Make(StatusCode::kUnavailable, std::forward<Args>(args)...);
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -101,6 +111,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -208,5 +208,106 @@ TEST_F(QueryLangTest, Errors) {
       ExecuteQuery(catalog_, "CURRENT samples trailing garbage").ok());
 }
 
+TEST_F(QueryLangTest, InsertEventStatement) {
+  // `samples` is degenerate: valid time must match the stamping time, which
+  // after SetUp's 13 stamps (12 inserts + 1 delete) is deterministically
+  // 12:10.
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput out,
+      ExecuteQuery(catalog_,
+                   "INSERT INTO samples OBJECT 9 VALUES (9, 42.5) "
+                   "VALID AT '1992-02-03 12:10:00'"));
+  EXPECT_NE(out.report.find("inserted element"), std::string::npos)
+      << out.report;
+  EXPECT_NE(out.report.find("(object 9) into samples"), std::string::npos);
+  // The insert is immediately visible to reads.
+  ASSERT_OK_AND_ASSIGN(QueryOutput current,
+                       ExecuteQuery(catalog_, "CURRENT samples"));
+  EXPECT_EQ(current.elements.size(), 12u);  // 11 from SetUp + this one
+}
+
+TEST_F(QueryLangTest, InsertValueTypesRoundTrip) {
+  RelationOptions base;
+  base.clock = clock_;
+  ASSERT_OK(catalog_
+                .CreateRelationFromDdl(
+                    "CREATE EVENT RELATION typed (id INT64 KEY, label STRING, "
+                    "ok BOOL, score DOUBLE) GRANULARITY 1s",
+                    base)
+                .status());
+  ASSERT_OK(ExecuteQuery(catalog_,
+                         "INSERT INTO typed OBJECT 1 VALUES "
+                         "(7, 'seven', TRUE, -1.5e2) "
+                         "VALID AT '1992-02-03 13:00:00'")
+                .status());
+  ASSERT_OK(ExecuteQuery(catalog_,
+                         "INSERT INTO typed OBJECT 2 VALUES "
+                         "(8, NULL, FALSE, 0.25) "
+                         "VALID AT '1992-02-03 13:00:00'")
+                .status());
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "CURRENT typed"));
+  EXPECT_EQ(out.elements.size(), 2u);
+}
+
+TEST_F(QueryLangTest, DeleteStatement) {
+  ASSERT_OK_AND_ASSIGN(
+      QueryOutput out,
+      ExecuteQuery(catalog_,
+                   "DELETE FROM samples WHERE ID " + std::to_string(ids_[1])));
+  EXPECT_NE(out.report.find("deleted element"), std::string::npos)
+      << out.report;
+  ASSERT_OK_AND_ASSIGN(QueryOutput current,
+                       ExecuteQuery(catalog_, "CURRENT samples"));
+  EXPECT_EQ(current.elements.size(), 10u);  // SetUp left 11
+  // Deleting an unknown element fails cleanly.
+  EXPECT_FALSE(
+      ExecuteQuery(catalog_, "DELETE FROM samples WHERE ID 999999").ok());
+}
+
+TEST_F(QueryLangTest, WriteStatementErrors) {
+  // Wrong arity, type mismatches, bad time literals, unknown relations.
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "INSERT INTO nope OBJECT 1 VALUES (1, 1.0) "
+                            "VALID AT '1992-02-03 13:00:00'")
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "INSERT INTO samples OBJECT 1 VALUES (1) "
+                            "VALID AT '1992-02-03 13:00:00'")
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "INSERT INTO samples OBJECT 1 VALUES (1, 'x') "
+                            "VALID AT '1992-02-03 13:00:00'")
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "INSERT INTO samples OBJECT 1 VALUES (1, 1.0) "
+                            "VALID AT 'not a time'")
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "INSERT INTO samples OBJECT 1 VALUES (1, 1.0)")
+                   .ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "DELETE FROM samples WHERE ID x").ok());
+  EXPECT_FALSE(ExecuteQuery(catalog_, "DELETE FROM samples").ok());
+  // EXPLAIN applies to queries, not writes.
+  EXPECT_FALSE(ExecuteQuery(catalog_,
+                            "EXPLAIN INSERT INTO samples OBJECT 1 VALUES "
+                            "(1, 1.0) VALID AT '1992-02-03 13:00:00'")
+                   .ok());
+}
+
+TEST_F(QueryLangTest, IsWriteStatementClassification) {
+  EXPECT_TRUE(IsWriteStatement("INSERT INTO r OBJECT 1 VALUES (1)"));
+  EXPECT_TRUE(IsWriteStatement("  insert into r ..."));
+  EXPECT_TRUE(IsWriteStatement("DELETE FROM r WHERE ID 4"));
+  EXPECT_TRUE(IsWriteStatement("CREATE EVENT RELATION r (x INT64 KEY)"));
+  EXPECT_TRUE(IsWriteStatement("DROP RELATION r"));
+  EXPECT_FALSE(IsWriteStatement("CURRENT r"));
+  EXPECT_FALSE(IsWriteStatement("TIMESLICE r AT '1992-01-01'"));
+  EXPECT_FALSE(IsWriteStatement("SHOW SPECIALIZATION r"));
+  EXPECT_FALSE(IsWriteStatement("EXPLAIN CURRENT r"));
+  EXPECT_FALSE(IsWriteStatement(""));
+  EXPECT_FALSE(IsWriteStatement("   "));
+}
+
 }  // namespace
 }  // namespace tempspec

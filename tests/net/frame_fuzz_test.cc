@@ -1,0 +1,240 @@
+// Wire-protocol battery for the TSP1 frame codec (net/frame.h): exact
+// round-trips, delivery-fragmentation invariance, and a seeded fuzz of the
+// malformed-stream space — truncations, oversized lengths, corrupt headers,
+// flipped payload bits — every one of which must surface as a clean decoder
+// error (or a wait-for-more-bytes), never a crash or a silently wrong frame.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing.h"
+#include "util/random.h"
+
+namespace tempspec {
+namespace {
+
+Frame MakeFrame(FrameType type, std::string payload,
+                std::optional<uint64_t> deadline = std::nullopt) {
+  Frame frame;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  if (deadline.has_value()) {
+    frame.flags = kFrameFlagDeadline;
+    frame.deadline_millis = *deadline;
+  }
+  return frame;
+}
+
+// Feeds `wire` to a decoder in the given fragment sizes and drains it.
+std::vector<Frame> DecodeAll(const std::string& wire, size_t fragment) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  size_t fed = 0;
+  while (fed < wire.size()) {
+    const size_t n = std::min(fragment, wire.size() - fed);
+    decoder.Feed(wire.data() + fed, n);
+    fed += n;
+    while (true) {
+      Result<std::optional<Frame>> next = decoder.Next();
+      EXPECT_OK(next.status());
+      if (!next.ok() || !next.ValueOrDie().has_value()) break;
+      frames.push_back(std::move(*next.ValueOrDie()));
+    }
+  }
+  return frames;
+}
+
+void ExpectSameFrame(const Frame& want, const Frame& got) {
+  EXPECT_EQ(static_cast<int>(want.type), static_cast<int>(got.type));
+  EXPECT_EQ(want.flags, got.flags);
+  EXPECT_EQ(want.deadline_millis, got.deadline_millis);
+  EXPECT_EQ(want.payload, got.payload);
+}
+
+TEST(FrameRoundTripTest, PlainAndDeadlineFramesRoundTrip) {
+  for (const Frame& frame :
+       {MakeFrame(FrameType::kQuery, "CURRENT r"),
+        MakeFrame(FrameType::kQuery, "", /*deadline=*/0),
+        MakeFrame(FrameType::kQuery, "TIMESLICE r AT '1992-01-01'",
+                  /*deadline=*/12345),
+        MakeFrame(FrameType::kResult, std::string(100000, 'x')),
+        MakeFrame(FrameType::kPing, std::string("\x00\xff\x31PST", 5)),
+        MakeFrame(FrameType::kError, "Boom")}) {
+    std::string wire;
+    EncodeFrame(frame, &wire);
+    std::vector<Frame> decoded = DecodeAll(wire, wire.size());
+    ASSERT_EQ(decoded.size(), 1u);
+    ExpectSameFrame(frame, decoded[0]);
+  }
+}
+
+TEST(FrameRoundTripTest, DeliveryFragmentationIsInvisible) {
+  // Pipelined frames split at every granularity — including byte-at-a-time —
+  // decode to the identical sequence.
+  std::vector<Frame> sent;
+  Random rng(/*seed=*/1992);
+  std::string wire;
+  for (int i = 0; i < 17; ++i) {
+    Frame frame = MakeFrame(
+        FrameType::kQuery, rng.NextString(static_cast<size_t>(rng.Uniform(0, 300))),
+        rng.OneIn(0.5) ? std::optional<uint64_t>(
+                             static_cast<uint64_t>(rng.Uniform(0, 1 << 30)))
+                       : std::nullopt);
+    EncodeFrame(frame, &wire);
+    sent.push_back(std::move(frame));
+  }
+  for (const size_t fragment : {size_t{1}, size_t{2}, size_t{7}, size_t{16},
+                                size_t{64}, size_t{1021}, wire.size()}) {
+    std::vector<Frame> decoded = DecodeAll(wire, fragment);
+    ASSERT_EQ(decoded.size(), sent.size()) << "fragment=" << fragment;
+    for (size_t i = 0; i < sent.size(); ++i) {
+      ExpectSameFrame(sent[i], decoded[i]);
+    }
+  }
+}
+
+TEST(FrameDecoderTest, TruncatedFrameIsWaitNotError) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameType::kQuery, "CURRENT r"), &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Result<std::optional<Frame>> next = decoder.Next();
+    ASSERT_TRUE(next.ok()) << "cut=" << cut << ": "
+                           << next.status().ToString();
+    EXPECT_FALSE(next.ValueOrDie().has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(FrameDecoderTest, BadMagicPoisons) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameType::kQuery, "x"), &wire);
+  wire[0] ^= 0x01;
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_NOT_OK(decoder.Next().status());
+  // Poisoned stays poisoned, even when pristine bytes follow.
+  std::string clean;
+  EncodeFrame(MakeFrame(FrameType::kPing, "y"), &clean);
+  decoder.Feed(clean.data(), clean.size());
+  EXPECT_NOT_OK(decoder.Next().status());
+}
+
+TEST(FrameDecoderTest, UnknownTypeFlagsAndReservedBitsAreRejected) {
+  const auto mutate_header = [](size_t offset, char value) {
+    std::string wire;
+    EncodeFrame(MakeFrame(FrameType::kQuery, "payload"), &wire);
+    wire[offset] = value;
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), wire.size());
+    return decoder.Next().status();
+  };
+  EXPECT_NOT_OK(mutate_header(4, 0));     // type below range
+  EXPECT_NOT_OK(mutate_header(4, 99));    // type above range
+  EXPECT_NOT_OK(mutate_header(5, 0x40));  // unknown flag bit
+  EXPECT_NOT_OK(mutate_header(6, 1));     // reserved must be zero
+}
+
+TEST(FrameDecoderTest, OversizedLengthIsRejectedBeforeBuffering) {
+  // A header advertising a payload beyond the cap must fail immediately —
+  // not wait for gigabytes that will never arrive.
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameType::kQuery, "x"), &wire);
+  const uint32_t huge = 512 * 1024 * 1024;
+  std::memcpy(&wire[8], &huge, sizeof(huge));
+  FrameDecoder decoder(/*max_payload_bytes=*/1024);
+  decoder.Feed(wire.data(), kFrameHeaderBytes);  // header only
+  EXPECT_NOT_OK(decoder.Next().status());
+}
+
+TEST(FrameDecoderTest, PayloadCorruptionFailsTheCrc) {
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameType::kQuery, "CURRENT relation"), &wire);
+  wire[kFrameHeaderBytes + 3] ^= 0x20;
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  const Status status = decoder.Next().status();
+  EXPECT_NOT_OK(status);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(FrameDecoderTest, DeadlineFlagWithTinyPayloadIsRejected) {
+  // flags say "payload starts with a u64 deadline" but the payload cannot
+  // hold one.
+  std::string wire;
+  EncodeFrame(MakeFrame(FrameType::kQuery, "abc"), &wire);
+  wire[5] = static_cast<char>(kFrameFlagDeadline);  // 3-byte payload
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_NOT_OK(decoder.Next().status());
+}
+
+// Seeded fuzz: random corruptions of valid streams. Every outcome must be
+// "ok frames", "wait for more", or "clean poison" — assertions inside the
+// decoder (or ASan, in the sanitizer jobs) catch everything else.
+TEST(FrameFuzzTest, RandomCorruptionsNeverCrashTheDecoder) {
+  Random rng(/*seed=*/0xF7A3E);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string wire;
+    const int frames = static_cast<int>(rng.Uniform(1, 4));
+    for (int i = 0; i < frames; ++i) {
+      EncodeFrame(
+          MakeFrame(static_cast<FrameType>(rng.Uniform(1, 6)),
+                    rng.NextString(static_cast<size_t>(rng.Uniform(0, 200))),
+                    rng.OneIn(0.3)
+                        ? std::optional<uint64_t>(static_cast<uint64_t>(
+                              rng.Uniform(0, 1000000)))
+                        : std::nullopt),
+          &wire);
+    }
+    // Corrupt: flip bytes, truncate, or splice garbage.
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const int flips = static_cast<int>(rng.Uniform(1, 8));
+      for (int i = 0; i < flips; ++i) {
+        wire[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(wire.size()) - 1))] ^=
+            static_cast<char>(rng.Uniform(1, 255));
+      }
+    } else if (dice < 0.7) {
+      wire.resize(static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(wire.size()))));
+    } else {
+      wire.insert(static_cast<size_t>(rng.Uniform(
+                      0, static_cast<int64_t>(wire.size()))),
+                  rng.NextString(static_cast<size_t>(rng.Uniform(1, 64))));
+    }
+
+    FrameDecoder decoder;
+    size_t fed = 0;
+    bool poisoned = false;
+    while (fed < wire.size() && !poisoned) {
+      const size_t n = std::min(
+          static_cast<size_t>(rng.Uniform(1, 97)), wire.size() - fed);
+      decoder.Feed(wire.data() + fed, n);
+      fed += n;
+      while (true) {
+        Result<std::optional<Frame>> next = decoder.Next();
+        if (!next.ok()) {
+          poisoned = true;
+          // Poison must be sticky.
+          EXPECT_NOT_OK(decoder.Next().status());
+          break;
+        }
+        if (!next.ValueOrDie().has_value()) break;
+        // Any decoded frame must satisfy the wire invariants.
+        const Frame& frame = next.ValueOrDie().value();
+        EXPECT_TRUE(IsValidFrameType(static_cast<uint8_t>(frame.type)));
+        EXPECT_EQ(frame.flags & ~kFrameFlagDeadline, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -1,0 +1,188 @@
+// Minimal blocking TCP client for the network-plane tests: raw sends, HTTP
+// POST /query round-trips that keep the connection usable (keep-alive), and
+// TSP1 frame send/receive on the same socket. Deliberately independent of
+// src/net's connection machinery — the tests exercise the server with an
+// implementation that shares none of its parsing code.
+#ifndef TEMPSPEC_TESTS_NET_NET_TEST_CLIENT_H_
+#define TEMPSPEC_TESTS_NET_NET_TEST_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/frame.h"
+#include "util/result.h"
+
+namespace tempspec {
+namespace testing {
+
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+    // Bound every blocking read so a server bug fails the test instead of
+    // hanging it.
+    timeval tv{/*tv_sec=*/30, /*tv_usec=*/0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~TestClient() { Close(); }
+
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until the peer closes (or the receive timeout fires).
+  std::string ReadToEof() {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  struct HttpReply {
+    int code = 0;
+    std::string body;
+    bool ok = false;
+  };
+
+  /// Reads one HTTP/1.1 response (status line, headers, Content-Length-sized
+  /// body) without relying on EOF, so keep-alive connections stay usable.
+  HttpReply ReadHttpResponse() {
+    HttpReply reply;
+    while (buffered_.find("\r\n\r\n") == std::string::npos) {
+      if (!FillBuffer()) return reply;
+    }
+    const size_t header_end = buffered_.find("\r\n\r\n");
+    const std::string head = buffered_.substr(0, header_end);
+    if (std::sscanf(head.c_str(), "HTTP/%*s %d", &reply.code) != 1) {
+      return reply;
+    }
+    size_t content_length = 0;
+    {
+      std::string lower;
+      for (char c : head) lower += static_cast<char>(std::tolower(c));
+      const size_t at = lower.find("content-length:");
+      if (at != std::string::npos) {
+        content_length = std::strtoull(lower.c_str() + at + 15, nullptr, 10);
+      }
+    }
+    const size_t body_start = header_end + 4;
+    while (buffered_.size() < body_start + content_length) {
+      if (!FillBuffer()) return reply;
+    }
+    reply.body = buffered_.substr(body_start, content_length);
+    buffered_.erase(0, body_start + content_length);
+    reply.ok = true;
+    return reply;
+  }
+
+  HttpReply PostQuery(const std::string& statement,
+                      const std::string& extra_headers = "") {
+    std::string request =
+        "POST /query HTTP/1.1\r\nHost: t\r\n" + extra_headers +
+        "Content-Length: " + std::to_string(statement.size()) + "\r\n\r\n" +
+        statement;
+    if (!Send(request)) return HttpReply{};
+    return ReadHttpResponse();
+  }
+
+  bool SendFrame(const Frame& frame) {
+    std::string wire;
+    EncodeFrame(frame, &wire);
+    return Send(wire);
+  }
+
+  /// Reads one complete frame off the connection.
+  Result<Frame> ReadFrame() {
+    while (true) {
+      decoder_.Feed(buffered_.data(), buffered_.size());
+      buffered_.clear();
+      Result<std::optional<Frame>> next = decoder_.Next();
+      if (!next.ok()) return next.status();
+      if (next.ValueOrDie().has_value()) {
+        return std::move(*next.ValueOrDie());
+      }
+      if (!FillBuffer()) {
+        return Status::IOError("connection closed before a full frame");
+      }
+    }
+  }
+
+ private:
+  bool FillBuffer() {
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) return false;
+    buffered_.append(buf, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffered_;
+  FrameDecoder decoder_;
+};
+
+inline Frame QueryFrame(const std::string& statement, uint64_t deadline_ms = 0,
+                        bool with_deadline = false) {
+  Frame frame;
+  frame.type = FrameType::kQuery;
+  frame.payload = statement;
+  if (with_deadline) {
+    frame.flags = kFrameFlagDeadline;
+    frame.deadline_millis = deadline_ms;
+  }
+  return frame;
+}
+
+/// Waits (bounded) for a predicate that another thread flips.
+template <typename Pred>
+bool WaitFor(Pred pred,
+             std::chrono::milliseconds limit = std::chrono::seconds(10)) {
+  const auto give_up = std::chrono::steady_clock::now() + limit;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_TESTS_NET_NET_TEST_CLIENT_H_

@@ -260,6 +260,90 @@ TEST_F(ExporterServerTest, StopIsIdempotentAndDoublePortBindFails) {
   EXPECT_FALSE(exporter_->running());
 }
 
+/// Sends raw bytes to the exporter and returns the full response (the
+/// malformed-request tests speak broken HTTP on purpose).
+std::string RawRequest(uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The exporter inherits the NetServer request limits: a request line past
+// the bound is rejected with 431, not buffered without bound (the old
+// serial exporter accepted arbitrarily long request lines).
+TEST_F(ExporterServerTest, OversizedRequestLineRejectedWith431) {
+  const std::string target = "/" + std::string(10000, 'a');
+  const std::string response = RawRequest(
+      exporter_->port(), "GET " + target + " HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST_F(ExporterServerTest, OversizedHeaderBlockRejectedWith431) {
+  std::string request = "GET /healthz HTTP/1.0\r\n";
+  request += "X-Padding: " + std::string(20000, 'b') + "\r\n\r\n";
+  const std::string response = RawRequest(exporter_->port(), request);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST_F(ExporterServerTest, MalformedRequestLineRejectedWith400) {
+  const std::string response =
+      RawRequest(exporter_->port(), "COMPLETE GARBAGE\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+}
+
+TEST_F(ExporterServerTest, UnsupportedHttpVersionRejectedWith505) {
+  const std::string response =
+      RawRequest(exporter_->port(), "GET /healthz HTTP/2.0\r\n\r\n");
+  EXPECT_NE(response.find("505"), std::string::npos) << response;
+}
+
+TEST_F(ExporterServerTest, NonGetMethodsRejected) {
+  const std::string response = RawRequest(
+      exporter_->port(),
+      "PUT /metrics HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+}
+
+// The old exporter handled connections serially: an idle client blocked
+// every scrape behind it. The event-loop server must answer a scrape while
+// another connection sits open and silent.
+TEST_F(ExporterServerTest, ScrapesAreNotBlockedByAnIdleConnection) {
+  const int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // The idle connection sends nothing; the scrape must still answer.
+  const std::string response = HttpGet(exporter_->port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  ::close(idle);
+}
+
 TEST(ExporterSnapshotTest, PeriodicWriterAppendsValidJsonLines) {
   const std::string path =
       ::testing::TempDir() + "/tempspec_exporter_snapshot.jsonl";

@@ -17,25 +17,27 @@ namespace {
 
 using testing::JsonParser;
 
-TraceContext MakeSpan(const std::string& name) {
-  TraceContext trace;
-  trace.Begin(name);
-  trace.SetAttr("strategy", "full_scan");
-  trace.AddCounter("elements_examined", 7);
-  trace.End();
-  return trace;
+// TraceContext owns cancellation atomics, so it is neither copyable nor
+// movable: spans are built in place.
+void MakeSpan(const std::string& name, TraceContext* trace) {
+  trace->Begin(name);
+  trace->SetAttr("strategy", "full_scan");
+  trace->AddCounter("elements_examined", 7);
+  trace->End();
 }
 
 TEST(SlowQueryLogTest, ThresholdGatesRecording) {
   SlowQueryLog log(/*capacity=*/8);
   log.SetThresholdMicros(std::numeric_limits<uint64_t>::max());
-  TraceContext fast = MakeSpan("query.current");
+  TraceContext fast;
+  MakeSpan("query.current", &fast);
   log.Record(fast, "CURRENT samples");
   EXPECT_EQ(log.TotalRecorded(), 0u);
   EXPECT_TRUE(log.Entries().empty());
 
   log.SetThresholdMicros(0);  // record everything
-  TraceContext slow = MakeSpan("query.current");
+  TraceContext slow;
+  MakeSpan("query.current", &slow);
   log.Record(slow, "CURRENT samples");
   EXPECT_EQ(log.TotalRecorded(), 1u);
   ASSERT_EQ(log.Entries().size(), 1u);
@@ -47,7 +49,8 @@ TEST(SlowQueryLogTest, RingEvictsOldestAndKeepsSequence) {
   SlowQueryLog log(/*capacity=*/3);
   log.SetThresholdMicros(0);
   for (int i = 0; i < 5; ++i) {
-    TraceContext t = MakeSpan("query.current");
+    TraceContext t;
+    MakeSpan("query.current", &t);
     log.Record(t, "stmt " + std::to_string(i));
   }
   EXPECT_EQ(log.TotalRecorded(), 5u);
@@ -63,7 +66,8 @@ TEST(SlowQueryLogTest, ShrinkingCapacityDropsOldest) {
   SlowQueryLog log(/*capacity=*/4);
   log.SetThresholdMicros(0);
   for (int i = 0; i < 4; ++i) {
-    TraceContext t = MakeSpan("query.current");
+    TraceContext t;
+    MakeSpan("query.current", &t);
     log.Record(t, "stmt " + std::to_string(i));
   }
   log.SetCapacity(2);
@@ -81,7 +85,8 @@ TEST(SlowQueryLogTest, EntryAndSinkLinesAreValidJson) {
   // Statement with every character class JsonEscape must handle.
   const std::string nasty =
       "CURRENT \"weird\"\\name\twith\nnewline and caf\xC3\xA9 \x01control";
-  TraceContext t = MakeSpan("query.current");
+  TraceContext t;
+  MakeSpan("query.current", &t);
   log.Record(t, nasty);
 
   // The in-memory entry round-trips through the JSON parser.
@@ -104,7 +109,8 @@ TEST(SlowQueryLogTest, EntryAndSinkLinesAreValidJson) {
 TEST(SlowQueryLogTest, EntriesCarryTheTraceIdForJoiningRetainedSpans) {
   SlowQueryLog log(/*capacity=*/8);
   log.SetThresholdMicros(0);
-  TraceContext t = MakeSpan("query.current");
+  TraceContext t;
+  MakeSpan("query.current", &t);
   ASSERT_NE(t.trace_id(), 0u);
   log.Record(t, "CURRENT samples");
   ASSERT_EQ(log.Entries().size(), 1u);
@@ -121,7 +127,8 @@ TEST(SlowQueryLogTest, EntriesCarryTheTraceIdForJoiningRetainedSpans) {
 TEST(SlowQueryLogTest, ClearResetsRingAndSequence) {
   SlowQueryLog log(/*capacity=*/2);
   log.SetThresholdMicros(0);
-  TraceContext t = MakeSpan("query.current");
+  TraceContext t;
+  MakeSpan("query.current", &t);
   log.Record(t, "stmt");
   log.Clear();
   EXPECT_EQ(log.TotalRecorded(), 0u);

@@ -1,0 +1,156 @@
+// Deadline and cancellation semantics through the real executor: an armed
+// (or already-fired) deadline on the query's TraceContext must cut a long
+// scan at a morsel boundary — rows_scanned strictly below the relation's
+// population — and surface as Status::DeadlineExceeded, never as a quietly
+// truncated result set. This is the engine half of the server's per-query
+// deadline contract (net/server.h); the wire half lives in
+// tests/net/server_test.cc.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "catalog/query_lang.h"
+#include "catalog/query_service.h"
+#include "obs/trace.h"
+#include "testing.h"
+#include "timex/calendar.h"
+
+namespace tempspec {
+namespace {
+
+using testing::Civil;
+using namespace std::chrono_literals;
+
+constexpr int kPopulation = 20000;
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<LogicalClock>(Civil(1992, 2, 3, 10, 0),
+                                            Duration::Seconds(1));
+    RelationOptions base;
+    base.clock = clock_;
+    TemporalRelation* rel =
+        catalog_
+            .CreateRelationFromDdl(
+                "CREATE EVENT RELATION big (sensor INT64 KEY, v DOUBLE) "
+                "GRANULARITY 1s",
+                base)
+            .ValueOrDie();
+    for (int i = 0; i < kPopulation; ++i) {
+      ASSERT_OK(rel->InsertEvent(1, clock_->Peek(),
+                                 Tuple{int64_t{1}, 1.0 * i})
+                    .status());
+    }
+  }
+
+  Catalog catalog_;
+  std::shared_ptr<LogicalClock> clock_;
+};
+
+TEST_F(DeadlineTest, UnconstrainedScanRunsToCompletion) {
+  TraceContext trace;
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "CURRENT big", &trace));
+  EXPECT_EQ(out.elements.size(), static_cast<size_t>(kPopulation));
+  EXPECT_EQ(out.stats.scan_aborts, 0u);
+}
+
+TEST_F(DeadlineTest, FarDeadlineDoesNotFalselyCancel) {
+  TraceContext trace;
+  trace.ArmDeadlineAfterMicros(60ull * 1000 * 1000);
+  ASSERT_OK_AND_ASSIGN(QueryOutput out,
+                       ExecuteQuery(catalog_, "CURRENT big", &trace));
+  EXPECT_EQ(out.elements.size(), static_cast<size_t>(kPopulation));
+}
+
+TEST_F(DeadlineTest, ExpiredDeadlineAbortsTheScanMidFlight) {
+  // Deadline already in the past when the scan starts: the executor must
+  // notice at the first morsel boundary it reaches, abandon the remaining
+  // morsels, and report DeadlineExceeded — with strictly fewer rows scanned
+  // than the relation holds, proving the scan did not run to completion.
+  TraceContext trace;
+  trace.ArmDeadlineAfterMicros(1);
+  while (!trace.CancellationRequested()) {
+    std::this_thread::sleep_for(100us);
+  }
+  const Status status = ExecuteQuery(catalog_, "CURRENT big", &trace).status();
+  ASSERT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_GT(trace.counter("scan_aborts"), 0u);
+  EXPECT_LT(trace.counter("rows_scanned"), static_cast<uint64_t>(kPopulation));
+  EXPECT_EQ(trace.attr("cancelled"), "true");
+}
+
+TEST_F(DeadlineTest, ExplicitCancelAbortsTheScan) {
+  TraceContext trace;
+  trace.RequestCancel();
+  const Status status = ExecuteQuery(catalog_, "CURRENT big", &trace).status();
+  ASSERT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_LT(trace.counter("rows_scanned"), static_cast<uint64_t>(kPopulation));
+}
+
+TEST_F(DeadlineTest, CancelFromAnotherThreadMidScan) {
+  // The server's actual shape: the event loop cancels from a different
+  // thread while a worker executes. Repeated scans race against a cancel
+  // landing at an arbitrary point; whatever the interleaving, the outcome
+  // must be either a complete result or a clean DeadlineExceeded — and once
+  // the flag is up, the next scan must abort.
+  TraceContext trace;
+  std::atomic<bool> go{false};
+  std::thread canceller([&] {
+    while (!go.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(200us);
+    trace.RequestCancel();
+  });
+  go.store(true);
+  Status last = Status::OK();
+  // Bounded: the cancel lands within a few hundred micros, each scan takes
+  // a bounded time, so a handful of iterations always suffices.
+  for (int i = 0; i < 1000 && !trace.CancellationRequested(); ++i) {
+    last = ExecuteQuery(catalog_, "CURRENT big", &trace).status();
+    if (!last.ok()) break;
+  }
+  canceller.join();
+  const Status after = ExecuteQuery(catalog_, "CURRENT big", &trace).status();
+  ASSERT_TRUE(after.IsDeadlineExceeded()) << after.ToString();
+  if (!last.ok()) {
+    EXPECT_TRUE(last.IsDeadlineExceeded()) << last.ToString();
+  }
+}
+
+TEST_F(DeadlineTest, QueryServiceSurfacesCancellation) {
+  // Same contract one layer up, through the daemon's execution path.
+  QueryServiceOptions options;  // in-memory
+  QueryService service(options);
+  ASSERT_OK(service.Open());
+  ASSERT_OK(service
+                .Execute(
+                    "CREATE EVENT RELATION svc (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1s",
+                    nullptr)
+                .status());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(service
+                  .Execute("INSERT INTO svc OBJECT 1 VALUES (1, " +
+                               std::to_string(i) +
+                               ".0) VALID AT '1992-02-03 10:00:00'",
+                           nullptr)
+                  .status());
+  }
+  TraceContext ok_trace;
+  ASSERT_OK_AND_ASSIGN(std::string report,
+                       service.Execute("CURRENT svc", &ok_trace));
+  EXPECT_NE(report.find("500 element(s)"), std::string::npos) << report;
+
+  TraceContext cancelled;
+  cancelled.RequestCancel();
+  const Status status = service.Execute("CURRENT svc", &cancelled).status();
+  ASSERT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace tempspec
