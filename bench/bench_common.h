@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "percentile.h"
 #include "query/executor.h"
 #include "spec/inference.h"
 #include "workload/workloads.h"

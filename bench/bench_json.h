@@ -24,7 +24,6 @@
 #ifndef TEMPSPEC_BENCH_BENCH_JSON_H_
 #define TEMPSPEC_BENCH_BENCH_JSON_H_
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -34,6 +33,7 @@
 
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "percentile.h"
 #include "util/thread_pool.h"
 
 namespace tempspec {
@@ -48,15 +48,6 @@ struct BenchResult {
   double real_time_ns_p99 = 0;
   std::map<std::string, double> counters;
 };
-
-/// \brief Upper-index percentile over a sorted sample (nearest-rank).
-inline double SamplePercentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const size_t idx = static_cast<size_t>(rank + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 inline std::string FormatDouble(double v) {
   char buf[64];

@@ -1,0 +1,35 @@
+// The one percentile implementation shared by everything that reports
+// latency distributions: the bench binaries' --json capture
+// (bench_common.h / bench_json.h), bench_p3_server's latency counters, and
+// the traffic simulator's per-tenant SLO tracking (tools/tempspec_simulate).
+// Header-only and dependency-free on purpose — tests include it without
+// linking google-benchmark or the engine.
+//
+// Semantics: nearest-rank on the sorted sample with round-half-up on the
+// fractional rank p * (n - 1). Edge cases are total, not UB: an empty
+// sample yields 0, a single sample is every percentile of itself, and tied
+// values behave like any other values (ranks index the sorted multiset).
+#ifndef TEMPSPEC_BENCH_PERCENTILE_H_
+#define TEMPSPEC_BENCH_PERCENTILE_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace tempspec {
+namespace bench {
+
+/// \brief Upper-index percentile over a sample (nearest-rank). Takes the
+/// sample by value and sorts it; callers keep their own copy when they need
+/// insertion order preserved.
+inline double SamplePercentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace bench
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_BENCH_PERCENTILE_H_

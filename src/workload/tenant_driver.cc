@@ -1,0 +1,396 @@
+#include "workload/tenant_driver.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+
+#include "timex/calendar.h"
+
+namespace tempspec {
+
+namespace {
+
+constexpr int64_t kSec = 1000000;
+constexpr int64_t kMin = 60 * kSec;
+constexpr int64_t kHour = 60 * kMin;
+constexpr int64_t kDay = 24 * kHour;
+constexpr int64_t kWeek = 7 * kDay;
+
+// Assignments start two days past the epoch so vt_begin stays ahead of the
+// relation clock (one tick per mutation from the epoch) for any plausible
+// run length — VT_BEGIN PREDICTIVE requires vt_begin >= tt.
+constexpr int64_t kAssignmentBase = 2 * kDay;
+constexpr uint64_t kEmployees = 8;
+constexpr uint64_t kObjects = 16;
+
+// Every third orders write is a delete of a previously acked order.
+constexpr uint64_t kDeleteEvery = 3;
+
+}  // namespace
+
+TenantDriver::TenantDriver(const TenantOptions& options, SimEndpoint* endpoint)
+    : options_(options),
+      endpoint_(endpoint),
+      client_([&] {
+        ClientOptions c;
+        c.host = endpoint->host;
+        c.protocol = options.protocol;
+        return c;
+      }()),
+      rng_(options.seed),
+      employee_weeks_(kEmployees + 1, 0) {
+  report_.relation = ScenarioRelationName(options_.scenario);
+  report_.application = ScenarioApplication(options_.scenario);
+}
+
+std::string TenantDriver::CreateStatement(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kProcessMonitoring:
+      return "CREATE EVENT RELATION plant_temperatures (sensor INT64 KEY, "
+             "celsius DOUBLE) GRANULARITY 1s WITH DELAYED RETROACTIVE 1min, "
+             "RETROACTIVELY BOUNDED 2h";
+    case Scenario::kDegenerateMonitoring:
+      return "CREATE EVENT RELATION reactor_samples (sensor INT64 KEY, "
+             "level DOUBLE) GRANULARITY 1d WITH DEGENERATE";
+    case Scenario::kPayroll:
+      return "CREATE EVENT RELATION payroll_deposits (employee INT64 KEY, "
+             "amount DOUBLE) GRANULARITY 1s WITH EARLY STRONGLY PREDICTIVELY "
+             "BOUNDED 3d 7d";
+    case Scenario::kAssignments:
+      return "CREATE INTERVAL RELATION assignments (employee INT64 KEY, "
+             "project STRING) GRANULARITY 1h WITH VT_BEGIN PREDICTIVE, "
+             "STRICT VALID INTERVAL REGULAR 1w, CONTIGUOUS PER SURROGATE";
+    case Scenario::kAccounting:
+      return "CREATE EVENT RELATION ledger (account INT64 KEY, "
+             "amount DOUBLE) GRANULARITY 1s WITH STRONGLY BOUNDED 5d 2d";
+    case Scenario::kOrders:
+      return "CREATE EVENT RELATION orders (customer INT64 KEY, "
+             "total DOUBLE) GRANULARITY 1s WITH PREDICTIVELY BOUNDED 30d";
+    case Scenario::kArchaeology:
+      return "CREATE INTERVAL RELATION strata (square INT64 KEY, "
+             "depth DOUBLE) GRANULARITY 1h WITH NONINCREASING";
+    case Scenario::kGeneral:
+      return "CREATE EVENT RELATION general_events (id INT64 KEY, "
+             "v DOUBLE) GRANULARITY 1s";
+  }
+  return "";
+}
+
+std::string TenantDriver::FmtTime(int64_t micros) const {
+  return "'" + FormatTimePoint(TimePoint::FromMicros(micros)) + "'";
+}
+
+std::string TenantDriver::NextWriteStatement(bool* is_delete) {
+  *is_delete = false;
+  const std::string rel = report_.relation;
+  // Upper bound on the stamp the engine will assign this mutation.
+  const int64_t tt = static_cast<int64_t>(ticks_) * kSec;
+  const uint64_t object = static_cast<uint64_t>(rng_.Uniform(1, kObjects));
+  char value[32];
+  std::snprintf(value, sizeof(value), "%.2f", 10.0 + rng_.NextDouble() * 80.0);
+  ++write_index_;
+
+  switch (options_.scenario) {
+    case Scenario::kProcessMonitoring: {
+      // Transmission delay well inside [1min, 2h]: margin absorbs any
+      // prediction drift.
+      const int64_t delay = rng_.Uniform(300, 3600) * kSec;
+      probe_us_ = tt - delay;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+    case Scenario::kDegenerateMonitoring: {
+      // Same chronon as the stamp at 1d granularity: the stamp's day start.
+      probe_us_ = (tt / kDay) * kDay;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+    case Scenario::kPayroll: {
+      const int64_t lead = rng_.Uniform(3 * 86400 + 7200, 7 * 86400 - 7200);
+      probe_us_ = tt + lead * kSec;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+    case Scenario::kAssignments: {
+      // Round-robin employees; each employee's weeks are consecutive, so
+      // per-surrogate intervals stay contiguous and exactly one week long.
+      next_employee_ = next_employee_ % kEmployees + 1;
+      const uint64_t week = employee_weeks_[next_employee_]++;
+      const int64_t begin =
+          kAssignmentBase + static_cast<int64_t>(week) * kWeek;
+      probe_us_ = begin;
+      return "INSERT INTO " + rel + " OBJECT " +
+             std::to_string(next_employee_) + " VALUES (" +
+             std::to_string(next_employee_) + ", 'project-" +
+             std::to_string(week % 5) + "') VALID FROM " + FmtTime(begin) +
+             " TO " + FmtTime(begin + kWeek);
+    }
+    case Scenario::kAccounting: {
+      int64_t offset;
+      if (drifting()) {
+        // Hostile: a month past the declared 2-day predictive bound.
+        offset = 30 * 86400;
+      } else {
+        offset = rng_.Uniform(-5 * 86400 + 7200, 2 * 86400 - 7200);
+      }
+      probe_us_ = tt + offset * kSec;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+    case Scenario::kOrders: {
+      if (write_index_ % kDeleteEvery == 0 && !pending_order_ids_.empty()) {
+        *is_delete = true;
+        const uint64_t id = pending_order_ids_.front();
+        pending_order_ids_.erase(pending_order_ids_.begin());
+        return "DELETE FROM " + rel + " WHERE ID " + std::to_string(id);
+      }
+      const int64_t offset = rng_.Uniform(-60 * 86400, 30 * 86400 - 7200);
+      probe_us_ = tt + offset * kSec;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+    case Scenario::kArchaeology: {
+      // Excavation reaches progressively earlier one-hour layers; interval
+      // begins are strictly decreasing (pre-epoch instants are fine).
+      const int64_t layer = static_cast<int64_t>(strata_layer_++);
+      const int64_t begin = -(layer + 1) * kHour;
+      probe_us_ = begin;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID FROM " + FmtTime(begin) + " TO " +
+             FmtTime(begin + kHour);
+    }
+    case Scenario::kGeneral: {
+      const int64_t offset = rng_.Uniform(-7200, 7200);
+      probe_us_ = tt + offset * kSec;
+      return "INSERT INTO " + rel + " OBJECT " + std::to_string(object) +
+             " VALUES (" + std::to_string(object) + ", " + value +
+             ") VALID AT " + FmtTime(probe_us_);
+    }
+  }
+  return "CURRENT " + rel;
+}
+
+std::string TenantDriver::NextReadStatement() {
+  const std::string rel = report_.relation;
+  switch (read_index_++ % 3) {
+    case 0:
+      return "CURRENT " + rel;
+    case 1:
+      return "TIMESLICE " + rel + " AT " + FmtTime(probe_us_);
+    default:
+      return "RANGE " + rel + " FROM " + FmtTime(probe_us_ - kDay) + " TO " +
+             FmtTime(probe_us_ + kDay);
+  }
+}
+
+bool TenantDriver::EnsureConnected() {
+  while (!endpoint_->stop.load(std::memory_order_relaxed)) {
+    const uint64_t generation =
+        endpoint_->generation.load(std::memory_order_acquire);
+    if (client_.connected() && generation == connected_generation_) {
+      return true;
+    }
+    const int port = endpoint_->port.load(std::memory_order_acquire);
+    if (port > 0 &&
+        client_.Connect(static_cast<uint16_t>(port)).ok()) {
+      connected_generation_ = generation;
+      if (ever_connected_) ++report_.reconnects;
+      ever_connected_ = true;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+void TenantDriver::RecordWrite(const WireReply& reply, bool is_delete) {
+  switch (reply.outcome) {
+    case WireOutcome::kOk:
+      ++ticks_;
+      ++report_.requests_counted;
+      if (is_delete) {
+        ++report_.acked_deletes;
+      } else {
+        ++report_.acked_inserts;
+        if (options_.scenario == Scenario::kOrders) {
+          unsigned long long id = 0;
+          if (std::sscanf(reply.body.c_str(), "inserted element %llu", &id) ==
+              1) {
+            pending_order_ids_.push_back(id);
+          }
+        }
+      }
+      break;
+    case WireOutcome::kClientError:
+      // The statement reached the engine and was refused there — the
+      // relation clock still ticked.
+      ++ticks_;
+      ++report_.requests_counted;
+      ++report_.constraint_rejections;
+      if (drifting()) {
+        ++report_.drift_rejections;
+        drift_rejections_observed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case WireOutcome::kDeadline:
+      // Dispatched (so counted by the server) but its effect is unknown.
+      ++ticks_;
+      ++report_.requests_counted;
+      ++report_.deadline_exceeded;
+      if (is_delete) {
+        ++report_.ambiguous_deletes;
+      } else {
+        ++report_.ambiguous_inserts;
+      }
+      break;
+    case WireOutcome::kServerError:
+      ++ticks_;
+      ++report_.requests_counted;
+      ++report_.server_errors;
+      if (is_delete) {
+        ++report_.ambiguous_deletes;
+      } else {
+        ++report_.ambiguous_inserts;
+      }
+      break;
+    case WireOutcome::kTransport:
+      // The send may never have arrived, or the reply may have been lost
+      // after execution: ambiguous for both the element count and the
+      // server's request counter.
+      ++ticks_;
+      ++report_.transport_errors;
+      if (is_delete) {
+        ++report_.ambiguous_deletes;
+      } else {
+        ++report_.ambiguous_inserts;
+      }
+      break;
+    case WireOutcome::kRejected:
+      // Handled by the retry loop in Run; only the final give-up lands here.
+      ++report_.admission_rejections;
+      break;
+  }
+}
+
+void TenantDriver::RecordRead(const WireReply& reply) {
+  switch (reply.outcome) {
+    case WireOutcome::kOk:
+      ++report_.reads_ok;
+      ++report_.requests_counted;
+      break;
+    case WireOutcome::kClientError:
+    case WireOutcome::kServerError:
+      ++report_.read_errors;
+      ++report_.requests_counted;
+      break;
+    case WireOutcome::kDeadline:
+      ++report_.deadline_exceeded;
+      ++report_.read_errors;
+      ++report_.requests_counted;
+      break;
+    case WireOutcome::kTransport:
+      ++report_.transport_errors;
+      break;
+    case WireOutcome::kRejected:
+      ++report_.admission_rejections;
+      break;
+  }
+}
+
+void TenantDriver::Run() {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  uint64_t op_index = 0;
+  const int ops_per_cycle = options_.reads_per_write + 1;
+
+  while (!endpoint_->stop.load(std::memory_order_relaxed)) {
+    if (options_.max_ops > 0 && op_index >= options_.max_ops) break;
+    if (!EnsureConnected()) break;
+
+    // Paced (open-loop style) arrival: each op has a fixed slot on the
+    // schedule; if the server is slow we run behind and latency — measured
+    // from the slot — grows, instead of the arrival rate quietly dropping.
+    Clock::time_point arrival = Clock::now();
+    if (options_.paced_rate_per_s > 0) {
+      const auto slot =
+          start + std::chrono::microseconds(static_cast<int64_t>(
+                      static_cast<double>(op_index) * 1e6 /
+                      options_.paced_rate_per_s));
+      if (slot > arrival) {
+        std::this_thread::sleep_until(slot);
+      }
+      arrival = slot;
+    }
+
+    if (options_.drift_after_ops > 0 && op_index >= options_.drift_after_ops) {
+      drift_.store(true, std::memory_order_relaxed);
+    }
+    const bool is_write = op_index % ops_per_cycle == 0;
+    bool is_delete = false;
+    const std::string statement = is_write
+                                      ? NextWriteStatement(&is_delete)
+                                      : NextReadStatement();
+
+    const Clock::time_point sent = Clock::now();
+    WireReply reply = client_.Execute(statement, options_.deadline_ms);
+    while (reply.outcome == WireOutcome::kRejected &&
+           !endpoint_->stop.load(std::memory_order_relaxed)) {
+      // Admission rejections provably never executed: retry the identical
+      // statement (the predicted stamp is unchanged).
+      ++report_.admission_rejections;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      reply = client_.Execute(statement, options_.deadline_ms);
+    }
+    const Clock::time_point done = Clock::now();
+
+    if (reply.outcome == WireOutcome::kRejected) {
+      // Only reachable when the run was stopped mid-retry.
+      ++report_.admission_rejections;
+    } else {
+      const Clock::time_point measured_from =
+          options_.paced_rate_per_s > 0 ? arrival : sent;
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                               measured_from)
+              .count());
+      if (reply.outcome != WireOutcome::kTransport) {
+        (is_write ? report_.write_latency_ns : report_.read_latency_ns)
+            .push_back(ns);
+      }
+      if (is_write) {
+        RecordWrite(reply, is_delete);
+      } else {
+        RecordRead(reply);
+      }
+    }
+    ++op_index;
+    ops_completed_.store(op_index, std::memory_order_relaxed);
+
+    if (options_.think_time_us > 0 && options_.paced_rate_per_s <= 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.think_time_us));
+    }
+  }
+  client_.Close();
+}
+
+uint64_t TenantDriver::MinLiveElements() const {
+  const uint64_t inserted = report_.acked_inserts;
+  const uint64_t removed = report_.acked_deletes + report_.ambiguous_deletes;
+  return inserted > removed ? inserted - removed : 0;
+}
+
+uint64_t TenantDriver::MaxLiveElements() const {
+  const uint64_t inserted = report_.acked_inserts + report_.ambiguous_inserts;
+  const uint64_t removed = report_.acked_deletes;
+  return inserted > removed ? inserted - removed : 0;
+}
+
+}  // namespace tempspec

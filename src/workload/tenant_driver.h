@@ -1,0 +1,194 @@
+// Closed-loop tenant drivers for the production traffic simulator
+// (tools/tempspec_simulate).
+//
+// Each TenantDriver owns one connection to a live tempspec_serve daemon and
+// plays one of the paper's seven applications against its own relation,
+// generating statements that respect the relation's *declared* temporal
+// specialization — so a healthy run produces zero constraint rejections and
+// the specializations stay CONFORMING end to end. The ledger tenant can be
+// flipped into hostile mode mid-run (StartDrift), after which its writes
+// violate the declared STRONGLY BOUNDED band on purpose: the drift monitor
+// must flip the relation to DRIFTED and the optimizer must stop trusting the
+// declaration.
+//
+// Transaction-time prediction. The server stamps each relation's mutations
+// from a per-relation LogicalClock that starts at the epoch and advances one
+// second per mutation that reaches the engine (admission rejections never
+// reach it; engine-side constraint rejections and deletes do). Each driver
+// is the only writer of its relation, so it mirrors that clock with a local
+// tick counter and derives valid times from the predicted stamp. The
+// prediction is an upper bound — ambiguous outcomes (deadline, transport)
+// and crash-recovery clock shifts can make the real stamp trail it by a few
+// seconds — so every generated offset keeps a >= 2 hour margin inside its
+// declared band, far wider than any achievable drift of the prediction.
+//
+// Reconciliation. The driver classifies every reply and exposes bounds the
+// simulator checks after the run:
+//   - live element count: acked inserts/deletes give exact bounds, widened
+//     only by ambiguous writes (a deadline or connection loss after the
+//     statement may or may not have executed);
+//   - server.requests: every non-rejected reply the driver received was
+//     counted by the server, so client totals must match the scraped
+//     metrics exactly, widened only by transport-ambiguous sends.
+#ifndef TEMPSPEC_WORKLOAD_TENANT_DRIVER_H_
+#define TEMPSPEC_WORKLOAD_TENANT_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "util/random.h"
+#include "workload/workloads.h"
+
+namespace tempspec {
+
+/// \brief Shared server coordinates, mutated by the simulator's daemon
+/// controller and polled by every tenant. `port` is 0 while the daemon is
+/// down (crash window); `generation` is bumped on every (re)start so drivers
+/// know a reconnect is due even if the new port happens to match.
+struct SimEndpoint {
+  std::string host = "127.0.0.1";
+  std::atomic<int> port{0};
+  std::atomic<uint64_t> generation{0};
+  std::atomic<bool> stop{false};
+};
+
+struct TenantOptions {
+  Scenario scenario = Scenario::kProcessMonitoring;
+  ClientProtocol protocol = ClientProtocol::kHttp;
+  uint64_t seed = 1;
+  /// Per-statement deadline budget sent on the wire (0 = server default).
+  uint64_t deadline_ms = 5000;
+  /// Closed-loop read/write mix: this many reads follow each write.
+  int reads_per_write = 3;
+  /// Closed-loop think time between operations (0 = tight loop).
+  int think_time_us = 0;
+  /// When > 0, arrivals are paced at this rate from a fixed schedule and
+  /// latency is measured from the *scheduled* instant (open-loop style:
+  /// queueing delay behind a slow server counts against the SLO instead of
+  /// being absorbed by coordinated omission).
+  double paced_rate_per_s = 0;
+  /// Stop after this many operations (0 = run until SimEndpoint::stop).
+  uint64_t max_ops = 0;
+  /// Deterministic drift trigger: start violating the declared band at this
+  /// operation index (0 = only via StartDrift). Used by op-capped simulator
+  /// runs, where a wall-clock trigger could miss a fast tenant entirely.
+  uint64_t drift_after_ops = 0;
+};
+
+/// \brief Everything a tenant learned from its run. Plain data; read it
+/// after the driver thread is joined.
+struct TenantReport {
+  std::string relation;
+  std::string application;
+
+  uint64_t acked_inserts = 0;
+  uint64_t acked_deletes = 0;
+  uint64_t reads_ok = 0;
+  uint64_t read_errors = 0;
+  /// Engine-side constraint rejections. Zero for a conforming tenant; the
+  /// drift tenant accumulates these on purpose after StartDrift.
+  uint64_t constraint_rejections = 0;
+  /// The subset of constraint_rejections observed while drifting.
+  uint64_t drift_rejections = 0;
+  /// Admission-control rejections (all retried; the statement never reached
+  /// the engine).
+  uint64_t admission_rejections = 0;
+  /// Writes whose fate is unknown: deadline expiries and connection losses
+  /// after the send. They widen the reconciliation bounds.
+  uint64_t ambiguous_inserts = 0;
+  uint64_t ambiguous_deletes = 0;
+  uint64_t transport_errors = 0;
+  uint64_t server_errors = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t reconnects = 0;
+  /// Replies received that the server must have counted in server.requests
+  /// (everything except admission rejections and transport failures).
+  uint64_t requests_counted = 0;
+
+  std::vector<double> write_latency_ns;
+  std::vector<double> read_latency_ns;
+};
+
+class TenantDriver {
+ public:
+  TenantDriver(const TenantOptions& options, SimEndpoint* endpoint);
+
+  /// \brief The live CREATE statement for the scenario's relation: the
+  /// declared specializations the driver's traffic is generated to honor.
+  /// (The archaeology tenant declares NONINCREASING only and the payroll
+  /// tenant omits valid regularity — the wire declaration is intentionally
+  /// the strongest set this driver can keep conforming.)
+  static std::string CreateStatement(Scenario scenario);
+
+  /// \brief Runs the closed loop until SimEndpoint::stop (or max_ops).
+  /// Blocking; call on a dedicated thread.
+  void Run();
+
+  /// \brief Hostile-scenario hook: from the next write on, generate valid
+  /// times far outside the declared band. Thread-safe.
+  void StartDrift() { drift_.store(true, std::memory_order_relaxed); }
+  bool drifting() const { return drift_.load(std::memory_order_relaxed); }
+
+  const TenantOptions& options() const { return options_; }
+  const TenantReport& report() const { return report_; }
+
+  /// \brief Operations completed so far (reads + writes, including retries'
+  /// final outcome). Safe to poll from other threads while Run is live —
+  /// the simulator paces its scenario timeline off this in capped runs.
+  uint64_t ops_completed() const {
+    return ops_completed_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Drifted writes the engine has rejected so far; pollable while
+  /// Run is live. The simulator asserts the DRIFTED flip as soon as this is
+  /// nonzero — drift-monitor state is in-memory, so waiting until after a
+  /// crash scenario would see it legitimately reset by WAL replay (rejected
+  /// writes are never persisted).
+  uint64_t drift_rejections_observed() const {
+    return drift_rejections_observed_.load(std::memory_order_relaxed);
+  }
+
+  // Reconciliation bounds on CURRENT <relation> after the run.
+  uint64_t MinLiveElements() const;
+  uint64_t MaxLiveElements() const;
+
+ private:
+  bool EnsureConnected();
+  std::string NextWriteStatement(bool* is_delete);
+  std::string NextReadStatement();
+  void RecordWrite(const WireReply& reply, bool is_delete);
+  void RecordRead(const WireReply& reply);
+  std::string FmtTime(int64_t micros) const;
+
+  TenantOptions options_;
+  SimEndpoint* endpoint_;
+  QueryClient client_;
+  Random rng_;
+  std::atomic<bool> drift_{false};
+  std::atomic<uint64_t> ops_completed_{0};
+  std::atomic<uint64_t> drift_rejections_observed_{0};
+
+  /// Mutations predicted to have reached the engine (clock upper bound).
+  uint64_t ticks_ = 0;
+  uint64_t write_index_ = 0;
+  uint64_t read_index_ = 0;
+  uint64_t connected_generation_ = 0;
+  bool ever_connected_ = false;
+  /// Valid-time probe for reads: tracks the last planned valid instant.
+  int64_t probe_us_ = 0;
+
+  // Scenario-local generation state.
+  uint64_t next_employee_ = 0;
+  std::vector<uint64_t> employee_weeks_;
+  uint64_t strata_layer_ = 0;
+  std::vector<uint64_t> pending_order_ids_;
+
+  TenantReport report_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_WORKLOAD_TENANT_DRIVER_H_

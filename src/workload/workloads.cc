@@ -1,6 +1,7 @@
 #include "workload/workloads.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "timex/calendar.h"
@@ -12,20 +13,26 @@ namespace {
 // All scenarios play out in the paper's publication year.
 TimePoint Epoch() { return FromCivil(CivilDateTime{1992, 1, 1, 0, 0, 0, 0}); }
 
-struct PlannedInsert {
-  TimePoint tt;
-  ValidTime valid;
-  ObjectSurrogate object;
-  Tuple attributes;
-};
+// Canonical knobs for the scenarios whose specific entry points take extra
+// parameters; the unified Scenario surface uses these.
+constexpr int64_t kMonitoringMinDelaySecs = 30;
+constexpr int64_t kMonitoringMaxDelaySecs = 120;
+constexpr int64_t kMonitoringSampleSecs = 60;
+constexpr int64_t kDegenerateSampleSecs = 10;
+constexpr int64_t kGeneralSpreadHours = 2;
+
+// The apply/render order: transaction time, stable on planning order.
+void SortByTransactionTime(std::vector<PlannedInsert>* ops) {
+  std::stable_sort(ops->begin(), ops->end(),
+                   [](const PlannedInsert& a, const PlannedInsert& b) {
+                     return a.tt < b.tt;
+                   });
+}
 
 // Applies planned inserts in transaction-time order, steering the scenario's
 // logical clock so each element is stored at its planned instant.
 Status Apply(std::vector<PlannedInsert> ops, ScenarioRelation* scenario) {
-  std::stable_sort(ops.begin(), ops.end(),
-                   [](const PlannedInsert& a, const PlannedInsert& b) {
-                     return a.tt < b.tt;
-                   });
+  SortByTransactionTime(&ops);
   for (auto& op : ops) {
     scenario->clock->SetTo(op.tt);
     TS_RETURN_NOT_OK(scenario->relation
@@ -81,9 +88,11 @@ Result<ScenarioRelation> MakeProcessMonitoring(const WorkloadConfig& config,
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateProcessMonitoring(const WorkloadConfig& config, Duration min_delay,
-                                 Duration max_delay, Duration sample_every,
-                                 ScenarioRelation* scenario) {
+namespace {
+
+Result<std::vector<PlannedInsert>> PlanProcessMonitoring(
+    const WorkloadConfig& config, Duration min_delay, Duration max_delay,
+    Duration sample_every) {
   Random rng(config.seed);
   const int64_t min_us = min_delay.micros();
   const int64_t max_us = max_delay.micros();
@@ -110,6 +119,17 @@ Status GenerateProcessMonitoring(const WorkloadConfig& config, Duration min_dela
       ops.push_back(std::move(op));
     }
   }
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateProcessMonitoring(const WorkloadConfig& config, Duration min_delay,
+                                 Duration max_delay, Duration sample_every,
+                                 ScenarioRelation* scenario) {
+  TS_ASSIGN_OR_RETURN(
+      std::vector<PlannedInsert> ops,
+      PlanProcessMonitoring(config, min_delay, max_delay, sample_every));
   return Apply(std::move(ops), scenario);
 }
 
@@ -130,9 +150,10 @@ Result<ScenarioRelation> MakeDegenerateMonitoring(const WorkloadConfig& config,
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateDegenerateMonitoring(const WorkloadConfig& config,
-                                    Duration sample_every,
-                                    ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanDegenerateMonitoring(const WorkloadConfig& config,
+                                                    Duration sample_every) {
   Random rng(config.seed);
   const size_t total = config.num_objects * config.ops_per_object;
   std::vector<PlannedInsert> ops;
@@ -147,7 +168,15 @@ Status GenerateDegenerateMonitoring(const WorkloadConfig& config,
                           300.0 + rng.Gaussian(0.0, 2.0)};
     ops.push_back(std::move(op));
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateDegenerateMonitoring(const WorkloadConfig& config,
+                                    Duration sample_every,
+                                    ScenarioRelation* scenario) {
+  return Apply(PlanDegenerateMonitoring(config, sample_every), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -177,7 +206,9 @@ Result<ScenarioRelation> MakePayroll(const WorkloadConfig& config) {
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GeneratePayroll(const WorkloadConfig& config, ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanPayroll(const WorkloadConfig& config) {
   Random rng(config.seed);
   std::vector<PlannedInsert> ops;
   ops.reserve(config.num_objects * config.ops_per_object);
@@ -198,7 +229,13 @@ Status GeneratePayroll(const WorkloadConfig& config, ScenarioRelation* scenario)
       ops.push_back(std::move(op));
     }
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GeneratePayroll(const WorkloadConfig& config, ScenarioRelation* scenario) {
+  return Apply(PlanPayroll(config), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -232,8 +269,9 @@ Result<ScenarioRelation> MakeAssignments(const WorkloadConfig& config) {
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateAssignments(const WorkloadConfig& config,
-                           ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanAssignments(const WorkloadConfig& config) {
   Random rng(config.seed);
   static const char* kProjects[] = {"apollo", "borealis", "castor", "deimos"};
   std::vector<PlannedInsert> ops;
@@ -254,7 +292,14 @@ Status GenerateAssignments(const WorkloadConfig& config,
       ops.push_back(std::move(op));
     }
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateAssignments(const WorkloadConfig& config,
+                           ScenarioRelation* scenario) {
+  return Apply(PlanAssignments(config), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -278,8 +323,9 @@ Result<ScenarioRelation> MakeAccounting(const WorkloadConfig& config) {
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateAccounting(const WorkloadConfig& config,
-                          ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanAccounting(const WorkloadConfig& config) {
   Random rng(config.seed);
   std::vector<PlannedInsert> ops;
   const size_t total = config.num_objects * config.ops_per_object;
@@ -296,7 +342,14 @@ Status GenerateAccounting(const WorkloadConfig& config,
                           rng.Gaussian(0.0, 100.0)};
     ops.push_back(std::move(op));
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateAccounting(const WorkloadConfig& config,
+                          ScenarioRelation* scenario) {
+  return Apply(PlanAccounting(config), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -320,7 +373,9 @@ Result<ScenarioRelation> MakeOrders(const WorkloadConfig& config) {
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateOrders(const WorkloadConfig& config, ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanOrders(const WorkloadConfig& config) {
   Random rng(config.seed);
   std::vector<PlannedInsert> ops;
   const size_t total = config.num_objects * config.ops_per_object;
@@ -339,7 +394,13 @@ Status GenerateOrders(const WorkloadConfig& config, ScenarioRelation* scenario) 
         Tuple{static_cast<int64_t>(i % config.num_objects), rng.Uniform(1, 500)};
     ops.push_back(std::move(op));
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateOrders(const WorkloadConfig& config, ScenarioRelation* scenario) {
+  return Apply(PlanOrders(config), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -366,8 +427,9 @@ Result<ScenarioRelation> MakeArchaeology(const WorkloadConfig& config) {
   return OpenScenario(config, schema, std::move(specs));
 }
 
-Status GenerateArchaeology(const WorkloadConfig& config,
-                           ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanArchaeology(const WorkloadConfig& config) {
   Random rng(config.seed);
   std::vector<PlannedInsert> ops;
   const size_t total = config.num_objects * config.ops_per_object;
@@ -386,7 +448,14 @@ Status GenerateArchaeology(const WorkloadConfig& config,
     ops.push_back(std::move(op));
     layer_end = layer_begin;
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateArchaeology(const WorkloadConfig& config,
+                           ScenarioRelation* scenario) {
+  return Apply(PlanArchaeology(config), scenario);
 }
 
 // ---------------------------------------------------------------------------
@@ -398,8 +467,10 @@ Result<ScenarioRelation> MakeGeneral(const WorkloadConfig& config) {
   return OpenScenario(config, schema, SpecializationSet());
 }
 
-Status GenerateGeneral(const WorkloadConfig& config, Duration spread,
-                       ScenarioRelation* scenario) {
+namespace {
+
+std::vector<PlannedInsert> PlanGeneral(const WorkloadConfig& config,
+                                       Duration spread) {
   Random rng(config.seed);
   std::vector<PlannedInsert> ops;
   const size_t total = config.num_objects * config.ops_per_object;
@@ -415,7 +486,182 @@ Status GenerateGeneral(const WorkloadConfig& config, Duration spread,
                           rng.Gaussian(0.0, 1.0)};
     ops.push_back(std::move(op));
   }
-  return Apply(std::move(ops), scenario);
+  return ops;
+}
+
+}  // namespace
+
+Status GenerateGeneral(const WorkloadConfig& config, Duration spread,
+                       ScenarioRelation* scenario) {
+  return Apply(PlanGeneral(config, spread), scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Unified scenario surface.
+// ---------------------------------------------------------------------------
+
+const std::vector<Scenario>& SevenScenarios() {
+  static const std::vector<Scenario> kSeven = {
+      Scenario::kProcessMonitoring, Scenario::kDegenerateMonitoring,
+      Scenario::kPayroll,           Scenario::kAssignments,
+      Scenario::kAccounting,        Scenario::kOrders,
+      Scenario::kArchaeology,
+  };
+  return kSeven;
+}
+
+const std::vector<Scenario>& AllScenarios() {
+  static const std::vector<Scenario> kAll = [] {
+    std::vector<Scenario> all = SevenScenarios();
+    all.push_back(Scenario::kGeneral);
+    return all;
+  }();
+  return kAll;
+}
+
+const char* ScenarioRelationName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kProcessMonitoring: return "plant_temperatures";
+    case Scenario::kDegenerateMonitoring: return "reactor_samples";
+    case Scenario::kPayroll: return "payroll_deposits";
+    case Scenario::kAssignments: return "assignments";
+    case Scenario::kAccounting: return "ledger";
+    case Scenario::kOrders: return "orders";
+    case Scenario::kArchaeology: return "strata";
+    case Scenario::kGeneral: return "general_events";
+  }
+  return "unknown";
+}
+
+const char* ScenarioApplication(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kProcessMonitoring: return "chemical-plant monitoring";
+    case Scenario::kDegenerateMonitoring: return "periodic sampling";
+    case Scenario::kPayroll: return "direct-deposit payroll";
+    case Scenario::kAssignments: return "employee assignments";
+    case Scenario::kAccounting: return "accounting";
+    case Scenario::kOrders: return "order entry";
+    case Scenario::kArchaeology: return "archaeology";
+    case Scenario::kGeneral: return "general baseline";
+  }
+  return "unknown";
+}
+
+Result<std::vector<PlannedInsert>> PlanScenario(Scenario scenario,
+                                                const WorkloadConfig& config) {
+  Result<std::vector<PlannedInsert>> planned = [&] {
+    switch (scenario) {
+      case Scenario::kProcessMonitoring:
+        return PlanProcessMonitoring(
+            config, Duration::Seconds(kMonitoringMinDelaySecs),
+            Duration::Seconds(kMonitoringMaxDelaySecs),
+            Duration::Seconds(kMonitoringSampleSecs));
+      case Scenario::kDegenerateMonitoring:
+        return Result<std::vector<PlannedInsert>>(PlanDegenerateMonitoring(
+            config, Duration::Seconds(kDegenerateSampleSecs)));
+      case Scenario::kPayroll:
+        return Result<std::vector<PlannedInsert>>(PlanPayroll(config));
+      case Scenario::kAssignments:
+        return Result<std::vector<PlannedInsert>>(PlanAssignments(config));
+      case Scenario::kAccounting:
+        return Result<std::vector<PlannedInsert>>(PlanAccounting(config));
+      case Scenario::kOrders:
+        return Result<std::vector<PlannedInsert>>(PlanOrders(config));
+      case Scenario::kArchaeology:
+        return Result<std::vector<PlannedInsert>>(PlanArchaeology(config));
+      case Scenario::kGeneral:
+        return Result<std::vector<PlannedInsert>>(
+            PlanGeneral(config, Duration::Hours(kGeneralSpreadHours)));
+    }
+    return Result<std::vector<PlannedInsert>>(
+        Status::InvalidArgument("unknown scenario"));
+  }();
+  TS_RETURN_NOT_OK(planned.status());
+  std::vector<PlannedInsert> ops = std::move(planned).ValueOrDie();
+  SortByTransactionTime(&ops);
+  return ops;
+}
+
+Result<ScenarioRelation> MakeScenario(Scenario scenario,
+                                      const WorkloadConfig& config) {
+  switch (scenario) {
+    case Scenario::kProcessMonitoring:
+      return MakeProcessMonitoring(config,
+                                   Duration::Seconds(kMonitoringMinDelaySecs),
+                                   Duration::Seconds(kMonitoringMaxDelaySecs),
+                                   Duration::Seconds(kMonitoringSampleSecs));
+    case Scenario::kDegenerateMonitoring:
+      return MakeDegenerateMonitoring(config,
+                                      Duration::Seconds(kDegenerateSampleSecs));
+    case Scenario::kPayroll: return MakePayroll(config);
+    case Scenario::kAssignments: return MakeAssignments(config);
+    case Scenario::kAccounting: return MakeAccounting(config);
+    case Scenario::kOrders: return MakeOrders(config);
+    case Scenario::kArchaeology: return MakeArchaeology(config);
+    case Scenario::kGeneral: return MakeGeneral(config);
+  }
+  return Status::InvalidArgument("unknown scenario");
+}
+
+Status GenerateScenario(Scenario scenario, const WorkloadConfig& config,
+                        ScenarioRelation* scenario_relation) {
+  TS_ASSIGN_OR_RETURN(std::vector<PlannedInsert> ops,
+                      PlanScenario(scenario, config));
+  return Apply(std::move(ops), scenario_relation);
+}
+
+namespace {
+
+// Value literal in the form ParseValueLiteral accepts back. %.17g
+// round-trips every double exactly, so the rendered stream is as
+// deterministic as the plan it came from.
+std::string RenderValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+      return std::to_string(v.AsInt64());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + v.AsString() + "'";
+    case ValueType::kBool:
+      return v.AsBool() ? "TRUE" : "FALSE";
+    case ValueType::kTime:
+      return "'" + FormatTimePoint(v.AsTime()) + "'";
+    case ValueType::kNull:
+      break;
+  }
+  return "NULL";
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ScenarioStatements(Scenario scenario,
+                                                    const WorkloadConfig& config) {
+  TS_ASSIGN_OR_RETURN(std::vector<PlannedInsert> ops,
+                      PlanScenario(scenario, config));
+  const std::string relation = ScenarioRelationName(scenario);
+  std::vector<std::string> statements;
+  statements.reserve(ops.size());
+  for (const PlannedInsert& op : ops) {
+    std::string s = "INSERT INTO " + relation + " OBJECT " +
+                    std::to_string(op.object) + " VALUES (";
+    for (size_t i = 0; i < op.attributes.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += RenderValue(op.attributes.at(i));
+    }
+    s += ")";
+    if (op.valid.is_event()) {
+      s += " VALID AT '" + FormatTimePoint(op.valid.at()) + "'";
+    } else {
+      s += " VALID FROM '" + FormatTimePoint(op.valid.begin()) + "' TO '" +
+           FormatTimePoint(op.valid.end()) + "'";
+    }
+    statements.push_back(std::move(s));
+  }
+  return statements;
 }
 
 }  // namespace tempspec

@@ -24,6 +24,8 @@
 #define TEMPSPEC_WORKLOAD_WORKLOADS_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "relation/temporal_relation.h"
 #include "timex/clock.h"
@@ -105,6 +107,74 @@ Status GenerateArchaeology(const WorkloadConfig& config, ScenarioRelation* scena
 Result<ScenarioRelation> MakeGeneral(const WorkloadConfig& config);
 Status GenerateGeneral(const WorkloadConfig& config, Duration spread,
                        ScenarioRelation* scenario);
+
+// ---------------------------------------------------------------------------
+// Unified scenario surface: the paper's seven applications (plus the general
+// baseline) addressable by enum, planned as data, and renderable as a
+// deterministic query_lang statement stream. The traffic simulator
+// (tools/tempspec_simulate) and the seeded-determinism property test are
+// built on this; the Make*/Generate* pairs above remain as the scenario-
+// specific entry points with extra knobs.
+// ---------------------------------------------------------------------------
+
+enum class Scenario {
+  kProcessMonitoring,   // plant_temperatures: delayed retroactive + r-bounded
+  kDegenerateMonitoring,// reactor_samples:    degenerate, strictly regular
+  kPayroll,             // payroll_deposits:   early strongly pred. bounded
+  kAssignments,         // assignments:        interval, vt_b-predictive
+  kAccounting,          // ledger:             strongly bounded (5d back, 2d)
+  kOrders,              // orders:             predictively bounded (30d)
+  kArchaeology,         // strata:             interval, non-increasing
+  kGeneral,             // general_events:     unrestricted baseline
+};
+
+/// \brief The seven paper applications, in the paper's order (kGeneral is
+/// the baseline, not one of the seven).
+const std::vector<Scenario>& SevenScenarios();
+
+/// \brief All scenarios including the general baseline.
+const std::vector<Scenario>& AllScenarios();
+
+/// \brief The scenario's relation name ("plant_temperatures", ...).
+const char* ScenarioRelationName(Scenario scenario);
+
+/// \brief The paper application the scenario models ("chemical-plant
+/// monitoring", "payroll", ...).
+const char* ScenarioApplication(Scenario scenario);
+
+/// \brief One planned mutation: the transaction-time instant at which the
+/// element is stored, its valid time, and its payload. The plan is pure
+/// data — Apply-ing it to a relation and rendering it as statements must
+/// agree element for element.
+struct PlannedInsert {
+  TimePoint tt;
+  ValidTime valid;
+  ObjectSurrogate object;
+  Tuple attributes;
+};
+
+/// \brief Plans a scenario's insert stream without touching any relation.
+/// Deterministic: the same (scenario, config.seed, sizes) yields the
+/// identical vector. Returned in transaction-time order (stable), exactly
+/// the order Apply and ScenarioStatements use.
+Result<std::vector<PlannedInsert>> PlanScenario(Scenario scenario,
+                                                const WorkloadConfig& config);
+
+/// \brief Opens the scenario's relation (schema + declared specializations
+/// per config).
+Result<ScenarioRelation> MakeScenario(Scenario scenario,
+                                      const WorkloadConfig& config);
+
+/// \brief Plans and applies the scenario's stream to an opened relation.
+Status GenerateScenario(Scenario scenario, const WorkloadConfig& config,
+                        ScenarioRelation* scenario_relation);
+
+/// \brief Renders the scenario's planned stream as query_lang INSERT
+/// statements, one per planned element, in apply order. Byte-deterministic
+/// under the same config — the property the simulator's seeded mode and the
+/// workload_determinism test gate on.
+Result<std::vector<std::string>> ScenarioStatements(Scenario scenario,
+                                                    const WorkloadConfig& config);
 
 }  // namespace tempspec
 

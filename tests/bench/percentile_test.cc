@@ -1,0 +1,69 @@
+// Edge cases for the shared percentile implementation (bench/percentile.h):
+// the one the bench --json capture, bench_p3_server, and the traffic
+// simulator all report latency distributions through. The hand-rolled
+// copies this replaced disagreed exactly on these inputs.
+#include "bench/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tempspec {
+namespace bench {
+namespace {
+
+TEST(SamplePercentileTest, EmptySampleIsZeroNotUb) {
+  EXPECT_EQ(SamplePercentile({}, 0.0), 0.0);
+  EXPECT_EQ(SamplePercentile({}, 0.5), 0.0);
+  EXPECT_EQ(SamplePercentile({}, 0.99), 0.0);
+  EXPECT_EQ(SamplePercentile({}, 1.0), 0.0);
+}
+
+TEST(SamplePercentileTest, SingleSampleIsEveryPercentileOfItself) {
+  for (double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(SamplePercentile({42.5}, p), 42.5) << "p=" << p;
+  }
+}
+
+TEST(SamplePercentileTest, TiesCollapseToTheTiedValue) {
+  const std::vector<double> ties = {7.0, 7.0, 7.0, 7.0, 7.0};
+  EXPECT_EQ(SamplePercentile(ties, 0.0), 7.0);
+  EXPECT_EQ(SamplePercentile(ties, 0.5), 7.0);
+  EXPECT_EQ(SamplePercentile(ties, 0.99), 7.0);
+  // Ties at one end must not leak across the rank boundary.
+  const std::vector<double> split = {1.0, 1.0, 1.0, 100.0};
+  EXPECT_EQ(SamplePercentile(split, 0.0), 1.0);
+  EXPECT_EQ(SamplePercentile(split, 1.0), 100.0);
+}
+
+TEST(SamplePercentileTest, UnsortedInputIsSortedFirst) {
+  const std::vector<double> shuffled = {9.0, 1.0, 5.0, 3.0, 7.0};
+  EXPECT_EQ(SamplePercentile(shuffled, 0.0), 1.0);
+  EXPECT_EQ(SamplePercentile(shuffled, 0.5), 5.0);
+  EXPECT_EQ(SamplePercentile(shuffled, 1.0), 9.0);
+}
+
+TEST(SamplePercentileTest, NearestRankRoundsHalfUp) {
+  // n=2: rank = p * 1; p=0.5 -> rank 0.5 -> rounds to index 1.
+  EXPECT_EQ(SamplePercentile({10.0, 20.0}, 0.5), 20.0);
+  // n=5: p=0.99 -> rank 3.96 -> index 4 (the max).
+  EXPECT_EQ(SamplePercentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.99), 5.0);
+  // n=5: p=0.25 -> rank 1.0 -> index 1 exactly.
+  EXPECT_EQ(SamplePercentile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.25), 2.0);
+}
+
+TEST(SamplePercentileTest, PercentilesAreMonotoneInP) {
+  // The bench JSON schema gate requires p99 >= median for every entry; that
+  // must hold structurally, for any sample.
+  const std::vector<double> sample = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  double prev = SamplePercentile(sample, 0.0);
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    const double cur = SamplePercentile(sample, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tempspec

@@ -1,0 +1,200 @@
+// Cross-protocol equivalence: the HTTP /query plane and the TSP1 frame
+// plane are two encodings of the same service, so the same statement must
+// produce the same answer — byte-identical payloads for reads and EXPLAIN,
+// and the same outcome taxonomy for every error class (200<->kResult,
+// 400<->kError, 503<->kRejected). Also covers the production QueryClient
+// (src/net/client.h) the simulator's tenant drivers speak through: its
+// WireOutcome classification must agree across protocols too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "catalog/query_service.h"
+#include "net/client.h"
+#include "net/net_test_client.h"
+#include "net/server.h"
+#include "testing.h"
+
+namespace tempspec {
+namespace {
+
+using testing::ExecReply;
+using testing::ExecuteStatement;
+using testing::TestClient;
+
+class CrossProtocolTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    service_ = std::make_unique<QueryService>(QueryServiceOptions{});
+    ASSERT_OK(service_->Open());
+    ServerOptions options;
+    options.bind_address = "127.0.0.1";
+    options.port = 0;
+    options.worker_threads = 2;
+    server_ = std::make_unique<NetServer>(std::move(options));
+    server_->SetStatementHandler(
+        [this](const std::string& statement, TraceContext* trace) {
+          return service_->Execute(statement, trace);
+        });
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<NetServer> server_;
+};
+
+TEST_F(CrossProtocolTest, ReadsAreByteIdenticalAcrossProtocols) {
+  StartServer();
+  ASSERT_OK(service_
+                ->Execute(
+                    "CREATE EVENT RELATION xp (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1s",
+                    nullptr)
+                .status());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(service_
+                  ->Execute("INSERT INTO xp OBJECT " + std::to_string(i + 1) +
+                                " VALUES (" + std::to_string(i + 1) + ", " +
+                                std::to_string(i) +
+                                ".5) VALID AT '1970-01-01 00:00:0" +
+                                std::to_string(i) + "'",
+                            nullptr)
+                  .status());
+  }
+
+  TestClient http(server_->port());
+  TestClient tsp1(server_->port());
+  ASSERT_TRUE(http.connected());
+  ASSERT_TRUE(tsp1.connected());
+
+  const std::string reads[] = {
+      "CURRENT xp",
+      "TIMESLICE xp AT '1970-01-01 00:00:03'",
+      "TIMESLICE xp AT '1970-01-01 00:00:03' AS OF '1970-01-01 00:00:02'",
+      "RANGE xp FROM '1970-01-01 00:00:01' TO '1970-01-01 00:00:04'",
+      "SHOW SPECIALIZATION xp",
+      "EXPLAIN TIMESLICE xp AT '1970-01-01 00:00:03'",
+  };
+  for (const std::string& statement : reads) {
+    const ExecReply via_http = ExecuteStatement(http, statement,
+                                                /*frames=*/false);
+    const ExecReply via_tsp1 = ExecuteStatement(tsp1, statement,
+                                                /*frames=*/true);
+    ASSERT_TRUE(via_http.transport_ok) << statement;
+    ASSERT_TRUE(via_tsp1.transport_ok) << statement;
+    EXPECT_TRUE(via_http.accepted) << statement << ": " << via_http.body;
+    EXPECT_TRUE(via_tsp1.accepted) << statement << ": " << via_tsp1.body;
+    EXPECT_EQ(via_http.body, via_tsp1.body)
+        << "protocols disagree on '" << statement << "'";
+  }
+}
+
+TEST_F(CrossProtocolTest, ErrorTaxonomyMatchesAcrossProtocols) {
+  StartServer();
+  ASSERT_OK(service_
+                ->Execute(
+                    "CREATE EVENT RELATION xp (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1d WITH DEGENERATE",
+                    nullptr)
+                .status());
+
+  TestClient http(server_->port());
+  TestClient tsp1(server_->port());
+  ASSERT_TRUE(http.connected());
+  ASSERT_TRUE(tsp1.connected());
+
+  // Deterministic error payloads: parser and catalog errors mention no
+  // relation clock, so the bodies must match byte for byte — modulo the
+  // HTTP plane's deliberate trailing newline (curl-friendliness) and its
+  // semantic status mapping (Not found rides 404 where TSP1 has only
+  // kError). Both are protocol encodings of the same Status.
+  const std::string deterministic_errors[] = {
+      "FROB THE DATABASE",
+      "CURRENT no_such_relation",
+      "RANGE xp FROM '1970-01-05 00:00:00' TO '1970-01-02 00:00:00'",
+  };
+  for (const std::string& statement : deterministic_errors) {
+    const ExecReply via_http = ExecuteStatement(http, statement,
+                                                /*frames=*/false);
+    const ExecReply via_tsp1 = ExecuteStatement(tsp1, statement,
+                                                /*frames=*/true);
+    ASSERT_TRUE(via_http.transport_ok) << statement;
+    ASSERT_TRUE(via_tsp1.transport_ok) << statement;
+    EXPECT_FALSE(via_http.accepted) << statement;
+    EXPECT_FALSE(via_tsp1.accepted) << statement;
+    EXPECT_GE(via_http.code, 400) << statement << ": " << via_http.body;
+    EXPECT_LT(via_http.code, 500) << statement << ": " << via_http.body;
+    std::string http_body = via_http.body;
+    ASSERT_FALSE(http_body.empty()) << statement;
+    ASSERT_EQ(http_body.back(), '\n') << statement << ": " << http_body;
+    http_body.pop_back();
+    EXPECT_EQ(http_body, via_tsp1.body)
+        << "protocols disagree on '" << statement << "'";
+  }
+
+  // Constraint rejections embed the transaction-time stamp, which ticks on
+  // every attempt — assert class equivalence instead of byte equality.
+  const std::string drifted =
+      "INSERT INTO xp OBJECT 1 VALUES (1, 1.0) VALID AT '1995-06-01 00:00:00'";
+  const ExecReply via_http = ExecuteStatement(http, drifted, /*frames=*/false);
+  const ExecReply via_tsp1 = ExecuteStatement(tsp1, drifted, /*frames=*/true);
+  ASSERT_TRUE(via_http.transport_ok);
+  ASSERT_TRUE(via_tsp1.transport_ok);
+  EXPECT_EQ(via_http.code, 400) << via_http.body;
+  EXPECT_EQ(via_tsp1.code, 400) << via_tsp1.body;
+  EXPECT_EQ(via_http.body.rfind("Constraint violation", 0), 0u)
+      << via_http.body;
+  EXPECT_EQ(via_tsp1.body.rfind("Constraint violation", 0), 0u)
+      << via_tsp1.body;
+}
+
+TEST_F(CrossProtocolTest, QueryClientClassifiesIdenticallyAcrossProtocols) {
+  StartServer();
+  ASSERT_OK(service_
+                ->Execute(
+                    "CREATE EVENT RELATION xp (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1s",
+                    nullptr)
+                .status());
+  ASSERT_OK(service_
+                ->Execute(
+                    "INSERT INTO xp OBJECT 1 VALUES (1, 2.5) "
+                    "VALID AT '1970-01-01 00:00:00'",
+                    nullptr)
+                .status());
+
+  for (ClientProtocol protocol :
+       {ClientProtocol::kHttp, ClientProtocol::kTsp1}) {
+    ClientOptions options;
+    options.protocol = protocol;
+    QueryClient client(options);
+    ASSERT_OK(client.Connect(server_->port()));
+
+    WireReply ok = client.Execute("CURRENT xp");
+    EXPECT_EQ(ok.outcome, WireOutcome::kOk)
+        << WireOutcomeToString(ok.outcome) << ": " << ok.body;
+    EXPECT_NE(ok.body.find("1 element(s)"), std::string::npos) << ok.body;
+
+    WireReply bad = client.Execute("FROB THE DATABASE");
+    EXPECT_EQ(bad.outcome, WireOutcome::kClientError)
+        << WireOutcomeToString(bad.outcome) << ": " << bad.body;
+
+    WireReply missing = client.Execute("CURRENT no_such_relation");
+    EXPECT_EQ(missing.outcome, WireOutcome::kClientError)
+        << WireOutcomeToString(missing.outcome) << ": " << missing.body;
+
+    // The connection survives errors: the next statement still executes.
+    WireReply again = client.Execute("CURRENT xp");
+    EXPECT_EQ(again.outcome, WireOutcome::kOk);
+    EXPECT_EQ(again.body, ok.body);
+    client.Close();
+  }
+}
+
+}  // namespace
+}  // namespace tempspec

@@ -170,6 +170,61 @@ inline Frame QueryFrame(const std::string& statement, uint64_t deadline_ms = 0,
   return frame;
 }
 
+/// One statement's fate over either protocol, normalized so tests can
+/// compare HTTP and TSP1 behavior directly.
+struct ExecReply {
+  /// A definitive reply arrived (transport and protocol both held up).
+  bool transport_ok = false;
+  /// The statement executed successfully (HTTP 200 / kResult frame).
+  bool accepted = false;
+  /// HTTP status code; synthesized for frames (200 for kResult, 400 for
+  /// kError) so the taxonomy is comparable across protocols.
+  int code = 0;
+  std::string body;
+  /// Admission rejections (503 / kRejected) absorbed by retrying.
+  int rejections = 0;
+};
+
+/// Executes one statement on the client's connection, retrying admission
+/// rejections with a short backoff the way a production client would.
+/// `frames` selects TSP1; otherwise HTTP keep-alive.
+inline ExecReply ExecuteStatement(TestClient& client,
+                                  const std::string& statement, bool frames,
+                                  int max_attempts = 200) {
+  ExecReply out;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (frames) {
+      if (!client.SendFrame(QueryFrame(statement))) return out;
+      Result<Frame> reply = client.ReadFrame();
+      if (!reply.ok()) return out;
+      const Frame& frame = reply.ValueOrDie();
+      if (frame.type == FrameType::kRejected) {
+        ++out.rejections;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      out.transport_ok = true;
+      out.accepted = frame.type == FrameType::kResult;
+      out.code = out.accepted ? 200 : 400;
+      out.body = frame.payload;
+      return out;
+    }
+    TestClient::HttpReply reply = client.PostQuery(statement);
+    if (!reply.ok) return out;
+    if (reply.code == 503) {
+      ++out.rejections;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    out.transport_ok = true;
+    out.accepted = reply.code == 200;
+    out.code = reply.code;
+    out.body = reply.body;
+    return out;
+  }
+  return out;  // never got past admission control
+}
+
 /// Waits (bounded) for a predicate that another thread flips.
 template <typename Pred>
 bool WaitFor(Pred pred,

@@ -23,7 +23,6 @@
 namespace tempspec {
 namespace {
 
-using testing::QueryFrame;
 using testing::TestClient;
 
 constexpr int kClients = 4;
@@ -110,53 +109,19 @@ TEST_F(ServerSoakTest, ConcurrentMixedWorkloadMatchesSerialShadow) {
         }
         // Retry admission rejections (503 / kRejected) with a short backoff;
         // anything else unexpected is a failure.
-        bool done = false;
-        for (int attempt = 0; attempt < 200 && !done; ++attempt) {
-          if (frames) {
-            if (!client.SendFrame(QueryFrame(statement))) {
-              failures.fetch_add(1);
-              return;
-            }
-            Result<Frame> reply = client.ReadFrame();
-            if (!reply.ok()) {
-              failures.fetch_add(1);
-              return;
-            }
-            if (reply.ValueOrDie().type == FrameType::kRejected) {
-              rejections_retried.fetch_add(1);
-              std::this_thread::sleep_for(std::chrono::milliseconds(1));
-              continue;
-            }
-            if (reply.ValueOrDie().type != FrameType::kResult) {
-              ADD_FAILURE() << "statement '" << statement << "' answered "
-                            << reply.ValueOrDie().payload;
-              failures.fetch_add(1);
-              return;
-            }
-            done = true;
-          } else {
-            TestClient::HttpReply reply = client.PostQuery(statement);
-            if (!reply.ok) {
-              failures.fetch_add(1);
-              return;
-            }
-            if (reply.code == 503) {
-              rejections_retried.fetch_add(1);
-              std::this_thread::sleep_for(std::chrono::milliseconds(1));
-              continue;
-            }
-            if (reply.code != 200) {
-              ADD_FAILURE() << "statement '" << statement << "' answered "
-                            << reply.code << ": " << reply.body;
-              failures.fetch_add(1);
-              return;
-            }
-            done = true;
-          }
-        }
-        if (!done) {
+        const testing::ExecReply reply =
+            testing::ExecuteStatement(client, statement, frames);
+        rejections_retried.fetch_add(reply.rejections);
+        if (!reply.transport_ok) {
           ADD_FAILURE() << "statement '" << statement
-                        << "' never got past admission control";
+                        << "' got no definitive reply (rejected "
+                        << reply.rejections << " time(s))";
+          failures.fetch_add(1);
+          return;
+        }
+        if (!reply.accepted) {
+          ADD_FAILURE() << "statement '" << statement << "' answered "
+                        << reply.code << ": " << reply.body;
           failures.fetch_add(1);
           return;
         }
@@ -220,19 +185,11 @@ TEST_F(ServerSoakTest, ManyShortLivedConnections) {
     clients.emplace_back([&, c] {
       for (int op = 0; op < 10; ++op) {
         TestClient client(server_->port());
-        bool served = false;
-        for (int attempt = 0; attempt < 200 && !served; ++attempt) {
-          TestClient::HttpReply reply = client.PostQuery(
-              op % 2 == 0 ? InsertStatement(c, op + 100) : "CURRENT soak");
-          if (!reply.ok) break;
-          if (reply.code == 503) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(1));
-            continue;
-          }
-          served = reply.code == 200;
-          break;
-        }
-        if (!served) failures.fetch_add(1);
+        const testing::ExecReply reply = testing::ExecuteStatement(
+            client,
+            op % 2 == 0 ? InsertStatement(c, op + 100) : "CURRENT soak",
+            /*frames=*/false);
+        if (!reply.accepted) failures.fetch_add(1);
       }
     });
   }

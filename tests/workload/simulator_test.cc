@@ -1,0 +1,138 @@
+// End-to-end gate for the seven-tenant traffic simulator: runs the shipped
+// tools/tempspec_simulate binary in seeded op-capped mode — all seven
+// tenants over HTTP + TSP1 against a spawned tempspec_serve, with the
+// hostile drift and SIGKILL-at-peak-load scenarios on — and requires a
+// clean exit (the binary itself asserts the DRIFTED flip, post-crash write
+// durability, and client/server reconciliation). The emitted
+// BENCH_p4_simulator.json must pass the same tools/check_bench_json.py
+// validator CI uses. Registered under `ctest -L simulator`.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef TEMPSPEC_SIMULATE_BIN
+#error "build injects TEMPSPEC_SIMULATE_BIN=$<TARGET_FILE:tempspec_simulate>"
+#endif
+#ifndef TEMPSPEC_SERVE_BIN
+#error "build injects TEMPSPEC_SERVE_BIN=$<TARGET_FILE:tempspec_serve>"
+#endif
+#ifndef TEMPSPEC_TOOLS_DIR
+#error "build injects TEMPSPEC_TOOLS_DIR=<source>/tools"
+#endif
+
+namespace tempspec {
+namespace {
+
+std::string MakeTempDir() {
+  char pattern[] = "/tmp/tempspec_sim_XXXXXX";
+  const char* dir = ::mkdtemp(pattern);
+  return dir == nullptr ? "" : dir;
+}
+
+/// Runs the simulator with `extra_args` and returns its exit code.
+int RunSimulator(const std::string& data_dir, const std::string& json_path,
+                 const std::vector<std::string>& extra_args) {
+  std::vector<std::string> args = {
+      TEMPSPEC_SIMULATE_BIN,
+      "--serve-bin=" TEMPSPEC_SERVE_BIN,
+      "--data-dir=" + data_dir,
+      "--json=" + json_path,
+  };
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(TEMPSPEC_SIMULATE_BIN, argv.data());
+    _exit(127);
+  }
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  return WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+}
+
+TEST(SimulatorTest, SeededHostileRunPassesItsOwnGatesAndTheValidator) {
+  const std::string dir = MakeTempDir();
+  ASSERT_FALSE(dir.empty());
+  const std::string json_path = dir + "/BENCH_p4_simulator.json";
+
+  // Op-capped seeded mode: deterministic statement streams, finishes in a
+  // few seconds, still exercises admission-control retries (tiny inflight
+  // budget), the mid-run DRIFTED check, and SIGKILL recovery.
+  const int exit_code = RunSimulator(
+      dir, json_path,
+      {"--max-ops=90", "--duration-s=120", "--seed=7", "--max-inflight=2",
+       "--think-us=0", "--scenario-drift", "--scenario-crash"});
+  ASSERT_EQ(exit_code, 0)
+      << "tempspec_simulate failed; rerun it by hand for the FAIL lines";
+
+  // The run's JSON must satisfy the same schema gate CI applies.
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good()) << json_path << " was not written";
+  const std::string check = std::string("python3 ") + TEMPSPEC_TOOLS_DIR +
+                            "/check_bench_json.py " + json_path;
+  EXPECT_EQ(std::system(check.c_str()), 0) << check;
+
+  // Spot-check the scenario evidence the validator doesn't know about.
+  std::string contents((std::istreambuf_iterator<char>(json)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"scenario/drift\""), std::string::npos);
+  EXPECT_NE(contents.find("\"scenario/crash_recovery\""), std::string::npos);
+  for (const char* tenant :
+       {"plant_temperatures", "reactor_samples", "payroll_deposits",
+        "assignments", "ledger", "orders", "strata"}) {
+    EXPECT_NE(contents.find("tenant/" + std::string(tenant)),
+              std::string::npos)
+        << "missing tenant entry for " << tenant;
+  }
+}
+
+TEST(SimulatorTest, SameSeedIsReproducibleAcrossRuns) {
+  // Determinism gate for the statement streams: two runs with the same
+  // seed must ack the same writes and land identical element counts (the
+  // JSON's latency fields of course differ; counts must not).
+  const std::string dir_a = MakeTempDir();
+  const std::string dir_b = MakeTempDir();
+  ASSERT_FALSE(dir_a.empty());
+  ASSERT_FALSE(dir_b.empty());
+  const std::vector<std::string> args = {"--max-ops=60", "--duration-s=120",
+                                         "--seed=11", "--think-us=0"};
+  ASSERT_EQ(RunSimulator(dir_a, dir_a + "/bench.json", args), 0);
+  ASSERT_EQ(RunSimulator(dir_b, dir_b + "/bench.json", args), 0);
+
+  // Compare the acked-write and element-count counters tenant by tenant.
+  auto counts = [](const std::string& path) {
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::vector<std::string> out;
+    for (const char* key :
+         {"\"acked_inserts\"", "\"acked_deletes\"", "\"current_count\""}) {
+      size_t at = 0;
+      while ((at = contents.find(key, at)) != std::string::npos) {
+        const size_t colon = contents.find(':', at);
+        const size_t end = contents.find_first_of(",}", colon);
+        out.push_back(contents.substr(colon + 1, end - colon - 1));
+        at = end;
+      }
+    }
+    return out;
+  };
+  const std::vector<std::string> counts_a = counts(dir_a + "/bench.json");
+  const std::vector<std::string> counts_b = counts(dir_b + "/bench.json");
+  ASSERT_FALSE(counts_a.empty());
+  EXPECT_EQ(counts_a, counts_b);
+}
+
+}  // namespace
+}  // namespace tempspec
