@@ -1,11 +1,14 @@
 #include "catalog/query_lang.h"
 
 #include <cctype>
+#include <chrono>
 #include <limits>
 #include <sstream>
 
 #include "obs/flight_recorder.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
 #include "query/executor.h"
@@ -239,6 +242,46 @@ Result<QueryOutput> ShowTraces(QueryCursor& cur) {
   return out;
 }
 
+// SHOW HEALTH: re-evaluates every declared SLO against the labeled latency
+// family, one JSON verdict per objective plus a summary line.
+Result<QueryOutput> ShowHealth(QueryCursor&) {
+  QueryOutput out;
+  const std::vector<SloVerdict> verdicts = SloRegistry::Instance().Evaluate();
+  std::ostringstream ss;
+  size_t burning = 0;
+  size_t violated = 0;
+  for (const SloVerdict& v : verdicts) {
+    if (v.burning) ++burning;
+    if (!v.total_ok) ++violated;
+    ss << v.ToJson() << "\n";
+  }
+  ss << verdicts.size() << " objective(s), " << violated << " violated, "
+     << burning << " burning\n";
+  out.report = ss.str();
+  return out;
+}
+
+// SHOW HISTORY [LIMIT n]: the metrics time-series ring, oldest first (LIMIT
+// keeps the n most recent samples), one JSON line per sample plus a summary.
+Result<QueryOutput> ShowHistory(QueryCursor& cur) {
+  QueryOutput out;
+  size_t limit = std::numeric_limits<size_t>::max();
+  if (cur.TryWord("LIMIT")) {
+    TS_ASSIGN_OR_RETURN(uint64_t n, cur.Number());
+    limit = static_cast<size_t>(n);
+  }
+  MetricsHistory& history = MetricsHistory::Instance();
+  const size_t retained = history.Entries().size();
+  const size_t shown = retained > limit ? limit : retained;
+  std::ostringstream ss;
+  ss << history.RenderJsonl(shown);
+  ss << shown << " sample(s) shown (" << history.TotalSamples()
+     << " sampled, ring capacity " << history.capacity() << ", interval "
+     << history.interval_ms() << "ms)\n";
+  out.report = ss.str();
+  return out;
+}
+
 // SHOW SPECIALIZATION <relation>: declared vs observed kind, drift state,
 // and the Figure-1 pane occupancy histogram.
 Result<QueryOutput> ShowSpecialization(const Catalog& catalog,
@@ -332,6 +375,7 @@ Result<QueryOutput> ExecuteInsert(const Catalog& catalog, QueryCursor& cur) {
   TS_COUNTER_INC("querylang.inserts");
 
   QueryOutput out;
+  out.relation = name;
   std::ostringstream ss;
   ss << "inserted element " << surrogate << " (object " << object << ") into "
      << name << "\n";
@@ -351,11 +395,30 @@ Result<QueryOutput> ExecuteDelete(const Catalog& catalog, QueryCursor& cur) {
   TS_COUNTER_INC("querylang.deletes");
 
   QueryOutput out;
+  out.relation = name;
   std::ostringstream ss;
   ss << "deleted element " << surrogate << " from " << name << "\n";
   out.report = ss.str();
   return out;
 }
+
+#ifdef TEMPSPEC_METRICS
+// Records one executed statement into the labeled latency family behind
+// tempspec_query_latency{relation,kind,protocol}. The protocol label comes
+// from the server-stamped trace attribute; an embedded caller (no server in
+// the path) renders as "local".
+void ObserveLabeledLatency(const std::string& relation, std::string kind,
+                           const TraceContext* trace,
+                           std::chrono::steady_clock::time_point start) {
+  if (relation.empty() || kind.empty()) return;
+  std::string protocol = trace != nullptr ? trace->attr("protocol") : "";
+  if (protocol.empty()) protocol = "local";
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  QueryLatencyFamily::Instance().Observe(relation, kind, protocol,
+                                         static_cast<uint64_t>(wall.count()));
+}
+#endif  // TEMPSPEC_METRICS
 
 }  // namespace
 
@@ -378,6 +441,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   QueryCursor cur(statement);
   QueryOutput out;
   TS_COUNTER_INC("querylang.statements");
+  TS_METRICS_ONLY(const auto query_start = std::chrono::steady_clock::now();)
 
   TS_ASSIGN_OR_RETURN(std::string verb, cur.Word());
   if (verb == "EXPLAIN") {
@@ -400,6 +464,9 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     if (!cur.AtEnd()) {
       return Status::InvalidArgument("trailing tokens after statement");
     }
+    TS_METRICS_ONLY(ObserveLabeledLatency(
+        written.ValueOrDie().relation, verb == "INSERT" ? "insert" : "delete",
+        external_trace, query_start);)
     return written;
   }
 
@@ -416,10 +483,12 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
       }
       if (what == "TRACES") return ShowTraces(cur);
       if (what == "SPECIALIZATION") return ShowSpecialization(catalog, cur);
+      if (what == "HEALTH") return ShowHealth(cur);
+      if (what == "HISTORY") return ShowHistory(cur);
       return Status::InvalidArgument(
           "unknown SHOW target '", what,
-          "' (expected SLOW QUERIES, SPECIALIZATION, FLIGHT RECORDER, or "
-          "TRACES)");
+          "' (expected SLOW QUERIES, SPECIALIZATION, FLIGHT RECORDER, "
+          "TRACES, HEALTH, or HISTORY)");
     }();
     TS_RETURN_NOT_OK(shown.status());
     if (!cur.AtEnd()) {
@@ -446,6 +515,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
   if (verb == "CURRENT") {
     TS_ASSIGN_OR_RETURN(std::string name, cur.Identifier());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    out.relation = name;
     QueryExecutor exec(*rel, exec_options);
     if (!out.explain_only) out.elements = exec.Current(&out.stats);
     out.plan_description = "current-state scan";
@@ -454,6 +524,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     TS_RETURN_NOT_OK(cur.ExpectWord("TO"));
     TS_ASSIGN_OR_RETURN(TimePoint tt, cur.TimeLiteral());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    out.relation = name;
     QueryExecutor exec(*rel, exec_options);
     if (!out.explain_only) out.elements = exec.Rollback(tt, &out.stats);
     out.plan_description = rel->snapshots() != nullptr
@@ -464,6 +535,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     TS_RETURN_NOT_OK(cur.ExpectWord("AT"));
     TS_ASSIGN_OR_RETURN(TimePoint vt, cur.TimeLiteral());
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    out.relation = name;
     QueryExecutor exec(*rel, exec_options);
     if (cur.TryWord("AS")) {
       TS_RETURN_NOT_OK(cur.ExpectWord("OF"));
@@ -491,6 +563,7 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
       return Status::InvalidArgument("RANGE requires FROM < TO");
     }
     TS_ASSIGN_OR_RETURN(TemporalRelation * rel, catalog.Get(name));
+    out.relation = name;
     QueryExecutor exec(*rel, exec_options);
     const PlanChoice plan = exec.optimizer().PlanValidRange(lo, hi);
     if (!out.explain_only) {
@@ -509,14 +582,29 @@ Result<QueryOutput> ExecuteQuery(const Catalog& catalog,
     return Status::InvalidArgument("trailing tokens after statement");
   }
   if (out.analyze) out.trace_json = trace.ToJson();
-  // Feed the slow-query log: any executed statement whose span crossed the
-  // threshold is retained with its statement text.
-  TS_METRICS_ONLY(if (exec_options.trace != nullptr && trace.started()) {
+  // Labeled per-query latency: kind is the scan-kernel token the executor
+  // recorded (the per-specialization taxonomy), falling back to the verb.
+  TS_METRICS_ONLY(if (!out.explain_only) {
+    std::string kind = trace.attr("kernel");
+    if (kind.empty()) {
+      kind = verb;
+      for (char& c : kind) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    ObserveLabeledLatency(out.relation, std::move(kind), &trace, query_start);
+  })
+  // Feed the slow-query log and the retained-trace ring — unless the span
+  // is server-owned, in which case the server records it at response
+  // completion (so its entry covers queue wait and serialization too, and
+  // the span is not recorded twice).
+  const bool server_records =
+      external_trace != nullptr && external_trace->server_owned();
+  TS_METRICS_ONLY(if (!server_records && exec_options.trace != nullptr &&
+                      trace.started()) {
     SlowQueryLog::Instance().Record(trace, statement);
   })
-  // Offer the completed span to the retained-trace ring (sampled), so it is
-  // joinable from a slowlog entry by trace id after the query returns.
-  if (exec_options.trace != nullptr && trace.started()) {
+  if (!server_records && exec_options.trace != nullptr && trace.started()) {
     RetainedTraces::Instance().Record(trace);
   }
   // A cancelled scan abandons morsels, so the collected elements are an

@@ -33,6 +33,10 @@
 //   SHOW TRACES [LIMIT n]             (the retained trace-span ring, newest
 //                                      last; spans join slowlog entries by
 //                                      trace_id)
+//   SHOW HEALTH                       (every declared SLO re-evaluated now,
+//                                      one JSON verdict per objective)
+//   SHOW HISTORY [LIMIT n]            (the metrics time-series ring, newest
+//                                      last, one JSON sample per line)
 //
 // EXPLAIN ANALYZE runs the query with a trace span attached and returns the
 // span as single-line JSON in QueryOutput::trace_json (strategy, counters,
@@ -65,6 +69,9 @@ struct QueryOutput {
   bool analyze = false;
   /// SHOW statements: the rendered report (ToString() returns it verbatim).
   std::string report;
+  /// The relation the statement touched ("" for SHOW): the labeled latency
+  /// family (obs/metrics.h) records {relation, kind, protocol} from it.
+  std::string relation;
 
   /// \brief Tabular rendering (element per line).
   std::string ToString() const;

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <random>
 
 #include "net/socket.h"
 
@@ -180,6 +181,23 @@ bool QueryClient::ReadHttpResponse(int fd, std::string* buffer, int* code,
   return true;
 }
 
+void QueryClient::NextTrace() {
+  // Uniqueness matters (the ids join client and server observations), wire
+  // determinism does not: seed per thread from the OS entropy pool.
+  thread_local std::mt19937_64 rng(
+      std::mt19937_64(std::random_device{}()));
+  trace_hi_ = rng();
+  trace_lo_ = rng();
+  if (trace_hi_ == 0 && trace_lo_ == 0) trace_lo_ = 1;
+  span_id_ = rng();
+  if (span_id_ == 0) span_id_ = 1;
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(trace_hi_),
+                static_cast<unsigned long long>(trace_lo_));
+  last_trace_id_.assign(buf, 32);
+}
+
 WireReply QueryClient::Execute(const std::string& statement,
                                uint64_t deadline_ms) {
   if (fd_ < 0) {
@@ -188,6 +206,7 @@ WireReply QueryClient::Execute(const std::string& statement,
       return WireReply{WireOutcome::kTransport, 0, status.ToString()};
     }
   }
+  if (options_.propagate_trace) NextTrace();
   return options_.protocol == ClientProtocol::kHttp
              ? ExecuteHttp(statement, deadline_ms)
              : ExecuteFrame(statement, deadline_ms);
@@ -201,6 +220,13 @@ WireReply QueryClient::ExecuteHttp(const std::string& statement,
   if (deadline_ms > 0) {
     request +=
         "X-Tempspec-Deadline-Ms: " + std::to_string(deadline_ms) + "\r\n";
+  }
+  if (options_.propagate_trace) {
+    char span_hex[17];
+    std::snprintf(span_hex, sizeof(span_hex), "%016llx",
+                  static_cast<unsigned long long>(span_id_));
+    request += "X-Tempspec-Trace: " + last_trace_id_ + "-" +
+               std::string(span_hex) + "\r\n";
   }
   request += "\r\n" + statement;
   WireReply reply;
@@ -230,6 +256,12 @@ WireReply QueryClient::ExecuteFrame(const std::string& statement,
   if (deadline_ms > 0) {
     frame.flags |= kFrameFlagDeadline;
     frame.deadline_millis = deadline_ms;
+  }
+  if (options_.propagate_trace) {
+    frame.flags |= kFrameFlagTrace;
+    frame.trace_hi = trace_hi_;
+    frame.trace_lo = trace_lo_;
+    frame.span_id = span_id_;
   }
   std::string wire;
   EncodeFrame(frame, &wire);

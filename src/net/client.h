@@ -67,6 +67,10 @@ struct ClientOptions {
   /// Bound on every blocking read so a dead server surfaces as kTransport
   /// instead of a hang.
   int recv_timeout_ms = 30000;
+  /// Send a client-generated 128-bit trace id + per-request span id with
+  /// every statement (X-Tempspec-Trace header / TSP1 trace frame prefix) so
+  /// server-side slowlog and retained-trace entries join to this request.
+  bool propagate_trace = true;
 };
 
 class QueryClient {
@@ -105,7 +109,15 @@ class QueryClient {
   /// a TSP1 client can scrape too.
   Result<std::string> Get(const std::string& target);
 
+  /// \brief The 128-bit trace id sent with the most recent Execute(), as 32
+  /// lowercase hex chars ("" before the first request or with propagation
+  /// off). The simulator greps server-side slowlog/trace output for this.
+  const std::string& last_trace_id() const { return last_trace_id_; }
+  uint64_t last_span_id() const { return span_id_; }
+
  private:
+  /// Rolls a fresh trace id + span id for the next request.
+  void NextTrace();
   WireReply ExecuteHttp(const std::string& statement, uint64_t deadline_ms);
   WireReply ExecuteFrame(const std::string& statement, uint64_t deadline_ms);
   bool SendAll(int fd, const std::string& bytes);
@@ -119,6 +131,10 @@ class QueryClient {
   int fd_ = -1;
   std::string buffered_;
   FrameDecoder decoder_;
+  uint64_t trace_hi_ = 0;
+  uint64_t trace_lo_ = 0;
+  uint64_t span_id_ = 0;
+  std::string last_trace_id_;
 };
 
 }  // namespace tempspec

@@ -53,9 +53,14 @@ bool IsValidFrameType(uint8_t type) {
 
 void EncodeFrame(const Frame& frame, std::string* out) {
   std::string payload;
-  if (frame.has_deadline()) {
-    payload.reserve(8 + frame.payload.size());
-    PutU64(&payload, frame.deadline_millis);
+  payload.reserve((frame.has_deadline() ? 8 : 0) +
+                  (frame.has_trace() ? kFrameTracePrefixBytes : 0) +
+                  frame.payload.size());
+  if (frame.has_deadline()) PutU64(&payload, frame.deadline_millis);
+  if (frame.has_trace()) {
+    PutU64(&payload, frame.trace_hi);
+    PutU64(&payload, frame.trace_lo);
+    PutU64(&payload, frame.span_id);
   }
   payload += frame.payload;
 
@@ -96,7 +101,7 @@ Result<std::optional<Frame>> FrameDecoder::Next() {
                                         static_cast<int>(type));
     return poisoned_;
   }
-  if ((flags & ~kFrameFlagDeadline) != 0) {
+  if ((flags & ~(kFrameFlagDeadline | kFrameFlagTrace)) != 0) {
     poisoned_ = Status::InvalidArgument("unknown frame flags ",
                                         static_cast<int>(flags));
     return poisoned_;
@@ -112,10 +117,14 @@ Result<std::optional<Frame>> FrameDecoder::Next() {
     return poisoned_;
   }
   const bool has_deadline = (flags & kFrameFlagDeadline) != 0;
-  if (has_deadline && payload_len < 8) {
+  const bool has_trace = (flags & kFrameFlagTrace) != 0;
+  const size_t prefix_len =
+      (has_deadline ? 8 : 0) + (has_trace ? kFrameTracePrefixBytes : 0);
+  if (payload_len < prefix_len) {
     poisoned_ = Status::InvalidArgument(
-        "deadline flag set but payload of ", payload_len,
-        " bytes cannot hold the u64 deadline");
+        "flags 0x", std::hex, static_cast<int>(flags), " need a ", std::dec,
+        prefix_len, "-byte prefix but the payload is only ", payload_len,
+        " bytes");
     return poisoned_;
   }
   if (buffer_.size() - offset_ < kFrameHeaderBytes + payload_len) {
@@ -130,12 +139,18 @@ Result<std::optional<Frame>> FrameDecoder::Next() {
   Frame frame;
   frame.type = static_cast<FrameType>(type);
   frame.flags = flags;
+  const char* body = payload;
   if (has_deadline) {
-    frame.deadline_millis = GetU64(payload);
-    frame.payload.assign(payload + 8, payload_len - 8);
-  } else {
-    frame.payload.assign(payload, payload_len);
+    frame.deadline_millis = GetU64(body);
+    body += 8;
   }
+  if (has_trace) {
+    frame.trace_hi = GetU64(body);
+    frame.trace_lo = GetU64(body + 8);
+    frame.span_id = GetU64(body + 16);
+    body += kFrameTracePrefixBytes;
+  }
+  frame.payload.assign(body, payload_len - prefix_len);
   offset_ += kFrameHeaderBytes + payload_len;
   return std::optional<Frame>(std::move(frame));
 }

@@ -8,6 +8,9 @@
 //   4       1     type         FrameType below
 //   5       1     flags        bit 0: payload begins with a u64 LE deadline
 //                              (milliseconds, relative to receipt)
+//                              bit 1: payload carries a 24-byte trace prefix
+//                              (trace id hi, trace id lo, span id — u64 LE
+//                              each) after the deadline prefix, if any
 //   6       2     reserved     must be 0
 //   8       4     payload_len  bytes following the header (caps enforced)
 //   12      4     payload_crc  CRC-32 (storage/serde.h Crc32) of the payload
@@ -37,6 +40,9 @@ namespace tempspec {
 constexpr uint32_t kFrameMagic = 0x31505354;  // "TSP1" little-endian
 constexpr size_t kFrameHeaderBytes = 16;
 constexpr uint8_t kFrameFlagDeadline = 0x01;
+constexpr uint8_t kFrameFlagTrace = 0x02;
+/// \brief Wire size of the trace prefix (trace_hi, trace_lo, span_id).
+constexpr size_t kFrameTracePrefixBytes = 24;
 
 enum class FrameType : uint8_t {
   kQuery = 1,
@@ -51,15 +57,20 @@ enum class FrameType : uint8_t {
 bool IsValidFrameType(uint8_t type);
 
 /// \brief One decoded (or to-be-encoded) frame. `deadline_millis` is
-/// meaningful only when flags has kFrameFlagDeadline; the u64 prefix is
-/// split out of `payload` by the decoder and re-attached by the encoder.
+/// meaningful only when flags has kFrameFlagDeadline, the trace triple only
+/// when flags has kFrameFlagTrace; both prefixes are split out of `payload`
+/// by the decoder and re-attached by the encoder (deadline first).
 struct Frame {
   FrameType type = FrameType::kQuery;
   uint8_t flags = 0;
   uint64_t deadline_millis = 0;
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
   std::string payload;
 
   bool has_deadline() const { return (flags & kFrameFlagDeadline) != 0; }
+  bool has_trace() const { return (flags & kFrameFlagTrace) != 0; }
 };
 
 /// \brief Appends the wire form of `frame` to `out` (header, optional

@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +12,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 
 namespace tempspec {
 
@@ -97,6 +100,42 @@ bool ParseU64(std::string_view s, uint64_t* out) {
   return true;
 }
 
+bool ParseHex64(std::string_view s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+// X-Tempspec-Trace: "<32 hex trace id>-<16 hex span id>". False on any
+// malformation — the caller falls back to a server-generated id; a bad
+// trace header must never fail the request itself.
+bool ParseTraceHeader(const std::string& header, uint64_t* hi, uint64_t* lo,
+                      uint64_t* span) {
+  const std::string_view s(header);
+  return s.size() == 49 && s[32] == '-' && ParseHex64(s.substr(0, 16), hi) &&
+         ParseHex64(s.substr(16, 16), lo) && ParseHex64(s.substr(33, 16), span);
+}
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(b - a).count()));
+}
+
 int StatusToHttpCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk: return 200;
@@ -122,6 +161,7 @@ struct NetServer::Connection {
 
   OwnedFd fd;
   uint64_t id = 0;
+  std::string peer;  // "ip:port" of the remote end, for span/slowlog attrs
   enum class Proto { kUnknown, kHttp, kFrame } proto = Proto::kUnknown;
   std::string inbuf;  // raw bytes ahead of the protocol machinery
   HttpParser http;
@@ -220,7 +260,11 @@ ServerStats NetServer::Stats() const {
 
 void NetServer::OnAccept() {
   while (true) {
-    const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    const int cfd = ::accept(listen_fd_.get(),
+                             reinterpret_cast<sockaddr*>(&peer_addr),
+                             &peer_len);
     if (cfd < 0) break;  // EAGAIN / transient: the loop will call back
     if (connections_.size() >= options_.max_connections) {
       ::close(cfd);
@@ -239,6 +283,14 @@ void NetServer::OnAccept() {
                                              options_.max_frame_payload_bytes);
     conn->fd.Reset(cfd);
     conn->id = next_connection_id_++;
+    if (peer_addr.sin_family == AF_INET) {
+      char ip[INET_ADDRSTRLEN] = {};
+      if (::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip)) !=
+          nullptr) {
+        conn->peer =
+            std::string(ip) + ":" + std::to_string(ntohs(peer_addr.sin_port));
+      }
+    }
     conn->last_activity = std::chrono::steady_clock::now();
     connections_[cfd] = conn;
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -362,11 +414,19 @@ void NetServer::ProcessFrames(const std::shared_ptr<Connection>& conn) {
         SendFrame(conn, pong);
         continue;
       }
-      case FrameType::kQuery:
+      case FrameType::kQuery: {
+        WireTraceInfo wire;
+        if (frame.has_trace()) {
+          wire.hi = frame.trace_hi;
+          wire.lo = frame.trace_lo;
+          wire.span = frame.span_id;
+          wire.set = true;
+        }
         DispatchStatement(conn, std::move(frame.payload),
                           frame.has_deadline() ? frame.deadline_millis : 0,
-                          /*is_http=*/false, /*http_keep_alive=*/true);
+                          wire, /*is_http=*/false, /*http_keep_alive=*/true);
         continue;
+      }
       default: {
         // kResult/kError/kPong/kRejected are server-to-client only.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -425,7 +485,13 @@ void NetServer::RouteHttpRequest(const std::shared_ptr<Connection>& conn) {
         return;
       }
     }
-    DispatchStatement(conn, request.body, deadline_ms, /*is_http=*/true,
+    // Unlike the deadline header, a malformed trace header is not a 400:
+    // the request executes under a server-generated id instead.
+    WireTraceInfo wire;
+    if (const std::string* header = request.FindHeader("X-Tempspec-Trace")) {
+      wire.set = ParseTraceHeader(*header, &wire.hi, &wire.lo, &wire.span);
+    }
+    DispatchStatement(conn, request.body, deadline_ms, wire, /*is_http=*/true,
                       keep_alive);
     return;
   }
@@ -435,7 +501,8 @@ void NetServer::RouteHttpRequest(const std::shared_ptr<Connection>& conn) {
 
 void NetServer::DispatchStatement(const std::shared_ptr<Connection>& conn,
                                   std::string statement, uint64_t deadline_ms,
-                                  bool is_http, bool http_keep_alive) {
+                                  const WireTraceInfo& wire, bool is_http,
+                                  bool http_keep_alive) {
   if (inflight_ >= options_.max_inflight) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     TS_COUNTER_INC("server.requests_rejected");
@@ -476,7 +543,15 @@ void NetServer::DispatchStatement(const std::shared_ptr<Connection>& conn,
              effective_ms > options_.max_deadline_ms) {
     effective_ms = options_.max_deadline_ms;
   }
+  // The request span starts at admission, so its wall clock covers queue
+  // wait, execution, and the response write — the server-side view of the
+  // latency the client observes.
   auto trace = std::make_shared<TraceContext>();
+  trace->SetServerOwned(true);
+  if (wire.set) trace->SetWireTrace(wire.hi, wire.lo, wire.span);
+  trace->Begin("server.request");
+  trace->SetAttr("protocol", is_http ? "http" : "tsp1");
+  if (!conn->peer.empty()) trace->SetAttr("peer", conn->peer);
   if (effective_ms > 0) {
     trace->ArmDeadlineAfterMicros(effective_ms * 1000);
     TS_FLIGHT(FlightCategory::kServer, FlightCode::kServerDeadline,
@@ -487,9 +562,12 @@ void NetServer::DispatchStatement(const std::shared_ptr<Connection>& conn,
   conn->active_trace = trace;
 
   StatementHandler handler = statement_handler_;
+  const auto admitted = std::chrono::steady_clock::now();
   workers_->Submit([this, conn, trace, handler = std::move(handler),
-                    statement = std::move(statement), is_http,
-                    http_keep_alive]() {
+                    statement = std::move(statement), admitted, is_http,
+                    http_keep_alive]() mutable {
+    const auto picked_up = std::chrono::steady_clock::now();
+    trace->AddStage("queue.wait", MicrosBetween(admitted, picked_up));
     Status status;
     std::string payload;
     if (trace->CancellationRequested()) {
@@ -505,15 +583,20 @@ void NetServer::DispatchStatement(const std::shared_ptr<Connection>& conn,
         status = result.status();
       }
     }
-    loop_.RunInLoop([this, conn, status = std::move(status),
-                     payload = std::move(payload), is_http,
-                     http_keep_alive]() {
-      CompleteStatement(conn, status, payload, is_http, http_keep_alive);
+    trace->AddStage("execute",
+                    MicrosBetween(picked_up, std::chrono::steady_clock::now()));
+    loop_.RunInLoop([this, conn, trace, statement = std::move(statement),
+                     status = std::move(status), payload = std::move(payload),
+                     is_http, http_keep_alive]() {
+      CompleteStatement(conn, trace, statement, status, payload, is_http,
+                        http_keep_alive);
     });
   });
 }
 
 void NetServer::CompleteStatement(const std::shared_ptr<Connection>& conn,
+                                  const std::shared_ptr<TraceContext>& trace,
+                                  const std::string& statement,
                                   const Status& status,
                                   const std::string& payload, bool is_http,
                                   bool http_keep_alive) {
@@ -526,24 +609,42 @@ void NetServer::CompleteStatement(const std::shared_ptr<Connection>& conn,
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
     TS_COUNTER_INC("server.deadline_exceeded");
   }
-  if (conn->closed) return;  // client went away mid-execution
 
-  if (is_http) {
-    conn->http.Reset();
-    if (!http_keep_alive) conn->close_after_flush = true;
-    if (status.ok()) {
-      SendHttpResponse(conn, 200, kTextPlain, payload, http_keep_alive);
+  const auto respond_start = std::chrono::steady_clock::now();
+  const bool disconnected = conn->closed;  // client went away mid-execution
+  if (!disconnected) {
+    if (is_http) {
+      conn->http.Reset();
+      if (!http_keep_alive) conn->close_after_flush = true;
+      if (status.ok()) {
+        SendHttpResponse(conn, 200, kTextPlain, payload, http_keep_alive);
+      } else {
+        SendHttpResponse(conn, StatusToHttpCode(status), kTextPlain,
+                         status.ToString() + "\n", http_keep_alive);
+      }
     } else {
-      SendHttpResponse(conn, StatusToHttpCode(status), kTextPlain,
-                       status.ToString() + "\n", http_keep_alive);
+      Frame frame;
+      frame.type = status.ok() ? FrameType::kResult : FrameType::kError;
+      frame.payload = status.ok() ? payload : status.ToString();
+      SendFrame(conn, frame);
     }
-  } else {
-    Frame frame;
-    frame.type = status.ok() ? FrameType::kResult : FrameType::kError;
-    frame.payload = status.ok() ? payload : status.ToString();
-    SendFrame(conn, frame);
   }
-  if (conn->closed) return;
+
+  // Finalize and record the server-owned request span — the slowlog and
+  // retained-trace entry other planes join by trace id. Recorded even for a
+  // disconnected client: the work happened.
+  if (trace != nullptr && trace->started()) {
+    trace->AddStage(
+        "respond",
+        MicrosBetween(respond_start, std::chrono::steady_clock::now()));
+    trace->SetAttr("outcome",
+                   status.ok() ? "ok" : StatusCodeToString(status.code()));
+    trace->End();
+    TS_METRICS_ONLY({ SlowQueryLog::Instance().Record(*trace, statement); });
+    RetainedTraces::Instance().Record(*trace);
+  }
+
+  if (disconnected || conn->closed) return;
   ProcessInput(conn);  // pipelined requests buffered during execution
   if (!conn->closed) UpdateInterest(conn);
 }

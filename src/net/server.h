@@ -174,6 +174,17 @@ class NetServer {
  private:
   struct Connection;
 
+  /// \brief Client-supplied wire trace identity for one statement
+  /// (X-Tempspec-Trace header / TSP1 trace prefix); `set` false when the
+  /// request carried none (or carried a malformed header, which is treated
+  /// the same — tracing must never fail a request).
+  struct WireTraceInfo {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    uint64_t span = 0;
+    bool set = false;
+  };
+
   void OnAccept();
   void OnConnectionEvent(const std::shared_ptr<Connection>& conn,
                          uint32_t events);
@@ -187,10 +198,16 @@ class NetServer {
   /// means "none supplied" (the default applies).
   void DispatchStatement(const std::shared_ptr<Connection>& conn,
                          std::string statement, uint64_t deadline_ms,
-                         bool is_http, bool http_keep_alive);
+                         const WireTraceInfo& wire, bool is_http,
+                         bool http_keep_alive);
+  /// \brief Response write + request-span finalization: ends the
+  /// server-owned span and records it into the slowlog/retained ring (the
+  /// statement text rides along for the slowlog entry).
   void CompleteStatement(const std::shared_ptr<Connection>& conn,
-                         const Status& status, const std::string& payload,
-                         bool is_http, bool http_keep_alive);
+                         const std::shared_ptr<TraceContext>& trace,
+                         const std::string& statement, const Status& status,
+                         const std::string& payload, bool is_http,
+                         bool http_keep_alive);
   void SendHttpResponse(const std::shared_ptr<Connection>& conn, int code,
                         std::string_view content_type, std::string_view body,
                         bool keep_alive);

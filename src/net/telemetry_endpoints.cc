@@ -5,7 +5,9 @@
 #include "obs/build_info.h"
 #include "obs/exporter.h"
 #include "obs/flight_recorder.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace tempspec {
@@ -15,7 +17,24 @@ void RegisterTelemetryEndpoints(NetServer* server) {
       "/metrics", [](const HttpRequest&, NetServer::HttpResponse* response) {
         response->content_type = "text/plain; version=0.0.4; charset=utf-8";
         response->body =
-            RenderPrometheusText(MetricsRegistry::Instance().Scrape());
+            RenderPrometheusText(MetricsRegistry::Instance().Scrape()) +
+            RenderLabeledPrometheusText(QueryLatencyFamily::Instance().Scrape());
+      });
+  server->AddHttpHandler(
+      "/metrics/history",
+      [](const HttpRequest&, NetServer::HttpResponse* response) {
+        // The metrics time-series ring, one JSON sample per line (oldest
+        // first). Empty until a sampler runs (tempspec_serve --history-ms).
+        response->content_type = "application/json";
+        response->body = MetricsHistory::Instance().RenderJsonl(0);
+      });
+  server->AddHttpHandler(
+      "/debug/health",
+      [](const HttpRequest&, NetServer::HttpResponse* response) {
+        // Every declared SLO re-evaluated now, plus the labeled latency
+        // series the verdicts were computed from.
+        response->content_type = "application/json";
+        response->body = SloRegistry::Instance().RenderHealthJson() + "\n";
       });
   server->AddHttpHandler(
       "/varz", [](const HttpRequest&, NetServer::HttpResponse* response) {
@@ -49,8 +68,8 @@ void RegisterTelemetryEndpoints(NetServer* server) {
   server->SetHttpFallback(
       [](const HttpRequest&, NetServer::HttpResponse* response) {
         response->body =
-            "not found; try /metrics, /varz, /healthz, /debug/events, "
-            "/debug/traces\n";
+            "not found; try /metrics, /metrics/history, /varz, /healthz, "
+            "/debug/events, /debug/traces, /debug/health\n";
       });
 }
 

@@ -104,6 +104,54 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabeledPrometheusText(
+    const std::vector<LabeledSeries>& series) {
+  if (series.empty()) return "";
+  const char* kFamily = "tempspec_query_latency";
+  std::string out;
+  out += std::string("# HELP ") + kFamily +
+         " per-query wall micros by relation, specialization kind, and "
+         "protocol\n";
+  out += std::string("# TYPE ") + kFamily + " histogram\n";
+  for (const LabeledSeries& s : series) {
+    const std::string labels = "relation=\"" + EscapeLabelValue(s.relation) +
+                               "\",kind=\"" + EscapeLabelValue(s.kind) +
+                               "\",protocol=\"" + EscapeLabelValue(s.protocol) +
+                               "\"";
+    uint64_t cumulative = 0;
+    for (const auto& [bucket, count] : s.latency.buckets) {
+      cumulative += count;
+      out += std::string(kFamily) + "_bucket{" + labels + ",le=\"" +
+             std::to_string(HistogramBucketUpperBound(bucket)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += std::string(kFamily) + "_bucket{" + labels + ",le=\"+Inf\"} " +
+           std::to_string(s.latency.count) + "\n";
+    out += std::string(kFamily) + "_sum{" + labels + "} " +
+           std::to_string(s.latency.sum) + "\n";
+    out += std::string(kFamily) + "_count{" + labels + "} " +
+           std::to_string(s.latency.count) + "\n";
+  }
+  return out;
+}
+
 TelemetryExporter::TelemetryExporter(ExporterOptions options)
     : options_(std::move(options)) {}
 

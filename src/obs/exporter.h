@@ -15,6 +15,8 @@
 //   /healthz       — "ok" (liveness; serves even when the registry is empty)
 //   /debug/events  — the flight-recorder ring as JSONL (obs/flight_recorder.h)
 //   /debug/traces  — the retained trace spans as JSONL (obs/trace.h)
+//   /debug/health  — declared SLOs re-evaluated now, as JSON (obs/slo.h)
+//   /metrics/history — the metrics time-series ring as JSONL (obs/history.h)
 //
 // For headless runs (benches, batch jobs) the exporter can also append a
 // periodic JSONL snapshot line to a file, so a run leaves a scrape history
@@ -49,6 +51,16 @@ std::string SanitizeMetricName(const std::string& name);
 /// histograms as cumulative `_bucket{le="..."}` series (log2 upper bounds,
 /// closed by `le="+Inf"`) plus `_sum` and `_count`.
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// \brief Renders the labeled per-query latency family as one
+/// `tempspec_query_latency` histogram per {relation, kind, protocol} series
+/// (cumulative `_bucket{...,le="..."}` plus labeled `_sum`/`_count`). The
+/// /metrics endpoint appends this after the registry text.
+std::string RenderLabeledPrometheusText(
+    const std::vector<LabeledSeries>& series);
+
+/// \brief Escapes a Prometheus label value (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& value);
 
 /// \brief Construction options for the exporter.
 struct ExporterOptions {

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 
@@ -131,6 +132,145 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Set(0);
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+uint32_t LabelDim::Intern(const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(value);
+  if (it != ids_.end()) return it->second;
+  if (ids_.size() >= capacity_) return kOverflowId;
+  uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = next_id_++;
+  }
+  ids_[value] = id;
+  values_[id] = value;
+  return id;
+}
+
+void LabelDim::Release(const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(value);
+  if (it == ids_.end()) return;
+  values_.erase(it->second);
+  free_ids_.push_back(it->second);
+  ids_.erase(it);
+}
+
+std::string LabelDim::ValueOf(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(id);
+  return it == values_.end() ? std::string("other") : it->second;
+}
+
+size_t LabelDim::LiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+void LabelDim::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ids_.clear();
+  values_.clear();
+  free_ids_.clear();
+  next_id_ = 1;
+}
+
+QueryLatencyFamily::QueryLatencyFamily()
+    : relations_(kRelationCapacity), kinds_(32), protocols_(8) {}
+
+QueryLatencyFamily& QueryLatencyFamily::Instance() {
+  // Leaked for the same reason as MetricsRegistry::Instance().
+  static QueryLatencyFamily* family = new QueryLatencyFamily();
+  return *family;
+}
+
+namespace {
+
+uint64_t PackSeriesKey(uint32_t relation_id, uint32_t kind_id,
+                       uint32_t protocol_id) {
+  return (static_cast<uint64_t>(relation_id) << 32) |
+         (static_cast<uint64_t>(kind_id & 0xffff) << 16) |
+         static_cast<uint64_t>(protocol_id & 0xffff);
+}
+
+}  // namespace
+
+void QueryLatencyFamily::Observe(const std::string& relation,
+                                 const std::string& kind,
+                                 const std::string& protocol,
+                                 uint64_t wall_micros) {
+  const uint32_t relation_id = relations_.Intern(relation);
+  const uint32_t kind_id = kinds_.Intern(kind);
+  const uint32_t protocol_id = protocols_.Intern(protocol);
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_[PackSeriesKey(relation_id, kind_id, protocol_id)];
+  s.buckets[HistogramBucketFor(wall_micros)] += 1;
+  s.sum += wall_micros;
+}
+
+void QueryLatencyFamily::ReleaseRelation(const std::string& relation) {
+  // Evict the series before recycling the id, so a later relation reusing
+  // the slot starts from empty histograms.
+  const uint32_t relation_id = relations_.Intern(relation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = series_.begin(); it != series_.end();) {
+      if (static_cast<uint32_t>(it->first >> 32) == relation_id &&
+          relation_id != LabelDim::kOverflowId) {
+        it = series_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  relations_.Release(relation);
+}
+
+std::vector<LabeledSeries> QueryLatencyFamily::Scrape() const {
+  std::vector<LabeledSeries> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(series_.size());
+  for (const auto& [key, s] : series_) {
+    LabeledSeries row;
+    row.relation = relations_.ValueOf(static_cast<uint32_t>(key >> 32));
+    row.kind = kinds_.ValueOf(static_cast<uint32_t>((key >> 16) & 0xffff));
+    row.protocol = protocols_.ValueOf(static_cast<uint32_t>(key & 0xffff));
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      row.latency.count += s.buckets[b];
+      row.latency.buckets.emplace_back(b, s.buckets[b]);
+    }
+    row.latency.sum = s.sum;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LabeledSeries& a, const LabeledSeries& b) {
+              if (a.relation != b.relation) return a.relation < b.relation;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.protocol < b.protocol;
+            });
+  return out;
+}
+
+size_t QueryLatencyFamily::SeriesCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+size_t QueryLatencyFamily::LiveRelationLabels() const {
+  return relations_.LiveCount();
+}
+
+void QueryLatencyFamily::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+  relations_.Clear();
+  kinds_.Clear();
+  protocols_.Clear();
 }
 
 std::string JsonEscape(const std::string& s) {

@@ -191,6 +191,102 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
 };
 
+// -- Labeled metrics ---------------------------------------------------------
+//
+// Registry handles live for the process lifetime, so encoding a relation
+// name into a registry metric name would leak one series per relation ever
+// created. Labeled families instead key series on small interned label ids
+// with a hard cardinality cap and id recycling: dropping a relation frees
+// its label slot (and its series), and when the table is full new values
+// collapse into a shared "other" bucket — a scrape is always O(live labels).
+
+/// \brief Bounded string interner for one label dimension. Intern() of a new
+/// value in a full table returns kOverflowId (rendered as "other");
+/// Release() frees the value's id for reuse by the next Intern().
+class LabelDim {
+ public:
+  static constexpr uint32_t kOverflowId = 0;
+
+  explicit LabelDim(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief Id for `value`, allocating a slot when one is free. Threadsafe.
+  uint32_t Intern(const std::string& value);
+
+  /// \brief Frees `value`'s slot (no-op for unknown/overflow values).
+  void Release(const std::string& value);
+
+  /// \brief Label text for an id ("other" for kOverflowId and stale ids).
+  std::string ValueOf(uint32_t id) const;
+
+  /// \brief Currently interned (live) values, excluding the overflow bucket.
+  size_t LiveCount() const;
+
+  /// \brief Drops every interned value and free-list entry (test isolation).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint32_t next_id_ = 1;
+  std::map<std::string, uint32_t> ids_;
+  std::map<uint32_t, std::string> values_;
+  std::vector<uint32_t> free_ids_;
+};
+
+/// \brief One labeled latency series resolved to label text at scrape time.
+struct LabeledSeries {
+  std::string relation;
+  std::string kind;      // scan-kernel token for reads, insert/delete/ddl
+  std::string protocol;  // local | http | tsp1
+  HistogramSnapshot latency;  // wall micros
+};
+
+/// \brief The per-query labeled latency family behind
+/// `tempspec_query_latency{relation=...,kind=...,protocol=...}`.
+///
+/// All operations take one mutex: the family is touched once per query (not
+/// per element), so contention is bounded by request rate, and the lock
+/// makes series eviction on relation drop trivially safe.
+class QueryLatencyFamily {
+ public:
+  static constexpr size_t kRelationCapacity = 128;
+
+  static QueryLatencyFamily& Instance();
+
+  void Observe(const std::string& relation, const std::string& kind,
+               const std::string& protocol, uint64_t wall_micros);
+
+  /// \brief Drops every series for `relation` and recycles its label id
+  /// (DROP RELATION keeps the scrape O(live relations)).
+  void ReleaseRelation(const std::string& relation);
+
+  /// \brief Every live series, sorted by (relation, kind, protocol).
+  std::vector<LabeledSeries> Scrape() const;
+
+  size_t SeriesCount() const;
+  size_t LiveRelationLabels() const;
+
+  /// \brief Drops all series and label slots (test isolation).
+  void Reset();
+
+ private:
+  QueryLatencyFamily();
+
+  struct Series {
+    uint64_t buckets[kHistogramBuckets] = {};
+    uint64_t sum = 0;
+  };
+
+  mutable std::mutex mu_;
+  LabelDim relations_;
+  LabelDim kinds_;
+  LabelDim protocols_;
+  // Key: relation_id << 32 | kind_id << 16 | protocol_id.
+  std::map<uint64_t, Series> series_;
+};
+
 /// \brief Escapes a string for embedding in a JSON string literal (shared by
 /// the snapshot, trace spans, and the bench JSON writer).
 std::string JsonEscape(const std::string& s);

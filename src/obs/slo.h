@@ -1,0 +1,116 @@
+// SLO health plane: declared latency objectives and a burn-rate watchdog.
+//
+// An objective is "p99 latency for relation R stays under X ms" —
+// equivalently, at most 1% of R's queries may exceed X ms (the error
+// budget). Objectives are declared by configuration (tools/tempspec_serve
+// --slo / the simulator's tenant table), not by DDL: schema replay through
+// schemas.sql must round-trip exactly, and an operator concern like an SLO
+// target does not belong in the durable schema.
+//
+// The watchdog reads the labeled latency family (obs/metrics.h): per
+// relation it merges every {kind, protocol} series, then judges two windows:
+//
+//   total   — every observation since process start (or Reset). The verdict
+//             is "ok" iff the fraction of observations above the objective
+//             is within the 1% budget. This is the verdict the simulator
+//             reconciles against its own client-side p99 gate.
+//   window  — the delta since the previous Evaluate() call (the sampler
+//             thread calls Evaluate per tick). burn_rate is the violating
+//             fraction divided by the 1% budget: 1.0 means the budget is
+//             being spent exactly as fast as it accrues; >1 means burning.
+//
+// Bucket coarseness makes the watchdog deliberately lenient: a log2 bucket
+// that straddles the objective is counted as conforming, so "burning" is
+// only reported when observations land in buckets *entirely* above the
+// objective. A lenient server verdict can therefore never contradict a
+// passing client-side gate.
+//
+// Surfaces: /debug/health (JSON), SHOW HEALTH (text), and the
+// tempspec.slo.* gauge family updated on every Evaluate().
+#ifndef TEMPSPEC_OBS_SLO_H_
+#define TEMPSPEC_OBS_SLO_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tempspec {
+
+/// \brief One relation's judged objective, as of the last Evaluate().
+struct SloVerdict {
+  std::string relation;
+  double objective_p99_ms = 0.0;
+
+  // Since process start (or Reset):
+  uint64_t total_count = 0;
+  uint64_t total_violations = 0;  // observations in buckets above objective
+  uint64_t total_p99_micros = 0;  // upper-bound estimate (log2 buckets)
+  bool total_ok = true;           // violations within the 1% budget
+
+  // Since the previous Evaluate():
+  uint64_t window_count = 0;
+  uint64_t window_violations = 0;
+  uint64_t window_p99_micros = 0;
+  double burn_rate = 0.0;  // violating fraction / 1% budget
+  bool burning = false;    // burn_rate > 1.0
+
+  std::string ToJson() const;
+};
+
+/// \brief Declared objectives + burn-rate evaluation state. Mutex-guarded;
+/// touched by the sampler tick and telemetry scrapes, never per query.
+class SloRegistry {
+ public:
+  /// \brief Fraction of queries allowed above the objective (p99 => 1%).
+  static constexpr double kBudgetFraction = 0.01;
+
+  /// \brief Process-wide instance (config flags declare into it, telemetry
+  /// endpoints read it). Tests use free instances.
+  static SloRegistry& Instance();
+
+  SloRegistry() = default;
+  SloRegistry(const SloRegistry&) = delete;
+  SloRegistry& operator=(const SloRegistry&) = delete;
+
+  /// \brief Declares (or re-targets) an objective for a relation.
+  void Declare(const std::string& relation, double p99_ms);
+  void Remove(const std::string& relation);
+  std::map<std::string, double> Objectives() const;
+
+  /// \brief Parses a "rel=12.5,other=40" objective spec (the --slo flag /
+  /// TEMPSPEC_SERVE_SLO format) into Declare() calls. Returns false on any
+  /// malformed entry (valid entries before it are still declared).
+  bool DeclareFromSpec(const std::string& spec);
+
+  /// \brief Re-judges every declared objective against the labeled latency
+  /// family and updates the tempspec.slo.* gauges. Called by the sampler
+  /// tick and on demand by SHOW HEALTH / /debug/health.
+  std::vector<SloVerdict> Evaluate();
+
+  /// \brief The verdicts from the last Evaluate() (no re-evaluation).
+  std::vector<SloVerdict> Current() const;
+
+  /// \brief Full /debug/health body: {"unix_micros":...,"slos":[...],
+  /// "series":[per {relation,kind,protocol} latency digests]}.
+  std::string RenderHealthJson();
+
+  /// \brief Drops objectives, verdicts, and window baselines (tests).
+  void Clear();
+
+ private:
+  struct Baseline {
+    uint64_t count = 0;
+    uint64_t violations = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, double> objectives_;
+  std::map<std::string, Baseline> baselines_;
+  std::vector<SloVerdict> current_;
+};
+
+}  // namespace tempspec
+
+#endif  // TEMPSPEC_OBS_SLO_H_

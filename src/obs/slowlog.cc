@@ -14,7 +14,15 @@ std::string SlowQueryEntry::ToJson() const {
                     ",\"trace_id\":" + std::to_string(trace_id) +
                     ",\"unix_micros\":" + std::to_string(unix_micros) +
                     ",\"wall_micros\":" + std::to_string(wall_micros) +
-                    ",\"statement\":\"" + JsonEscape(statement) + "\",\"trace\":";
+                    ",\"statement\":\"" + JsonEscape(statement) + "\"";
+  if (!protocol.empty()) {
+    out += ",\"protocol\":\"" + JsonEscape(protocol) + "\"";
+  }
+  if (!peer.empty()) out += ",\"peer\":\"" + JsonEscape(peer) + "\"";
+  if (!wire_trace.empty()) {
+    out += ",\"wire_trace\":\"" + JsonEscape(wire_trace) + "\"";
+  }
+  out += ",\"trace\":";
   out += trace_json.empty() ? "{}" : trace_json;
   out += "}";
   return out;
@@ -79,6 +87,9 @@ void SlowQueryLog::Record(TraceContext& trace, const std::string& statement) {
   entry.wall_micros = trace.wall_micros();
   entry.trace_id = trace.trace_id();
   entry.statement = statement;
+  entry.protocol = trace.attr("protocol");
+  entry.peer = trace.attr("peer");
+  entry.wire_trace = trace.WireTraceId();
 
   std::string sink_path;
   {

@@ -42,12 +42,21 @@ struct SlowQueryEntry {
   uint64_t wall_micros = 0;
   /// The statement as the user wrote it ("" for programmatic queries).
   std::string statement;
+  /// How the statement arrived: "http" / "tsp1" (the server request span's
+  /// protocol attribute), "" for embedded/programmatic queries.
+  std::string protocol;
+  /// Remote "ip:port" for server-side entries, "" otherwise.
+  std::string peer;
+  /// The client's 128-bit wire trace id as 32 hex chars, "" when the
+  /// request carried none (join key against client-side logs).
+  std::string wire_trace;
   /// The span's single-line JSON (TraceContext::ToJson()).
   std::string trace_json;
 
   /// \brief The entry as one JSON line (the sink format):
   /// {"sequence":..,"trace_id":..,"unix_micros":..,"wall_micros":..,
-  ///  "statement":"...","trace":{...}}.
+  ///  "statement":"...","protocol":"...","peer":"...","wire_trace":"...",
+  ///  "trace":{...}} (protocol/peer/wire_trace omitted when empty).
   std::string ToJson() const;
 };
 

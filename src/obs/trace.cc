@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics.h"
@@ -23,8 +24,14 @@ uint64_t NextTraceId() {
 }  // namespace
 
 void TraceContext::Begin(std::string name) {
+  if (started_ && !ended_) {
+    ++nest_depth_;
+    SetAttr("inner_span", std::move(name));
+    return;
+  }
   name_ = std::move(name);
   trace_id_ = NextTraceId();
+  nest_depth_ = 0;
   started_ = true;
   ended_ = false;
   wall_micros_ = 0;
@@ -33,8 +40,29 @@ void TraceContext::Begin(std::string name) {
 
 void TraceContext::End() {
   if (!started_ || ended_) return;
+  if (nest_depth_ > 0) {
+    --nest_depth_;
+    return;
+  }
   ended_ = true;
   wall_micros_ = MicrosSince(start_);
+}
+
+void TraceContext::SetWireTrace(uint64_t hi, uint64_t lo,
+                                uint64_t parent_span_id) {
+  wire_trace_hi_ = hi;
+  wire_trace_lo_ = lo;
+  parent_span_id_ = parent_span_id;
+  wire_trace_set_ = true;
+}
+
+std::string TraceContext::WireTraceId() const {
+  if (!wire_trace_set_) return "";
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(wire_trace_hi_),
+                static_cast<unsigned long long>(wire_trace_lo_));
+  return std::string(buf);
 }
 
 void TraceContext::SetAttr(const std::string& key, std::string value) {
@@ -126,6 +154,13 @@ std::string TraceContext::ToJson() const {
 
   std::string out = "{\"span\":\"" + JsonEscape(name_) + "\"";
   out += ",\"trace_id\":" + std::to_string(trace_id_);
+  if (wire_trace_set_) {
+    char span_hex[17];
+    std::snprintf(span_hex, sizeof(span_hex), "%016llx",
+                  static_cast<unsigned long long>(parent_span_id_));
+    out += ",\"wire_trace\":\"" + WireTraceId() + "\"";
+    out += ",\"parent_span\":\"" + std::string(span_hex) + "\"";
+  }
   out += ",\"wall_micros\":" + std::to_string(wall_micros_);
   out += ",\"attrs\":{";
   bool first = true;

@@ -47,8 +47,15 @@ class TraceContext {
   TraceContext() = default;
 
   /// \brief Starts the span clock and names it (e.g. "query.timeslice").
+  ///
+  /// Nest-aware: a Begin() on a span that is already running (a server-owned
+  /// request span reaching the executor, which names its own query span)
+  /// keeps the outer clock and trace id, records the inner name as the
+  /// "inner_span" attribute, and bumps a nesting depth so the matching
+  /// End() does not finalize the outer span early.
   void Begin(std::string name);
   /// \brief Stops the span clock. Idempotent; ToJson() calls it if needed.
+  /// Pops one nested Begin() first when the span is nested.
   void End();
 
   bool started() const { return started_; }
@@ -58,6 +65,26 @@ class TraceContext {
   /// ToJson() and slow-query entries so a slow query joins to its retained
   /// span in /debug/traces.
   uint64_t trace_id() const { return trace_id_; }
+
+  // -- Wire trace identity (distributed tracing) -----------------------------
+
+  /// \brief Adopts a client-generated 128-bit trace id plus the client's
+  /// span id as this span's parent. Survives Begin(); stamped into ToJson()
+  /// as "wire_trace"/"parent_span" so slowlog entries, retained traces, and
+  /// EXPLAIN ANALYZE output all join to the client-observed request.
+  void SetWireTrace(uint64_t hi, uint64_t lo, uint64_t parent_span_id);
+  bool has_wire_trace() const { return wire_trace_set_; }
+  uint64_t wire_trace_hi() const { return wire_trace_hi_; }
+  uint64_t wire_trace_lo() const { return wire_trace_lo_; }
+  uint64_t parent_span_id() const { return parent_span_id_; }
+  /// \brief The 128-bit id as 32 lowercase hex chars ("" when unset).
+  std::string WireTraceId() const;
+
+  /// \brief Marks the span as owned by the network server, which records it
+  /// into the slowlog/retained ring at response completion — query_lang must
+  /// then not record the same span a second time mid-request.
+  void SetServerOwned(bool owned) { server_owned_ = owned; }
+  bool server_owned() const { return server_owned_; }
 
   /// \brief Sets a string attribute (last write wins), e.g. plan strategy.
   void SetAttr(const std::string& key, std::string value);
@@ -114,6 +141,12 @@ class TraceContext {
  private:
   std::string name_;
   uint64_t trace_id_ = 0;
+  uint64_t wire_trace_hi_ = 0;
+  uint64_t wire_trace_lo_ = 0;
+  uint64_t parent_span_id_ = 0;
+  bool wire_trace_set_ = false;
+  bool server_owned_ = false;
+  int nest_depth_ = 0;
   bool started_ = false;
   bool ended_ = false;
   std::chrono::steady_clock::time_point start_;

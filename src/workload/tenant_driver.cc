@@ -210,6 +210,18 @@ bool TenantDriver::EnsureConnected() {
   return false;
 }
 
+void TenantDriver::RetainErrorDetail(const char* op, const WireReply& reply) {
+  if (report_.error_details.size() >= TenantReport::kMaxErrorDetails) return;
+  std::string detail = std::string(op) + " " +
+                       WireOutcomeToString(reply.outcome) + ": " +
+                       reply.body.substr(0, TenantReport::kErrorDetailBytes);
+  // One log line per detail: strip the body's own newlines.
+  for (char& c : detail) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  report_.error_details.push_back(std::move(detail));
+}
+
 void TenantDriver::RecordWrite(const WireReply& reply, bool is_delete) {
   switch (reply.outcome) {
     case WireOutcome::kOk:
@@ -234,6 +246,7 @@ void TenantDriver::RecordWrite(const WireReply& reply, bool is_delete) {
       ++ticks_;
       ++report_.requests_counted;
       ++report_.constraint_rejections;
+      RetainErrorDetail("write", reply);
       if (drifting()) {
         ++report_.drift_rejections;
         drift_rejections_observed_.fetch_add(1, std::memory_order_relaxed);
@@ -254,6 +267,7 @@ void TenantDriver::RecordWrite(const WireReply& reply, bool is_delete) {
       ++ticks_;
       ++report_.requests_counted;
       ++report_.server_errors;
+      RetainErrorDetail("write", reply);
       if (is_delete) {
         ++report_.ambiguous_deletes;
       } else {
@@ -289,6 +303,7 @@ void TenantDriver::RecordRead(const WireReply& reply) {
     case WireOutcome::kServerError:
       ++report_.read_errors;
       ++report_.requests_counted;
+      RetainErrorDetail("read", reply);
       break;
     case WireOutcome::kDeadline:
       ++report_.deadline_exceeded;

@@ -108,6 +108,14 @@ struct TenantReport {
   /// (everything except admission rejections and transport failures).
   uint64_t requests_counted = 0;
 
+  /// Truncated server error bodies ("write: ..." / "read: ..."), newest
+  /// last, capped at kMaxErrorDetails. Reconciliation evidence: when a
+  /// bound check fails, the report shows *what* the server said instead of
+  /// a bare error counter.
+  static constexpr size_t kMaxErrorDetails = 32;
+  static constexpr size_t kErrorDetailBytes = 160;
+  std::vector<std::string> error_details;
+
   std::vector<double> write_latency_ns;
   std::vector<double> read_latency_ns;
 };
@@ -161,6 +169,8 @@ class TenantDriver {
   std::string NextReadStatement();
   void RecordWrite(const WireReply& reply, bool is_delete);
   void RecordRead(const WireReply& reply);
+  /// Keeps a truncated copy of an error reply body in the report.
+  void RetainErrorDetail(const char* op, const WireReply& reply);
   std::string FmtTime(int64_t micros) const;
 
   TenantOptions options_;

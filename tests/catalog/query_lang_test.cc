@@ -194,7 +194,7 @@ TEST_F(QueryLangTest, ShowErrors) {
       ExecuteQuery(catalog_, "SHOW SPECIALIZATION samples extra").ok());
   EXPECT_FALSE(ExecuteQuery(catalog_, "SHOW FLIGHT").ok());
   const Status unknown = ExecuteQuery(catalog_, "SHOW NOTHING").status();
-  EXPECT_NE(unknown.message().find("FLIGHT RECORDER, or TRACES"),
+  EXPECT_NE(unknown.message().find("TRACES, HEALTH, or HISTORY"),
             std::string::npos)
       << unknown.message();
 }

@@ -14,7 +14,9 @@
 #include "net/client.h"
 #include "net/net_test_client.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "testing.h"
+#include "workload/tenant_driver.h"
 
 namespace tempspec {
 namespace {
@@ -193,6 +195,148 @@ TEST_F(CrossProtocolTest, QueryClientClassifiesIdenticallyAcrossProtocols) {
     EXPECT_EQ(again.outcome, WireOutcome::kOk);
     EXPECT_EQ(again.body, ok.body);
     client.Close();
+  }
+}
+
+TEST_F(CrossProtocolTest, ClientTraceIdJoinsServerSpansOnBothProtocols) {
+  StartServer();
+  ASSERT_OK(service_
+                ->Execute(
+                    "CREATE EVENT RELATION xp (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1s",
+                    nullptr)
+                .status());
+  RetainedTraces::Instance().Clear();
+
+  for (ClientProtocol protocol :
+       {ClientProtocol::kHttp, ClientProtocol::kTsp1}) {
+    ClientOptions options;
+    options.protocol = protocol;
+    QueryClient client(options);
+    ASSERT_OK(client.Connect(server_->port()));
+    WireReply ok = client.Execute("CURRENT xp");
+    ASSERT_EQ(ok.outcome, WireOutcome::kOk) << ok.body;
+    const std::string wire_id = client.last_trace_id();
+    ASSERT_EQ(wire_id.size(), 32u);
+
+    // The server's request span must be retained under the client's trace
+    // id — same join key over both encodings. Retention happens after the
+    // response is written, so poll briefly.
+    std::string span_json;
+    ASSERT_TRUE(testing::WaitFor([&] {
+      for (const RetainedTrace& entry : RetainedTraces::Instance().Entries()) {
+        if (entry.json.find("\"wire_trace\":\"" + wire_id + "\"") !=
+            std::string::npos) {
+          span_json = entry.json;
+          return true;
+        }
+      }
+      return false;
+    })) << "no retained span carries wire trace " << wire_id;
+
+    // The server-owned span carries the request lifecycle and the transport
+    // attribution the slowlog needs.
+    const char* expected_protocol =
+        protocol == ClientProtocol::kHttp ? "\"protocol\":\"http\""
+                                          : "\"protocol\":\"tsp1\"";
+    EXPECT_NE(span_json.find(expected_protocol), std::string::npos)
+        << span_json;
+    EXPECT_NE(span_json.find("\"peer\":\"127.0.0.1:"), std::string::npos)
+        << span_json;
+    for (const char* stage : {"\"queue.wait\"", "\"execute\"", "\"respond\""}) {
+      EXPECT_NE(span_json.find(stage), std::string::npos)
+          << stage << " missing from " << span_json;
+    }
+    client.Close();
+  }
+}
+
+TEST_F(CrossProtocolTest, MalformedTraceHeaderNeverFailsTheRequest) {
+  StartServer();
+  ASSERT_OK(service_
+                ->Execute(
+                    "CREATE EVENT RELATION xp (sensor INT64 KEY, v DOUBLE) "
+                    "GRANULARITY 1s",
+                    nullptr)
+                .status());
+
+  TestClient http(server_->port());
+  ASSERT_TRUE(http.connected());
+  // A propagated trace id is an optimization, never a contract: every
+  // malformed shape executes under a server-generated id instead of a 4xx.
+  const std::string malformed[] = {
+      "X-Tempspec-Trace: nonsense\r\n",
+      "X-Tempspec-Trace: \r\n",
+      // 31 hex chars before the dash (one short).
+      "X-Tempspec-Trace: 0123456789abcdef0123456789abcde-0011223344556677\r\n",
+      // Non-hex characters in the trace id.
+      "X-Tempspec-Trace: zzzz456789abcdef0123456789abcdef-0011223344556677\r\n",
+      // Missing span half.
+      "X-Tempspec-Trace: 0123456789abcdef0123456789abcdef\r\n",
+  };
+  for (const std::string& header : malformed) {
+    TestClient::HttpReply reply = http.PostQuery("CURRENT xp", header);
+    ASSERT_TRUE(reply.ok) << header;
+    EXPECT_EQ(reply.code, 200) << header << ": " << reply.body;
+  }
+  // No header at all is equally fine.
+  TestClient::HttpReply bare = http.PostQuery("CURRENT xp");
+  ASSERT_TRUE(bare.ok);
+  EXPECT_EQ(bare.code, 200);
+
+  // A well-formed header on the same raw connection is adopted verbatim.
+  RetainedTraces::Instance().Clear();
+  const std::string wire_id = "0123456789abcdef0123456789abcdef";
+  TestClient::HttpReply traced = http.PostQuery(
+      "CURRENT xp", "X-Tempspec-Trace: " + wire_id + "-0011223344556677\r\n");
+  ASSERT_TRUE(traced.ok);
+  EXPECT_EQ(traced.code, 200);
+  EXPECT_TRUE(testing::WaitFor([&] {
+    for (const RetainedTrace& entry : RetainedTraces::Instance().Entries()) {
+      if (entry.json.find("\"wire_trace\":\"" + wire_id + "\"") !=
+          std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }));
+}
+
+TEST_F(CrossProtocolTest, TenantDriverRetainsTruncatedServerErrorBodies) {
+  StartServer();
+  ASSERT_OK(
+      service_
+          ->Execute(TenantDriver::CreateStatement(Scenario::kAccounting),
+                    nullptr)
+          .status());
+
+  SimEndpoint endpoint;
+  endpoint.port.store(static_cast<int>(server_->port()));
+  endpoint.generation.store(1);
+
+  TenantOptions options;
+  options.scenario = Scenario::kAccounting;
+  options.protocol = ClientProtocol::kHttp;
+  options.reads_per_write = 0;  // writes only
+  options.think_time_us = 0;
+  options.max_ops = 12;
+  options.drift_after_ops = 1;  // violate the declared band immediately
+  TenantDriver driver(options, &endpoint);
+  driver.Run();
+
+  const TenantReport& report = driver.report();
+  EXPECT_GT(report.drift_rejections, 0u);
+  ASSERT_FALSE(report.error_details.empty());
+  EXPECT_LE(report.error_details.size(), TenantReport::kMaxErrorDetails);
+  for (const std::string& detail : report.error_details) {
+    // "<op> <outcome>: <truncated body>", single-line, bounded.
+    EXPECT_EQ(detail.rfind("write client_error: ", 0), 0u) << detail;
+    EXPECT_NE(detail.find("Constraint violation"), std::string::npos)
+        << detail;
+    EXPECT_EQ(detail.find('\n'), std::string::npos) << detail;
+    EXPECT_LE(detail.size(),
+              TenantReport::kErrorDetailBytes + 32)  // + op/outcome prefix
+        << detail;
   }
 }
 

@@ -124,6 +124,46 @@ TEST(SlowQueryLogTest, EntriesCarryTheTraceIdForJoiningRetainedSpans) {
             std::to_string(t.trace_id()));
 }
 
+TEST(SlowQueryLogTest, EntriesCarryProtocolPeerAndWireTrace) {
+  SlowQueryLog log(/*capacity=*/8);
+  log.SetThresholdMicros(0);
+  TraceContext t;
+  t.SetWireTrace(0x0123456789abcdefULL, 0xfedcba9876543210ULL, 42);
+  t.Begin("server.request");
+  t.SetAttr("protocol", "tsp1");
+  t.SetAttr("peer", "127.0.0.1:5555");
+  t.End();
+  log.Record(t, "CURRENT samples");
+  ASSERT_EQ(log.Entries().size(), 1u);
+  const SlowQueryEntry entry = log.Entries()[0];
+  EXPECT_EQ(entry.protocol, "tsp1");
+  EXPECT_EQ(entry.peer, "127.0.0.1:5555");
+  EXPECT_EQ(entry.wire_trace, "0123456789abcdeffedcba9876543210");
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v, JsonParser::Parse(entry.ToJson()));
+  EXPECT_EQ(v.at("protocol").string, "tsp1");
+  EXPECT_EQ(v.at("peer").string, "127.0.0.1:5555");
+  EXPECT_EQ(v.at("wire_trace").string, "0123456789abcdeffedcba9876543210");
+}
+
+TEST(SlowQueryLogTest, LocalEntriesOmitWireFields) {
+  // A span recorded by in-process execution (no network server, no
+  // propagated trace) keeps its JSON line free of the wire keys entirely —
+  // absent, not empty strings.
+  SlowQueryLog log(/*capacity=*/8);
+  log.SetThresholdMicros(0);
+  TraceContext t;
+  MakeSpan("query.current", &t);
+  log.Record(t, "CURRENT samples");
+  ASSERT_EQ(log.Entries().size(), 1u);
+  EXPECT_TRUE(log.Entries()[0].protocol.empty());
+  EXPECT_TRUE(log.Entries()[0].wire_trace.empty());
+  ASSERT_OK_AND_ASSIGN(testing::JsonValue v,
+                       JsonParser::Parse(log.Entries()[0].ToJson()));
+  EXPECT_FALSE(v.has("protocol"));
+  EXPECT_FALSE(v.has("peer"));
+  EXPECT_FALSE(v.has("wire_trace"));
+}
+
 TEST(SlowQueryLogTest, ClearResetsRingAndSequence) {
   SlowQueryLog log(/*capacity=*/2);
   log.SetThresholdMicros(0);

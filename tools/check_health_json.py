@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Schema validator for the SLO health plane endpoints.
+
+Usage:
+    tools/check_health_json.py --health health.json [more.json ...]
+    tools/check_health_json.py --history history.jsonl [more.jsonl ...]
+    curl -s localhost:8391/debug/health  | tools/check_health_json.py --health -
+    curl -s localhost:8391/metrics/history | tools/check_health_json.py --history -
+
+--health validates a /debug/health body (also what SHOW HEALTH renders
+line-by-line before its summary):
+  * a single JSON object with integer `unix_micros`, an array `slos`, and
+    an array `series`;
+  * every slo verdict carries `relation`, a positive `objective_p99_ms`,
+    and `total`/`window` objects with non-negative integer `count`,
+    `violations` (<= count), `p99_micros`, and a verdict drawn from the
+    closed sets {ok, violated} / {ok, burning}; the window additionally
+    carries a non-negative `burn_rate`;
+  * every labeled series digest carries non-empty `relation`, `kind`,
+    `protocol` strings and non-negative `count`, `p50_micros`,
+    `p99_micros` with p50 <= p99.
+
+--history validates a /metrics/history body (SHOW HISTORY): JSONL where
+every line is an object with integer `unix_micros` and `counters`,
+`gauges` (numeric maps), and `histograms` (name -> {count, sum, p50,
+p99} digest) objects; `unix_micros` must be non-decreasing down the file
+(the ring renders oldest-first).
+
+Optional gates for smoke scripts: `--min-slos N` and `--min-series N`
+(health) or `--min-samples N` (history) turn "valid but empty" into a
+failure. Exits nonzero on the first violation. Stdlib only.
+"""
+import argparse
+import json
+import math
+import sys
+
+TOTAL_VERDICTS = ("ok", "violated")
+WINDOW_VERDICTS = ("ok", "burning")
+
+
+class Violation(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Violation(msg)
+
+
+def as_uint(obj, key, where):
+    require(key in obj, f"{where} lacks {key!r}")
+    value = obj[key]
+    require(isinstance(value, int) and not isinstance(value, bool),
+            f"{where}.{key} is not an integer: {value!r}")
+    require(value >= 0, f"{where}.{key} is negative: {value}")
+    return value
+
+
+def as_number(obj, key, where):
+    require(key in obj, f"{where} lacks {key!r}")
+    value = obj[key]
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"{where}.{key} is not a number: {value!r}")
+    require(math.isfinite(value), f"{where}.{key} is not finite: {value!r}")
+    return value
+
+
+def as_nonempty_str(obj, key, where):
+    require(key in obj, f"{where} lacks {key!r}")
+    value = obj[key]
+    require(isinstance(value, str) and value,
+            f"{where}.{key} is not a non-empty string: {value!r}")
+    return value
+
+
+def check_bucket(obj, key, where, verdicts, windowed):
+    require(key in obj and isinstance(obj[key], dict),
+            f"{where} lacks a {key!r} object")
+    bucket = obj[key]
+    where = f"{where}.{key}"
+    count = as_uint(bucket, "count", where)
+    violations = as_uint(bucket, "violations", where)
+    require(violations <= count,
+            f"{where}: violations {violations} > count {count}")
+    as_uint(bucket, "p99_micros", where)
+    if windowed:
+        burn = as_number(bucket, "burn_rate", where)
+        require(burn >= 0, f"{where}.burn_rate is negative: {burn}")
+    verdict = as_nonempty_str(bucket, "verdict", where)
+    require(verdict in verdicts,
+            f"{where}.verdict {verdict!r} not in {verdicts}")
+
+
+def check_health(path, text, args):
+    try:
+        body = json.loads(text)
+    except ValueError as e:
+        raise Violation(f"not valid JSON: {e}")
+    require(isinstance(body, dict), "top level is not an object")
+    as_uint(body, "unix_micros", "body")
+    require(isinstance(body.get("slos"), list), "body.slos is not an array")
+    require(isinstance(body.get("series"), list),
+            "body.series is not an array")
+
+    for i, slo in enumerate(body["slos"]):
+        where = f"slos[{i}]"
+        require(isinstance(slo, dict), f"{where} is not an object")
+        as_nonempty_str(slo, "relation", where)
+        objective = as_number(slo, "objective_p99_ms", where)
+        require(objective > 0,
+                f"{where}.objective_p99_ms not positive: {objective}")
+        check_bucket(slo, "total", where, TOTAL_VERDICTS, windowed=False)
+        check_bucket(slo, "window", where, WINDOW_VERDICTS, windowed=True)
+
+    for i, series in enumerate(body["series"]):
+        where = f"series[{i}]"
+        require(isinstance(series, dict), f"{where} is not an object")
+        as_nonempty_str(series, "relation", where)
+        as_nonempty_str(series, "kind", where)
+        as_nonempty_str(series, "protocol", where)
+        as_uint(series, "count", where)
+        p50 = as_uint(series, "p50_micros", where)
+        p99 = as_uint(series, "p99_micros", where)
+        require(p50 <= p99, f"{where}: p50 {p50} > p99 {p99}")
+
+    require(len(body["slos"]) >= args.min_slos,
+            f"only {len(body['slos'])} slo(s), need >= {args.min_slos}")
+    require(len(body["series"]) >= args.min_series,
+            f"only {len(body['series'])} series, need >= {args.min_series}")
+    print(f"{path}: OK ({len(body['slos'])} slo(s), "
+          f"{len(body['series'])} series)")
+
+
+def check_numeric_map(obj, key, where):
+    require(key in obj and isinstance(obj[key], dict),
+            f"{where} lacks a {key!r} object")
+    for name, value in obj[key].items():
+        require(isinstance(value, (int, float)) and not isinstance(value, bool),
+                f"{where}.{key}[{name!r}] is not a number: {value!r}")
+
+
+def check_history(path, text, args):
+    samples = 0
+    prev_micros = -1
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        where = f"line {lineno}"
+        try:
+            sample = json.loads(line)
+        except ValueError as e:
+            raise Violation(f"{where}: not valid JSON: {e}")
+        require(isinstance(sample, dict), f"{where}: not an object")
+        micros = as_uint(sample, "unix_micros", where)
+        require(micros >= prev_micros,
+                f"{where}: unix_micros {micros} decreases (ring must render "
+                f"oldest-first)")
+        prev_micros = micros
+        check_numeric_map(sample, "counters", where)
+        check_numeric_map(sample, "gauges", where)
+        require(isinstance(sample.get("histograms"), dict),
+                f"{where}: lacks a histograms object")
+        for name, digest in sample["histograms"].items():
+            hwhere = f"{where} histogram {name!r}"
+            require(isinstance(digest, dict), f"{hwhere} is not an object")
+            for key in ("count", "sum", "p50", "p99"):
+                as_uint(digest, key, hwhere)
+        samples += 1
+    require(samples >= args.min_samples,
+            f"only {samples} sample(s), need >= {args.min_samples}")
+    print(f"{path}: OK ({samples} history sample(s))")
+
+
+def check_file(path, args):
+    try:
+        text = (sys.stdin.read() if path == "-"
+                else open(path, "r", encoding="utf-8").read())
+    except OSError as e:
+        print(f"{path}: FAIL: unreadable: {e}")
+        return False
+    try:
+        if args.health:
+            check_health("<stdin>" if path == "-" else path, text, args)
+        else:
+            check_history("<stdin>" if path == "-" else path, text, args)
+        return True
+    except Violation as e:
+        print(f"{path}: FAIL: {e}")
+        return False
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--health", action="store_true",
+                      help="validate /debug/health JSON bodies")
+    mode.add_argument("--history", action="store_true",
+                      help="validate /metrics/history JSONL bodies")
+    parser.add_argument("--min-slos", type=int, default=0)
+    parser.add_argument("--min-series", type=int, default=0)
+    parser.add_argument("--min-samples", type=int, default=0)
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args(argv[1:])
+    ok = all([check_file(p, args) for p in args.files])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

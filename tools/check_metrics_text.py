@@ -13,7 +13,10 @@ Checks the subset of the exposition grammar the exporter emits:
     at most once;
   * histogram families carry `le`-labelled _bucket samples with
     non-decreasing cumulative counts, a final le="+Inf" bucket equal to
-    _count, and both _sum and _count samples.
+    _count, and both _sum and _count samples. Bucket series are grouped
+    by their full label set minus `le`, so one family may carry many
+    labeled series (tempspec_query_latency{relation,kind,protocol}) and
+    each is validated independently.
 
 Exits nonzero with a per-file report on the first violation so CI can gate
 on a live scrape. Stdlib only — no third-party dependencies.
@@ -59,10 +62,17 @@ def parse_value(text):
         return None
 
 
+def series_name(family, key):
+    if not key:
+        return family
+    return family + "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
 def check_text(path, text):
     helped, types = set(), {}
-    # family -> list of (le, cumulative_count); family -> set of suffixes seen
-    buckets, seen_suffixes = {}, {}
+    # (family, labels-minus-le) -> list of (lineno, le, cumulative_count);
+    # (family, labels) -> (lineno, _count value); family -> suffixes seen.
+    buckets, counts, seen_suffixes = {}, {}, {}
     samples = 0
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -114,6 +124,8 @@ def check_text(path, text):
         samples += 1
         if types[family] == "histogram":
             seen_suffixes.setdefault(family, set())
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
             if name.endswith("_bucket"):
                 if "le" not in labels:
                     return fail(path, lineno, f"{name} sample lacks an le label")
@@ -121,42 +133,54 @@ def check_text(path, text):
                 if le is None:
                     return fail(path, lineno,
                                 f"non-numeric le {labels['le']!r} on {name}")
-                buckets.setdefault(family, []).append((lineno, le, value))
+                buckets.setdefault((family, key), []).append((lineno, le, value))
                 seen_suffixes[family].add("_bucket")
             elif name.endswith("_sum"):
                 seen_suffixes[family].add("_sum")
             elif name.endswith("_count"):
                 seen_suffixes[family].add("_count")
-                buckets.setdefault(family, [])
-                buckets[family].append((lineno, "count", value))
+                if (family, key) in counts:
+                    return fail(path, lineno,
+                                f"duplicate _count for "
+                                f"{series_name(family, key)}")
+                counts[(family, key)] = (lineno, value)
         elif types[family] in ("counter",) and value < 0:
             return fail(path, lineno, f"negative counter {name}")
 
     if samples == 0:
         return fail(path, 0, "no samples at all")
 
-    for family, entries in buckets.items():
-        series = [(ln, le, v) for ln, le, v in entries if le != "count"]
-        counts = [v for _, le, v in entries if le == "count"]
-        missing = {"_bucket", "_sum", "_count"} - seen_suffixes.get(family, set())
+    for family, suffixes in seen_suffixes.items():
+        missing = {"_bucket", "_sum", "_count"} - suffixes
         if missing:
             return fail(path, 0,
                         f"histogram {family} lacks {sorted(missing)} samples")
+    for (family, key), series in buckets.items():
+        label = series_name(family, key)
         les = [le for _, le, _ in series]
         if sorted(les) != les or len(set(les)) != len(les):
             return fail(path, series[0][0],
-                        f"histogram {family} le bounds not strictly increasing")
+                        f"histogram {label} le bounds not strictly increasing")
         values = [v for _, _, v in series]
         if any(b < a for a, b in zip(values, values[1:])):
             return fail(path, series[0][0],
-                        f"histogram {family} cumulative counts decrease")
+                        f"histogram {label} cumulative counts decrease")
         if not les or les[-1] != math.inf:
             return fail(path, series[0][0],
-                        f"histogram {family} lacks a le=\"+Inf\" bucket")
-        if counts and values and values[-1] != counts[0]:
+                        f"histogram {label} lacks a le=\"+Inf\" bucket")
+        count = counts.get((family, key))
+        if count is None:
             return fail(path, series[0][0],
-                        f"histogram {family}: +Inf bucket {values[-1]} != "
-                        f"_count {counts[0]}")
+                        f"histogram {label} has buckets but no _count sample")
+        if values[-1] != count[1]:
+            return fail(path, series[0][0],
+                        f"histogram {label}: +Inf bucket {values[-1]} != "
+                        f"_count {count[1]}")
+    for (family, key), (lineno, _) in counts.items():
+        if (family, key) not in buckets:
+            return fail(path, lineno,
+                        f"histogram {series_name(family, key)} has a _count "
+                        f"but no _bucket samples")
 
     print(f"{path}: OK ({len(types)} metric famil"
           f"{'y' if len(types) == 1 else 'ies'}, {samples} sample(s))")

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Smoke check for the live telemetry plane: start the ddl_tour example with
-# the exporter enabled, scrape /healthz, /metrics, /varz, /debug/events, and
-# /debug/traces over HTTP, and validate the Prometheus text with
-# tools/check_metrics_text.py and the flight events with
-# tools/check_flight_json.py. This proves the whole chain — engine
+# the exporter enabled, scrape /healthz, /metrics, /varz, /debug/events,
+# /debug/traces, /debug/health, and /metrics/history over HTTP, and validate
+# the Prometheus text with tools/check_metrics_text.py (including the
+# labeled tempspec_query_latency series), the flight events with
+# tools/check_flight_json.py, and the health plane with
+# tools/check_health_json.py. This proves the whole chain — engine
 # instrumentation -> registry -> exporter -> valid exposition — on a real
 # process, not a unit-test snapshot.
 #
@@ -75,6 +77,11 @@ else
     echo "/metrics: FAIL: no querylang_statements sample in the scrape"
     failures=$((failures + 1))
   fi
+  # And so must the labeled latency family those statements feed.
+  if ! grep -q "^tempspec_query_latency_bucket{" "$OUT_DIR/metrics.txt"; then
+    echo "/metrics: FAIL: no labeled tempspec_query_latency series"
+    failures=$((failures + 1))
+  fi
 fi
 
 if ! curl -sf "http://127.0.0.1:$port/varz" -o "$OUT_DIR/varz.json"; then
@@ -110,6 +117,26 @@ print('/debug/traces: OK')" "$OUT_DIR/traces.jsonl"; then
   failures=$((failures + 1))
 fi
 
+# The health plane: the tour declares no SLOs (an empty verdict list is
+# valid) but its statements must have produced labeled latency series.
+if ! curl -sf "http://127.0.0.1:$port/debug/health" -o "$OUT_DIR/health.json"; then
+  echo "/debug/health: FAIL: curl error"
+  failures=$((failures + 1))
+else
+  python3 "$(dirname "$0")/check_health_json.py" --health --min-series 1 \
+    "$OUT_DIR/health.json" || failures=$((failures + 1))
+fi
+
+# No sampler runs in the tour, so the history ring is legitimately empty;
+# the checker still gates the JSONL schema of whatever is served.
+if ! curl -sf "http://127.0.0.1:$port/metrics/history" -o "$OUT_DIR/history.jsonl"; then
+  echo "/metrics/history: FAIL: curl error"
+  failures=$((failures + 1))
+else
+  python3 "$(dirname "$0")/check_health_json.py" --history \
+    "$OUT_DIR/history.jsonl" || failures=$((failures + 1))
+fi
+
 kill "$TOUR_PID" 2>/dev/null
 wait "$TOUR_PID" 2>/dev/null
 
@@ -117,4 +144,4 @@ if [ $failures -ne 0 ]; then
   echo "metrics smoke: $failures failure(s)"
   exit 1
 fi
-echo "metrics smoke: exporter served valid /metrics, /varz, /healthz, and /debug pages"
+echo "metrics smoke: exporter served valid /metrics, /varz, /healthz, /debug, and health-plane pages"

@@ -5,8 +5,8 @@
 //   - TSP1 binary frames     the same statements over the frame protocol
 //                            (net/frame.h), with optional per-query
 //                            deadlines in the frame header
-//   - /metrics /varz /healthz /debug/events /debug/traces
-//                            the telemetry plane (net/telemetry_endpoints.h)
+//   - /metrics /metrics/history /varz /healthz /debug/events /debug/traces
+//     /debug/health          the telemetry plane (net/telemetry_endpoints.h)
 //
 // Statements execute against a QueryService (catalog/query_service.h): a
 // data directory holds schemas.sql plus one backlog directory per relation,
@@ -23,6 +23,13 @@
 //   --workers=N             statement worker threads  (TEMPSPEC_SERVE_WORKERS)
 //   --default-deadline-ms=N applied when a request has none, 0 = unlimited
 //   --max-deadline-ms=N     clamp for client deadlines, 0 = no clamp
+//   --history-ms=N          metrics time-series sampling period; 0 disables
+//                           (TEMPSPEC_SERVE_HISTORY_MS). The sampler tick
+//                           also drives the SLO watchdog.
+//   --slo=r=ms,...          declared p99 objectives per relation, e.g.
+//                           --slo=ledger=50,sessions=20
+//                           (TEMPSPEC_SERVE_SLO); surfaced via
+//                           /debug/health and SHOW HEALTH
 //
 // SIGINT/SIGTERM stop the daemon gracefully: in-flight statements are
 // cancelled through their deadlines' TraceContexts, completions drain, and
@@ -41,6 +48,8 @@
 #include "net/server.h"
 #include "net/telemetry_endpoints.h"
 #include "obs/flight_recorder.h"
+#include "obs/history.h"
+#include "obs/slo.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
 
@@ -71,6 +80,8 @@ struct ServeConfig {
   uint64_t workers = 2;
   uint64_t default_deadline_ms = 0;
   uint64_t max_deadline_ms = 60 * 1000;
+  uint64_t history_ms = 0;
+  std::string slo_spec;
 };
 
 void Usage(const char* argv0) {
@@ -78,7 +89,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--addr=A] [--port=N] [--data-dir=D] [--portfile=P]\n"
       "          [--max-inflight=N] [--workers=N]\n"
-      "          [--default-deadline-ms=N] [--max-deadline-ms=N]\n",
+      "          [--default-deadline-ms=N] [--max-deadline-ms=N]\n"
+      "          [--history-ms=N] [--slo=relation=p99ms,...]\n",
       argv0);
 }
 
@@ -92,6 +104,9 @@ bool ParseArgs(int argc, char** argv, ServeConfig* config) {
       std::getenv("TEMPSPEC_SERVE_MAX_INFLIGHT"), config->max_inflight);
   config->workers =
       ParseU64Or(std::getenv("TEMPSPEC_SERVE_WORKERS"), config->workers);
+  config->history_ms = ParseU64Or(std::getenv("TEMPSPEC_SERVE_HISTORY_MS"),
+                                  config->history_ms);
+  config->slo_spec = EnvOr("TEMPSPEC_SERVE_SLO", "");
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -115,6 +130,10 @@ bool ParseArgs(int argc, char** argv, ServeConfig* config) {
       config->default_deadline_ms = ParseU64Or(value.c_str(), 0);
     } else if (key == "--max-deadline-ms") {
       config->max_deadline_ms = ParseU64Or(value.c_str(), 0);
+    } else if (key == "--history-ms") {
+      config->history_ms = ParseU64Or(value.c_str(), 0);
+    } else if (key == "--slo") {
+      config->slo_spec = value;
     } else if (key == "--help" || key == "-h") {
       Usage(argv[0]);
       return false;
@@ -138,6 +157,19 @@ int main(int argc, char** argv) {
   tempspec::SlowQueryLog::Instance().ConfigureFromEnv();
   tempspec::RetainedTraces::Instance().ConfigureFromEnv();
   tempspec::FlightRecorder::MaybeInstallFromEnv();
+
+  // The health plane: declared objectives plus the sampler thread that
+  // feeds /metrics/history and re-evaluates the SLO watchdog every tick.
+  if (!config.slo_spec.empty() &&
+      !tempspec::SloRegistry::Instance().DeclareFromSpec(config.slo_spec)) {
+    std::fprintf(stderr, "tempspec_serve: bad --slo entry in '%s'\n",
+                 config.slo_spec.c_str());
+    return 2;
+  }
+  if (config.history_ms > 0) {
+    tempspec::MetricsHistory::Instance().Start(
+        config.history_ms, [] { tempspec::SloRegistry::Instance().Evaluate(); });
+  }
 
   tempspec::QueryServiceOptions service_options;
   service_options.data_dir = config.data_dir;
@@ -189,6 +221,7 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "tempspec_serve: shutting down\n");
+  tempspec::MetricsHistory::Instance().Stop();
   server.Stop();
   return 0;
 }

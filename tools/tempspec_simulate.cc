@@ -25,6 +25,17 @@
 //                            time from exec to the first successful CURRENT
 //                            and re-verifies that no element moved.
 //
+// Health plane (metrics builds): the daemon is spawned with --slo declaring
+// a generous p99 objective for every tenant relation and --history-ms so the
+// sampler feeds /metrics/history and the SLO watchdog. The simulator scrapes
+// /debug/health mid-run and after the run, cross-checks the server's
+// per-relation verdicts against the client-side latency ledgers (a tenant
+// whose client p99 is inside the objective must read "ok" server-side), and
+// in the drift scenario asserts the {relation=ledger,kind=row_at_a_time}
+// labeled series appears only after the optimizer fell back. A post-run
+// probe statement also proves the trace join: the control client's
+// X-Tempspec-Trace id must show up in the server's /debug/traces retention.
+//
 // Emits a schema-v2 BENCH_p4_simulator.json (--json) that
 // tools/check_bench_json.py validates, with per-tenant latency percentiles
 // and reconciliation counters. Exit status is the SLO gate: nonzero on any
@@ -73,6 +84,15 @@ struct SimOptions {
   int workers = 0;  // 0 = daemon default
   int think_us = 2000;
   uint64_t deadline_ms = 5000;
+  /// Health plane: the daemon samples its metrics registry (and re-evaluates
+  /// the SLO watchdog) every this many ms; 0 disables the sampler.
+  uint64_t history_ms = 250;
+  /// Declared per-tenant p99 objective passed to the daemon as --slo. Set
+  /// generously above a healthy run's p99 so server and client verdicts must
+  /// both read "ok"; 0 disables the declarations and the health assertions.
+  double slo_p99_ms = 2000;
+  /// Built in SimulateMain from the seven tenant relations ("ledger=2000,...").
+  std::string slo_spec;
 };
 
 void Usage(const char* argv0) {
@@ -88,6 +108,10 @@ void Usage(const char* argv0) {
       "  --think-us=N            closed-loop think time (default 2000)\n"
       "  --max-inflight=N        daemon admission limit (default 64)\n"
       "  --workers=N             daemon worker threads (default: daemon's)\n"
+      "  --history-ms=N          daemon metrics sampling period (default 250,\n"
+      "                          0 disables the history ring + SLO watchdog)\n"
+      "  --slo-p99-ms=X          declared per-tenant p99 objective (default\n"
+      "                          2000; 0 skips SLO declarations)\n"
       "  --scenario-drift        ledger tenant drifts out of its declaration\n"
       "  --scenario-crash        SIGKILL + recovery at peak load\n"
       "  --scenario-cold-restart measure graceful restart-to-first-read\n",
@@ -132,6 +156,10 @@ bool ParseOptions(int argc, char** argv, SimOptions* options) {
       options->max_inflight = std::atoi(v.c_str());
     } else if (ParseFlag(arg, "workers", &v)) {
       options->workers = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "history-ms", &v)) {
+      options->history_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "slo-p99-ms", &v)) {
+      options->slo_p99_ms = std::atof(v.c_str());
     } else if (arg == "--scenario-drift") {
       options->scenario_drift = true;
     } else if (arg == "--scenario-crash") {
@@ -182,6 +210,11 @@ class DaemonController {
       const std::string workers_arg =
           "--workers=" + std::to_string(options_.workers);
       if (options_.workers > 0) argv.push_back(workers_arg.c_str());
+      const std::string history_arg =
+          "--history-ms=" + std::to_string(options_.history_ms);
+      if (options_.history_ms > 0) argv.push_back(history_arg.c_str());
+      const std::string slo_arg = "--slo=" + options_.slo_spec;
+      if (!options_.slo_spec.empty()) argv.push_back(slo_arg.c_str());
       argv.push_back(nullptr);
       ::execv(options_.serve_bin.c_str(),
               const_cast<char* const*>(argv.data()));
@@ -252,6 +285,32 @@ int64_t MetricValue(const std::string& scrape, const std::string& name) {
   return -1;
 }
 
+/// Extracts the server's total-window SLO verdict ("ok"/"violated") for one
+/// relation out of a /debug/health body; "" when the relation has no
+/// declared objective in the scrape.
+std::string HealthTotalVerdict(const std::string& health,
+                               const std::string& relation) {
+  const size_t at = health.find("\"relation\":\"" + relation + "\",\"objective");
+  if (at == std::string::npos) return "";
+  const size_t total = health.find("\"total\":{", at);
+  if (total == std::string::npos) return "";
+  const std::string key = "\"verdict\":\"";
+  const size_t verdict = health.find(key, total);
+  if (verdict == std::string::npos) return "";
+  const size_t begin = verdict + key.size();
+  const size_t end = health.find('"', begin);
+  if (end == std::string::npos) return "";
+  return health.substr(begin, end - begin);
+}
+
+/// True when the health scrape's labeled-series dump contains a
+/// {relation, kind} pair — the drift scenario's attribution check.
+bool HealthHasSeries(const std::string& health, const std::string& relation,
+                     const std::string& kind) {
+  return health.find("\"relation\":\"" + relation + "\",\"kind\":\"" + kind +
+                     "\"") != std::string::npos;
+}
+
 struct TenantPlan {
   Scenario scenario;
   ClientProtocol protocol;
@@ -285,6 +344,17 @@ int SimulateMain(int argc, char** argv) {
   SimOptions options;
   if (!ParseOptions(argc, argv, &options)) return 2;
   ::mkdir(options.data_dir.c_str(), 0755);
+
+  // Declare one generous p99 objective per tenant relation; the daemon's
+  // watchdog judges them and the post-run check cross-examines its verdicts
+  // against the client-side ledgers.
+  if (options.slo_p99_ms > 0) {
+    for (const TenantPlan& plan : SevenTenants()) {
+      if (!options.slo_spec.empty()) options.slo_spec += ',';
+      options.slo_spec += std::string(ScenarioRelationName(plan.scenario)) +
+                          "=" + std::to_string(options.slo_p99_ms);
+    }
+  }
 
   SimEndpoint endpoint;
   endpoint.host = options.host;
@@ -363,6 +433,8 @@ int SimulateMain(int argc, char** argv) {
   bool drift_plan_fell_back = false;
   std::string drift_show_body;
   std::string drift_plan_body;
+  std::string pre_drift_health;
+  std::string mid_health;
   bool crashed = false;
   while (true) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -384,9 +456,25 @@ int SimulateMain(int argc, char** argv) {
     }
     if (options.scenario_drift && !drift_started && options.max_ops == 0 &&
         progress >= 1.0 / 3) {
+      // Snapshot the labeled series before the hostile phase: the
+      // row-at-a-time fallback series for ledger must be absent here and
+      // present after the optimizer stops trusting the declaration.
+      if (options.slo_p99_ms > 0) {
+        Result<std::string> health = control.Get("/debug/health");
+        if (health.ok()) pre_drift_health = health.ValueOrDie();
+      }
       std::fprintf(stderr, "tempspec_simulate: starting ledger drift\n");
       ledger_driver->StartDrift();
       drift_started = true;
+    }
+    // Mid-run health scrape: the watchdog must be publishing verdicts while
+    // the tenants are still driving load, not only at quiescence. Retried
+    // every tick until it lands (the crash window can make one attempt
+    // fail).
+    if (options.slo_p99_ms > 0 && mid_health.empty() && progress >= 0.7 &&
+        control.connected()) {
+      Result<std::string> health = control.Get("/debug/health");
+      if (health.ok()) mid_health = health.ValueOrDie();
     }
     // Verify the DRIFTED flip as soon as the engine rejects a drifted
     // write — and before any crash: the monitor is in-memory, and WAL
@@ -534,7 +622,98 @@ int SimulateMain(int argc, char** argv) {
       }
     }
   }
+
+  // Health-plane reconciliation: the daemon's watchdog judged every declared
+  // objective from its own labeled latency series; its verdicts must not
+  // contradict the clients' ledgers. The server attributes violations
+  // leniently (a histogram bucket straddling the objective counts as
+  // conforming), so a tenant whose client-side p99 is inside the objective
+  // can never legitimately read "violated" server-side. Restarts reset the
+  // series, so like the counter reconciliation this only runs uncrashed.
+  uint64_t health_verdicts_agreed = 0;
+  bool drift_series_seen = false;
+  if (options.slo_p99_ms > 0 && daemon.starts() == 1) {
+    if (mid_health.empty()) {
+      failures.push_back("health plane: mid-run /debug/health never scraped");
+    }
+    Result<std::string> health = control.Get("/debug/health");
+    if (!health.ok()) {
+      failures.push_back("scraping /debug/health failed: " +
+                         health.status().ToString());
+    } else {
+      const std::string& body = health.ValueOrDie();
+      for (const auto& driver : drivers) {
+        const TenantReport& r = driver->report();
+        const std::string verdict = HealthTotalVerdict(body, r.relation);
+        if (verdict.empty()) {
+          failures.push_back(r.relation +
+                             ": declared SLO missing from /debug/health");
+          continue;
+        }
+        const double client_p99_ms =
+            std::max(PercentileUs(r.write_latency_ns, 0.99),
+                     PercentileUs(r.read_latency_ns, 0.99)) /
+            1000.0;
+        if (client_p99_ms <= options.slo_p99_ms && verdict != "ok") {
+          failures.push_back(
+              r.relation + ": server verdict '" + verdict +
+              "' but client-side p99 " + std::to_string(client_p99_ms) +
+              "ms is inside the " + std::to_string(options.slo_p99_ms) +
+              "ms objective");
+        } else {
+          ++health_verdicts_agreed;
+        }
+        if (client_p99_ms > options.slo_p99_ms) {
+          std::fprintf(stderr,
+                       "tempspec_simulate: note: %s client p99 %.2fms exceeds "
+                       "the objective (server says '%s')\n",
+                       r.relation.c_str(), client_p99_ms, verdict.c_str());
+        }
+      }
+      // Drift attribution: the hostile phase must show up as the ledger
+      // relation's row-at-a-time fallback series — present after the run,
+      // absent in the pre-drift snapshot (wall-clock runs take one).
+      if (options.scenario_drift) {
+        drift_series_seen = HealthHasSeries(body, "ledger", "row_at_a_time");
+        if (!drift_series_seen) {
+          failures.push_back(
+              "drift ran but /debug/health shows no "
+              "{relation=ledger,kind=row_at_a_time} series");
+        }
+        // Not a hard failure: some conforming read shapes (index probes)
+        // legitimately walk rows, so the fallback series can predate the
+        // hostile phase at low volume. The flip is still attributable —
+        // post-drift every ledger read lands there.
+        if (!pre_drift_health.empty() &&
+            HealthHasSeries(pre_drift_health, "ledger", "row_at_a_time")) {
+          std::fprintf(stderr,
+                       "tempspec_simulate: note: ledger row-at-a-time series "
+                       "existed before drift (index-probe reads)\n");
+        }
+      }
+    }
+  }
 #endif
+
+  // Trace join: execute one more control statement and require its
+  // client-generated X-Tempspec-Trace id in the server's trace retention —
+  // the end-to-end id is the key that joins client ledgers to server spans.
+  {
+    WireReply probe = control.ExecuteRetrying(
+        "CURRENT " + std::string(ScenarioRelationName(plans[0].scenario)),
+        options.deadline_ms);
+    ++control_posts;
+    if (probe.ok() && !control.last_trace_id().empty()) {
+      Result<std::string> traces = control.Get("/debug/traces");
+      if (!traces.ok() ||
+          traces.ValueOrDie().find(control.last_trace_id()) ==
+              std::string::npos) {
+        failures.push_back("trace join: client trace id " +
+                           control.last_trace_id() +
+                           " not found in /debug/traces");
+      }
+    }
+  }
 
   // Cold restart: graceful stop, restart on the same data dir, measure
   // exec-to-first-successful-read, and verify nothing moved.
@@ -638,6 +817,18 @@ int SimulateMain(int argc, char** argv) {
     b.counters["drifted_flag"] = drifted_flag ? 1 : 0;
     results.push_back(std::move(b));
   }
+#ifdef TEMPSPEC_METRICS
+  if (options.slo_p99_ms > 0 && daemon.starts() == 1) {
+    bench::BenchResult b;
+    b.name = "scenario/health";
+    b.runs = 1;
+    b.iterations = 1;
+    b.counters["slo_objectives"] = static_cast<double>(drivers.size());
+    b.counters["verdicts_agreed"] = static_cast<double>(health_verdicts_agreed);
+    b.counters["drift_series_seen"] = drift_series_seen ? 1 : 0;
+    results.push_back(std::move(b));
+  }
+#endif
   if (options.scenario_crash) {
     bench::BenchResult b;
     b.name = "scenario/crash_recovery";
@@ -674,6 +865,17 @@ int SimulateMain(int argc, char** argv) {
   if (!failures.empty()) {
     for (const std::string& f : failures) {
       std::fprintf(stderr, "tempspec_simulate: FAIL: %s\n", f.c_str());
+    }
+    // Reconciliation evidence: what the server actually said on each error
+    // reply, so a failed run reads as a diagnosis, not a count. (Successful
+    // runs keep these quiet — the drift scenario's intentional rejections
+    // would drown the report.)
+    for (const auto& driver : drivers) {
+      const TenantReport& r = driver->report();
+      for (const std::string& detail : r.error_details) {
+        std::fprintf(stderr, "    %s: server said %s\n", r.relation.c_str(),
+                     detail.c_str());
+      }
     }
     return 1;
   }
